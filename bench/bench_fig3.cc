@@ -1,0 +1,115 @@
+// E3 — Figure 3: true MI vs sketch MI estimates for CDUnif, n = 256,
+// sweeping the distinct-value parameter m in [2, 1000].
+//
+// Paper shape: estimates track truth at low MI, then break down as
+// I(X, Y) grows (m/n >> 1): around I ~ 4.25 for LV2SK + DC-KSG (earliest
+// and hardest) and I ~ 4.85 for the others, while TUPSK degrades more
+// gracefully than LV2SK.
+
+#include "bench/bench_util.h"
+
+namespace joinmi {
+namespace bench {
+namespace {
+
+struct Combo {
+  SketchMethod method;
+  MIEstimatorKind estimator;
+  KeyScheme scheme;
+  MIOptions options;
+};
+
+void Run() {
+  constexpr size_t kSketchSize = 256;
+  constexpr int kTrials = 80;
+  std::vector<Combo> combos;
+  for (SketchMethod method : {SketchMethod::kLv2sk, SketchMethod::kTupsk}) {
+    for (MIEstimatorKind estimator :
+         {MIEstimatorKind::kMixedKSG, MIEstimatorKind::kDCKSG}) {
+      // CDUnif's X is discrete, so both key schemes apply. With unique
+      // KeyInd keys LV2SK reduces to TUPSK (paper Section IV-A); the
+      // method separation shows under KeyDep.
+      for (KeyScheme scheme : {KeyScheme::kKeyInd, KeyScheme::kKeyDep}) {
+        Combo combo{method, estimator, scheme, {}};
+        combo.options.k = 3;
+        combos.push_back(combo);
+      }
+    }
+  }
+  std::vector<std::vector<Observation>> all_obs(combos.size());
+
+  Rng m_rng(99);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Log-uniform m in [2, 1000] spreads observations across the MI range
+    // [0.3, 6.2] like the paper's uniform draw does.
+    const double log_m = m_rng.Uniform(std::log(2.0), std::log(1000.0));
+    const uint64_t m = static_cast<uint64_t>(std::exp(log_m));
+    for (KeyScheme scheme : {KeyScheme::kKeyInd, KeyScheme::kKeyDep}) {
+      SyntheticSpec spec;
+      spec.distribution = SyntheticDistribution::kCDUnif;
+      spec.m = m;
+      spec.num_rows = 10000;
+      spec.key_scheme = scheme;
+      spec.seed = 4000 + static_cast<uint64_t>(trial);
+      auto dataset_result = GenerateSyntheticDataset(spec);
+      if (!dataset_result.ok()) continue;
+      const SyntheticDataset& dataset = *dataset_result;
+      for (size_t c = 0; c < combos.size(); ++c) {
+        if (combos[c].scheme != scheme) continue;
+        auto result = SketchEstimate(dataset, combos[c].method, kSketchSize,
+                                     combos[c].estimator, combos[c].options,
+                                     /*sampling_seed=*/trial + 7);
+        if (!result.ok()) continue;
+        all_obs[c].push_back(
+            Observation{dataset.true_mi, result->mi, result->join_size});
+      }
+    }
+  }
+
+  std::printf("Binned series (mean sketch estimate per true-MI bin):\n\n");
+  PrintBinAxis(/*bin_width=*/0.7, /*max_mi=*/6.3);
+  for (size_t c = 0; c < combos.size(); ++c) {
+    const std::string label =
+        std::string(SketchMethodToString(combos[c].method)) + " " +
+        MIEstimatorKindToString(combos[c].estimator) + " " +
+        KeySchemeToString(combos[c].scheme);
+    PrintBinnedSeries(label, all_obs[c], 0.7, 6.3);
+  }
+
+  // Breakdown diagnostics: error in the high-MI region I > 4.25.
+  std::printf("\nHigh-MI regime (true MI > 4.25) mean estimate shortfall:\n\n");
+  PrintHeader({"method", "estimator", "  n", "truth ", "estim ", "short "});
+  for (size_t c = 0; c < combos.size(); ++c) {
+    double truth_acc = 0.0, est_acc = 0.0;
+    size_t count = 0;
+    for (const Observation& o : all_obs[c]) {
+      if (o.true_mi <= 4.25) continue;
+      truth_acc += o.true_mi;
+      est_acc += o.estimate;
+      ++count;
+    }
+    if (count == 0) continue;
+    const double truth_mean = truth_acc / static_cast<double>(count);
+    const double est_mean = est_acc / static_cast<double>(count);
+    std::printf("| %-6s | %-9s | %3zu | %5.2f | %5.2f | %5.2f |\n",
+                SketchMethodToString(combos[c].method),
+                MIEstimatorKindToString(combos[c].estimator), count,
+                truth_mean, est_mean, truth_mean - est_mean);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 3): estimates saturate / collapse as\n"
+      "I -> 4.85 (m -> n); LV2SK+DC-KSG breaks down earliest (~4.25); TUPSK\n"
+      "degrades more gracefully than LV2SK.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace joinmi
+
+int main() {
+  std::printf(
+      "E3 / Figure 3: sketch MI estimates vs true MI for CDUnif.\n"
+      "m in [2, 1000], N=10k rows, sketch size n=256.\n\n");
+  joinmi::bench::Run();
+  return 0;
+}

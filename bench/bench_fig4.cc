@@ -1,0 +1,79 @@
+// E4 — Figure 4: effect of the number of distinct values. Trinomial with
+// m in {16, 64, 256, 512, 1024}, TUPSK sketches of size n = 256.
+//
+// Paper shape: increasing m (with n fixed) inflates the bias of the
+// discrete-handling estimators — MLE worst (by m = 1024 all its estimates
+// are squeezed into a high band ~[2.5, 3.5]), MixedKSG next; the estimators
+// do not fully break down.
+
+#include "bench/bench_util.h"
+
+namespace joinmi {
+namespace bench {
+namespace {
+
+void Run() {
+  constexpr size_t kSketchSize = 256;
+  constexpr uint64_t kTrials = 40;
+  const std::vector<uint64_t> ms = {16, 64, 256, 512, 1024};
+  const std::vector<MIEstimatorKind> estimators = {
+      MIEstimatorKind::kMLE, MIEstimatorKind::kMixedKSG,
+      MIEstimatorKind::kDCKSG};
+
+  for (uint64_t m : ms) {
+    std::vector<std::vector<Observation>> all_obs(estimators.size());
+    for (uint64_t trial = 0; trial < kTrials; ++trial) {
+      SyntheticSpec spec;
+      spec.distribution = SyntheticDistribution::kTrinomial;
+      spec.m = m;
+      spec.num_rows = 10000;
+      spec.key_scheme = KeyScheme::kKeyInd;
+      spec.seed = 5000 + m * 100 + trial;
+      auto dataset_result = GenerateSyntheticDataset(spec);
+      if (!dataset_result.ok()) continue;
+      const SyntheticDataset& dataset = *dataset_result;
+      for (size_t e = 0; e < estimators.size(); ++e) {
+        MIOptions options;
+        if (estimators[e] == MIEstimatorKind::kDCKSG) {
+          options.perturb_sigma = 1e-6;
+        }
+        auto result = SketchEstimate(dataset, SketchMethod::kTupsk,
+                                     kSketchSize, estimators[e], options,
+                                     trial + 3);
+        if (!result.ok()) continue;
+        all_obs[e].push_back(
+            Observation{dataset.true_mi, result->mi, result->join_size});
+      }
+    }
+    std::printf("--- Trinomial(m=%llu), TUPSK n=256 ---\n",
+                static_cast<unsigned long long>(m));
+    PrintBinAxis(/*bin_width=*/0.5, /*max_mi=*/3.5);
+    for (size_t e = 0; e < estimators.size(); ++e) {
+      PrintBinnedSeries(MIEstimatorKindToString(estimators[e]), all_obs[e],
+                        0.5, 3.5);
+    }
+    for (size_t e = 0; e < estimators.size(); ++e) {
+      const SeriesStats stats = Summarize(all_obs[e]);
+      std::printf("%-10s bias %+5.2f  MSE %5.3f  r %4.2f  (n=%zu)\n",
+                  MIEstimatorKindToString(estimators[e]), stats.bias,
+                  stats.mse, stats.pearson, stats.count);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig. 4): MLE ( ) and MixedKSG bias grows with\n"
+      "m; at m=1024 MLE estimates compress into a high band (~[2.5, 3.5]);\n"
+      "DC-KSG stays closest to the diagonal.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace joinmi
+
+int main() {
+  std::printf(
+      "E4 / Figure 4: effect of distinct values m on sketch MI accuracy.\n"
+      "Trinomial, TUPSK, N=10k rows, n=256, m in {16,64,256,512,1024}.\n\n");
+  joinmi::bench::Run();
+  return 0;
+}

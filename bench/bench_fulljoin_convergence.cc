@@ -1,0 +1,122 @@
+// E1 — Section V-B1 "True vs. Estimated MI on Full-Table Joins".
+//
+// Paper claim: with fully materialized joins of N = 10k rows, MI estimates
+// track the analytic MI with RMSE < 0.07 and Pearson's r > 0.99 for every
+// estimator applicable to the data type, on both Trinomial and CDUnif.
+//
+// This harness regenerates that check and prints one row per
+// (distribution, estimator).
+
+#include "bench/bench_util.h"
+
+namespace joinmi {
+namespace bench {
+namespace {
+
+void RunTrinomial() {
+  struct Combo {
+    MIEstimatorKind estimator;
+    MIOptions options;
+  };
+  std::vector<Combo> combos = {
+      {MIEstimatorKind::kMLE, {}},
+      {MIEstimatorKind::kMixedKSG, {}},
+      {MIEstimatorKind::kDCKSG, {}},
+  };
+  // DC-KSG treats Y as continuous: perturb to break ties (Section V-A).
+  combos[2].options.perturb_sigma = 1e-6;
+
+  std::vector<std::vector<Observation>> all_obs(combos.size());
+  constexpr int kDatasets = 40;
+  for (int d = 0; d < kDatasets; ++d) {
+    SyntheticSpec spec;
+    spec.distribution = SyntheticDistribution::kTrinomial;
+    spec.m = 64;
+    spec.num_rows = 10000;
+    spec.key_scheme = KeyScheme::kKeyInd;
+    spec.seed = 1000 + static_cast<uint64_t>(d);
+    spec.min_mi = 0.0;
+    spec.max_mi = 2.5;
+    auto dataset_result = GenerateSyntheticDataset(spec);
+    if (!dataset_result.ok()) continue;
+    const SyntheticDataset& dataset = *dataset_result;
+    PairedSample sample;
+    sample.x = dataset.xs;
+    sample.y = dataset.ys;
+    for (size_t c = 0; c < combos.size(); ++c) {
+      auto mi = EstimateMI(combos[c].estimator, sample, combos[c].options);
+      if (!mi.ok()) continue;
+      all_obs[c].push_back(Observation{dataset.true_mi, *mi, sample.size()});
+    }
+  }
+  for (size_t c = 0; c < combos.size(); ++c) {
+    const SeriesStats stats = Summarize(all_obs[c]);
+    std::printf("| Trinomial(m=64)  | %-9s | %3zu | %6.3f | %6.3f | %5.3f |\n",
+                MIEstimatorKindToString(combos[c].estimator), stats.count,
+                stats.rmse, stats.bias, stats.pearson);
+  }
+}
+
+void RunCDUnif() {
+  struct Combo {
+    MIEstimatorKind estimator;
+    MIOptions options;
+  };
+  std::vector<Combo> combos = {
+      {MIEstimatorKind::kMixedKSG, {}},
+      {MIEstimatorKind::kDCKSG, {}},
+  };
+  // MixedKSG's log-based marginal terms carry a k-dependent bias on mixture
+  // data; k = 5 is the reference implementation's default and keeps the
+  // bias inside the paper's reported envelope.
+  combos[0].options.k = 5;
+  std::vector<std::vector<Observation>> all_obs(combos.size());
+  constexpr int kDatasets = 40;
+  Rng m_rng(777);
+  for (int d = 0; d < kDatasets; ++d) {
+    SyntheticSpec spec;
+    spec.distribution = SyntheticDistribution::kCDUnif;
+    // Keep m modest here so the estimators are in their working range; the
+    // breakdown at large m is Figure 3's subject, not this experiment's.
+    spec.m = 2 + m_rng.NextBounded(30);
+    spec.num_rows = 10000;
+    spec.key_scheme = KeyScheme::kKeyInd;
+    spec.seed = 2000 + static_cast<uint64_t>(d);
+    auto dataset_result = GenerateSyntheticDataset(spec);
+    if (!dataset_result.ok()) continue;
+    const SyntheticDataset& dataset = *dataset_result;
+    PairedSample sample;
+    sample.x = dataset.xs;
+    sample.y = dataset.ys;
+    for (size_t c = 0; c < combos.size(); ++c) {
+      auto mi = EstimateMI(combos[c].estimator, sample, combos[c].options);
+      if (!mi.ok()) continue;
+      all_obs[c].push_back(Observation{dataset.true_mi, *mi, sample.size()});
+    }
+  }
+  for (size_t c = 0; c < combos.size(); ++c) {
+    const SeriesStats stats = Summarize(all_obs[c]);
+    std::printf("| CDUnif(m<=31)    | %-9s | %3zu | %6.3f | %6.3f | %5.3f |\n",
+                MIEstimatorKindToString(combos[c].estimator), stats.count,
+                stats.rmse, stats.bias, stats.pearson);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace joinmi
+
+int main() {
+  using namespace joinmi::bench;
+  std::printf(
+      "E1 / Section V-B1: MI estimated on the fully materialized join "
+      "(N = 10k)\nvs. analytic MI. Paper: RMSE < 0.07, Pearson r > 0.99.\n\n");
+  PrintHeader({"distribution     ", "estimator", "  n", " RMSE ", " bias ",
+               "  r  "});
+  RunTrinomial();
+  RunCDUnif();
+  std::printf(
+      "\nExpected shape: RMSE small (paper: < 0.07) and r ~ 1 for MLE and\n"
+      "MixedKSG; DC-KSG close behind (its perturbation adds slight noise).\n");
+  return 0;
+}

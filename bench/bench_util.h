@@ -1,0 +1,143 @@
+// Shared helpers for the experiment harnesses in bench/: trial runners that
+// generate synthetic datasets, evaluate sketch estimates against analytic
+// or full-join MI, and print the paper-style report tables.
+
+#ifndef JOINMI_BENCH_BENCH_UTIL_H_
+#define JOINMI_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/string_util.h"
+#include "src/core/join_mi.h"
+#include "src/sketch/sketch_join.h"
+#include "src/synthetic/pipeline.h"
+
+namespace joinmi {
+namespace bench {
+
+/// One (analytic MI, estimate) observation.
+struct Observation {
+  double true_mi = 0.0;
+  double estimate = 0.0;
+  size_t join_size = 0;
+};
+
+/// Aggregate error metrics over a series of observations.
+struct SeriesStats {
+  size_t count = 0;
+  double bias = 0.0;      // mean(estimate - truth)
+  double mse = 0.0;
+  double rmse = 0.0;
+  double pearson = 0.0;
+  double spearman = 0.0;
+  double avg_join_size = 0.0;
+};
+
+inline SeriesStats Summarize(const std::vector<Observation>& obs) {
+  SeriesStats stats;
+  stats.count = obs.size();
+  if (obs.empty()) return stats;
+  std::vector<double> truth, est;
+  truth.reserve(obs.size());
+  est.reserve(obs.size());
+  double join_acc = 0.0;
+  for (const Observation& o : obs) {
+    truth.push_back(o.true_mi);
+    est.push_back(o.estimate);
+    stats.bias += (o.estimate - o.true_mi);
+    join_acc += static_cast<double>(o.join_size);
+  }
+  stats.bias /= static_cast<double>(obs.size());
+  stats.avg_join_size = join_acc / static_cast<double>(obs.size());
+  stats.mse = MeanSquaredError(truth, est).ValueOr(0.0);
+  stats.rmse = std::sqrt(stats.mse);
+  stats.pearson = PearsonCorrelation(truth, est).ValueOr(0.0);
+  stats.spearman = SpearmanCorrelation(truth, est).ValueOr(0.0);
+  return stats;
+}
+
+/// Builds train/candidate sketches for a dataset and estimates MI.
+/// Candidate keys are unique by construction (both KeyInd and KeyDep), so
+/// kFirst is the aggregation, matching the generation semantics.
+inline Result<SketchMIResult> SketchEstimate(const SyntheticDataset& dataset,
+                                             SketchMethod method, size_t n,
+                                             MIEstimatorKind estimator,
+                                             const MIOptions& mi_options = {},
+                                             uint64_t sampling_seed = 0x5EED,
+                                             size_t min_join_size = 8) {
+  SketchOptions options;
+  options.capacity = n;
+  options.sampling_seed = sampling_seed;
+  auto builder = MakeSketchBuilder(method, options);
+  const auto& train = dataset.tables.train;
+  const auto& cand = dataset.tables.cand;
+  JOINMI_ASSIGN_OR_RETURN(auto train_keys, train->GetColumn(kKeyColumn));
+  JOINMI_ASSIGN_OR_RETURN(auto train_target, train->GetColumn(kTargetColumn));
+  JOINMI_ASSIGN_OR_RETURN(auto cand_keys, cand->GetColumn(kKeyColumn));
+  JOINMI_ASSIGN_OR_RETURN(auto cand_value, cand->GetColumn(kFeatureColumn));
+  // INDSK must sample the two tables with independent randomness.
+  SketchOptions cand_options = options;
+  cand_options.sampling_seed = sampling_seed * 0x9E3779B9ULL + 1;
+  auto cand_builder = MakeSketchBuilder(method, cand_options);
+  JOINMI_ASSIGN_OR_RETURN(Sketch s_train,
+                          builder->SketchTrain(*train_keys, *train_target));
+  JOINMI_ASSIGN_OR_RETURN(
+      Sketch s_cand,
+      cand_builder->SketchCandidate(*cand_keys, *cand_value, AggKind::kFirst));
+  return EstimateSketchMI(s_train, s_cand, estimator, mi_options,
+                          min_join_size);
+}
+
+/// Prints a markdown-ish table header + separator.
+inline void PrintHeader(const std::vector<std::string>& columns) {
+  std::string line = "|";
+  std::string sep = "|";
+  for (const auto& c : columns) {
+    line += " " + c + " |";
+    sep += std::string(c.size() + 2, '-') + "|";
+  }
+  std::printf("%s\n%s\n", line.c_str(), sep.c_str());
+}
+
+/// Bins observations by true MI and prints mean estimate per bin — the
+/// textual analogue of the paper's scatter plots.
+inline void PrintBinnedSeries(const std::string& label,
+                              const std::vector<Observation>& obs,
+                              double bin_width, double max_mi) {
+  const size_t bins = static_cast<size_t>(std::ceil(max_mi / bin_width));
+  std::vector<double> sum(bins, 0.0);
+  std::vector<size_t> count(bins, 0);
+  for (const Observation& o : obs) {
+    size_t b = static_cast<size_t>(o.true_mi / bin_width);
+    if (b >= bins) b = bins - 1;
+    sum[b] += o.estimate;
+    ++count[b];
+  }
+  std::printf("%-32s", label.c_str());
+  for (size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) {
+      std::printf("    -  ");
+    } else {
+      std::printf(" %6.2f", sum[b] / static_cast<double>(count[b]));
+    }
+  }
+  std::printf("\n");
+}
+
+inline void PrintBinAxis(double bin_width, double max_mi) {
+  const size_t bins = static_cast<size_t>(std::ceil(max_mi / bin_width));
+  std::printf("%-32s", "true MI bin midpoint ->");
+  for (size_t b = 0; b < bins; ++b) {
+    std::printf(" %6.2f", (static_cast<double>(b) + 0.5) * bin_width);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace joinmi
+
+#endif  // JOINMI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,140 @@
+// Estimator tour: the library's four MI estimator families side by side on
+// data with known ground truth — a runnable version of the paper's
+// Section II / V-B1 discussion of estimator choice.
+//
+// Shows: (1) each estimator near its home turf; (2) what goes wrong when an
+// estimator is used off-type (the MLE on near-continuous data, KSG on heavy
+// ties); (3) the bias-correction variants.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/math.h"
+#include "src/common/random.h"
+#include "src/mi/estimator.h"
+#include "src/mi/mle.h"
+
+using namespace joinmi;
+
+namespace {
+
+void Report(const char* name, Result<double> estimate, double truth) {
+  if (!estimate.ok()) {
+    std::printf("  %-28s      error: %s\n", name,
+                estimate.status().message().c_str());
+    return;
+  }
+  std::printf("  %-28s %6.3f   (truth %5.3f, err %+6.3f)\n", name, *estimate,
+              truth, *estimate - truth);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(271828);
+  constexpr int kSamples = 5000;
+
+  // ---- Case 1: discrete-discrete (categorical) --------------------------
+  // Y = X with probability 0.75, else uniform; analytic MI computed from
+  // the 4x4 joint.
+  {
+    const int m = 4;
+    const double p_copy = 0.75;
+    PairedSample sample;
+    for (int i = 0; i < kSamples; ++i) {
+      const int x = static_cast<int>(rng.NextBounded(m));
+      const int y = rng.Bernoulli(p_copy) ? x
+                                          : static_cast<int>(rng.NextBounded(m));
+      sample.x.emplace_back("cat_" + std::to_string(x));
+      sample.y.emplace_back("cat_" + std::to_string(y));
+    }
+    // Joint: p(x,x) = (p + (1-p)/m)/m, p(x,y!=x) = ((1-p)/m)/m.
+    const double p_diag = (p_copy + (1 - p_copy) / m) / m;
+    const double p_off = ((1 - p_copy) / m) / m;
+    const double h_joint =
+        -(m * p_diag * std::log(p_diag) +
+          m * (m - 1) * p_off * std::log(p_off));
+    const double truth = 2 * std::log(static_cast<double>(m)) - h_joint;
+    std::printf("Case 1: categorical x categorical (m=4, 75%% copy)\n");
+    Report("MLE", EstimateMI(MIEstimatorKind::kMLE, sample), truth);
+    Report("Miller-Madow", EstimateMI(MIEstimatorKind::kMillerMadow, sample),
+           truth);
+    Report("Laplace(alpha=1)", EstimateMI(MIEstimatorKind::kLaplace, sample),
+           truth);
+    std::printf("\n");
+  }
+
+  // ---- Case 2: continuous-continuous ------------------------------------
+  {
+    const double r = 0.7;
+    const double truth = BivariateNormalMI(r);
+    PairedSample sample;
+    for (int i = 0; i < kSamples; ++i) {
+      const double u = rng.Gaussian();
+      sample.x.emplace_back(u);
+      sample.y.emplace_back(r * u + std::sqrt(1 - r * r) * rng.Gaussian());
+    }
+    std::printf("Case 2: bivariate Gaussian (r=0.7)\n");
+    Report("KSG(k=3)", EstimateMI(MIEstimatorKind::kKSG, sample), truth);
+    Report("MixedKSG(k=3)", EstimateMI(MIEstimatorKind::kMixedKSG, sample),
+           truth);
+    // Off-type use: the plug-in on (nearly) all-distinct values maxes out.
+    Report("MLE  [off-type!]", EstimateMI(MIEstimatorKind::kMLE, sample),
+           truth);
+    std::printf("\n");
+  }
+
+  // ---- Case 3: discrete-continuous mixture ------------------------------
+  {
+    // Y | X=c ~ N(2c, 0.5^2), X uniform over 3 classes. MI = H(X) - H(X|Y);
+    // with 2-sigma separation the classes barely overlap: MI ~ ln 3.
+    PairedSample sample;
+    for (int i = 0; i < kSamples; ++i) {
+      const int c = static_cast<int>(rng.NextBounded(3));
+      sample.x.emplace_back("sensor_" + std::to_string(c));
+      sample.y.emplace_back(rng.Gaussian(2.0 * c, 0.5));
+    }
+    const double truth_upper = std::log(3.0);
+    std::printf(
+        "Case 3: 3 discrete classes x Gaussian readout (truth <~ ln 3 = "
+        "%.3f)\n", truth_upper);
+    Report("DC-KSG(k=3)", EstimateMI(MIEstimatorKind::kDCKSG, sample),
+           truth_upper);
+    std::printf("\n");
+  }
+
+  // ---- Case 4: mixture with heavy ties (join-derived feature) -----------
+  {
+    // A feature column as a left join creates it: repeated values following
+    // the key distribution. MixedKSG handles ties natively; plain KSG needs
+    // perturbation.
+    const uint64_t m = 6;
+    PairedSample sample;
+    for (int i = 0; i < kSamples; ++i) {
+      const double x = static_cast<double>(rng.NextBounded(m));
+      sample.x.emplace_back(x);
+      sample.y.emplace_back(x + rng.Uniform(0.0, 2.0));
+    }
+    const double md = static_cast<double>(m);
+    const double truth = std::log(md) - (md - 1.0) * std::log(2.0) / md;
+    std::printf("Case 4: discrete-continuous mixture, CDUnif(m=6)\n");
+    MIOptions k5;
+    k5.k = 5;
+    Report("MixedKSG(k=5)", EstimateMI(MIEstimatorKind::kMixedKSG, sample, k5),
+           truth);
+    Report("DC-KSG(k=3)", EstimateMI(MIEstimatorKind::kDCKSG, sample), truth);
+    MIOptions perturb;
+    perturb.perturb_sigma = 1e-9;
+    Report("KSG + perturbation", EstimateMI(MIEstimatorKind::kKSG, sample,
+                                            perturb), truth);
+    Report("KSG  [ties, no fix!]", EstimateMI(MIEstimatorKind::kKSG, sample),
+           truth);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Takeaway (paper Sections II & V): pick the estimator by data type —\n"
+      "MLE for categorical, KSG/MixedKSG for numeric, DC-KSG for mixed —\n"
+      "and do not compare magnitudes across different estimators.\n");
+  return 0;
+}

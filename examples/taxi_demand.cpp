@@ -1,0 +1,205 @@
+// Taxi-demand augmentation — the paper's motivating Example 1 (Figure 1).
+//
+// A data scientist predicts daily taxi demand (NumTrips per ZIP code and
+// date) and wants to discover which external tables carry information about
+// it. We synthesize the three tables of Figure 1:
+//   T_taxi(Date, ZipCode, NumTrips)           -- base table
+//   T_weather(Date, Time, Temp, Rainfall)     -- hourly readings, joins on
+//                                                Date via AVG aggregation
+//   T_demographics(ZipCode, Borough, Population)
+// plus a deliberately useless lottery table, then rank every candidate
+// (table, key, attribute) by sketch-estimated MI with NumTrips — without
+// materializing a single join.
+//
+// The planted structure: demand rises on rainy days, falls with temperature,
+// varies non-monotonically with population (low in sparsely populated and
+// in very dense/congested areas — the paper's example of a relationship
+// Pearson correlation misses), and differs by borough.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/join_mi.h"
+#include "src/discovery/sketch_index.h"
+
+using namespace joinmi;
+
+namespace {
+
+std::string DateString(int day) {
+  return "2017-" + std::to_string(1 + day / 28) + "-" +
+         std::to_string(1 + day % 28);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(20170101);
+  constexpr int kDays = 360;
+  constexpr int kZips = 60;
+
+  // Latent weather per day.
+  std::vector<double> day_temp(kDays), day_rain(kDays);
+  for (int d = 0; d < kDays; ++d) {
+    day_temp[d] = 50.0 + 30.0 * std::sin(2 * M_PI * d / 360.0) +
+                  rng.Gaussian(0, 4.0);
+    day_rain[d] = rng.Bernoulli(0.3) ? rng.Uniform(0.05, 1.2) : 0.0;
+  }
+  // Latent demographics per zip.
+  std::vector<int64_t> zip_pop(kZips);
+  std::vector<std::string> zip_borough(kZips);
+  const char* boroughs[] = {"Manhattan", "Brooklyn", "Queens", "Bronx",
+                            "StatenIsland"};
+  for (int z = 0; z < kZips; ++z) {
+    zip_pop[z] = 5000 + static_cast<int64_t>(rng.NextBounded(95000));
+    zip_borough[z] = boroughs[rng.NextBounded(5)];
+  }
+
+  // ---- T_taxi: one row per (date, zip). --------------------------------
+  std::vector<std::string> taxi_date, taxi_zip;
+  std::vector<int64_t> taxi_trips;
+  for (int d = 0; d < kDays; ++d) {
+    for (int z = 0; z < kZips; ++z) {
+      if (!rng.Bernoulli(0.6)) continue;  // not all pairs observed
+      double demand = 120.0;
+      demand += day_rain[d] > 0 ? 60.0 : 0.0;           // rain -> more taxis
+      demand -= 1.2 * (day_temp[d] - 50.0);             // heat -> fewer
+      const double pop = static_cast<double>(zip_pop[z]);
+      // Non-monotone in population: peaks mid-density.
+      demand += 40.0 - 70.0 * std::fabs(pop - 50000.0) / 50000.0;
+      // Distinct base demand per borough.
+      if (zip_borough[z] == "Manhattan") demand += 50.0;
+      if (zip_borough[z] == "Brooklyn") demand += 20.0;
+      if (zip_borough[z] == "StatenIsland") demand -= 40.0;
+      taxi_date.push_back(DateString(d));
+      taxi_zip.push_back("zip" + std::to_string(10000 + z));
+      taxi_trips.push_back(
+          std::max<int64_t>(0, static_cast<int64_t>(demand + rng.Gaussian(0, 8))));
+    }
+  }
+  auto taxi = *Table::FromColumns(
+      {{"Date", Column::MakeString(taxi_date)},
+       {"ZipCode", Column::MakeString(taxi_zip)},
+       {"NumTrips", Column::MakeInt64(taxi_trips)}});
+
+  // ---- T_weather: hourly readings per date (many-to-one on Date). ------
+  std::vector<std::string> weather_date;
+  std::vector<double> weather_temp, weather_rain;
+  for (int d = 0; d < kDays; ++d) {
+    for (int hour = 0; hour < 24; hour += 3) {
+      weather_date.push_back(DateString(d));
+      weather_temp.push_back(day_temp[d] + rng.Gaussian(0, 2.0));
+      weather_rain.push_back(std::max(0.0, day_rain[d] + rng.Gaussian(0, 0.03)));
+    }
+  }
+  auto weather = *Table::FromColumns(
+      {{"Date", Column::MakeString(weather_date)},
+       {"Temp", Column::MakeDouble(weather_temp)},
+       {"Rainfall", Column::MakeDouble(weather_rain)}});
+
+  // ---- T_demographics: one row per zip. --------------------------------
+  std::vector<std::string> demo_zip;
+  for (int z = 0; z < kZips; ++z) {
+    demo_zip.push_back("zip" + std::to_string(10000 + z));
+  }
+  auto demographics = *Table::FromColumns(
+      {{"ZipCode", Column::MakeString(demo_zip)},
+       {"Borough", Column::MakeString(zip_borough)},
+       {"Population", Column::MakeInt64(zip_pop)}});
+
+  // ---- T_lottery: joinable on Date but pure noise. ----------------------
+  std::vector<std::string> lotto_date;
+  std::vector<int64_t> lotto_number;
+  for (int d = 0; d < kDays; ++d) {
+    lotto_date.push_back(DateString(d));
+    lotto_number.push_back(static_cast<int64_t>(rng.NextBounded(1000)));
+  }
+  auto lottery = *Table::FromColumns(
+      {{"Date", Column::MakeString(lotto_date)},
+       {"WinningNumber", Column::MakeInt64(lotto_number)}});
+
+  std::printf("T_taxi: %zu rows; T_weather: %zu rows; T_demographics: %zu "
+              "rows; T_lottery: %zu rows\n\n",
+              taxi->num_rows(), weather->num_rows(), demographics->num_rows(),
+              lottery->num_rows());
+
+  // ---- Discovery: rank every candidate attribute by sketch MI. ----------
+  // Candidates joining on Date use the taxi Date key; candidates joining on
+  // ZipCode use the zip key. One JoinMIQuery per join attribute.
+  JoinMIConfig config;
+  config.sketch_method = SketchMethod::kTupsk;
+  config.sketch_capacity = 2048;
+  config.min_join_size = 100;
+  // NumTrips is an integer count with many ties; the KSG-family estimators
+  // assume continuous marginals, so break ties with tiny Gaussian noise
+  // (the paper's perturbation device, Section V-A).
+  config.mi_options.perturb_sigma = 1e-6;
+
+  struct Candidate {
+    const char* table_name;
+    const Table* table;
+    const char* key;
+    const char* value;
+    AggKind agg;
+  };
+  const std::vector<Candidate> candidates = {
+      {"weather", weather.get(), "Date", "Temp", AggKind::kAvg},
+      {"weather", weather.get(), "Date", "Rainfall", AggKind::kAvg},
+      {"demographics", demographics.get(), "ZipCode", "Borough",
+       AggKind::kMode},
+      {"demographics", demographics.get(), "ZipCode", "Population",
+       AggKind::kFirst},
+      {"lottery", lottery.get(), "Date", "WinningNumber", AggKind::kFirst},
+  };
+
+  struct Scored {
+    std::string label;
+    double mi;
+    size_t samples;
+    const char* estimator;
+  };
+  std::vector<Scored> scored;
+  for (const Candidate& candidate : candidates) {
+    JoinMIConfig cand_config = config;
+    cand_config.aggregation = candidate.agg;
+    auto query = JoinMIQuery::Create(*taxi, candidate.key, "NumTrips",
+                                     cand_config);
+    query.status().Abort("building train sketch");
+    auto estimate =
+        query->EstimateTable(*candidate.table, candidate.key, candidate.value);
+    if (!estimate.ok()) {
+      std::printf("  skipped %s.%s: %s\n", candidate.table_name,
+                  candidate.value, estimate.status().ToString().c_str());
+      continue;
+    }
+    scored.push_back(Scored{
+        std::string(candidate.table_name) + "." + candidate.value +
+            " [" + AggKindToString(candidate.agg) + " on " + candidate.key +
+            "]",
+        estimate->mi, estimate->sample_size,
+        MIEstimatorKindToString(estimate->estimator)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.mi > b.mi; });
+
+  std::printf("Augmentation candidates ranked by sketch-estimated MI with "
+              "NumTrips:\n\n");
+  std::printf("  %-44s %8s %8s  %s\n", "candidate feature", "MI(nats)",
+              "samples", "estimator");
+  for (const Scored& s : scored) {
+    std::printf("  %-44s %8.3f %8zu  %s\n", s.label.c_str(), s.mi, s.samples,
+                s.estimator);
+  }
+  std::printf(
+      "\nThe planted signals (weather, demographics) separate from the\n"
+      "lottery noise column, whose score marks the estimator noise floor\n"
+      "for join-derived features. Population scores despite its\n"
+      "relationship with demand being non-monotonic — the case the paper's\n"
+      "introduction gives for preferring MI over Pearson correlation — and\n"
+      "Borough, a categorical attribute, is scored seamlessly via DC-KSG.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Hashing pipeline used by all sketches, mirroring Section IV of the paper:
+// a collision-resistant object hash h (MurmurHash3) mapping inputs to
+// integers, composed with a uniform unit hash h_u (Fibonacci multiplicative
+// hashing) mapping integers to [0, 1).
+
+#ifndef JOINMI_COMMON_HASHING_H_
+#define JOINMI_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace joinmi {
+
+/// \brief MurmurHash3 x86_32 over an arbitrary byte buffer.
+///
+/// This is the paper's choice for the collision-free-in-practice object hash
+/// `h`. The reference algorithm by Austin Appleby (public domain).
+uint32_t MurmurHash3_32(const void* data, size_t len, uint32_t seed);
+
+/// \brief MurmurHash3 over a string view.
+uint32_t MurmurHash3_32(std::string_view s, uint32_t seed = 0);
+
+/// \brief 64-bit finalizer-style mix (MurmurHash3 fmix64). Bijective.
+uint64_t Mix64(uint64_t x);
+
+/// \brief 128->64 combiner for hashing composite keys such as the paper's
+/// occurrence tuples ⟨k, j⟩.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// \brief Fibonacci multiplicative hashing: multiplies by
+/// 2^64 / phi and keeps the high bits, then maps to [0, 1).
+///
+/// This is the paper's uniform hash h_u. The golden-ratio multiplier
+/// scatters consecutive integers maximally uniformly (Knuth, TAOCP v3).
+double FibonacciUnitHash(uint64_t x);
+
+/// \brief 64-bit Fibonacci scramble without the unit-interval projection.
+uint64_t FibonacciHash64(uint64_t x);
+
+/// \brief Full paper pipeline h_u(h(x)) for string data.
+double UnitHash(std::string_view s, uint32_t seed = 0);
+
+/// \brief Full paper pipeline h_u(h(x)) for integer data.
+double UnitHash(uint64_t x);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_COMMON_HASHING_H_

@@ -1,0 +1,192 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace joinmi {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  // Exploit symmetry so the expected work of the waiting-time method is
+  // bounded by n * min(p, 1-p).
+  if (p > 0.5) return n - Binomial(n, 1.0 - p);
+  if (static_cast<double>(n) * p < 32.0) {
+    // Waiting-time (geometric skips) method: O(n p) expected. Each skip is
+    // G = floor(ln U / ln(1 - p)) + 1 ~ Geometric(p), the number of trials
+    // up to and including the next success.
+    const double log_q = std::log1p(-p);
+    uint64_t count = 0;
+    double trials_used = 0.0;
+    while (true) {
+      double u;
+      do {
+        u = NextDouble();
+      } while (u <= 1e-300);
+      trials_used += std::floor(std::log(u) / log_q) + 1.0;
+      if (trials_used > static_cast<double>(n)) break;
+      ++count;
+      if (count > n) return n;
+    }
+    return count;
+  }
+  // Large mean: normal approximation with continuity correction, clamped and
+  // resampled on the (astronomically rare) out-of-range draw. The benchmark
+  // generators tolerate this level of approximation (n p >= 32).
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double draw = std::floor(Gaussian(mean, sd) + 0.5);
+    if (draw >= 0.0 && draw <= static_cast<double>(n)) {
+      return static_cast<uint64_t>(draw);
+    }
+  }
+  return static_cast<uint64_t>(mean);
+}
+
+std::vector<uint64_t> Rng::Multinomial(uint64_t n,
+                                       const std::vector<double>& probs) {
+  std::vector<uint64_t> counts(probs.size(), 0);
+  double remaining_prob = 1.0;
+  uint64_t remaining_n = n;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (remaining_n == 0) break;
+    if (remaining_prob <= 0.0) break;
+    const double cond_p = probs[i] / remaining_prob;
+    const uint64_t draw =
+        (i + 1 == probs.size() && cond_p >= 1.0 - 1e-12)
+            ? remaining_n
+            : Binomial(remaining_n, cond_p > 1.0 ? 1.0 : cond_p);
+    counts[i] = draw;
+    remaining_n -= draw;
+    remaining_prob -= probs[i];
+  }
+  return counts;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Devroye's rejection-inversion for the Zipf(s) law over {1..n}.
+  if (n <= 1) return 1;
+  const double nd = static_cast<double>(n);
+  if (s == 1.0) {
+    // Handle the log-case of the integral H(x) = ln x.
+    const double hn = std::log(nd + 0.5) - std::log(0.5);
+    while (true) {
+      const double u = NextDouble() * hn + std::log(0.5);
+      const double x = std::exp(u);
+      const uint64_t k = static_cast<uint64_t>(x + 0.5) < 1
+                             ? 1
+                             : static_cast<uint64_t>(x + 0.5);
+      if (k > n) continue;
+      const double ratio = 1.0 / static_cast<double>(k) /
+                           (1.0 / x);  // f(k) / bounding density
+      if (NextDouble() <= ratio) return k;
+    }
+  }
+  const double one_minus_s = 1.0 - s;
+  auto h_integral = [&](double x) {
+    return std::pow(x, one_minus_s) / one_minus_s;
+  };
+  auto h_inverse = [&](double y) {
+    return std::pow(y * one_minus_s, 1.0 / one_minus_s);
+  };
+  const double lo = h_integral(0.5);
+  const double hi = h_integral(nd + 0.5);
+  while (true) {
+    const double u = lo + NextDouble() * (hi - lo);
+    const double x = h_inverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) continue;
+    const double kd = static_cast<double>(k);
+    const double accept =
+        std::pow(kd, -s) / std::pow(x, -s);  // f(k) vs dominating density
+    if (NextDouble() <= accept) return k;
+  }
+}
+
+Rng Rng::Fork() { return Rng(Next64() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+}  // namespace joinmi

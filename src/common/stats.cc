@@ -1,0 +1,135 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace joinmi {
+
+namespace {
+Status CheckPaired(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired vectors must have equal length");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("paired vectors must be non-empty");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+Result<double> MeanSquaredError(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  JOINMI_RETURN_NOT_OK(CheckPaired(a, b));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+Result<double> RootMeanSquaredError(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  JOINMI_ASSIGN_OR_RETURN(double mse, MeanSquaredError(a, b));
+  return std::sqrt(mse);
+}
+
+Result<double> MeanAbsoluteError(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  JOINMI_RETURN_NOT_OK(CheckPaired(a, b));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  JOINMI_RETURN_NOT_OK(CheckPaired(a, b));
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<double> MidRanks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank of the tie group [i, j].
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  JOINMI_RETURN_NOT_OK(CheckPaired(a, b));
+  return PearsonCorrelation(MidRanks(a), MidRanks(b));
+}
+
+Result<double> Quantile(std::vector<double> xs, double p) {
+  if (xs.empty()) return Status::InvalidArgument("quantile of empty vector");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("quantile p must be in [0, 1]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace joinmi

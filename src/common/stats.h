@@ -1,0 +1,75 @@
+// Descriptive statistics used by the experimental harnesses: error metrics
+// (MSE/RMSE/MAE) and rank/linear correlation (Pearson, Spearman), matching
+// the measures reported in the paper's Tables I-II and Section V-B1.
+
+#ifndef JOINMI_COMMON_STATS_H_
+#define JOINMI_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Population variance (divides by N); 0 for N < 1.
+double Variance(const std::vector<double>& xs);
+
+/// \brief Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Mean squared error between paired vectors.
+Result<double> MeanSquaredError(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// \brief Root mean squared error between paired vectors.
+Result<double> RootMeanSquaredError(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// \brief Mean absolute error between paired vectors.
+Result<double> MeanAbsoluteError(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// \brief Pearson's linear correlation coefficient.
+///
+/// Returns 0 when either input is constant (correlation undefined).
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// \brief Spearman's rank correlation: Pearson on mid-ranks (average ranks
+/// for ties), the standard definition for data with duplicates.
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// \brief Mid-ranks (1-based, ties averaged) of the input.
+std::vector<double> MidRanks(const std::vector<double>& xs);
+
+/// \brief p-quantile (linear interpolation between closest ranks).
+Result<double> Quantile(std::vector<double> xs, double p);
+
+/// \brief Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 if fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_COMMON_STATS_H_

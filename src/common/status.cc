@@ -1,0 +1,56 @@
+#include "src/common/status.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace joinmi {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kUnknownError:
+      return "Unknown error";
+  }
+  return "Unknown code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(const std::string& context) const {
+  if (ok()) return;
+  std::fprintf(stderr, "-- joinmi fatal error --\n");
+  if (!context.empty()) std::fprintf(stderr, "context: %s\n", context.c_str());
+  std::fprintf(stderr, "%s\n", ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace joinmi

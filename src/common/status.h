@@ -1,0 +1,215 @@
+// Status / Result error-handling primitives, following the Arrow/RocksDB
+// idiom: library code never throws; fallible functions return Status or
+// Result<T> and callers propagate with JOINMI_RETURN_NOT_OK /
+// JOINMI_ASSIGN_OR_RETURN.
+
+#ifndef JOINMI_COMMON_STATUS_H_
+#define JOINMI_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace joinmi {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument,
+  kKeyError,
+  kTypeError,
+  kIndexError,
+  kOutOfRange,
+  kNotImplemented,
+  kIOError,
+  kAlreadyExists,
+  kUnknownError,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("Invalid argument",
+/// "Type error", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// The OK state carries no allocation; error states heap-allocate the
+/// message. Copyable and cheaply movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status UnknownError(std::string msg) {
+    return Status(StatusCode::kUnknownError, std::move(msg));
+  }
+
+  /// \brief True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIndexError() const { return code() == StatusCode::kIndexError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process if not OK. Use only in tests, examples, and
+  /// benchmark harnesses where failure is a bug.
+  void Abort() const;
+  void Abort(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status copies are cheap; immutable after construction.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessors abort on misuse (taking the value of an
+/// errored result), which is always a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    if (std::get<Status>(storage_).ok()) {
+      std::get<Status>(storage_) =
+          Status::UnknownError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// \brief The error status, or OK if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(storage_);
+  }
+
+  /// \brief Returns the contained value; aborts if this is an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(storage_);
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(storage_));
+  }
+
+  /// \brief Moves the contained value out; aborts if this is an error.
+  T MoveValueUnsafe() { return std::move(std::get<T>(storage_)); }
+
+  /// \brief Returns the value or `alternative` if errored.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(storage_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) std::get<Status>(storage_).Abort("Result::ValueOrDie");
+  }
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace joinmi
+
+/// \brief Propagates a non-OK Status to the caller.
+#define JOINMI_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::joinmi::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define JOINMI_CONCAT_IMPL(x, y) x##y
+#define JOINMI_CONCAT(x, y) JOINMI_CONCAT_IMPL(x, y)
+
+/// \brief Evaluates a Result<T> expression; on success binds the value to
+/// `lhs`, on error returns the Status to the caller.
+#define JOINMI_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  JOINMI_ASSIGN_OR_RETURN_IMPL(JOINMI_CONCAT(_result_, __LINE__), lhs,  \
+                               rexpr)
+
+#define JOINMI_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) return result_name.status();         \
+  lhs = result_name.MoveValueUnsafe()
+
+#endif  // JOINMI_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared by the CSV reader, type inference, and the
+// benchmark report printers.
+
+#ifndef JOINMI_COMMON_STRING_UTIL_H_
+#define JOINMI_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joinmi {
+
+/// \brief Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// \brief ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// \brief True if `s` parses fully as a signed 64-bit integer.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// \brief True if `s` parses fully as a double.
+bool ParseDouble(std::string_view s, double* out);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief Joins string pieces with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_COMMON_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+#include "src/core/config.h"
+
+#include "src/common/string_util.h"
+
+namespace joinmi {
+
+Status JoinMIConfig::Validate() const {
+  if (sketch_capacity == 0) {
+    return Status::InvalidArgument("sketch_capacity must be positive");
+  }
+  if (mi_options.k < 1) {
+    return Status::InvalidArgument("estimator k must be >= 1");
+  }
+  if (mi_options.laplace_alpha < 0.0) {
+    return Status::InvalidArgument("laplace_alpha must be >= 0");
+  }
+  if (mi_options.perturb_sigma < 0.0) {
+    return Status::InvalidArgument("perturb_sigma must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string JoinMIConfig::ToString() const {
+  return StrFormat(
+      "JoinMIConfig{sketch=%s, n=%zu, agg=%s, estimator=%s, k=%d, "
+      "min_join_size=%zu}",
+      SketchMethodToString(sketch_method), sketch_capacity,
+      AggKindToString(aggregation),
+      estimator.has_value() ? MIEstimatorKindToString(*estimator) : "auto",
+      mi_options.k, min_join_size);
+}
+
+}  // namespace joinmi

@@ -1,0 +1,51 @@
+// Library-wide configuration for MI-over-join queries: which sketch, what
+// capacity, which estimator policy, and estimator knobs. One validated
+// struct flows from the public API down to the sketch and estimator layers.
+
+#ifndef JOINMI_CORE_CONFIG_H_
+#define JOINMI_CORE_CONFIG_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/join/aggregators.h"
+#include "src/mi/estimator.h"
+#include "src/sketch/builder.h"
+
+namespace joinmi {
+
+/// \brief Configuration for JoinMIQuery.
+struct JoinMIConfig {
+  /// Sketching method (TUPSK is the paper's recommendation).
+  SketchMethod sketch_method = SketchMethod::kTupsk;
+  /// Sketch capacity n — the single size parameter.
+  size_t sketch_capacity = 256;
+  /// Shared hash seed; all sketches that should join must agree.
+  uint32_t hash_seed = 0;
+  /// Seed for non-coordinated sampling randomness.
+  uint64_t sampling_seed = 0x5EEDBA5EULL;
+  /// Featurization function for candidate tables.
+  AggKind aggregation = AggKind::kAvg;
+  /// Estimator override; unset means auto-select by data types.
+  std::optional<MIEstimatorKind> estimator;
+  /// Estimator options (k, smoothing, perturbation).
+  MIOptions mi_options;
+  /// Minimum sketch-join size for a meaningful estimate (the paper uses
+  /// 100 on real data).
+  size_t min_join_size = 1;
+
+  /// \brief Returns the SketchOptions slice of this config.
+  SketchOptions sketch_options() const {
+    return SketchOptions{sketch_capacity, hash_seed, sampling_seed};
+  }
+
+  /// \brief Validates ranges (capacity > 0, k >= 1, ...).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_CORE_CONFIG_H_

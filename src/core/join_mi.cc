@@ -1,0 +1,120 @@
+#include "src/core/join_mi.h"
+
+#include "src/join/left_join.h"
+
+namespace joinmi {
+
+Result<JoinMIEstimate> FullJoinMI(const Table& train, const Table& cand,
+                                  const JoinMIQuerySpec& spec,
+                                  const JoinMIConfig& config) {
+  JOINMI_RETURN_NOT_OK(config.Validate());
+  JoinAggregateOptions join_options;
+  join_options.agg = config.aggregation;
+  JOINMI_ASSIGN_OR_RETURN(
+      JoinAggregateResult joined,
+      LeftJoinAggregate(train, spec.train_key, spec.train_target, cand,
+                        spec.cand_key, spec.cand_value, join_options));
+  JOINMI_ASSIGN_OR_RETURN(auto feature_col, joined.table->GetColumn("X"));
+  JOINMI_ASSIGN_OR_RETURN(auto target_col,
+                          joined.table->GetColumn(spec.train_target));
+  PairedSample sample;
+  sample.x.reserve(joined.table->num_rows());
+  sample.y.reserve(joined.table->num_rows());
+  for (size_t row = 0; row < joined.table->num_rows(); ++row) {
+    if (!feature_col->IsValid(row) || !target_col->IsValid(row)) continue;
+    sample.x.push_back(feature_col->GetValue(row));
+    sample.y.push_back(target_col->GetValue(row));
+  }
+  if (sample.size() < config.min_join_size) {
+    return Status::OutOfRange("full join produced too few usable rows");
+  }
+  JoinMIEstimate estimate;
+  estimate.sample_size = sample.size();
+  estimate.sketched = false;
+  if (config.estimator.has_value()) {
+    estimate.estimator = *config.estimator;
+    JOINMI_ASSIGN_OR_RETURN(
+        estimate.mi, EstimateMI(*config.estimator, sample, config.mi_options));
+  } else {
+    auto all_numeric = [](const std::vector<Value>& values) {
+      for (const Value& v : values) {
+        if (!IsNumeric(v.type())) return false;
+      }
+      return true;
+    };
+    JOINMI_ASSIGN_OR_RETURN(
+        estimate.estimator,
+        ChooseEstimator(all_numeric(sample.x) ? DataType::kDouble
+                                              : DataType::kString,
+                        all_numeric(sample.y) ? DataType::kDouble
+                                              : DataType::kString));
+    JOINMI_ASSIGN_OR_RETURN(
+        estimate.mi,
+        EstimateMI(estimate.estimator, sample, config.mi_options));
+  }
+  return estimate;
+}
+
+Result<JoinMIEstimate> SketchJoinMI(const Table& train, const Table& cand,
+                                    const JoinMIQuerySpec& spec,
+                                    const JoinMIConfig& config) {
+  JOINMI_ASSIGN_OR_RETURN(
+      JoinMIQuery query,
+      JoinMIQuery::Create(train, spec.train_key, spec.train_target, config));
+  return query.EstimateTable(cand, spec.cand_key, spec.cand_value);
+}
+
+Result<JoinMIQuery> JoinMIQuery::Create(const Table& train,
+                                        const std::string& train_key,
+                                        const std::string& train_target,
+                                        const JoinMIConfig& config) {
+  JOINMI_RETURN_NOT_OK(config.Validate());
+  auto builder =
+      MakeSketchBuilder(config.sketch_method, config.sketch_options());
+  JOINMI_ASSIGN_OR_RETURN(auto key_col, train.GetColumn(train_key));
+  JOINMI_ASSIGN_OR_RETURN(auto target_col, train.GetColumn(train_target));
+  JOINMI_ASSIGN_OR_RETURN(Sketch sketch,
+                          builder->SketchTrain(*key_col, *target_col));
+  return JoinMIQuery(std::move(sketch), config);
+}
+
+Result<Sketch> JoinMIQuery::SketchCandidate(
+    const Table& cand, const std::string& cand_key,
+    const std::string& cand_value) const {
+  auto builder =
+      MakeSketchBuilder(config_.sketch_method, config_.sketch_options());
+  JOINMI_ASSIGN_OR_RETURN(auto key_col, cand.GetColumn(cand_key));
+  JOINMI_ASSIGN_OR_RETURN(auto value_col, cand.GetColumn(cand_value));
+  return builder->SketchCandidate(*key_col, *value_col, config_.aggregation);
+}
+
+Result<JoinMIEstimate> JoinMIQuery::Estimate(const Sketch& candidate) const {
+  SketchMIResult sketch_result;
+  if (config_.estimator.has_value()) {
+    JOINMI_ASSIGN_OR_RETURN(
+        sketch_result,
+        EstimateSketchMI(train_sketch_, candidate, *config_.estimator,
+                         config_.mi_options, config_.min_join_size));
+  } else {
+    JOINMI_ASSIGN_OR_RETURN(
+        sketch_result,
+        EstimateSketchMIAuto(train_sketch_, candidate, config_.mi_options,
+                             config_.min_join_size));
+  }
+  JoinMIEstimate estimate;
+  estimate.mi = sketch_result.mi;
+  estimate.estimator = sketch_result.estimator;
+  estimate.sample_size = sketch_result.join_size;
+  estimate.sketched = true;
+  return estimate;
+}
+
+Result<JoinMIEstimate> JoinMIQuery::EstimateTable(
+    const Table& cand, const std::string& cand_key,
+    const std::string& cand_value) const {
+  JOINMI_ASSIGN_OR_RETURN(Sketch candidate,
+                          SketchCandidate(cand, cand_key, cand_value));
+  return Estimate(candidate);
+}
+
+}  // namespace joinmi

@@ -1,0 +1,89 @@
+// Public high-level API: estimate the mutual information between a base
+// table's target attribute and a candidate table's feature attribute as it
+// would appear after a left-outer join-aggregation — either exactly (full
+// materialized join) or approximately (join-free, via sketches).
+//
+// This is the problem statement of Section III-A, packaged the way a data
+// discovery system would consume it.
+
+#ifndef JOINMI_CORE_JOIN_MI_H_
+#define JOINMI_CORE_JOIN_MI_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/config.h"
+#include "src/sketch/sketch_join.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief Column bindings for one MI-over-join query.
+struct JoinMIQuerySpec {
+  std::string train_key;     ///< K_Y: join key in the base table
+  std::string train_target;  ///< Y: target attribute in the base table
+  std::string cand_key;      ///< K_X/K_Z: join key in the candidate table
+  std::string cand_value;    ///< Z: attribute to featurize into X
+};
+
+/// \brief Outcome of one query evaluation.
+struct JoinMIEstimate {
+  double mi = 0.0;
+  MIEstimatorKind estimator = MIEstimatorKind::kMLE;
+  /// Samples the estimate was computed on (full-join rows or sketch-join
+  /// pairs).
+  size_t sample_size = 0;
+  /// True if computed via sketches; false for the materialized join.
+  bool sketched = false;
+};
+
+/// \brief One-shot exact evaluation: materializes the join-aggregation
+/// query and runs the estimator on all joined rows.
+Result<JoinMIEstimate> FullJoinMI(const Table& train, const Table& cand,
+                                  const JoinMIQuerySpec& spec,
+                                  const JoinMIConfig& config = {});
+
+/// \brief One-shot sketch evaluation: builds both sketches, joins them, and
+/// estimates MI on the recovered sample — never materializing the join.
+Result<JoinMIEstimate> SketchJoinMI(const Table& train, const Table& cand,
+                                    const JoinMIQuerySpec& spec,
+                                    const JoinMIConfig& config = {});
+
+/// \brief Reusable query object for the discovery setting: sketch the base
+/// table once, then probe many candidate tables cheaply.
+class JoinMIQuery {
+ public:
+  /// \brief Sketches the base table's (key, target) pair.
+  static Result<JoinMIQuery> Create(const Table& train,
+                                    const std::string& train_key,
+                                    const std::string& train_target,
+                                    const JoinMIConfig& config = {});
+
+  /// \brief Builds a candidate sketch with this query's configuration so it
+  /// can be stored in an offline index.
+  Result<Sketch> SketchCandidate(const Table& cand,
+                                 const std::string& cand_key,
+                                 const std::string& cand_value) const;
+
+  /// \brief Estimates MI against a pre-built candidate sketch.
+  Result<JoinMIEstimate> Estimate(const Sketch& candidate) const;
+
+  /// \brief Convenience: sketch + estimate in one call.
+  Result<JoinMIEstimate> EstimateTable(const Table& cand,
+                                       const std::string& cand_key,
+                                       const std::string& cand_value) const;
+
+  const Sketch& train_sketch() const { return train_sketch_; }
+  const JoinMIConfig& config() const { return config_; }
+
+ private:
+  JoinMIQuery(Sketch train_sketch, JoinMIConfig config)
+      : train_sketch_(std::move(train_sketch)), config_(std::move(config)) {}
+
+  Sketch train_sketch_;
+  JoinMIConfig config_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_CORE_JOIN_MI_H_

@@ -1,0 +1,185 @@
+#include "src/discovery/opendata_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hashing.h"
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+
+namespace joinmi {
+
+OpenDataParams WBFLikeParams() {
+  // WBF (paper Section V-C): join attribute domains ~3.1k (left) / ~3.5k
+  // (right); average full join ~34k rows. The large join size relative to
+  // the domain comes from repeated keys on the left.
+  OpenDataParams params;
+  params.name = "WBF";
+  params.num_pairs = 240;
+  params.left_rows = 12000;
+  params.right_rows = 7000;
+  params.left_key_domain = 3100;
+  params.right_key_domain = 3500;
+  params.key_overlap = 0.85;
+  params.zipf_s = 1.35;  // strong skew: many join rows per hot key
+  params.p_string_value = 0.45;
+  params.latent_buckets = 24;
+  params.seed = 71;
+  return params;
+}
+
+OpenDataParams NYCLikeParams() {
+  // NYC: much larger left domains (~11.2k) against small right domains
+  // (~1k); average full join ~8.5k rows.
+  OpenDataParams params;
+  params.name = "NYC";
+  params.num_pairs = 240;
+  params.left_rows = 9000;
+  params.right_rows = 2500;
+  params.left_key_domain = 11200;
+  params.right_key_domain = 1000;
+  params.key_overlap = 0.70;
+  params.zipf_s = 0.85;  // flatter key frequencies
+  params.p_string_value = 0.45;
+  params.latent_buckets = 24;
+  params.seed = 13;
+  return params;
+}
+
+namespace {
+
+/// Latent topic bucket of a key id: deterministic and shared by both sides.
+/// Half the bucket index follows the key's Zipf rank (small id = hot key),
+/// so value distributions correlate with key frequency — the property of
+/// real skewed data that frequency-blind key sampling (LV2SK level 1)
+/// mis-represents; the other half is a hash so buckets stay diverse inside
+/// the shared-key region.
+size_t BucketOf(uint64_t key_id, size_t buckets, uint64_t id_space,
+                uint64_t salt) {
+  const uint64_t rank_part =
+      (key_id * static_cast<uint64_t>(buckets)) / std::max<uint64_t>(1, id_space);
+  const uint64_t hash_part =
+      Mix64(key_id * 0x51AB1ECAFEULL ^ salt) % static_cast<uint64_t>(buckets);
+  return static_cast<size_t>((rank_part + hash_part) %
+                             static_cast<uint64_t>(buckets));
+}
+
+std::string KeyString(const std::string& collection, uint64_t key_id) {
+  return collection + "-key-" + std::to_string(key_id);
+}
+
+}  // namespace
+
+Result<std::vector<GeneratedTablePair>> GenerateOpenDataCollection(
+    const OpenDataParams& params) {
+  if (params.num_pairs == 0 || params.left_rows == 0 ||
+      params.right_rows == 0) {
+    return Status::InvalidArgument("open-data sim sizes must be positive");
+  }
+  if (params.left_key_domain == 0 || params.right_key_domain == 0) {
+    return Status::InvalidArgument("key domains must be positive");
+  }
+  if (params.key_overlap < 0.0 || params.key_overlap > 1.0) {
+    return Status::InvalidArgument("key_overlap must be in [0, 1]");
+  }
+  if (params.latent_buckets == 0) {
+    return Status::InvalidArgument("latent_buckets must be positive");
+  }
+
+  Rng collection_rng(params.seed);
+  std::vector<GeneratedTablePair> pairs;
+  pairs.reserve(params.num_pairs);
+
+  const size_t overlap_keys = static_cast<size_t>(
+      params.key_overlap *
+      static_cast<double>(
+          std::min(params.left_key_domain, params.right_key_domain)));
+  // Left ids: [0, left_domain), Zipf-skewed with id 0 hottest. The shared
+  // region is the HOT prefix [0, overlap_keys) — real collections join on
+  // their frequent keys — and the right side adds fresh ids beyond the
+  // left domain for its non-overlapping remainder.
+  const uint64_t fresh_base = static_cast<uint64_t>(params.left_key_domain);
+  const uint64_t id_space = static_cast<uint64_t>(
+      params.left_key_domain + params.right_key_domain);
+
+  for (size_t p = 0; p < params.num_pairs; ++p) {
+    Rng rng = collection_rng.Fork();
+    GeneratedTablePair pair;
+    pair.dependence = rng.NextDouble();
+    pair.family = params.num_families == 0 ? p : p % params.num_families;
+    const uint64_t bucket_salt = Mix64(params.seed * 0xF00DULL + pair.family);
+    const bool y_string = rng.Bernoulli(params.p_string_value);
+    const bool z_string = rng.Bernoulli(params.p_string_value);
+    pair.target_type = y_string ? DataType::kString : DataType::kDouble;
+    pair.feature_type = z_string ? DataType::kString : DataType::kDouble;
+    const size_t buckets = params.latent_buckets;
+    const double bucket_span = 10.0;
+
+    // ---- Left table: skewed keys, target driven by the latent bucket. ----
+    const size_t left_rows = static_cast<size_t>(
+        rng.Uniform(0.5, 1.5) * static_cast<double>(params.left_rows));
+    std::vector<std::string> left_keys;
+    std::vector<Value> left_targets;
+    left_keys.reserve(left_rows);
+    left_targets.reserve(left_rows);
+    for (size_t row = 0; row < left_rows; ++row) {
+      // Zipf over the left domain: rank 1 = id 0.
+      const uint64_t key_id =
+          rng.Zipf(params.left_key_domain, params.zipf_s) - 1;
+      left_keys.push_back(KeyString(params.name, key_id));
+      const size_t bucket = BucketOf(key_id, buckets, id_space, bucket_salt);
+      const bool dependent = rng.Bernoulli(pair.dependence);
+      if (y_string) {
+        const size_t label =
+            dependent ? bucket : static_cast<size_t>(rng.NextBounded(buckets));
+        left_targets.emplace_back("cat-" + std::to_string(label));
+      } else {
+        const double center =
+            dependent ? static_cast<double>(bucket) * bucket_span
+                      : rng.Uniform(0.0, bucket_span *
+                                             static_cast<double>(buckets));
+        left_targets.emplace_back(center + rng.Gaussian(0.0, 2.5));
+      }
+    }
+
+    // ---- Right table: near-uniform keys, value a noisy bucket readout. ---
+    const size_t right_rows = static_cast<size_t>(
+        rng.Uniform(0.5, 1.5) * static_cast<double>(params.right_rows));
+    std::vector<std::string> right_keys;
+    std::vector<Value> right_values;
+    right_keys.reserve(right_rows);
+    right_values.reserve(right_rows);
+    for (size_t row = 0; row < right_rows; ++row) {
+      // Uniform over the right domain: the shared hot prefix plus fresh
+      // right-only ids.
+      const uint64_t slot = rng.NextBounded(params.right_key_domain);
+      const uint64_t key_id =
+          slot < overlap_keys ? slot : fresh_base + (slot - overlap_keys);
+      right_keys.push_back(KeyString(params.name, key_id));
+      const size_t bucket = BucketOf(key_id, buckets, id_space, bucket_salt);
+      if (z_string) {
+        right_values.emplace_back("val-" + std::to_string(bucket));
+      } else {
+        right_values.emplace_back(static_cast<double>(bucket) * bucket_span +
+                                  rng.Gaussian(0.0, 1.0));
+      }
+    }
+
+    auto left_key_col = Column::MakeString(std::move(left_keys));
+    JOINMI_ASSIGN_OR_RETURN(auto left_target_col,
+                            Column::FromValues(left_targets));
+    auto right_key_col = Column::MakeString(std::move(right_keys));
+    JOINMI_ASSIGN_OR_RETURN(auto right_value_col,
+                            Column::FromValues(right_values));
+    JOINMI_ASSIGN_OR_RETURN(
+        pair.train,
+        Table::FromColumns({{"K", left_key_col}, {"Y", left_target_col}}));
+    JOINMI_ASSIGN_OR_RETURN(
+        pair.cand,
+        Table::FromColumns({{"K", right_key_col}, {"Z", right_value_col}}));
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,78 @@
+// Open-data repository simulator: the offline stand-in for the paper's
+// World Bank Finances (WBF) and NYC Open Data (NYC) snapshots (Section V-C).
+//
+// The real experiment samples ~36k-59k pairs of two-column tables from
+// Socrata dumps. We cannot ship those, so this module generates collections
+// of (T_train, T_cand) pairs whose *structural* statistics match the ones
+// the paper reports — join-key domain sizes, full-join sizes, key-frequency
+// skew — and whose value columns carry planted dependencies of varying
+// strength so the full-join MI spectrum is non-trivial. Those are the
+// properties the experiment actually exercises (sketch-vs-full-join
+// agreement and ranking quality); absolute MI values will differ from the
+// paper's, the comparative shapes should not.
+
+#ifndef JOINMI_DISCOVERY_OPENDATA_SIM_H_
+#define JOINMI_DISCOVERY_OPENDATA_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief Collection-level generation parameters.
+struct OpenDataParams {
+  std::string name = "SIM";
+  /// Number of (T_train, T_cand) pairs to generate.
+  size_t num_pairs = 200;
+  /// Average row counts (actual counts vary uniformly +/- 50%).
+  size_t left_rows = 8000;
+  size_t right_rows = 4000;
+  /// Join-key domain sizes (distinct keys available to each side).
+  size_t left_key_domain = 3100;
+  size_t right_key_domain = 3500;
+  /// Fraction of the smaller key domain shared by both sides.
+  double key_overlap = 0.85;
+  /// Zipf exponent for left-side key frequencies (1 = strong skew).
+  double zipf_s = 1.05;
+  /// Probability that the candidate value column is categorical (string);
+  /// otherwise numeric. The target column draws independently.
+  double p_string_value = 0.45;
+  /// Number of latent "topic" buckets driving value dependence.
+  size_t latent_buckets = 24;
+  /// Number of latent families: pairs in the same family share the same
+  /// key -> bucket mapping, so their candidate columns are informative
+  /// about each other's targets. 0 (default) gives every pair its own
+  /// mapping (pairs are mutually independent).
+  size_t num_families = 0;
+  uint64_t seed = 2024;
+};
+
+/// \brief Presets matching the two collections' reported statistics.
+OpenDataParams WBFLikeParams();
+OpenDataParams NYCLikeParams();
+
+/// \brief One generated pair; column names follow the synthetic convention:
+/// train = [K, Y], cand = [K, Z]. Keys are strings (as in the paper, where
+/// join attributes are string-typed).
+struct GeneratedTablePair {
+  std::shared_ptr<Table> train;
+  std::shared_ptr<Table> cand;
+  /// Planted dependence strength in [0, 1] (0 = independent).
+  double dependence = 0.0;
+  /// Latent family this pair belongs to (see OpenDataParams::num_families).
+  size_t family = 0;
+  DataType target_type = DataType::kDouble;
+  DataType feature_type = DataType::kDouble;
+};
+
+/// \brief Generates the full collection deterministically from the seed.
+Result<std::vector<GeneratedTablePair>> GenerateOpenDataCollection(
+    const OpenDataParams& params);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_OPENDATA_SIM_H_

@@ -1,0 +1,58 @@
+#include "src/discovery/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/common/stats.h"
+
+namespace joinmi {
+
+Result<RankingComparison> CompareEstimates(
+    const std::vector<double>& full_join_mi,
+    const std::vector<double>& sketch_mi) {
+  RankingComparison cmp;
+  cmp.count = full_join_mi.size();
+  JOINMI_ASSIGN_OR_RETURN(cmp.mse, MeanSquaredError(full_join_mi, sketch_mi));
+  cmp.rmse = std::sqrt(cmp.mse);
+  JOINMI_ASSIGN_OR_RETURN(cmp.spearman,
+                          SpearmanCorrelation(full_join_mi, sketch_mi));
+  JOINMI_ASSIGN_OR_RETURN(cmp.pearson,
+                          PearsonCorrelation(full_join_mi, sketch_mi));
+  return cmp;
+}
+
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(take), order.end(),
+                    [&scores](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+Result<double> TopKOverlap(const std::vector<double>& reference,
+                           const std::vector<double>& estimate, size_t k) {
+  if (reference.size() != estimate.size()) {
+    return Status::InvalidArgument("ranking lists must be paired");
+  }
+  if (k == 0 || reference.empty()) {
+    return Status::InvalidArgument("k and list size must be positive");
+  }
+  const std::vector<size_t> ref_top = TopKIndices(reference, k);
+  const std::vector<size_t> est_top = TopKIndices(estimate, k);
+  const std::unordered_set<size_t> ref_set(ref_top.begin(), ref_top.end());
+  size_t hits = 0;
+  for (size_t idx : est_top) {
+    if (ref_set.count(idx) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ref_top.size());
+}
+
+}  // namespace joinmi

@@ -1,0 +1,40 @@
+// Ranking-quality metrics for sketch evaluation on table collections
+// (Table II): how well MI estimates from sketches agree with — and rank
+// like — MI estimates from the fully materialized joins.
+
+#ifndef JOINMI_DISCOVERY_RANKING_H_
+#define JOINMI_DISCOVERY_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief Agreement between full-join and sketch MI estimates over a
+/// collection of table pairs.
+struct RankingComparison {
+  size_t count = 0;         ///< pairs compared
+  double mse = 0.0;         ///< mean squared estimate error
+  double rmse = 0.0;
+  double spearman = 0.0;    ///< rank correlation of the two estimate lists
+  double pearson = 0.0;
+};
+
+/// \brief Computes all agreement metrics for paired estimate lists.
+Result<RankingComparison> CompareEstimates(
+    const std::vector<double>& full_join_mi,
+    const std::vector<double>& sketch_mi);
+
+/// \brief Fraction of the reference top-k that also appears in the
+/// estimate's top-k (a.k.a. precision@k under a ground-truth ranking).
+Result<double> TopKOverlap(const std::vector<double>& reference,
+                           const std::vector<double>& estimate, size_t k);
+
+/// \brief Indices of the k largest scores, descending (ties by index).
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_RANKING_H_

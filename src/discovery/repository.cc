@@ -1,0 +1,53 @@
+#include "src/discovery/repository.h"
+
+namespace joinmi {
+
+Status TableRepository::AddTable(const std::string& name,
+                                 std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register a null table");
+  }
+  if (!tables_.emplace(name, std::move(table)).second) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> TableRepository::GetTable(
+    const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TableRepository::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<ColumnPairRef> TableRepository::ExtractColumnPairs() const {
+  std::vector<ColumnPairRef> pairs;
+  for (const auto& [name, table] : tables_) {
+    const Schema& schema = table->schema();
+    for (size_t k = 0; k < schema.num_fields(); ++k) {
+      if (schema.field(k).type != DataType::kString) continue;
+      for (size_t v = 0; v < schema.num_fields(); ++v) {
+        if (v == k) continue;
+        const DataType vt = schema.field(v).type;
+        if (vt != DataType::kString && !IsNumeric(vt)) continue;
+        pairs.push_back(
+            ColumnPairRef{name, schema.field(k).name, schema.field(v).name});
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,52 @@
+// A named collection of tables plus the paper's two-column-table extraction
+// (Section V-C): for each table, every pair of a string join-key attribute
+// and a string-or-numeric data attribute becomes a candidate two-column
+// table T_A[K_A, A].
+
+#ifndef JOINMI_DISCOVERY_REPOSITORY_H_
+#define JOINMI_DISCOVERY_REPOSITORY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief Reference to one candidate column pair inside a repository.
+struct ColumnPairRef {
+  std::string table_name;
+  std::string key_column;
+  std::string value_column;
+
+  std::string ToString() const {
+    return table_name + "[" + key_column + ", " + value_column + "]";
+  }
+};
+
+/// \brief An in-memory dataset repository.
+class TableRepository {
+ public:
+  /// \brief Registers a table; names must be unique.
+  Status AddTable(const std::string& name, std::shared_ptr<Table> table);
+
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+
+  size_t num_tables() const { return tables_.size(); }
+  std::vector<std::string> table_names() const;
+
+  /// \brief Enumerates all ⟨K_A, A⟩ pairs with K_A a string attribute and A
+  /// a string or numeric attribute (the paper's candidate universe).
+  std::vector<ColumnPairRef> ExtractColumnPairs() const;
+
+ private:
+  // Ordered map keeps enumeration deterministic.
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_REPOSITORY_H_

@@ -1,0 +1,51 @@
+#include "src/discovery/sketch_index.h"
+
+#include <algorithm>
+
+namespace joinmi {
+
+Status SketchIndex::AddCandidate(const Table& table,
+                                 const ColumnPairRef& ref) {
+  auto builder =
+      MakeSketchBuilder(config_.sketch_method, config_.sketch_options());
+  JOINMI_ASSIGN_OR_RETURN(auto key_col, table.GetColumn(ref.key_column));
+  JOINMI_ASSIGN_OR_RETURN(auto value_col, table.GetColumn(ref.value_column));
+  JOINMI_ASSIGN_OR_RETURN(
+      Sketch sketch,
+      builder->SketchCandidate(*key_col, *value_col, config_.aggregation));
+  candidates_.push_back(IndexedCandidate{ref, std::move(sketch)});
+  return Status::OK();
+}
+
+Result<size_t> SketchIndex::IndexRepository(
+    const TableRepository& repository) {
+  size_t indexed = 0;
+  for (const ColumnPairRef& ref : repository.ExtractColumnPairs()) {
+    JOINMI_ASSIGN_OR_RETURN(auto table, repository.GetTable(ref.table_name));
+    // Candidates that fail to sketch (all-null columns, aggregator/type
+    // mismatches) are skipped rather than failing the whole build.
+    if (AddCandidate(*table, ref).ok()) ++indexed;
+  }
+  return indexed;
+}
+
+Result<std::vector<DiscoveryHit>> SketchIndex::Query(const JoinMIQuery& query,
+                                                     size_t top_k) const {
+  std::vector<DiscoveryHit> hits;
+  hits.reserve(candidates_.size());
+  for (const IndexedCandidate& candidate : candidates_) {
+    auto estimate = query.Estimate(candidate.sketch);
+    if (!estimate.ok()) continue;  // too-small join or incompatible types
+    hits.push_back(DiscoveryHit{candidate.ref, estimate->mi,
+                                estimate->sample_size, estimate->estimator});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const DiscoveryHit& a, const DiscoveryHit& b) {
+              if (a.mi != b.mi) return a.mi > b.mi;
+              return a.join_size > b.join_size;
+            });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace joinmi

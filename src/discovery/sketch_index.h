@@ -1,0 +1,63 @@
+// Offline sketch index for MI-based data discovery: candidate column pairs
+// are sketched once (offline), then a query table's sketch is joined against
+// every indexed candidate to rank augmentations by estimated MI — the
+// deployment shape motivating the paper (Sections I and III).
+
+#ifndef JOINMI_DISCOVERY_SKETCH_INDEX_H_
+#define JOINMI_DISCOVERY_SKETCH_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/join_mi.h"
+#include "src/discovery/repository.h"
+
+namespace joinmi {
+
+/// \brief One indexed candidate: provenance plus its pre-built sketch.
+struct IndexedCandidate {
+  ColumnPairRef ref;
+  Sketch sketch;
+};
+
+/// \brief One ranked answer from a discovery query.
+struct DiscoveryHit {
+  ColumnPairRef ref;
+  double mi = 0.0;
+  size_t join_size = 0;
+  MIEstimatorKind estimator = MIEstimatorKind::kMLE;
+};
+
+/// \brief Sketch-per-candidate index over a repository.
+class SketchIndex {
+ public:
+  explicit SketchIndex(JoinMIConfig config) : config_(std::move(config)) {}
+
+  const JoinMIConfig& config() const { return config_; }
+  size_t size() const { return candidates_.size(); }
+  const std::vector<IndexedCandidate>& candidates() const {
+    return candidates_;
+  }
+
+  /// \brief Sketches one candidate column pair and adds it.
+  Status AddCandidate(const Table& table, const ColumnPairRef& ref);
+
+  /// \brief Indexes every extractable column pair of the repository.
+  /// Column pairs that cannot be sketched (e.g. all-null) are skipped;
+  /// returns the number indexed.
+  Result<size_t> IndexRepository(const TableRepository& repository);
+
+  /// \brief Ranks all candidates by estimated MI against the query; hits
+  /// whose sketch join is smaller than config.min_join_size are dropped
+  /// (the paper's meaningless-estimate guard). Ties break by join size.
+  Result<std::vector<DiscoveryHit>> Query(const JoinMIQuery& query,
+                                          size_t top_k) const;
+
+ private:
+  JoinMIConfig config_;
+  std::vector<IndexedCandidate> candidates_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_SKETCH_INDEX_H_

@@ -1,0 +1,71 @@
+// Featurization functions AGG (Section III-B): map the multiset of values
+// sharing a join key to a single feature value. The choice of AGG shapes the
+// derived feature's distribution and data type (Example 2 in the paper).
+
+#ifndef JOINMI_JOIN_AGGREGATORS_H_
+#define JOINMI_JOIN_AGGREGATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/value.h"
+
+namespace joinmi {
+
+/// \brief Built-in featurization functions.
+enum class AggKind : uint8_t {
+  kFirst = 0,  ///< first value seen (CSK's repeated-key policy)
+  kAvg,        ///< arithmetic mean (numeric only)
+  kSum,        ///< sum (numeric only)
+  kMin,        ///< minimum under Value ordering
+  kMax,        ///< maximum under Value ordering
+  kCount,      ///< group cardinality (type-independent, yields int64)
+  kMode,       ///< most frequent value (first-seen tie-break)
+  kMedian,     ///< median (numeric only; midpoint for even sizes)
+};
+
+const char* AggKindToString(AggKind kind);
+
+/// \brief Parses "avg", "sum", ... (case-insensitive).
+Result<AggKind> AggKindFromString(const std::string& name);
+
+/// \brief Output type of an aggregator for a given input type.
+///
+/// COUNT always yields int64; AVG/MEDIAN yield double; the rest preserve the
+/// input type.
+Result<DataType> AggOutputType(AggKind kind, DataType input);
+
+/// \brief Applies the aggregator to a non-empty group of non-null values.
+Result<Value> Aggregate(AggKind kind, const std::vector<Value>& group);
+
+/// \brief Streaming aggregator: accepts values one at a time so group-by and
+/// sketch builders never buffer groups they will discard.
+class AggregatorState {
+ public:
+  explicit AggregatorState(AggKind kind) : kind_(kind) {}
+
+  AggKind kind() const { return kind_; }
+  size_t count() const { return count_; }
+
+  Status Update(const Value& v);
+
+  /// \brief Final aggregate; error if no values were added.
+  Result<Value> Finish() const;
+
+  void Reset();
+
+ private:
+  AggKind kind_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  Value first_;
+  Value min_;
+  Value max_;
+  // MODE / MEDIAN need the full group; only populated for those kinds.
+  std::vector<Value> buffer_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_JOIN_AGGREGATORS_H_

@@ -1,0 +1,69 @@
+#include "src/join/group_by.h"
+
+namespace joinmi {
+
+Result<std::vector<KeyGroup>> GroupRowsByKey(const Column& key_column) {
+  std::vector<KeyGroup> groups;
+  std::unordered_map<uint64_t, size_t> index;  // key hash -> groups position
+  index.reserve(key_column.size());
+  for (size_t row = 0; row < key_column.size(); ++row) {
+    if (!key_column.IsValid(row)) continue;
+    const Value key = key_column.GetValue(row);
+    const uint64_t h = key.Hash();
+    auto [it, inserted] = index.emplace(h, groups.size());
+    if (inserted) {
+      groups.push_back(KeyGroup{key, {}});
+    } else if (!(groups[it->second].key == key)) {
+      // 64-bit mixed hashes colliding on differing values is effectively a
+      // data error at our table sizes; report rather than corrupt groups.
+      return Status::UnknownError("key hash collision in group-by");
+    }
+    groups[it->second].rows.push_back(row);
+  }
+  return groups;
+}
+
+Result<std::shared_ptr<Table>> GroupByAggregate(
+    const Table& table, const std::string& key_name,
+    const std::string& value_name, AggKind agg,
+    const std::string& output_value_name) {
+  JOINMI_ASSIGN_OR_RETURN(auto key_col, table.GetColumn(key_name));
+  JOINMI_ASSIGN_OR_RETURN(auto value_col, table.GetColumn(value_name));
+  JOINMI_ASSIGN_OR_RETURN(DataType out_type,
+                          AggOutputType(agg, value_col->type()));
+  JOINMI_ASSIGN_OR_RETURN(auto groups, GroupRowsByKey(*key_col));
+
+  ColumnBuilder key_builder(key_col->type());
+  ColumnBuilder value_builder(out_type);
+  for (const KeyGroup& group : groups) {
+    AggregatorState state(agg);
+    for (size_t row : group.rows) {
+      if (!value_col->IsValid(row)) continue;
+      JOINMI_RETURN_NOT_OK(state.Update(value_col->GetValue(row)));
+    }
+    if (state.count() == 0) continue;  // group had only null values
+    JOINMI_ASSIGN_OR_RETURN(Value agg_value, state.Finish());
+    JOINMI_RETURN_NOT_OK(key_builder.Append(group.key));
+    JOINMI_RETURN_NOT_OK(value_builder.Append(agg_value));
+  }
+  JOINMI_ASSIGN_OR_RETURN(auto out_key, key_builder.Finish());
+  JOINMI_ASSIGN_OR_RETURN(auto out_value, value_builder.Finish());
+  const std::string out_name = output_value_name.empty()
+                                   ? std::string(AggKindToString(agg)) + "_" +
+                                         value_name
+                                   : output_value_name;
+  return Table::FromColumns({{key_name, out_key}, {out_name, out_value}});
+}
+
+KeyFrequencies CountKeyFrequencies(const Column& key_column) {
+  KeyFrequencies freq;
+  freq.counts.reserve(key_column.size());
+  for (size_t row = 0; row < key_column.size(); ++row) {
+    if (!key_column.IsValid(row)) continue;
+    ++freq.counts[key_column.GetValue(row).Hash()];
+    ++freq.total_rows;
+  }
+  return freq;
+}
+
+}  // namespace joinmi

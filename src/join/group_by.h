@@ -1,0 +1,53 @@
+// Hash group-by over a key column. Produces, for each distinct key, the row
+// indices of its group — the building block for join-aggregation queries and
+// for the candidate-side ("T_cand") stage of every sketch builder.
+
+#ifndef JOINMI_JOIN_GROUP_BY_H_
+#define JOINMI_JOIN_GROUP_BY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/join/aggregators.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief One group: the key plus the row indices holding it.
+struct KeyGroup {
+  Value key;
+  std::vector<size_t> rows;
+};
+
+/// \brief Groups the rows of `key_column` by value. Null keys are skipped
+/// (the paper discards NULL-key rows; Section III-A). Group order is
+/// first-appearance order, so results are deterministic.
+Result<std::vector<KeyGroup>> GroupRowsByKey(const Column& key_column);
+
+/// \brief SELECT key, AGG(value) FROM table GROUP BY key.
+///
+/// Returns a two-column table [key_name, value_name] with one row per
+/// distinct non-null key, in first-appearance order. Null values inside a
+/// group are skipped; groups with only nulls are dropped.
+Result<std::shared_ptr<Table>> GroupByAggregate(
+    const Table& table, const std::string& key_name,
+    const std::string& value_name, AggKind agg,
+    const std::string& output_value_name = "");
+
+/// \brief Frequency map from key-hash to occurrence count, plus total rows
+/// counted. Used by LV2SK's per-key sample-size rule n_k = max(1, floor(n p_k)).
+struct KeyFrequencies {
+  std::unordered_map<uint64_t, size_t> counts;
+  size_t total_rows = 0;  // non-null key rows
+  size_t distinct_keys() const { return counts.size(); }
+};
+
+/// \brief Single pass key-frequency computation.
+KeyFrequencies CountKeyFrequencies(const Column& key_column);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_JOIN_GROUP_BY_H_

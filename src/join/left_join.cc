@@ -1,0 +1,81 @@
+#include "src/join/left_join.h"
+
+#include <unordered_map>
+
+#include "src/join/group_by.h"
+
+namespace joinmi {
+
+Result<JoinAggregateResult> LeftJoinAggregate(
+    const Table& train, const std::string& train_key,
+    const std::string& train_target, const Table& cand,
+    const std::string& cand_key, const std::string& cand_value,
+    const JoinAggregateOptions& options) {
+  JOINMI_ASSIGN_OR_RETURN(auto left_key_col, train.GetColumn(train_key));
+  JOINMI_ASSIGN_OR_RETURN(auto target_col, train.GetColumn(train_target));
+
+  // Build T_aug = SELECT key, AGG(value) FROM cand GROUP BY key as a
+  // hash map key-hash -> aggregated feature value.
+  JOINMI_ASSIGN_OR_RETURN(auto cand_key_col, cand.GetColumn(cand_key));
+  JOINMI_ASSIGN_OR_RETURN(auto cand_value_col, cand.GetColumn(cand_value));
+  JOINMI_ASSIGN_OR_RETURN(DataType feature_type,
+                          AggOutputType(options.agg, cand_value_col->type()));
+  JOINMI_ASSIGN_OR_RETURN(auto groups, GroupRowsByKey(*cand_key_col));
+  std::unordered_map<uint64_t, Value> aug;
+  aug.reserve(groups.size());
+  for (const KeyGroup& group : groups) {
+    AggregatorState state(options.agg);
+    for (size_t row : group.rows) {
+      if (!cand_value_col->IsValid(row)) continue;
+      JOINMI_RETURN_NOT_OK(state.Update(cand_value_col->GetValue(row)));
+    }
+    if (state.count() == 0) continue;
+    JOINMI_ASSIGN_OR_RETURN(Value v, state.Finish());
+    aug.emplace(group.key.Hash(), std::move(v));
+  }
+
+  // Probe: each left row contributes at most one output row.
+  ColumnBuilder key_builder(left_key_col->type());
+  ColumnBuilder target_builder(target_col->type());
+  ColumnBuilder feature_builder(feature_type);
+  JoinAggregateResult result;
+  for (size_t row = 0; row < train.num_rows(); ++row) {
+    if (!left_key_col->IsValid(row) || !target_col->IsValid(row)) continue;
+    const Value key = left_key_col->GetValue(row);
+    const auto it = aug.find(key.Hash());
+    if (it == aug.end()) {
+      ++result.unmatched_rows;
+      if (options.drop_unmatched) continue;
+      JOINMI_RETURN_NOT_OK(key_builder.Append(key));
+      JOINMI_RETURN_NOT_OK(target_builder.Append(target_col->GetValue(row)));
+      feature_builder.AppendNull();
+      continue;
+    }
+    ++result.matched_rows;
+    JOINMI_RETURN_NOT_OK(key_builder.Append(key));
+    JOINMI_RETURN_NOT_OK(target_builder.Append(target_col->GetValue(row)));
+    JOINMI_RETURN_NOT_OK(feature_builder.Append(it->second));
+  }
+  JOINMI_ASSIGN_OR_RETURN(auto out_key, key_builder.Finish());
+  JOINMI_ASSIGN_OR_RETURN(auto out_target, target_builder.Finish());
+  JOINMI_ASSIGN_OR_RETURN(auto out_feature, feature_builder.Finish());
+  JOINMI_ASSIGN_OR_RETURN(
+      result.table,
+      Table::FromColumns({{train_key, out_key},
+                          {train_target, out_target},
+                          {options.feature_name, out_feature}}));
+  return result;
+}
+
+Result<size_t> EquiJoinSize(const Column& left_key, const Column& right_key) {
+  const KeyFrequencies right = CountKeyFrequencies(right_key);
+  size_t join_size = 0;
+  for (size_t row = 0; row < left_key.size(); ++row) {
+    if (!left_key.IsValid(row)) continue;
+    const auto it = right.counts.find(left_key.GetValue(row).Hash());
+    if (it != right.counts.end()) join_size += it->second;
+  }
+  return join_size;
+}
+
+}  // namespace joinmi

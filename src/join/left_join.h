@@ -1,0 +1,60 @@
+// Materialized left-outer join with join-aggregation semantics (the SQL
+// query of Section III-B). This is the ground-truth path: sketches are
+// evaluated against MI computed on this output.
+
+#ifndef JOINMI_JOIN_LEFT_JOIN_H_
+#define JOINMI_JOIN_LEFT_JOIN_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/join/aggregators.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief Options for the join-aggregation query.
+struct JoinAggregateOptions {
+  /// Featurization function applied to T_cand values per key.
+  AggKind agg = AggKind::kAvg;
+  /// Drop left rows whose key has no match on the right (the paper's policy:
+  /// "we discard any rows with NULL values resulting from T_aug not
+  /// containing some key"). If false, unmatched rows keep a null feature.
+  bool drop_unmatched = true;
+  /// Name of the derived feature column in the output.
+  std::string feature_name = "X";
+};
+
+/// \brief Result of a materialized join-aggregation.
+struct JoinAggregateResult {
+  /// Output table with schema [key, Y, X]: the left key column, the target
+  /// column from T_train, and the derived feature from T_cand.
+  std::shared_ptr<Table> table;
+  /// Number of left rows with at least one right match.
+  size_t matched_rows = 0;
+  /// Number of left rows without a match (dropped or null-filled).
+  size_t unmatched_rows = 0;
+};
+
+/// \brief Evaluates
+///   SELECT L.key, L.target, AGG(R.value)
+///   FROM train L LEFT JOIN cand R ON L.key = R.key GROUP BY R.key
+/// preserving the left table's row multiplicity (many-to-one join).
+///
+/// Rows with a NULL join key or NULL target on the left are skipped, as are
+/// right rows with NULL key or value, matching the sketch builders so full
+/// join and sketch paths see the same effective relation.
+Result<JoinAggregateResult> LeftJoinAggregate(
+    const Table& train, const std::string& train_key,
+    const std::string& train_target, const Table& cand,
+    const std::string& cand_key, const std::string& cand_value,
+    const JoinAggregateOptions& options = {});
+
+/// \brief Exact size of the equi-join (number of matching row pairs),
+/// without materializing it. Used by benchmarks and the discovery layer.
+Result<size_t> EquiJoinSize(const Column& left_key, const Column& right_key);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_JOIN_LEFT_JOIN_H_

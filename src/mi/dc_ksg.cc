@@ -1,0 +1,89 @@
+#include "src/mi/dc_ksg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math.h"
+#include "src/mi/histogram.h"
+#include "src/mi/knn.h"
+
+namespace joinmi {
+
+Result<double> MutualInformationDCKSG(const std::vector<Value>& xs_discrete,
+                                      const std::vector<double>& ys, int k) {
+  ValueCoder coder;
+  std::vector<uint32_t> codes;
+  codes.reserve(xs_discrete.size());
+  for (const Value& v : xs_discrete) codes.push_back(coder.Encode(v));
+  return MutualInformationDCKSG(codes, ys, k);
+}
+
+Result<double> MutualInformationDCKSG(const std::vector<uint32_t>& x_codes,
+                                      const std::vector<double>& ys, int k) {
+  const size_t n = x_codes.size();
+  if (n != ys.size()) {
+    return Status::InvalidArgument("MI inputs must be paired");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (n < 2) return Status::InvalidArgument("DC-KSG needs at least 2 samples");
+
+  // Partition y values by class.
+  uint32_t num_classes = 0;
+  for (uint32_t code : x_codes) num_classes = std::max(num_classes, code + 1);
+  std::vector<std::vector<double>> class_ys(num_classes);
+  for (size_t i = 0; i < n; ++i) class_ys[x_codes[i]].push_back(ys[i]);
+
+  std::vector<SortedPoints1D> class_points;
+  class_points.reserve(num_classes);
+  std::vector<size_t> class_count(num_classes, 0);
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    class_count[c] = class_ys[c].size();
+    class_points.emplace_back(std::move(class_ys[c]));
+  }
+
+  // First pass: per-sample within-class radii; samples with a unique class
+  // are dropped from the estimate entirely (including the psi(N') term).
+  std::vector<double> radius(n, 0.0);
+  std::vector<int> k_used(n, 0);
+  std::vector<bool> keep(n, false);
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t count = class_count[x_codes[i]];
+    if (count < 2) continue;
+    const int ki = std::min<int>(k, static_cast<int>(count) - 1);
+    radius[i] = class_points[x_codes[i]].KthNeighborDistance(ys[i], ki);
+    k_used[i] = ki;
+    keep[i] = true;
+    ++kept;
+  }
+  if (kept == 0) {
+    return Status::InvalidArgument(
+        "DC-KSG: every discrete value is unique; no within-class neighbors");
+  }
+
+  // Second pass: neighbor counts strictly within the radius, over the kept
+  // samples only (scikit-learn drops unique-class points before building its
+  // KDTree, and shrinks the radius with nextafter to turn the closed query
+  // into an open one; strict counting over kept points is equivalent).
+  std::vector<double> kept_ys;
+  kept_ys.reserve(kept);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) kept_ys.push_back(ys[i]);
+  }
+  SortedPoints1D all_points(std::move(kept_ys));
+  double acc_k = 0.0, acc_class = 0.0, acc_m = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    const size_t m_i = all_points.CountWithin(ys[i], radius[i],
+                                              /*strict=*/true);
+    acc_k += Digamma(static_cast<double>(k_used[i]));
+    acc_class += Digamma(static_cast<double>(class_count[x_codes[i]]));
+    acc_m += Digamma(static_cast<double>(m_i) + 1.0);
+  }
+  const double inv = 1.0 / static_cast<double>(kept);
+  const double mi = Digamma(static_cast<double>(kept)) + inv * acc_k -
+                    inv * acc_class - inv * acc_m;
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+}  // namespace joinmi

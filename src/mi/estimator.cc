@@ -1,0 +1,165 @@
+#include "src/mi/estimator.h"
+
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/mi/dc_ksg.h"
+#include "src/mi/ksg.h"
+#include "src/mi/mixed_ksg.h"
+#include "src/mi/mle.h"
+
+namespace joinmi {
+
+const char* MIEstimatorKindToString(MIEstimatorKind kind) {
+  switch (kind) {
+    case MIEstimatorKind::kMLE:
+      return "MLE";
+    case MIEstimatorKind::kMillerMadow:
+      return "MillerMadow";
+    case MIEstimatorKind::kLaplace:
+      return "Laplace";
+    case MIEstimatorKind::kKSG:
+      return "KSG";
+    case MIEstimatorKind::kMixedKSG:
+      return "MixedKSG";
+    case MIEstimatorKind::kDCKSG:
+      return "DC-KSG";
+  }
+  return "unknown";
+}
+
+Result<MIEstimatorKind> MIEstimatorKindFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "mle") return MIEstimatorKind::kMLE;
+  if (lower == "millermadow" || lower == "miller-madow") {
+    return MIEstimatorKind::kMillerMadow;
+  }
+  if (lower == "laplace") return MIEstimatorKind::kLaplace;
+  if (lower == "ksg") return MIEstimatorKind::kKSG;
+  if (lower == "mixedksg" || lower == "mixed-ksg") {
+    return MIEstimatorKind::kMixedKSG;
+  }
+  if (lower == "dcksg" || lower == "dc-ksg") return MIEstimatorKind::kDCKSG;
+  return Status::InvalidArgument("unknown MI estimator '" + name + "'");
+}
+
+Result<MIEstimatorKind> ChooseEstimator(DataType x_type, DataType y_type) {
+  const bool x_num = IsNumeric(x_type);
+  const bool y_num = IsNumeric(y_type);
+  if (x_type == DataType::kNull || y_type == DataType::kNull) {
+    return Status::TypeError("cannot choose an estimator for null columns");
+  }
+  if (!x_num && !y_num) return MIEstimatorKind::kMLE;
+  if (x_num && y_num) return MIEstimatorKind::kMixedKSG;
+  return MIEstimatorKind::kDCKSG;
+}
+
+Result<std::vector<double>> ToNumericVector(const std::vector<Value>& values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Value& v : values) {
+    JOINMI_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<double> PerturbForTies(const std::vector<double>& xs, double sigma,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(xs);
+  for (double& x : out) x += rng.Gaussian(0.0, sigma);
+  return out;
+}
+
+namespace {
+
+Status CheckSample(const PairedSample& sample) {
+  if (sample.x.size() != sample.y.size()) {
+    return Status::InvalidArgument("paired sample arity mismatch");
+  }
+  if (sample.x.empty()) {
+    return Status::InvalidArgument("empty paired sample");
+  }
+  for (size_t i = 0; i < sample.x.size(); ++i) {
+    if (sample.x[i].is_null() || sample.y[i].is_null()) {
+      return Status::InvalidArgument("paired sample contains nulls");
+    }
+  }
+  return Status::OK();
+}
+
+bool AllNumeric(const std::vector<Value>& values) {
+  for (const Value& v : values) {
+    if (!IsNumeric(v.type())) return false;
+  }
+  return true;
+}
+
+Result<std::vector<double>> NumericSide(const std::vector<Value>& values,
+                                        const MIOptions& options,
+                                        uint64_t seed_salt) {
+  JOINMI_ASSIGN_OR_RETURN(std::vector<double> xs, ToNumericVector(values));
+  if (options.perturb_sigma > 0.0) {
+    xs = PerturbForTies(xs, options.perturb_sigma,
+                        options.perturb_seed ^ seed_salt);
+  }
+  return xs;
+}
+
+}  // namespace
+
+Result<double> EstimateMI(MIEstimatorKind kind, const PairedSample& sample,
+                          const MIOptions& options) {
+  JOINMI_RETURN_NOT_OK(CheckSample(sample));
+  switch (kind) {
+    case MIEstimatorKind::kMLE:
+      return MutualInformationMLE(sample.x, sample.y);
+    case MIEstimatorKind::kMillerMadow:
+      return MutualInformationMillerMadow(sample.x, sample.y);
+    case MIEstimatorKind::kLaplace:
+      return MutualInformationLaplace(sample.x, sample.y,
+                                      options.laplace_alpha);
+    case MIEstimatorKind::kKSG: {
+      JOINMI_ASSIGN_OR_RETURN(auto xs, NumericSide(sample.x, options, 0xA));
+      JOINMI_ASSIGN_OR_RETURN(auto ys, NumericSide(sample.y, options, 0xB));
+      return MutualInformationKSG(xs, ys, options.k);
+    }
+    case MIEstimatorKind::kMixedKSG: {
+      // MixedKSG handles ties natively; perturbation (if requested) is
+      // still honored for apples-to-apples estimator comparisons.
+      JOINMI_ASSIGN_OR_RETURN(auto xs, NumericSide(sample.x, options, 0xA));
+      JOINMI_ASSIGN_OR_RETURN(auto ys, NumericSide(sample.y, options, 0xB));
+      return MutualInformationMixedKSG(xs, ys, options.k);
+    }
+    case MIEstimatorKind::kDCKSG: {
+      // The numeric side is continuous; the other side is discrete. When
+      // both are numeric, X is treated as the discrete side.
+      const bool y_numeric = AllNumeric(sample.y);
+      if (y_numeric) {
+        JOINMI_ASSIGN_OR_RETURN(auto ys, NumericSide(sample.y, options, 0xB));
+        return MutualInformationDCKSG(sample.x, ys, options.k);
+      }
+      if (AllNumeric(sample.x)) {
+        JOINMI_ASSIGN_OR_RETURN(auto xs, NumericSide(sample.x, options, 0xA));
+        return MutualInformationDCKSG(sample.y, xs, options.k);
+      }
+      return Status::TypeError("DC-KSG requires one numeric side");
+    }
+  }
+  return Status::InvalidArgument("unknown estimator kind");
+}
+
+Result<double> EstimateMIAuto(const PairedSample& sample,
+                              const MIOptions& options) {
+  JOINMI_RETURN_NOT_OK(CheckSample(sample));
+  // Infer side types: numeric iff every value is numeric.
+  const DataType x_type =
+      AllNumeric(sample.x) ? DataType::kDouble : DataType::kString;
+  const DataType y_type =
+      AllNumeric(sample.y) ? DataType::kDouble : DataType::kString;
+  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
+                          ChooseEstimator(x_type, y_type));
+  return EstimateMI(kind, sample, options);
+}
+
+}  // namespace joinmi

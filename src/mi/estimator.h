@@ -1,0 +1,79 @@
+// Unified MI-estimation facade. Estimators are pure functions over paired
+// samples, so the materialized-join path and the sketch path share them —
+// the property the paper's sketches rely on ("can be used with any existing
+// sample-based MI estimator").
+
+#ifndef JOINMI_MI_ESTIMATOR_H_
+#define JOINMI_MI_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/value.h"
+
+namespace joinmi {
+
+/// \brief Available MI estimators.
+enum class MIEstimatorKind : uint8_t {
+  kMLE = 0,      ///< plug-in, discrete-discrete
+  kMillerMadow,  ///< bias-corrected plug-in
+  kLaplace,      ///< Laplace-smoothed plug-in
+  kKSG,          ///< Kraskov et al. 2004, continuous-continuous
+  kMixedKSG,     ///< Gao et al. 2017, mixtures
+  kDCKSG,        ///< Ross 2014, discrete-continuous
+};
+
+const char* MIEstimatorKindToString(MIEstimatorKind kind);
+Result<MIEstimatorKind> MIEstimatorKindFromString(const std::string& name);
+
+/// \brief Estimation options.
+struct MIOptions {
+  /// Neighbor count for the KSG family.
+  int k = 3;
+  /// Laplace smoothing strength (kLaplace only).
+  double laplace_alpha = 1.0;
+  /// If > 0, add Gaussian noise of this magnitude to continuous inputs to
+  /// break ties before KSG (the paper's perturbation device, Section V-A).
+  double perturb_sigma = 0.0;
+  /// Seed for the perturbation noise.
+  uint64_t perturb_seed = 0x7E57AB1EULL;
+};
+
+/// \brief A paired sample of (feature, target) observations.
+struct PairedSample {
+  std::vector<Value> x;
+  std::vector<Value> y;
+
+  size_t size() const { return x.size(); }
+};
+
+/// \brief The paper's estimator-selection policy (Section V): string x
+/// string -> MLE; numeric x numeric -> MixedKSG; mixed -> DC-KSG.
+Result<MIEstimatorKind> ChooseEstimator(DataType x_type, DataType y_type);
+
+/// \brief Estimates MI (in nats) over the paired sample with the given
+/// estimator. Type requirements:
+///  - kMLE/kMillerMadow/kLaplace: any hashable values on both sides;
+///  - kKSG/kMixedKSG: numeric on both sides;
+///  - kDCKSG: exactly one side numeric (the discrete side may be anything;
+///    if both sides are eligible, X is treated as discrete).
+Result<double> EstimateMI(MIEstimatorKind kind, const PairedSample& sample,
+                          const MIOptions& options = {});
+
+/// \brief Auto-selecting wrapper: infers the value types from the sample and
+/// dispatches per ChooseEstimator.
+Result<double> EstimateMIAuto(const PairedSample& sample,
+                              const MIOptions& options = {});
+
+/// \brief Extracts a numeric vector from values (int64 widened); error if a
+/// value is non-numeric or null.
+Result<std::vector<double>> ToNumericVector(const std::vector<Value>& values);
+
+/// \brief Adds seeded Gaussian noise to break ties (paper Section V-A).
+std::vector<double> PerturbForTies(const std::vector<double>& xs, double sigma,
+                                   uint64_t seed);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_MI_ESTIMATOR_H_

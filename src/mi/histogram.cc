@@ -1,0 +1,48 @@
+#include "src/mi/histogram.h"
+
+namespace joinmi {
+
+uint32_t ValueCoder::Encode(const Value& v) {
+  const auto [it, inserted] = codes_.emplace(v.Hash(), next_code_);
+  if (inserted) ++next_code_;
+  return it->second;
+}
+
+int64_t ValueCoder::Lookup(const Value& v) const {
+  const auto it = codes_.find(v.Hash());
+  return it == codes_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+std::vector<uint32_t> EncodeValues(const std::vector<Value>& values,
+                                   ValueCoder* coder) {
+  std::vector<uint32_t> codes;
+  codes.reserve(values.size());
+  for (const Value& v : values) codes.push_back(coder->Encode(v));
+  return codes;
+}
+
+Histogram BuildHistogram(const std::vector<uint32_t>& codes) {
+  Histogram hist;
+  for (uint32_t code : codes) {
+    if (code >= hist.counts.size()) hist.counts.resize(code + 1, 0);
+    ++hist.counts[code];
+    ++hist.total;
+  }
+  return hist;
+}
+
+Result<JointHistogram> BuildJointHistogram(const std::vector<uint32_t>& xs,
+                                           const std::vector<uint32_t>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("joint histogram inputs must be paired");
+  }
+  JointHistogram joint;
+  joint.counts.reserve(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ++joint.counts[PackCodes(xs[i], ys[i])];
+    ++joint.total;
+  }
+  return joint;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,68 @@
+// Frequency statistics for discrete (plug-in) entropy and MI estimation:
+// dense integer coding of type-erased values, marginal histograms, and joint
+// contingency tables.
+
+#ifndef JOINMI_MI_HISTOGRAM_H_
+#define JOINMI_MI_HISTOGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/value.h"
+
+namespace joinmi {
+
+/// \brief Maps arbitrary hashable values to dense codes 0..m-1 in
+/// first-appearance order.
+class ValueCoder {
+ public:
+  /// \brief Code for `v`, assigning a fresh one on first sight.
+  uint32_t Encode(const Value& v);
+
+  /// \brief Existing code, or -1 if unseen.
+  int64_t Lookup(const Value& v) const;
+
+  size_t num_codes() const { return next_code_; }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> codes_;
+  uint32_t next_code_ = 0;
+};
+
+/// \brief Encodes a value vector to dense codes.
+std::vector<uint32_t> EncodeValues(const std::vector<Value>& values,
+                                   ValueCoder* coder);
+
+/// \brief Marginal frequency histogram over dense codes.
+struct Histogram {
+  std::vector<uint64_t> counts;  // index = code
+  uint64_t total = 0;
+
+  size_t num_bins() const { return counts.size(); }
+};
+
+/// \brief Builds a histogram over codes (bins sized to max code + 1).
+Histogram BuildHistogram(const std::vector<uint32_t>& codes);
+
+/// \brief Sparse joint contingency table over code pairs.
+struct JointHistogram {
+  /// (x_code, y_code) packed into 64 bits -> joint count.
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t total = 0;
+  size_t num_cells() const { return counts.size(); }
+};
+
+/// \brief Builds the joint table for paired code vectors (equal length).
+Result<JointHistogram> BuildJointHistogram(const std::vector<uint32_t>& xs,
+                                           const std::vector<uint32_t>& ys);
+
+/// \brief Packs a code pair into the joint-table key.
+inline uint64_t PackCodes(uint32_t x, uint32_t y) {
+  return (static_cast<uint64_t>(x) << 32) | y;
+}
+
+}  // namespace joinmi
+
+#endif  // JOINMI_MI_HISTOGRAM_H_

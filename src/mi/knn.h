@@ -1,0 +1,87 @@
+// Nearest-neighbor machinery for the KSG family of estimators: 1-D sorted
+// point sets with windowed k-NN / range counting, and a 2-D kd-tree under the
+// Chebyshev (max) norm.
+
+#ifndef JOINMI_MI_KNN_H_
+#define JOINMI_MI_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief Sorted 1-D point set supporting k-NN distances and range counts in
+/// O(log n + k) per query.
+class SortedPoints1D {
+ public:
+  explicit SortedPoints1D(std::vector<double> points);
+
+  size_t size() const { return points_.size(); }
+
+  /// \brief Distance from `x` to its k-th nearest neighbor, where one copy
+  /// of `x` itself is excluded (callers query with member points).
+  /// Precondition: k < size().
+  double KthNeighborDistance(double x, int k) const;
+
+  /// \brief Number of points p with |p - x| < r (strict) or <= r, excluding
+  /// one copy of x itself when exclude_self is true.
+  size_t CountWithin(double x, double r, bool strict,
+                     bool exclude_self = true) const;
+
+  const std::vector<double>& sorted_points() const { return points_; }
+
+ private:
+  std::vector<double> points_;
+};
+
+/// \brief Static 2-D kd-tree over (x, y) points with Chebyshev metric.
+///
+/// Built once in O(n log n); supports distance-to-kth-neighbor queries and
+/// closed/open ball counting. Points are referenced by index so estimators
+/// can exclude the query point itself.
+class KdTree2D {
+ public:
+  KdTree2D(std::vector<double> xs, std::vector<double> ys);
+
+  size_t size() const { return xs_.size(); }
+
+  /// \brief Chebyshev distance from point `i` to its k-th nearest neighbor
+  /// (self excluded). Precondition: k < size().
+  double KthNeighborDistance(size_t i, int k) const;
+
+  /// \brief Number of points j != i with Chebyshev distance to point i
+  /// strictly less than r (strict=true) or <= r.
+  size_t CountWithin(size_t i, double r, bool strict) const;
+
+  /// \brief Number of points j != i at Chebyshev distance exactly 0.
+  size_t CountCoincident(size_t i) const;
+
+ private:
+  struct Node {
+    // Children are implicit (2*node+1 / 2*node+2) in a balanced layout;
+    // leaves hold point index ranges instead.
+    double split = 0.0;
+    int axis = -1;           // -1 marks a leaf
+    size_t left = 0;         // child node index or range begin (leaf)
+    size_t right = 0;        // child node index or range end (leaf)
+  };
+
+  size_t Build(size_t begin, size_t end, int depth);
+  void QueryKth(size_t node, size_t self, double px, double py, int k,
+                std::vector<double>* heap) const;
+  void QueryCount(size_t node, size_t self, double px, double py, double r,
+                  bool strict, size_t* count) const;
+
+  static constexpr size_t kLeafSize = 16;
+
+  std::vector<double> xs_, ys_;   // original point order
+  std::vector<size_t> order_;     // permutation grouped by leaf
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_MI_KNN_H_

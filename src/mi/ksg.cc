@@ -1,0 +1,38 @@
+#include "src/mi/ksg.h"
+
+#include "src/common/math.h"
+#include "src/mi/knn.h"
+
+namespace joinmi {
+
+Result<double> MutualInformationKSG(const std::vector<double>& xs,
+                                    const std::vector<double>& ys, int k) {
+  const size_t n = xs.size();
+  if (n != ys.size()) {
+    return Status::InvalidArgument("MI inputs must be paired");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (n <= static_cast<size_t>(k)) {
+    return Status::InvalidArgument("KSG needs more than k samples");
+  }
+  KdTree2D joint(xs, ys);
+  SortedPoints1D sorted_x(xs);
+  SortedPoints1D sorted_y(ys);
+
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double eps = joint.KthNeighborDistance(i, k);
+    // Marginal counts strictly inside the ball, self excluded (KSG-1).
+    const double nx = static_cast<double>(
+        sorted_x.CountWithin(xs[i], eps, /*strict=*/true));
+    const double ny = static_cast<double>(
+        sorted_y.CountWithin(ys[i], eps, /*strict=*/true));
+    acc += Digamma(nx + 1.0) + Digamma(ny + 1.0);
+  }
+  const double mi = Digamma(static_cast<double>(k)) +
+                    Digamma(static_cast<double>(n)) -
+                    acc / static_cast<double>(n);
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,26 @@
+// KSG estimator (Kraskov, Stögbauer, Grassberger 2004, algorithm 1) for MI
+// between continuous variables:
+//   I = psi(k) + psi(N) - < psi(n_x + 1) + psi(n_y + 1) >
+// where eps_i is the Chebyshev distance to the k-th neighbor in joint space
+// and n_x / n_y count marginal neighbors strictly inside eps_i.
+
+#ifndef JOINMI_MI_KSG_H_
+#define JOINMI_MI_KSG_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief KSG-1 MI estimate in nats. Requires N > k samples.
+///
+/// Ties in the data yield eps_i = 0 for some points, which degrades the
+/// estimate (the KSG model assumes continuous marginals); callers should
+/// perturb tied data or use MixedKSG.
+Result<double> MutualInformationKSG(const std::vector<double>& xs,
+                                    const std::vector<double>& ys, int k = 3);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_MI_KSG_H_

@@ -1,0 +1,56 @@
+#include "src/mi/mixed_ksg.h"
+
+#include <cmath>
+
+#include "src/common/math.h"
+#include "src/mi/knn.h"
+
+namespace joinmi {
+
+Result<double> MutualInformationMixedKSG(const std::vector<double>& xs,
+                                         const std::vector<double>& ys,
+                                         int k) {
+  const size_t n = xs.size();
+  if (n != ys.size()) {
+    return Status::InvalidArgument("MI inputs must be paired");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (n <= static_cast<size_t>(k)) {
+    return Status::InvalidArgument("MixedKSG needs more than k samples");
+  }
+  KdTree2D joint(xs, ys);
+  SortedPoints1D sorted_x(xs);
+  SortedPoints1D sorted_y(ys);
+
+  const double log_n = std::log(static_cast<double>(n));
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double rho = joint.KthNeighborDistance(i, k);
+    double k_tilde, nx, ny;
+    if (rho == 0.0) {
+      // Discrete region: use the multiplicity of the joint point, and count
+      // exact marginal coincidences. All counts include the point itself,
+      // matching the reference implementation (query_ball_point with a tiny
+      // radius includes the center).
+      k_tilde = static_cast<double>(joint.CountCoincident(i) + 1);
+      nx = static_cast<double>(sorted_x.CountWithin(
+          xs[i], 0.0, /*strict=*/false, /*exclude_self=*/false));
+      ny = static_cast<double>(sorted_y.CountWithin(
+          ys[i], 0.0, /*strict=*/false, /*exclude_self=*/false));
+    } else {
+      // Continuous region: open-ball marginal counts (the reference shrinks
+      // the radius by 1e-15 to exclude points at exactly rho), self
+      // included (distance 0 < rho).
+      k_tilde = static_cast<double>(k);
+      nx = static_cast<double>(sorted_x.CountWithin(
+          xs[i], rho, /*strict=*/true, /*exclude_self=*/false));
+      ny = static_cast<double>(sorted_y.CountWithin(
+          ys[i], rho, /*strict=*/true, /*exclude_self=*/false));
+    }
+    acc += Digamma(k_tilde) + log_n - std::log(nx) - std::log(ny);
+  }
+  const double mi = acc / static_cast<double>(n);
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,106 @@
+#include "src/mi/mle.h"
+
+#include <cmath>
+
+#include "src/mi/entropy.h"
+#include "src/mi/histogram.h"
+
+namespace joinmi {
+
+namespace {
+
+struct DiscretePrep {
+  Histogram hx;
+  Histogram hy;
+  JointHistogram hxy;
+};
+
+Result<DiscretePrep> Prepare(const std::vector<Value>& xs,
+                             const std::vector<Value>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("MI inputs must be paired");
+  }
+  if (xs.empty()) {
+    return Status::InvalidArgument("MI of empty sample");
+  }
+  ValueCoder cx, cy;
+  const std::vector<uint32_t> x_codes = EncodeValues(xs, &cx);
+  const std::vector<uint32_t> y_codes = EncodeValues(ys, &cy);
+  DiscretePrep prep;
+  prep.hx = BuildHistogram(x_codes);
+  prep.hy = BuildHistogram(y_codes);
+  JOINMI_ASSIGN_OR_RETURN(prep.hxy, BuildJointHistogram(x_codes, y_codes));
+  return prep;
+}
+
+}  // namespace
+
+Result<double> MutualInformationMLE(const std::vector<Value>& xs,
+                                    const std::vector<Value>& ys) {
+  JOINMI_ASSIGN_OR_RETURN(DiscretePrep prep, Prepare(xs, ys));
+  const double mi = EntropyMLE(prep.hx) + EntropyMLE(prep.hy) -
+                    JointEntropyMLE(prep.hxy);
+  // Plug-in MI is non-negative analytically; clamp away float round-off.
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+Result<double> MutualInformationMillerMadow(const std::vector<Value>& xs,
+                                            const std::vector<Value>& ys) {
+  JOINMI_ASSIGN_OR_RETURN(DiscretePrep prep, Prepare(xs, ys));
+  const double mi = EntropyMillerMadow(prep.hx) + EntropyMillerMadow(prep.hy) -
+                    (JointEntropyMLE(prep.hxy) +
+                     (static_cast<double>(prep.hxy.num_cells()) - 1.0) /
+                         (2.0 * static_cast<double>(prep.hxy.total)));
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+Result<double> MutualInformationLaplace(const std::vector<Value>& xs,
+                                        const std::vector<Value>& ys,
+                                        double alpha) {
+  if (alpha < 0.0) {
+    return Status::InvalidArgument("Laplace alpha must be >= 0");
+  }
+  JOINMI_ASSIGN_OR_RETURN(DiscretePrep prep, Prepare(xs, ys));
+  // Smooth the joint over the product support m_X * m_Y so marginal and
+  // joint smoothing are consistent (marginals of the smoothed joint equal
+  // the smoothed marginals with alpha' = alpha * m_other).
+  const double n = static_cast<double>(prep.hxy.total);
+  const double mx = static_cast<double>(prep.hx.num_bins());
+  const double my = static_cast<double>(prep.hy.num_bins());
+  const double joint_denom = n + alpha * mx * my;
+
+  double h_joint = 0.0;
+  for (const auto& [cell, count] : prep.hxy.counts) {
+    (void)cell;
+    const double p = (static_cast<double>(count) + alpha) / joint_denom;
+    h_joint -= p * std::log(p);
+  }
+  // Unobserved joint cells each carry probability alpha / joint_denom.
+  const double unseen =
+      mx * my - static_cast<double>(prep.hxy.num_cells());
+  if (unseen > 0.0 && alpha > 0.0) {
+    const double p = alpha / joint_denom;
+    h_joint -= unseen * p * std::log(p);
+  }
+
+  auto smoothed_marginal = [&](const Histogram& hist, double other_m) {
+    const double denom = n + alpha * mx * my;
+    double h = 0.0;
+    for (uint64_t count : hist.counts) {
+      const double p = (static_cast<double>(count) + alpha * other_m) / denom;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double mi = smoothed_marginal(prep.hx, my) +
+                    smoothed_marginal(prep.hy, mx) - h_joint;
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+double MleMIBiasApproximation(size_t m_x, size_t m_y, size_t m_xy, size_t n) {
+  return (static_cast<double>(m_x) + static_cast<double>(m_y) -
+          static_cast<double>(m_xy) - 1.0) /
+         (2.0 * static_cast<double>(n));
+}
+
+}  // namespace joinmi

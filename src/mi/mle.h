@@ -1,0 +1,36 @@
+// Plug-in (maximum likelihood) mutual information for discrete-discrete data
+// via I = H(X) + H(Y) - H(X,Y), plus bias-correction variants and the
+// closed-form bias approximation from Roulston 1999 (Equation 6 in the paper).
+
+#ifndef JOINMI_MI_MLE_H_
+#define JOINMI_MI_MLE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/value.h"
+
+namespace joinmi {
+
+/// \brief Plug-in MI over paired type-erased samples. Works for any
+/// hashable values (strings, ints, doubles-with-repeats).
+Result<double> MutualInformationMLE(const std::vector<Value>& xs,
+                                    const std::vector<Value>& ys);
+
+/// \brief Miller–Madow corrected plug-in MI: each entropy term gets its own
+/// support-size correction, i.e. I_MM = I_MLE - (m_X + m_Y - m_XY - 1) / (2N).
+Result<double> MutualInformationMillerMadow(const std::vector<Value>& xs,
+                                            const std::vector<Value>& ys);
+
+/// \brief Laplace-smoothed plug-in MI (smoothed marginal/joint entropies).
+Result<double> MutualInformationLaplace(const std::vector<Value>& xs,
+                                        const std::vector<Value>& ys,
+                                        double alpha = 1.0);
+
+/// \brief First-order bias of the MLE MI estimator (paper Equation 6):
+/// E[I_hat] - I ~= (m_X + m_Y - m_XY - 1) / (2N).
+double MleMIBiasApproximation(size_t m_x, size_t m_y, size_t m_xy, size_t n);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_MI_MLE_H_

@@ -1,0 +1,76 @@
+#include "src/sketch/builder.h"
+
+#include <unordered_set>
+
+#include "src/sketch/key_hash.h"
+
+namespace joinmi {
+
+Result<Sketch> SketchBuilder::InitSketch(const Column& keys,
+                                         const Column& values,
+                                         SketchSide side) const {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("key/value column length mismatch");
+  }
+  if (options_.capacity == 0) {
+    return Status::InvalidArgument("sketch capacity must be positive");
+  }
+  Sketch sketch;
+  sketch.method = method();
+  sketch.side = side;
+  sketch.capacity = options_.capacity;
+  std::unordered_set<uint64_t> distinct;
+  distinct.reserve(keys.size());
+  for (size_t row = 0; row < keys.size(); ++row) {
+    if (!keys.IsValid(row) || !values.IsValid(row)) continue;
+    ++sketch.source_rows;
+    distinct.insert(HashKey(keys.GetValue(row), options_.hash_seed));
+  }
+  sketch.source_distinct_keys = distinct.size();
+  return sketch;
+}
+
+Result<Sketch> SketchBuilder::SketchCandidate(const Column& keys,
+                                              const Column& values,
+                                              AggKind agg) const {
+  JOINMI_ASSIGN_OR_RETURN(Sketch sketch,
+                          InitSketch(keys, values, SketchSide::kCandidate));
+  JOINMI_ASSIGN_OR_RETURN(
+      auto aggregated,
+      AggregateByKey(keys, values, agg, options_.hash_seed));
+  // Aggregation leaves unique keys, so every coordinated method reduces to
+  // KMV over the method's key rank (the paper's observation that the
+  // candidate-side selection probability is uniform because m_K = N after
+  // aggregation).
+  KmvHeap heap(options_.capacity);
+  for (const AggregatedKey& entry : aggregated) {
+    const double rank = CandidateRank(entry.key_hash);
+    if (!heap.WouldAdmit(rank)) continue;
+    heap.Offer(SketchEntry{entry.key_hash, rank, entry.value});
+  }
+  sketch.entries = heap.TakeSorted();
+  return sketch;
+}
+
+double SketchBuilder::CandidateRank(uint64_t key_hash) const {
+  return KeyUnitHash(key_hash);
+}
+
+std::unique_ptr<SketchBuilder> MakeSketchBuilder(SketchMethod method,
+                                                 SketchOptions options) {
+  switch (method) {
+    case SketchMethod::kTupsk:
+      return std::make_unique<TupskBuilder>(options);
+    case SketchMethod::kLv2sk:
+      return std::make_unique<Lv2skBuilder>(options);
+    case SketchMethod::kPrisk:
+      return std::make_unique<PriskBuilder>(options);
+    case SketchMethod::kIndsk:
+      return std::make_unique<IndskBuilder>(options);
+    case SketchMethod::kCsk:
+      return std::make_unique<CskBuilder>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace joinmi

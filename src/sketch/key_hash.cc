@@ -1,0 +1,23 @@
+#include "src/sketch/key_hash.h"
+
+#include "src/common/hashing.h"
+
+namespace joinmi {
+
+uint64_t HashKey(const Value& key, uint32_t seed) {
+  if (key.is_string()) {
+    const uint32_t h = MurmurHash3_32(key.str(), seed);
+    return Mix64((static_cast<uint64_t>(h) << 32) |
+                 (key.str().size() & 0xFFFFFFFFULL));
+  }
+  // Numeric / null keys: mix the canonical value hash with the seed.
+  return Mix64(key.Hash() ^ (static_cast<uint64_t>(seed) * 0x9E3779B9ULL));
+}
+
+double KeyUnitHash(uint64_t key_hash) { return FibonacciUnitHash(key_hash); }
+
+double TupleUnitHash(uint64_t key_hash, uint64_t occurrence) {
+  return FibonacciUnitHash(HashCombine(key_hash, occurrence));
+}
+
+}  // namespace joinmi

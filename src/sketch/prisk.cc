@@ -1,0 +1,21 @@
+// PRISK: two-level sampling with priority (frequency-weighted) level-1 key
+// selection, following Duffield–Lund–Thorup priority sampling: key k gets
+// priority rank h_u(h(k)) / N_k, so frequent keys are preferentially kept.
+// Level 2 is identical to LV2SK. The paper reports results "very similar to
+// LV2SK" on synthetic data (Table I), which our benches reproduce.
+
+#include "src/sketch/builder.h"
+#include "src/sketch/two_level.h"
+
+namespace joinmi {
+
+Result<Sketch> PriskBuilder::SketchTrain(const Column& keys,
+                                         const Column& values) const {
+  JOINMI_ASSIGN_OR_RETURN(Sketch sketch,
+                          InitSketch(keys, values, SketchSide::kTrain));
+  return internal::BuildTwoLevelTrain(*this, keys, values,
+                                      /*priority_weighted=*/true,
+                                      std::move(sketch));
+}
+
+}  // namespace joinmi

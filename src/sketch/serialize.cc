@@ -1,0 +1,201 @@
+#include "src/sketch/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace joinmi {
+
+namespace {
+
+constexpr char kMagic[4] = {'J', 'M', 'S', 'K'};
+constexpr uint32_t kVersion = 1;
+
+// Value tags in the wire format.
+enum : uint8_t {
+  kTagNull = 0,
+  kTagInt64 = 1,
+  kTagDouble = 2,
+  kTagString = 3,
+};
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+void AppendValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      AppendPod<uint8_t>(out, kTagNull);
+      break;
+    case DataType::kInt64:
+      AppendPod<uint8_t>(out, kTagInt64);
+      AppendPod<int64_t>(out, v.int64());
+      break;
+    case DataType::kDouble:
+      AppendPod<uint8_t>(out, kTagDouble);
+      AppendPod<double>(out, v.dbl());
+      break;
+    case DataType::kString:
+      AppendPod<uint8_t>(out, kTagString);
+      AppendPod<uint32_t>(out, static_cast<uint32_t>(v.str().size()));
+      AppendRaw(out, v.str().data(), v.str().size());
+      break;
+  }
+}
+
+/// Bounds-checked sequential reader over the serialized buffer.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::IOError("truncated sketch buffer");
+    }
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadBytes(size_t len, std::string* out) {
+    if (pos_ + len > data_.size()) {
+      return Status::IOError("truncated sketch string payload");
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+Result<Value> ReadValue(Reader* reader) {
+  uint8_t tag = 0;
+  JOINMI_RETURN_NOT_OK(reader->Read(&tag));
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt64: {
+      int64_t v = 0;
+      JOINMI_RETURN_NOT_OK(reader->Read(&v));
+      return Value(v);
+    }
+    case kTagDouble: {
+      double v = 0.0;
+      JOINMI_RETURN_NOT_OK(reader->Read(&v));
+      return Value(v);
+    }
+    case kTagString: {
+      uint32_t len = 0;
+      JOINMI_RETURN_NOT_OK(reader->Read(&len));
+      std::string s;
+      JOINMI_RETURN_NOT_OK(reader->ReadBytes(len, &s));
+      return Value(std::move(s));
+    }
+    default:
+      return Status::IOError("unknown value tag in sketch buffer");
+  }
+}
+
+}  // namespace
+
+std::string SerializeSketch(const Sketch& sketch) {
+  std::string out;
+  out.reserve(32 + sketch.entries.size() * 24);
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendPod<uint32_t>(&out, kVersion);
+  AppendPod<uint8_t>(&out, static_cast<uint8_t>(sketch.method));
+  AppendPod<uint8_t>(&out, static_cast<uint8_t>(sketch.side));
+  AppendPod<uint64_t>(&out, sketch.capacity);
+  AppendPod<uint64_t>(&out, sketch.source_rows);
+  AppendPod<uint64_t>(&out, sketch.source_distinct_keys);
+  AppendPod<uint64_t>(&out, sketch.entries.size());
+  for (const SketchEntry& entry : sketch.entries) {
+    AppendPod<uint64_t>(&out, entry.key_hash);
+    AppendPod<double>(&out, entry.rank);
+    AppendValue(&out, entry.value);
+  }
+  return out;
+}
+
+Result<Sketch> DeserializeSketch(const std::string& data) {
+  Reader reader(data);
+  char magic[4];
+  JOINMI_RETURN_NOT_OK(reader.Read(&magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad sketch magic");
+  }
+  uint32_t version = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&version));
+  if (version != kVersion) {
+    return Status::IOError("unsupported sketch version " +
+                           std::to_string(version));
+  }
+  uint8_t method = 0, side = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&method));
+  JOINMI_RETURN_NOT_OK(reader.Read(&side));
+  if (method > static_cast<uint8_t>(SketchMethod::kCsk)) {
+    return Status::IOError("unknown sketch method tag");
+  }
+  if (side > static_cast<uint8_t>(SketchSide::kCandidate)) {
+    return Status::IOError("unknown sketch side tag");
+  }
+  Sketch sketch;
+  sketch.method = static_cast<SketchMethod>(method);
+  sketch.side = static_cast<SketchSide>(side);
+  uint64_t capacity = 0, source_rows = 0, distinct = 0, count = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&capacity));
+  JOINMI_RETURN_NOT_OK(reader.Read(&source_rows));
+  JOINMI_RETURN_NOT_OK(reader.Read(&distinct));
+  JOINMI_RETURN_NOT_OK(reader.Read(&count));
+  sketch.capacity = capacity;
+  sketch.source_rows = source_rows;
+  sketch.source_distinct_keys = distinct;
+  // An upper bound check so corrupted counts cannot trigger huge allocs:
+  // each entry needs at least 17 bytes on the wire.
+  if (count * 17 > data.size()) {
+    return Status::IOError("sketch entry count exceeds buffer size");
+  }
+  sketch.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SketchEntry entry;
+    JOINMI_RETURN_NOT_OK(reader.Read(&entry.key_hash));
+    JOINMI_RETURN_NOT_OK(reader.Read(&entry.rank));
+    JOINMI_ASSIGN_OR_RETURN(entry.value, ReadValue(&reader));
+    sketch.entries.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return Status::IOError("trailing bytes after sketch payload");
+  }
+  return sketch;
+}
+
+Status WriteSketchFile(const Sketch& sketch, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const std::string data = SerializeSketch(sketch);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<Sketch> ReadSketchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeSketch(buffer.str());
+}
+
+}  // namespace joinmi

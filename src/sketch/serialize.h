@@ -1,0 +1,37 @@
+// Binary (de)serialization of sketches. Sketches are built offline and
+// probed online, so a discovery deployment needs to persist them; this is
+// the storage format for the sketch index.
+//
+// Format (little-endian, version-tagged):
+//   magic "JMSK" | u32 version | u8 method | u8 side | u64 capacity
+//   | u64 source_rows | u64 source_distinct_keys | u64 entry_count
+//   | entries: u64 key_hash, f64 rank, u8 value_tag, value payload
+// Value payload: int64 (8 bytes), double (8 bytes), or u32 length + bytes
+// for strings; tag 0 encodes null.
+
+#ifndef JOINMI_SKETCH_SERIALIZE_H_
+#define JOINMI_SKETCH_SERIALIZE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sketch/sketch.h"
+
+namespace joinmi {
+
+/// \brief Serializes a sketch to a binary string.
+std::string SerializeSketch(const Sketch& sketch);
+
+/// \brief Parses a serialized sketch; validates magic, version, tags, and
+/// payload bounds, so truncated or corrupted inputs fail cleanly.
+Result<Sketch> DeserializeSketch(const std::string& data);
+
+/// \brief Writes a sketch to a file.
+Status WriteSketchFile(const Sketch& sketch, const std::string& path);
+
+/// \brief Reads a sketch from a file.
+Result<Sketch> ReadSketchFile(const std::string& path);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SKETCH_SERIALIZE_H_

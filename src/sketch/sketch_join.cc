@@ -1,0 +1,91 @@
+#include "src/sketch/sketch_join.h"
+
+#include <unordered_map>
+
+namespace joinmi {
+
+Result<SketchJoinResult> JoinSketches(const Sketch& train,
+                                      const Sketch& candidate) {
+  if (candidate.side != SketchSide::kCandidate) {
+    return Status::InvalidArgument(
+        "right operand of a sketch join must be a candidate sketch");
+  }
+  // Candidate keys are unique post-aggregation; build the probe map on them.
+  std::unordered_map<uint64_t, const Value*> aug;
+  aug.reserve(candidate.entries.size());
+  for (const SketchEntry& entry : candidate.entries) {
+    if (!aug.emplace(entry.key_hash, &entry.value).second) {
+      return Status::InvalidArgument(
+          "candidate sketch has duplicate keys; was it built as a train "
+          "sketch?");
+    }
+  }
+  SketchJoinResult result;
+  result.sample.x.reserve(train.entries.size());
+  result.sample.y.reserve(train.entries.size());
+  std::unordered_map<uint64_t, bool> matched;
+  matched.reserve(train.entries.size());
+  for (const SketchEntry& entry : train.entries) {
+    const auto it = aug.find(entry.key_hash);
+    if (it == aug.end()) continue;
+    result.sample.x.push_back(*it->second);
+    result.sample.y.push_back(entry.value);
+    matched.emplace(entry.key_hash, true);
+  }
+  result.join_size = result.sample.size();
+  result.matched_keys = matched.size();
+  return result;
+}
+
+Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
+                                        const Sketch& candidate,
+                                        MIEstimatorKind estimator,
+                                        const MIOptions& options,
+                                        size_t min_join_size) {
+  JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined,
+                          JoinSketches(train, candidate));
+  if (joined.join_size < min_join_size) {
+    return Status::OutOfRange(
+        "sketch join produced " + std::to_string(joined.join_size) +
+        " samples, fewer than the required " + std::to_string(min_join_size));
+  }
+  SketchMIResult result;
+  result.estimator = estimator;
+  result.join_size = joined.join_size;
+  JOINMI_ASSIGN_OR_RETURN(result.mi,
+                          EstimateMI(estimator, joined.sample, options));
+  return result;
+}
+
+Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
+                                            const Sketch& candidate,
+                                            const MIOptions& options,
+                                            size_t min_join_size) {
+  JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined,
+                          JoinSketches(train, candidate));
+  if (joined.join_size < min_join_size) {
+    return Status::OutOfRange(
+        "sketch join produced " + std::to_string(joined.join_size) +
+        " samples, fewer than the required " + std::to_string(min_join_size));
+  }
+  // Mirror EstimateMIAuto's type inference to report the chosen estimator.
+  auto all_numeric = [](const std::vector<Value>& values) {
+    for (const Value& v : values) {
+      if (!IsNumeric(v.type())) return false;
+    }
+    return true;
+  };
+  const DataType x_type = all_numeric(joined.sample.x) ? DataType::kDouble
+                                                       : DataType::kString;
+  const DataType y_type = all_numeric(joined.sample.y) ? DataType::kDouble
+                                                       : DataType::kString;
+  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
+                          ChooseEstimator(x_type, y_type));
+  SketchMIResult result;
+  result.estimator = kind;
+  result.join_size = joined.join_size;
+  JOINMI_ASSIGN_OR_RETURN(result.mi, EstimateMI(kind, joined.sample, options));
+  return result;
+}
+
+}  // namespace joinmi

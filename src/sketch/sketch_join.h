@@ -1,0 +1,58 @@
+// Sketch join: merging two independently built sketches on their hashed
+// keys to recover a sample of the full (left-outer, many-to-one) join, and
+// estimating MI on that sample (Section IV "Approach Overview").
+
+#ifndef JOINMI_SKETCH_SKETCH_JOIN_H_
+#define JOINMI_SKETCH_SKETCH_JOIN_H_
+
+#include "src/common/status.h"
+#include "src/mi/estimator.h"
+#include "src/sketch/sketch.h"
+
+namespace joinmi {
+
+/// \brief Result of joining a train sketch with a candidate sketch.
+struct SketchJoinResult {
+  /// Paired (feature X from candidate, target Y from train) samples, one
+  /// per matching train entry — train-side multiplicity is preserved, so
+  /// repeated keys reproduce repeated feature values as in the real join.
+  PairedSample sample;
+  /// Number of joined pairs (== sample.size()).
+  size_t join_size = 0;
+  /// Distinct keys contributing at least one pair.
+  size_t matched_keys = 0;
+};
+
+/// \brief Joins the sketches on h(k). The candidate sketch must be
+/// aggregated (unique keys); each train entry matches at most one candidate
+/// entry. Sketches must be built with the same hash seed.
+Result<SketchJoinResult> JoinSketches(const Sketch& train,
+                                      const Sketch& candidate);
+
+/// \brief End-to-end sketch-based MI estimate.
+struct SketchMIResult {
+  double mi = 0.0;
+  MIEstimatorKind estimator = MIEstimatorKind::kMLE;
+  size_t join_size = 0;
+};
+
+/// \brief Joins sketches and runs the given estimator on the recovered
+/// sample. `min_join_size` guards against meaningless estimates from tiny
+/// overlaps (the paper discards joins below 100 samples in Section V-C).
+Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
+                                        const Sketch& candidate,
+                                        MIEstimatorKind estimator,
+                                        const MIOptions& options = {},
+                                        size_t min_join_size = 1);
+
+/// \brief As above but auto-selects the estimator from the sample types
+/// (paper policy: string/string -> MLE, numeric/numeric -> MixedKSG,
+/// otherwise DC-KSG).
+Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
+                                            const Sketch& candidate,
+                                            const MIOptions& options = {},
+                                            size_t min_join_size = 1);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SKETCH_SKETCH_JOIN_H_

@@ -1,0 +1,43 @@
+// TUPSK: tuple-based sampling (Section IV-B). Each row is identified by the
+// occurrence tuple ⟨k, j⟩ — key value k appearing for the j-th time — and
+// ranked by h_u(⟨k, j⟩). Keeping the n minimum ranks gives every row the
+// same inclusion probability regardless of the key-frequency distribution,
+// which is the property that removes the estimator bias LV2SK suffers under
+// key-target dependence.
+
+#include <unordered_map>
+
+#include "src/sketch/builder.h"
+#include "src/sketch/key_hash.h"
+
+namespace joinmi {
+
+Result<Sketch> TupskBuilder::SketchTrain(const Column& keys,
+                                         const Column& values) const {
+  JOINMI_ASSIGN_OR_RETURN(Sketch sketch,
+                          InitSketch(keys, values, SketchSide::kTrain));
+  // Single pass: track the running occurrence index j per key; offer every
+  // row at rank h_u(⟨k, j⟩).
+  std::unordered_map<uint64_t, uint64_t> occurrence;
+  occurrence.reserve(keys.size());
+  KmvHeap heap(options_.capacity);
+  for (size_t row = 0; row < keys.size(); ++row) {
+    if (!keys.IsValid(row) || !values.IsValid(row)) continue;
+    const uint64_t key_hash = HashKey(keys.GetValue(row), options_.hash_seed);
+    const uint64_t j = ++occurrence[key_hash];
+    const double rank = TupleUnitHash(key_hash, j);
+    if (!heap.WouldAdmit(rank)) continue;
+    heap.Offer(SketchEntry{key_hash, rank, values.GetValue(row)});
+  }
+  sketch.entries = heap.TakeSorted();
+  return sketch;
+}
+
+double TupskBuilder::CandidateRank(uint64_t key_hash) const {
+  // h_u(⟨k, 1⟩): aggregation leaves unique keys, and hashing the first
+  // occurrence tuple keeps the candidate side coordinated with the j = 1
+  // rows of the train sketch.
+  return TupleUnitHash(key_hash, 1);
+}
+
+}  // namespace joinmi

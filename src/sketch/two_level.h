@@ -1,0 +1,20 @@
+// Internal: shared two-level sampling core for LV2SK and PRISK.
+
+#ifndef JOINMI_SKETCH_TWO_LEVEL_H_
+#define JOINMI_SKETCH_TWO_LEVEL_H_
+
+#include "src/sketch/builder.h"
+
+namespace joinmi {
+namespace internal {
+
+/// \brief Two-level train-side sampling. `priority_weighted` selects the
+/// level-1 rank: h_u(h(k)) for LV2SK, h_u(h(k)) / N_k for PRISK.
+Result<Sketch> BuildTwoLevelTrain(const SketchBuilder& builder,
+                                  const Column& keys, const Column& values,
+                                  bool priority_weighted, Sketch sketch);
+
+}  // namespace internal
+}  // namespace joinmi
+
+#endif  // JOINMI_SKETCH_TWO_LEVEL_H_

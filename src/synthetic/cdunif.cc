@@ -1,0 +1,29 @@
+#include "src/synthetic/cdunif.h"
+
+#include <cmath>
+
+namespace joinmi {
+
+double CDUnifExactMI(uint64_t m) {
+  if (m <= 1) return 0.0;
+  const double md = static_cast<double>(m);
+  return std::log(md) - (md - 1.0) * std::log(2.0) / md;
+}
+
+Status SampleCDUnif(uint64_t m, size_t n, Rng& rng, std::vector<int64_t>* xs,
+                    std::vector<double>* ys) {
+  if (m == 0) return Status::InvalidArgument("m must be positive");
+  xs->clear();
+  ys->clear();
+  xs->reserve(n);
+  ys->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t x = static_cast<int64_t>(rng.NextBounded(m));
+    const double y = static_cast<double>(x) + rng.Uniform(0.0, 2.0);
+    xs->push_back(x);
+    ys->push_back(y);
+  }
+  return Status::OK();
+}
+
+}  // namespace joinmi

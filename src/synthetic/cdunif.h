@@ -1,0 +1,26 @@
+// CDUnif synthetic data (Section V-A, after Gao et al. 2017): X is uniform
+// over {0, ..., m-1}; Y | X is uniform over [X, X+2]. The overlap of
+// adjacent conditional supports gives the closed-form MI
+//   I(X, Y) = log(m) - (m - 1) log(2) / m.
+
+#ifndef JOINMI_SYNTHETIC_CDUNIF_H_
+#define JOINMI_SYNTHETIC_CDUNIF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief Closed-form MI of the CDUnif(m) pair, in nats.
+double CDUnifExactMI(uint64_t m);
+
+/// \brief Draws n i.i.d. (X, Y) pairs: X discrete, Y continuous.
+Status SampleCDUnif(uint64_t m, size_t n, Rng& rng, std::vector<int64_t>* xs,
+                    std::vector<double>* ys);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SYNTHETIC_CDUNIF_H_

@@ -1,0 +1,71 @@
+#include "src/synthetic/decompose.h"
+
+#include <unordered_set>
+
+namespace joinmi {
+
+const char* KeySchemeToString(KeyScheme scheme) {
+  switch (scheme) {
+    case KeyScheme::kKeyInd:
+      return "KeyInd";
+    case KeyScheme::kKeyDep:
+      return "KeyDep";
+  }
+  return "unknown";
+}
+
+Result<DecomposedTables> DecomposeIntoTables(const std::vector<Value>& xs,
+                                             const std::vector<Value>& ys,
+                                             KeyScheme scheme) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("decomposition inputs must be paired");
+  }
+  if (xs.empty()) {
+    return Status::InvalidArgument("cannot decompose an empty sample");
+  }
+  JOINMI_ASSIGN_OR_RETURN(auto y_col, Column::FromValues(ys));
+
+  DecomposedTables out;
+  if (scheme == KeyScheme::kKeyInd) {
+    // Sequential unique keys: row i of both tables carries key i.
+    std::vector<int64_t> keys(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) keys[i] = static_cast<int64_t>(i);
+    auto train_keys = Column::MakeInt64(keys);
+    auto cand_keys = Column::MakeInt64(std::move(keys));
+    JOINMI_ASSIGN_OR_RETURN(auto x_col, Column::FromValues(xs));
+    JOINMI_ASSIGN_OR_RETURN(
+        out.train,
+        Table::FromColumns({{kKeyColumn, train_keys}, {kTargetColumn, y_col}}));
+    JOINMI_ASSIGN_OR_RETURN(
+        out.cand,
+        Table::FromColumns({{kKeyColumn, cand_keys}, {kFeatureColumn, x_col}}));
+    return out;
+  }
+
+  // KeyDep: key == feature value. Continuous X would make every key unique
+  // and the scheme degenerate, so only discrete X is allowed.
+  for (const Value& x : xs) {
+    if (x.is_double()) {
+      return Status::InvalidArgument(
+          "KeyDep requires discrete X (continuous values make keys unique)");
+    }
+  }
+  JOINMI_ASSIGN_OR_RETURN(auto train_keys, Column::FromValues(xs));
+  // Candidate table: one row per distinct X value mapping k -> k.
+  std::vector<Value> distinct;
+  std::unordered_set<uint64_t> seen;
+  for (const Value& x : xs) {
+    if (seen.insert(x.Hash()).second) distinct.push_back(x);
+  }
+  JOINMI_ASSIGN_OR_RETURN(auto cand_keys, Column::FromValues(distinct));
+  JOINMI_ASSIGN_OR_RETURN(auto cand_values, Column::FromValues(distinct));
+  JOINMI_ASSIGN_OR_RETURN(
+      out.train,
+      Table::FromColumns({{kKeyColumn, train_keys}, {kTargetColumn, y_col}}));
+  JOINMI_ASSIGN_OR_RETURN(
+      out.cand, Table::FromColumns({{kKeyColumn, cand_keys},
+                                    {kFeatureColumn, cand_values}}));
+  return out;
+}
+
+}  // namespace joinmi

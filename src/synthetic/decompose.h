@@ -1,0 +1,49 @@
+// Decomposition of generated (X, Y) pairs into joinable tables
+// (Section V-A "Decomposition Into Joinable Tables"):
+//  - KeyInd: sequential unique keys, a one-to-one relationship with maximum
+//    key/feature independence;
+//  - KeyDep: the key value IS the feature value, a many-to-one relationship
+//    with maximal key/feature dependence (discrete X only).
+// Both schemes reconstruct (X, Y) exactly when the tables are re-joined.
+
+#ifndef JOINMI_SYNTHETIC_DECOMPOSE_H_
+#define JOINMI_SYNTHETIC_DECOMPOSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief Join-key generation schemes.
+enum class KeyScheme : uint8_t {
+  kKeyInd = 0,  ///< one-to-one, keys independent of values
+  kKeyDep,      ///< many-to-one, key equals the feature value
+};
+
+const char* KeySchemeToString(KeyScheme scheme);
+
+/// \brief Column names used by the decomposed tables.
+inline constexpr const char* kKeyColumn = "K";
+inline constexpr const char* kTargetColumn = "Y";
+inline constexpr const char* kFeatureColumn = "Z";
+
+/// \brief Decomposition output: T_train[K, Y] and T_cand[K, Z].
+struct DecomposedTables {
+  std::shared_ptr<Table> train;
+  std::shared_ptr<Table> cand;
+};
+
+/// \brief Splits paired samples into joinable tables under the scheme.
+/// For kKeyDep, X values must be discrete (hashable with exact equality);
+/// int64 or string values are accepted, doubles are rejected.
+Result<DecomposedTables> DecomposeIntoTables(const std::vector<Value>& xs,
+                                             const std::vector<Value>& ys,
+                                             KeyScheme scheme);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SYNTHETIC_DECOMPOSE_H_

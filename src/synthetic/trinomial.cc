@@ -1,0 +1,95 @@
+#include "src/synthetic/trinomial.h"
+
+#include <cmath>
+
+#include "src/common/math.h"
+
+namespace joinmi {
+
+double BinomialEntropy(uint64_t m, double p) {
+  if (p <= 0.0 || p >= 1.0 || m == 0) return 0.0;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double h = 0.0;
+  for (uint64_t i = 0; i <= m; ++i) {
+    const double log_prob = LogBinomial(m, i) +
+                            static_cast<double>(i) * log_p +
+                            static_cast<double>(m - i) * log_q;
+    h -= std::exp(log_prob) * log_prob;
+  }
+  return h;
+}
+
+double TrinomialJointEntropy(uint64_t m, double p1, double p2) {
+  const double p3 = 1.0 - p1 - p2;
+  if (p1 <= 0.0 || p2 <= 0.0 || p3 <= 0.0 || m == 0) return 0.0;
+  const double log_p1 = std::log(p1);
+  const double log_p2 = std::log(p2);
+  const double log_p3 = std::log(p3);
+  const double log_m_fact = LogFactorial(m);
+  double h = 0.0;
+  for (uint64_t i = 0; i <= m; ++i) {
+    for (uint64_t j = 0; j + i <= m; ++j) {
+      const uint64_t rest = m - i - j;
+      const double log_prob = log_m_fact - LogFactorial(i) -
+                              LogFactorial(j) - LogFactorial(rest) +
+                              static_cast<double>(i) * log_p1 +
+                              static_cast<double>(j) * log_p2 +
+                              static_cast<double>(rest) * log_p3;
+      // Skip numerically negligible cells to keep the double sum fast for
+      // m = 1024 (they contribute < 1e-300 each).
+      if (log_prob < -700.0) continue;
+      h -= std::exp(log_prob) * log_prob;
+    }
+  }
+  return h;
+}
+
+double TrinomialExactMI(uint64_t m, double p1, double p2) {
+  const double mi = BinomialEntropy(m, p1) + BinomialEntropy(m, p2) -
+                    TrinomialJointEntropy(m, p1, p2);
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+Result<TrinomialParams> SampleTrinomialParams(uint64_t trials, Rng& rng,
+                                              double min_mi, double max_mi) {
+  if (trials == 0) return Status::InvalidArgument("trials must be positive");
+  constexpr int kMaxAttempts = 10000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const double target = rng.Uniform(min_mi, max_mi);
+    const double r = CorrelationForMI(target);
+    const double p1 = rng.Uniform(0.15, 0.85);
+    // r^2 = p1 p2 / ((1 - p1)(1 - p2))  =>  p2 = t / (1 + t),
+    // t = r^2 (1 - p1) / p1.
+    const double t = r * r * (1.0 - p1) / p1;
+    const double p2 = t / (1.0 + t);
+    if (p2 < 0.15 || p2 > 0.85) continue;
+    if (p1 + p2 >= 0.999) continue;  // keep the third outcome probability > 0
+    TrinomialParams params;
+    params.trials = trials;
+    params.p1 = p1;
+    params.p2 = p2;
+    params.target_mi = target;
+    params.true_mi = TrinomialExactMI(trials, p1, p2);
+    return params;
+  }
+  return Status::UnknownError(
+      "could not find trinomial parameters in range; relax the MI bounds");
+}
+
+void SampleTrinomial(const TrinomialParams& params, size_t n, Rng& rng,
+                     std::vector<int64_t>* xs, std::vector<int64_t>* ys) {
+  xs->clear();
+  ys->clear();
+  xs->reserve(n);
+  ys->reserve(n);
+  const double cond_p = params.p2 / (1.0 - params.p1);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t x = rng.Binomial(params.trials, params.p1);
+    const uint64_t y = rng.Binomial(params.trials - x, cond_p);
+    xs->push_back(static_cast<int64_t>(x));
+    ys->push_back(static_cast<int64_t>(y));
+  }
+}
+
+}  // namespace joinmi

@@ -1,0 +1,54 @@
+// Trinomial synthetic data (Section V-A): (X, Y) are the first two counts
+// of Mult(m, <p1, p2>). Parameters are selected by inverting the bivariate-
+// normal MI approximation (CLT) to hit a target MI, while the reported
+// "analytical MI" uses the exact (open-form) trinomial entropies.
+
+#ifndef JOINMI_SYNTHETIC_TRINOMIAL_H_
+#define JOINMI_SYNTHETIC_TRINOMIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief A fully specified trinomial generator.
+struct TrinomialParams {
+  uint64_t trials = 0;  ///< m: number of trials ~ number of distinct values
+  double p1 = 0.0;
+  double p2 = 0.0;
+  /// Exact MI of (X, Y) in nats, from the open-form entropy formulas.
+  double true_mi = 0.0;
+  /// The MI target used during parameter selection (before the exact
+  /// computation); kept for diagnostics.
+  double target_mi = 0.0;
+};
+
+/// \brief Exact entropy of Binomial(m, p) by direct summation (log-space).
+double BinomialEntropy(uint64_t m, double p);
+
+/// \brief Exact joint entropy of the first two trinomial counts:
+/// sum over {(i, j) : i + j <= m} of -p(i,j) log p(i,j).
+double TrinomialJointEntropy(uint64_t m, double p1, double p2);
+
+/// \brief Exact MI = H(X) + H(Y) - H(X, Y) for the trinomial.
+double TrinomialExactMI(uint64_t m, double p1, double p2);
+
+/// \brief The paper's parameter-selection loop: draw target MI ~
+/// Unif(min_mi, max_mi), convert to |r| = sqrt(1 - exp(-2 I)), draw
+/// p1 ~ Unif(0.15, 0.85), and solve r^2 = p1 p2 / ((1-p1)(1-p2)) for p2;
+/// retry until p2 lands in [0.15, 0.85].
+Result<TrinomialParams> SampleTrinomialParams(uint64_t trials, Rng& rng,
+                                              double min_mi = 0.0,
+                                              double max_mi = 3.5);
+
+/// \brief Draws n i.i.d. (X, Y) pairs via binomial conditioning:
+/// X ~ Bin(m, p1), Y | X ~ Bin(m - X, p2 / (1 - p1)).
+void SampleTrinomial(const TrinomialParams& params, size_t n, Rng& rng,
+                     std::vector<int64_t>* xs, std::vector<int64_t>* ys);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SYNTHETIC_TRINOMIAL_H_

@@ -1,0 +1,208 @@
+#include "src/table/column.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace joinmi {
+
+namespace {
+size_t CountNulls(const std::vector<bool>& validity) {
+  size_t nulls = 0;
+  for (bool v : validity) {
+    if (!v) ++nulls;
+  }
+  return nulls;
+}
+}  // namespace
+
+std::shared_ptr<Column> Column::MakeInt64(std::vector<int64_t> values,
+                                          std::vector<bool> validity) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = DataType::kInt64;
+  col->size_ = values.size();
+  col->int64_data_ = std::move(values);
+  col->validity_ = std::move(validity);
+  col->null_count_ = CountNulls(col->validity_);
+  return col;
+}
+
+std::shared_ptr<Column> Column::MakeDouble(std::vector<double> values,
+                                           std::vector<bool> validity) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = DataType::kDouble;
+  col->size_ = values.size();
+  col->double_data_ = std::move(values);
+  col->validity_ = std::move(validity);
+  col->null_count_ = CountNulls(col->validity_);
+  return col;
+}
+
+std::shared_ptr<Column> Column::MakeString(std::vector<std::string> values,
+                                           std::vector<bool> validity) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = DataType::kString;
+  col->size_ = values.size();
+  col->string_data_ = std::move(values);
+  col->validity_ = std::move(validity);
+  col->null_count_ = CountNulls(col->validity_);
+  return col;
+}
+
+Result<std::shared_ptr<Column>> Column::FromValues(
+    const std::vector<Value>& values) {
+  // Determine the consensus type: int64 promotes to double when mixed.
+  DataType type = DataType::kNull;
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    if (type == DataType::kNull) {
+      type = v.type();
+    } else if (type != v.type()) {
+      if (IsNumeric(type) && IsNumeric(v.type())) {
+        type = DataType::kDouble;
+      } else {
+        return Status::TypeError("mixed string/numeric cells in FromValues");
+      }
+    }
+  }
+  if (type == DataType::kNull) type = DataType::kString;  // all-null column
+  ColumnBuilder builder(type);
+  for (const Value& v : values) {
+    JOINMI_RETURN_NOT_OK(builder.Append(v));
+  }
+  return builder.Finish();
+}
+
+Value Column::GetValue(size_t i) const {
+  if (!IsValid(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(int64_data_[i]);
+    case DataType::kDouble:
+      return Value(double_data_[i]);
+    case DataType::kString:
+      return Value(string_data_[i]);
+    case DataType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<double> Column::NumericAt(size_t i) const {
+  if (!IsValid(i)) return Status::TypeError("NumericAt on null cell");
+  if (type_ == DataType::kInt64) return static_cast<double>(int64_data_[i]);
+  if (type_ == DataType::kDouble) return double_data_[i];
+  return Status::TypeError("NumericAt on non-numeric column");
+}
+
+Result<std::shared_ptr<Column>> Column::Take(
+    const std::vector<size_t>& indices) const {
+  ColumnBuilder builder(type_ == DataType::kNull ? DataType::kString : type_);
+  for (size_t idx : indices) {
+    if (idx == kNullIndex) {
+      builder.AppendNull();
+      continue;
+    }
+    if (idx >= size_) {
+      return Status::IndexError("Take index out of range");
+    }
+    JOINMI_RETURN_NOT_OK(builder.Append(GetValue(idx)));
+  }
+  return builder.Finish();
+}
+
+size_t Column::CountDistinct() const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    if (!IsValid(i)) continue;
+    seen.insert(GetValue(i).Hash());
+  }
+  return seen.size();
+}
+
+std::vector<Value> Column::ToValues() const {
+  std::vector<Value> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    if (!IsValid(i)) continue;
+    out.push_back(GetValue(i));
+  }
+  return out;
+}
+
+Status ColumnBuilder::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64()) {
+        return Status::TypeError("appending non-int64 to int64 builder");
+      }
+      int64_data_.push_back(v.int64());
+      break;
+    case DataType::kDouble: {
+      JOINMI_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      double_data_.push_back(d);
+      break;
+    }
+    case DataType::kString:
+      if (!v.is_string()) {
+        return Status::TypeError("appending non-string to string builder");
+      }
+      string_data_.push_back(v.str());
+      break;
+    case DataType::kNull:
+      return Status::TypeError("cannot append to null-typed builder");
+  }
+  validity_.push_back(true);
+  ++size_;
+  return Status::OK();
+}
+
+void ColumnBuilder::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.push_back(0);
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(0.0);
+      break;
+    default:
+      string_data_.emplace_back();
+      break;
+  }
+  validity_.push_back(false);
+  any_null_ = true;
+  ++size_;
+}
+
+Result<std::shared_ptr<Column>> ColumnBuilder::Finish() {
+  std::vector<bool> validity;
+  if (any_null_) validity = std::move(validity_);
+  std::shared_ptr<Column> col;
+  switch (type_) {
+    case DataType::kInt64:
+      col = Column::MakeInt64(std::move(int64_data_), std::move(validity));
+      break;
+    case DataType::kDouble:
+      col = Column::MakeDouble(std::move(double_data_), std::move(validity));
+      break;
+    case DataType::kString:
+      col = Column::MakeString(std::move(string_data_), std::move(validity));
+      break;
+    case DataType::kNull:
+      return Status::TypeError("cannot finish null-typed builder");
+  }
+  // Reset so the builder can be reused.
+  validity_.clear();
+  int64_data_.clear();
+  double_data_.clear();
+  string_data_.clear();
+  size_ = 0;
+  any_null_ = false;
+  return col;
+}
+
+}  // namespace joinmi

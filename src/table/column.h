@@ -1,0 +1,104 @@
+// Typed in-memory columns. Storage is type-specialized (contiguous vectors
+// plus a validity bitmap) while the accessor surface is Value-based so the
+// sketch and estimator layers stay type-erased.
+
+#ifndef JOINMI_TABLE_COLUMN_H_
+#define JOINMI_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/value.h"
+
+namespace joinmi {
+
+/// \brief An immutable, typed column of nullable values.
+class Column {
+ public:
+  /// \brief Builds an int64 column; `validity` empty means all-valid.
+  static std::shared_ptr<Column> MakeInt64(std::vector<int64_t> values,
+                                           std::vector<bool> validity = {});
+  /// \brief Builds a double column.
+  static std::shared_ptr<Column> MakeDouble(std::vector<double> values,
+                                            std::vector<bool> validity = {});
+  /// \brief Builds a string column.
+  static std::shared_ptr<Column> MakeString(std::vector<std::string> values,
+                                            std::vector<bool> validity = {});
+  /// \brief Builds a column from type-erased cells; all cells must be null
+  /// or of one consistent type (int64 promoted to double if mixed).
+  static Result<std::shared_ptr<Column>> FromValues(
+      const std::vector<Value>& values);
+
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+  size_t null_count() const { return null_count_; }
+
+  /// \brief True if row i holds a value.
+  bool IsValid(size_t i) const {
+    return validity_.empty() ? true : validity_[i];
+  }
+
+  /// \brief Cell accessor; returns Value::Null() for null rows.
+  Value GetValue(size_t i) const;
+
+  /// \brief Typed accessors; preconditions: matching type() and IsValid(i).
+  int64_t Int64At(size_t i) const { return int64_data_[i]; }
+  double DoubleAt(size_t i) const { return double_data_[i]; }
+  const std::string& StringAt(size_t i) const { return string_data_[i]; }
+
+  /// \brief Numeric view of row i (int64 widened). Error on string columns.
+  Result<double> NumericAt(size_t i) const;
+
+  /// \brief Gathers rows by index into a new column. Indices must be in
+  /// range; kNullIndex produces a null cell (used by left joins).
+  static constexpr size_t kNullIndex = static_cast<size_t>(-1);
+  Result<std::shared_ptr<Column>> Take(const std::vector<size_t>& indices) const;
+
+  /// \brief Number of distinct non-null values.
+  size_t CountDistinct() const;
+
+  /// \brief All non-null cells as Values (convenience for estimators).
+  std::vector<Value> ToValues() const;
+
+ private:
+  Column() = default;
+
+  DataType type_ = DataType::kNull;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+  std::vector<bool> validity_;  // empty == all valid
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<std::string> string_data_;
+};
+
+/// \brief Incremental column builder (used by CSV reader and joins).
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  Status Append(const Value& v);
+  void AppendNull();
+
+  /// \brief Finishes the column; the builder is left empty.
+  Result<std::shared_ptr<Column>> Finish();
+
+ private:
+  DataType type_;
+  size_t size_ = 0;
+  bool any_null_ = false;
+  std::vector<bool> validity_;
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<std::string> string_data_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_TABLE_COLUMN_H_

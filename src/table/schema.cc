@@ -1,0 +1,43 @@
+#include "src/table/schema.h"
+
+#include <unordered_set>
+
+namespace joinmi {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::KeyError("no field named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return FieldIndex(name).ok();
+}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields_) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema contains an unnamed field");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name '" + f.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace joinmi

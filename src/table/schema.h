@@ -1,0 +1,55 @@
+// Field and Schema: named, typed column descriptors for tables.
+
+#ifndef JOINMI_TABLE_SCHEMA_H_
+#define JOINMI_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/value.h"
+
+namespace joinmi {
+
+/// \brief A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered collection of fields with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of a field by name.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// \brief True if a field with the given name exists.
+  bool HasField(const std::string& name) const;
+
+  /// \brief Fails if any field name repeats.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_TABLE_SCHEMA_H_

@@ -1,0 +1,107 @@
+#include "src/table/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace joinmi {
+
+Result<std::shared_ptr<Table>> Table::Make(
+    Schema schema, std::vector<std::shared_ptr<Column>> columns) {
+  JOINMI_RETURN_NOT_OK(schema.Validate());
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument("schema/column count mismatch");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::InvalidArgument("null column pointer");
+    }
+    if (columns[i]->size() != rows) {
+      return Status::InvalidArgument("column length mismatch in table");
+    }
+    if (columns[i]->type() != schema.field(i).type) {
+      return Status::TypeError("column type does not match schema field '" +
+                               schema.field(i).name + "'");
+    }
+  }
+  return std::shared_ptr<Table>(
+      new Table(std::move(schema), std::move(columns), rows));
+}
+
+Result<std::shared_ptr<Table>> Table::FromColumns(
+    std::vector<std::pair<std::string, std::shared_ptr<Column>>> named) {
+  std::vector<Field> fields;
+  std::vector<std::shared_ptr<Column>> columns;
+  fields.reserve(named.size());
+  columns.reserve(named.size());
+  for (auto& [name, col] : named) {
+    if (col == nullptr) {
+      return Status::InvalidArgument("null column for field '" + name + "'");
+    }
+    fields.push_back(Field{name, col->type()});
+    columns.push_back(std::move(col));
+  }
+  return Make(Schema(std::move(fields)), std::move(columns));
+}
+
+Result<std::shared_ptr<Column>> Table::GetColumn(
+    const std::string& name) const {
+  JOINMI_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return columns_[idx];
+}
+
+Result<std::shared_ptr<Table>> Table::Take(
+    const std::vector<size_t>& indices) const {
+  std::vector<std::shared_ptr<Column>> taken;
+  taken.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    JOINMI_ASSIGN_OR_RETURN(auto t, col->Take(indices));
+    taken.push_back(std::move(t));
+  }
+  // Taken columns keep their types, but all-null takes may lose them; rebuild
+  // the schema from the result columns to stay consistent.
+  std::vector<Field> fields;
+  fields.reserve(columns_.size());
+  for (size_t i = 0; i < taken.size(); ++i) {
+    fields.push_back(Field{schema_.field(i).name, taken[i]->type()});
+  }
+  return Make(Schema(std::move(fields)), std::move(taken));
+}
+
+Result<std::shared_ptr<Table>> Table::Select(
+    const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  std::vector<std::shared_ptr<Column>> cols;
+  for (const auto& name : names) {
+    JOINMI_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+    fields.push_back(schema_.field(idx));
+    cols.push_back(columns_[idx]);
+  }
+  return Make(Schema(std::move(fields)), std::move(cols));
+}
+
+Result<std::shared_ptr<Table>> Table::Head(size_t n) const {
+  std::vector<size_t> indices(std::min(n, num_rows_));
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  return Take(indices);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += "\n";
+  const size_t rows = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      const Value v = columns_[c]->GetValue(r);
+      out += v.is_null() ? "NULL" : v.ToString();
+    }
+    out += "\n";
+  }
+  if (rows < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,64 @@
+// In-memory immutable table: a schema plus equal-length columns.
+
+#ifndef JOINMI_TABLE_TABLE_H_
+#define JOINMI_TABLE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/column.h"
+#include "src/table/schema.h"
+
+namespace joinmi {
+
+/// \brief An immutable relational table.
+class Table {
+ public:
+  /// \brief Builds a table, validating schema/column agreement.
+  static Result<std::shared_ptr<Table>> Make(
+      Schema schema, std::vector<std::shared_ptr<Column>> columns);
+
+  /// \brief Convenience: builds a table from (name, column) pairs, inferring
+  /// field types from the columns.
+  static Result<std::shared_ptr<Table>> FromColumns(
+      std::vector<std::pair<std::string, std::shared_ptr<Column>>> named);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const std::shared_ptr<Column>& column(size_t i) const { return columns_[i]; }
+
+  /// \brief Column lookup by field name.
+  Result<std::shared_ptr<Column>> GetColumn(const std::string& name) const;
+
+  /// \brief Gathers rows into a new table (kNullIndex rows become nulls).
+  Result<std::shared_ptr<Table>> Take(const std::vector<size_t>& indices) const;
+
+  /// \brief Selects a subset of columns by name, in the given order.
+  Result<std::shared_ptr<Table>> Select(
+      const std::vector<std::string>& names) const;
+
+  /// \brief First `n` rows (or all if fewer) as a new table.
+  Result<std::shared_ptr<Table>> Head(size_t n) const;
+
+  /// \brief Human-readable preview of up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Table(Schema schema, std::vector<std::shared_ptr<Column>> columns,
+        size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<std::shared_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_TABLE_TABLE_H_

@@ -1,0 +1,75 @@
+#include "src/table/type_inference.h"
+
+#include "src/common/string_util.h"
+
+namespace joinmi {
+
+bool IsNullToken(const std::string& cell) {
+  const std::string lower = ToLower(Trim(cell));
+  return lower.empty() || lower == "null" || lower == "na" || lower == "n/a" ||
+         lower == "nan" || lower == "none";
+}
+
+InferredType InferType(const std::vector<std::string>& cells) {
+  InferredType result;
+  bool all_int = true;
+  bool all_double = true;
+  bool any_value = false;
+  for (const std::string& cell : cells) {
+    if (IsNullToken(cell)) {
+      ++result.null_count;
+      continue;
+    }
+    any_value = true;
+    int64_t i64;
+    double d;
+    if (!ParseInt64(cell, &i64)) all_int = false;
+    if (!ParseDouble(cell, &d)) {
+      all_double = false;
+      all_int = false;
+    }
+    if (!all_double) break;  // already forced to string
+  }
+  if (!any_value) {
+    result.type = DataType::kString;
+  } else if (all_int) {
+    result.type = DataType::kInt64;
+  } else if (all_double) {
+    result.type = DataType::kDouble;
+  } else {
+    result.type = DataType::kString;
+  }
+  return result;
+}
+
+Result<std::shared_ptr<Column>> ParseColumn(
+    const std::vector<std::string>& cells) {
+  const InferredType inferred = InferType(cells);
+  ColumnBuilder builder(inferred.type);
+  for (const std::string& cell : cells) {
+    if (IsNullToken(cell)) {
+      builder.AppendNull();
+      continue;
+    }
+    switch (inferred.type) {
+      case DataType::kInt64: {
+        int64_t v = 0;
+        ParseInt64(cell, &v);
+        JOINMI_RETURN_NOT_OK(builder.Append(Value(v)));
+        break;
+      }
+      case DataType::kDouble: {
+        double v = 0.0;
+        ParseDouble(cell, &v);
+        JOINMI_RETURN_NOT_OK(builder.Append(Value(v)));
+        break;
+      }
+      default:
+        JOINMI_RETURN_NOT_OK(builder.Append(Value(std::string(Trim(cell)))));
+        break;
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace joinmi

@@ -1,0 +1,38 @@
+// Tablesaw-style column type inference from string cells: the paper's real-
+// data pipeline (Section V-C, footnote 2) uses the Tablesaw library to decide
+// whether an attribute is a string or numeric column; this is our native
+// equivalent.
+
+#ifndef JOINMI_TABLE_TYPE_INFERENCE_H_
+#define JOINMI_TABLE_TYPE_INFERENCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/table/column.h"
+
+namespace joinmi {
+
+/// \brief Inference result for a column of raw strings.
+struct InferredType {
+  DataType type = DataType::kString;
+  /// Number of cells treated as null ("", "null", "na", "n/a", case-insensitive).
+  size_t null_count = 0;
+};
+
+/// \brief Infers the narrowest type that parses every non-null cell:
+/// int64 -> double -> string.
+InferredType InferType(const std::vector<std::string>& cells);
+
+/// \brief Parses raw string cells into a typed column using InferType.
+Result<std::shared_ptr<Column>> ParseColumn(
+    const std::vector<std::string>& cells);
+
+/// \brief True if the cell spelling denotes a missing value.
+bool IsNullToken(const std::string& cell);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_TABLE_TYPE_INFERENCE_H_

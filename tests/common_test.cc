@@ -1,0 +1,412 @@
+// Unit tests for src/common: Status/Result, math, hashing, RNG, stats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/hashing.h"
+#include "src/common/math.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace joinmi {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad n");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad n");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_TRUE(Status::KeyError("x").IsKeyError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::IndexError("x").IsIndexError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::KeyError("a"), Status::KeyError("a"));
+  EXPECT_FALSE(Status::KeyError("a") == Status::KeyError("b"));
+  EXPECT_FALSE(Status::KeyError("a") == Status::TypeError("a"));
+}
+
+Result<int> ReturnsValue() { return 7; }
+Result<int> ReturnsError() { return Status::KeyError("missing"); }
+Result<int> Propagates() {
+  JOINMI_ASSIGN_OR_RETURN(int v, ReturnsError());
+  return v + 1;
+}
+Result<int> PropagatesOk() {
+  JOINMI_ASSIGN_OR_RETURN(int v, ReturnsValue());
+  return v + 1;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ReturnsValue();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ReturnsError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsKeyError());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  EXPECT_FALSE(Propagates().ok());
+  Result<int> ok = PropagatesOk();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+}
+
+// ------------------------------------------------------------------ Math --
+
+TEST(MathTest, DigammaMatchesKnownValues) {
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  EXPECT_NEAR(Digamma(1.0), -kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(Digamma(2.0), 1.0 - kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(Digamma(0.5), -kEulerMascheroni - 2.0 * std::log(2.0), 1e-10);
+  // psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.25, 1.75, 3.5, 10.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << x;
+  }
+}
+
+TEST(MathTest, DigammaAsymptotic) {
+  // psi(x) ~ ln(x) - 1/(2x) for large x.
+  const double x = 1e6;
+  EXPECT_NEAR(Digamma(x), std::log(x) - 0.5 / x, 1e-9);
+}
+
+TEST(MathTest, LogBinomial) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-12);
+  EXPECT_TRUE(std::isinf(LogBinomial(3, 5)));
+}
+
+TEST(MathTest, XLogXConvention) {
+  EXPECT_EQ(XLogX(0.0), 0.0);
+  EXPECT_EQ(XLogX(-1.0), 0.0);
+  EXPECT_NEAR(XLogX(2.0), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(MathTest, HarmonicNumberExactAndAsymptotic) {
+  EXPECT_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_NEAR(HarmonicNumber(1), 1.0, 1e-12);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  // Crossover consistency: direct sum vs asymptotic form.
+  double direct = 0.0;
+  for (int i = 1; i <= 1000; ++i) direct += 1.0 / i;
+  EXPECT_NEAR(HarmonicNumber(1000), direct, 1e-10);
+}
+
+TEST(MathTest, BivariateNormalMIRoundTrip) {
+  for (double mi : {0.0, 0.1, 0.5, 1.0, 2.5, 3.5}) {
+    const double r = CorrelationForMI(mi);
+    EXPECT_NEAR(BivariateNormalMI(r), mi, 1e-9) << mi;
+  }
+  EXPECT_EQ(CorrelationForMI(0.0), 0.0);
+  // I = 3.5 corresponds to r ~ 0.999 (paper Section V-A).
+  EXPECT_NEAR(CorrelationForMI(3.5), 0.999, 1e-3);
+}
+
+TEST(MathTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({std::log(1.0), std::log(3.0)}), std::log(4.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+}
+
+// --------------------------------------------------------------- Hashing --
+
+TEST(HashingTest, MurmurDeterministicAndSeedSensitive) {
+  EXPECT_EQ(MurmurHash3_32("hello", 0), MurmurHash3_32("hello", 0));
+  EXPECT_NE(MurmurHash3_32("hello", 0), MurmurHash3_32("hello", 1));
+  EXPECT_NE(MurmurHash3_32("hello", 0), MurmurHash3_32("hellp", 0));
+  EXPECT_EQ(MurmurHash3_32("", 0), MurmurHash3_32("", 0));
+}
+
+TEST(HashingTest, MurmurKnownVectors) {
+  // Reference vectors for MurmurHash3 x86_32.
+  EXPECT_EQ(MurmurHash3_32("", 0), 0u);
+  EXPECT_EQ(MurmurHash3_32("", 1), 0x514E28B7u);
+  EXPECT_EQ(MurmurHash3_32("test", 0), 0xBA6BD213u);
+  EXPECT_EQ(MurmurHash3_32("Hello, world!", 0), 0xC0363E43u);
+}
+
+TEST(HashingTest, UnitHashInRange) {
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const double u = UnitHash(i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashingTest, UnitHashApproximatelyUniform) {
+  // Chi-squared-style bucket check over 100k integers, 20 buckets.
+  constexpr int kBuckets = 20;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<int>(UnitHash(i) * kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(HashingTest, Mix64IsBijectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 4096; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+TEST(HashingTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, BinomialMomentsSmallAndLarge) {
+  Rng rng(13);
+  // Small regime (waiting-time path).
+  RunningStats small;
+  for (int i = 0; i < 50000; ++i) {
+    small.Add(static_cast<double>(rng.Binomial(20, 0.3)));
+  }
+  EXPECT_NEAR(small.mean(), 6.0, 0.1);
+  EXPECT_NEAR(small.variance(), 20 * 0.3 * 0.7, 0.15);
+  // Large regime (normal-approximation path).
+  RunningStats large;
+  for (int i = 0; i < 50000; ++i) {
+    large.Add(static_cast<double>(rng.Binomial(1000, 0.5)));
+  }
+  EXPECT_NEAR(large.mean(), 500.0, 1.0);
+  EXPECT_NEAR(large.variance(), 250.0, 10.0);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(17);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10u);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.Binomial(5, 0.9), 5u);
+  }
+}
+
+TEST(RngTest, MultinomialSumsToN) {
+  Rng rng(19);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto counts = rng.Multinomial(1000, {0.2, 0.3, 0.5});
+    EXPECT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 1000u);
+  }
+}
+
+TEST(RngTest, MultinomialMeans) {
+  Rng rng(23);
+  double sum0 = 0.0, sum1 = 0.0;
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto counts = rng.Multinomial(10, {0.25, 0.35, 0.4});
+    sum0 += static_cast<double>(counts[0]);
+    sum1 += static_cast<double>(counts[1]);
+  }
+  EXPECT_NEAR(sum0 / kTrials, 2.5, 0.05);
+  EXPECT_NEAR(sum1 / kTrials, 3.5, 0.05);
+}
+
+TEST(RngTest, ZipfRangeAndSkew) {
+  Rng rng(29);
+  size_t ones = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t z = rng.Zipf(100, 1.2);
+    ASSERT_GE(z, 1u);
+    ASSERT_LE(z, 100u);
+    if (z == 1) ++ones;
+  }
+  // Rank 1 should dominate under s = 1.2 (theoretical share ~1/H ~ 0.26).
+  EXPECT_GT(static_cast<double>(ones) / kSamples, 0.15);
+}
+
+TEST(RngTest, ForkProducesDivergentStreams) {
+  Rng a(31);
+  Rng b = a.Fork();
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = a.Next64() != b.Next64();
+  EXPECT_TRUE(differs);
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(StatsTest, MeanVarianceStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_NEAR(Mean(xs), 2.5, 1e-12);
+  EXPECT_NEAR(Variance(xs), 1.25, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, ErrorMetrics) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {2, 2, 5};
+  EXPECT_NEAR(*MeanSquaredError(a, b), (1.0 + 0.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(*RootMeanSquaredError(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(*MeanAbsoluteError(a, b), 1.0, 1e-12);
+  EXPECT_FALSE(MeanSquaredError({1}, {1, 2}).ok());
+  EXPECT_FALSE(MeanSquaredError({}, {}).ok());
+}
+
+TEST(StatsTest, PearsonPerfectAndInverse) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(*PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(*PearsonCorrelation(xs, neg), -1.0, 1e-12);
+  EXPECT_EQ(*PearsonCorrelation(xs, {3, 3, 3, 3, 3}), 0.0);  // constant side
+}
+
+TEST(StatsTest, SpearmanMonotoneInvariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> cubed;
+  for (double x : xs) cubed.push_back(x * x * x);
+  EXPECT_NEAR(*SpearmanCorrelation(xs, cubed), 1.0, 1e-12);
+}
+
+TEST(StatsTest, MidRanksHandleTies) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const std::vector<double> ranks = MidRanks(xs);
+  EXPECT_EQ(ranks[0], 1.0);
+  EXPECT_EQ(ranks[1], 2.5);
+  EXPECT_EQ(ranks[2], 2.5);
+  EXPECT_EQ(ranks[3], 4.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {4, 1, 3, 2};
+  EXPECT_NEAR(*Quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(*Quantile(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(*Quantile(xs, 0.5), 2.5, 1e-12);
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.5).ok());
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  Rng rng(37);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-5, 5);
+    xs.push_back(x);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(stats.variance(), Variance(xs), 1e-9);
+  EXPECT_EQ(stats.count(), 1000u);
+  EXPECT_LE(stats.min(), stats.max());
+}
+
+// ----------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  x y \t"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64(" 7 ", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(ParseInt64("4.5", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("12x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringUtilTest, StrFormatAndJoin) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace joinmi

@@ -1,0 +1,212 @@
+// Tests for the public API (src/core): configuration validation, FullJoinMI
+// vs SketchJoinMI agreement, and the reusable JoinMIQuery object.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/join_mi.h"
+#include "src/synthetic/pipeline.h"
+
+namespace joinmi {
+namespace {
+
+// ------------------------------------------------------------------ Config
+
+TEST(ConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(JoinMIConfig{}.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadRanges) {
+  JoinMIConfig config;
+  config.sketch_capacity = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = JoinMIConfig{};
+  config.mi_options.k = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = JoinMIConfig{};
+  config.mi_options.laplace_alpha = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = JoinMIConfig{};
+  config.mi_options.perturb_sigma = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, ToStringMentionsKeyKnobs) {
+  JoinMIConfig config;
+  config.estimator = MIEstimatorKind::kMLE;
+  const std::string s = config.ToString();
+  EXPECT_NE(s.find("TUPSK"), std::string::npos);
+  EXPECT_NE(s.find("MLE"), std::string::npos);
+  JoinMIConfig auto_config;
+  EXPECT_NE(auto_config.ToString().find("auto"), std::string::npos);
+}
+
+TEST(ConfigTest, SketchOptionsSliceMatches) {
+  JoinMIConfig config;
+  config.sketch_capacity = 77;
+  config.hash_seed = 3;
+  config.sampling_seed = 999;
+  const SketchOptions options = config.sketch_options();
+  EXPECT_EQ(options.capacity, 77u);
+  EXPECT_EQ(options.hash_seed, 3u);
+  EXPECT_EQ(options.sampling_seed, 999u);
+}
+
+// ----------------------------------------------------------- Full vs sketch
+
+SyntheticDataset MakeDataset(uint64_t seed, size_t rows = 5000) {
+  SyntheticSpec spec;
+  spec.distribution = SyntheticDistribution::kTrinomial;
+  spec.m = 64;
+  spec.num_rows = rows;
+  spec.key_scheme = KeyScheme::kKeyInd;
+  spec.seed = seed;
+  return *GenerateSyntheticDataset(spec);
+}
+
+TEST(JoinMITest, SketchApproximatesFullJoin) {
+  const SyntheticDataset dataset = MakeDataset(51);
+  JoinMIConfig config;
+  config.sketch_capacity = 1024;
+  config.aggregation = AggKind::kFirst;
+  config.estimator = MIEstimatorKind::kMLE;
+  const JoinMIQuerySpec spec{"K", "Y", "K", "Z"};
+  auto full = *FullJoinMI(*dataset.tables.train, *dataset.tables.cand, spec,
+                          config);
+  auto sketched = *SketchJoinMI(*dataset.tables.train, *dataset.tables.cand,
+                                spec, config);
+  EXPECT_FALSE(full.sketched);
+  EXPECT_TRUE(sketched.sketched);
+  EXPECT_EQ(full.sample_size, 5000u);
+  EXPECT_EQ(sketched.sample_size, 1024u);
+  // n = 1024 of N = 5000: estimates should agree within estimator noise.
+  EXPECT_NEAR(sketched.mi, full.mi, 0.35);
+}
+
+TEST(JoinMITest, SketchEqualsFullWhenCapacityCoversTable) {
+  const SyntheticDataset dataset = MakeDataset(53, 800);
+  JoinMIConfig config;
+  config.sketch_capacity = 10000;
+  config.aggregation = AggKind::kFirst;
+  config.estimator = MIEstimatorKind::kMLE;
+  const JoinMIQuerySpec spec{"K", "Y", "K", "Z"};
+  auto full = *FullJoinMI(*dataset.tables.train, *dataset.tables.cand, spec,
+                          config);
+  auto sketched = *SketchJoinMI(*dataset.tables.train, *dataset.tables.cand,
+                                spec, config);
+  EXPECT_EQ(sketched.sample_size, full.sample_size);
+  EXPECT_NEAR(sketched.mi, full.mi, 1e-9);
+}
+
+TEST(JoinMITest, AutoEstimatorSelectedFromJoinedTypes) {
+  const SyntheticDataset dataset = MakeDataset(57);
+  JoinMIConfig config;
+  config.sketch_capacity = 512;
+  config.aggregation = AggKind::kFirst;
+  const JoinMIQuerySpec spec{"K", "Y", "K", "Z"};
+  // Trinomial X and Y are both int64 -> numeric x numeric -> MixedKSG.
+  auto full = *FullJoinMI(*dataset.tables.train, *dataset.tables.cand, spec,
+                          config);
+  EXPECT_EQ(full.estimator, MIEstimatorKind::kMixedKSG);
+  auto sketched = *SketchJoinMI(*dataset.tables.train, *dataset.tables.cand,
+                                spec, config);
+  EXPECT_EQ(sketched.estimator, MIEstimatorKind::kMixedKSG);
+}
+
+TEST(JoinMITest, MinJoinSizeGuard) {
+  const SyntheticDataset dataset = MakeDataset(59, 200);
+  JoinMIConfig config;
+  config.sketch_capacity = 64;
+  config.aggregation = AggKind::kFirst;
+  config.min_join_size = 100;  // sketch join is at most 64
+  const JoinMIQuerySpec spec{"K", "Y", "K", "Z"};
+  auto sketched = SketchJoinMI(*dataset.tables.train, *dataset.tables.cand,
+                               spec, config);
+  EXPECT_FALSE(sketched.ok());
+  EXPECT_TRUE(sketched.status().IsOutOfRange());
+}
+
+TEST(JoinMITest, InvalidConfigRejectedEverywhere) {
+  const SyntheticDataset dataset = MakeDataset(61, 100);
+  JoinMIConfig config;
+  config.sketch_capacity = 0;
+  const JoinMIQuerySpec spec{"K", "Y", "K", "Z"};
+  EXPECT_FALSE(
+      FullJoinMI(*dataset.tables.train, *dataset.tables.cand, spec, config)
+          .ok());
+  EXPECT_FALSE(
+      SketchJoinMI(*dataset.tables.train, *dataset.tables.cand, spec, config)
+          .ok());
+  EXPECT_FALSE(
+      JoinMIQuery::Create(*dataset.tables.train, "K", "Y", config).ok());
+}
+
+TEST(JoinMITest, MissingColumnsSurfaceAsErrors) {
+  const SyntheticDataset dataset = MakeDataset(63, 100);
+  const JoinMIQuerySpec bad_key{"missing", "Y", "K", "Z"};
+  EXPECT_FALSE(
+      FullJoinMI(*dataset.tables.train, *dataset.tables.cand, bad_key, {})
+          .ok());
+  const JoinMIQuerySpec bad_value{"K", "Y", "K", "missing"};
+  EXPECT_FALSE(
+      SketchJoinMI(*dataset.tables.train, *dataset.tables.cand, bad_value, {})
+          .ok());
+}
+
+// ----------------------------------------------------------- JoinMIQuery --
+
+TEST(JoinMIQueryTest, ReusableAcrossCandidates) {
+  // One train sketch probed against two candidates; the informative one
+  // must score higher.
+  Rng rng(67);
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 2000; ++i) {
+    const int k = static_cast<int>(rng.NextBounded(400));
+    keys.push_back("k" + std::to_string(k));
+    targets.push_back(k % 8);
+  }
+  auto train = *Table::FromColumns({{"K", Column::MakeString(keys)},
+                                    {"Y", Column::MakeInt64(targets)}});
+  std::vector<std::string> cand_keys;
+  std::vector<int64_t> informative, noise;
+  Rng noise_rng(68);
+  for (int k = 0; k < 400; ++k) {
+    cand_keys.push_back("k" + std::to_string(k));
+    informative.push_back(k % 8);
+    noise.push_back(static_cast<int64_t>(noise_rng.NextBounded(8)));
+  }
+  auto cand_good = *Table::FromColumns(
+      {{"K", Column::MakeString(cand_keys)},
+       {"Z", Column::MakeInt64(informative)}});
+  auto cand_noise = *Table::FromColumns(
+      {{"K", Column::MakeString(cand_keys)}, {"Z", Column::MakeInt64(noise)}});
+
+  JoinMIConfig config;
+  config.sketch_capacity = 512;
+  config.aggregation = AggKind::kFirst;
+  config.estimator = MIEstimatorKind::kMLE;
+  auto query = *JoinMIQuery::Create(*train, "K", "Y", config);
+  EXPECT_EQ(query.train_sketch().capacity, 512u);
+
+  auto good = *query.EstimateTable(*cand_good, "K", "Z");
+  auto bad = *query.EstimateTable(*cand_noise, "K", "Z");
+  EXPECT_GT(good.mi, bad.mi + 0.5);
+}
+
+TEST(JoinMIQueryTest, PrebuiltCandidateSketchPath) {
+  const SyntheticDataset dataset = MakeDataset(71, 1000);
+  JoinMIConfig config;
+  config.sketch_capacity = 256;
+  config.aggregation = AggKind::kFirst;
+  config.estimator = MIEstimatorKind::kMLE;
+  auto query = *JoinMIQuery::Create(*dataset.tables.train, "K", "Y", config);
+  auto sketch = *query.SketchCandidate(*dataset.tables.cand, "K", "Z");
+  auto via_sketch = *query.Estimate(sketch);
+  auto via_table = *query.EstimateTable(*dataset.tables.cand, "K", "Z");
+  EXPECT_EQ(via_sketch.mi, via_table.mi);
+  EXPECT_EQ(via_sketch.sample_size, via_table.sample_size);
+}
+
+}  // namespace
+}  // namespace joinmi

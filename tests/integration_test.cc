@@ -1,0 +1,196 @@
+// Integration tests: end-to-end scenarios spanning CSV ingestion, the
+// discovery index, and the paper's headline comparative claims on small
+// (fast) instances — TUPSK's robustness to key-target dependence (Fig 2)
+// and the coordinated-vs-independent join-size gap (Table I).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/core/join_mi.h"
+#include "src/discovery/sketch_index.h"
+#include "src/synthetic/pipeline.h"
+#include "src/table/csv.h"
+
+namespace joinmi {
+namespace {
+
+TEST(IntegrationTest, CsvToDiscoveryPipeline) {
+  // Taxi-demand miniature of the paper's Figure 1: base table with trips
+  // per zip, candidate demographics table. The pipeline: CSV -> tables ->
+  // index -> query.
+  const std::string taxi_csv =
+      "zip,trips\n"
+      "11201,136\n11201,140\n10011,112\n10011,118\n10012,50\n"
+      "10012,55\n10013,48\n10013,52\n11215,130\n11215,135\n";
+  const std::string demo_csv =
+      "zip,borough,population\n"
+      "11201,Brooklyn,53041\n10011,Manhattan,50984\n"
+      "10012,Manhattan,24090\n10013,Manhattan,27700\n"
+      "11215,Brooklyn,67649\n";
+  auto taxi = *ReadCsvString(taxi_csv);
+  auto demo = *ReadCsvString(demo_csv);
+  // zip columns must be inferred int64 on both sides (joinable).
+  EXPECT_EQ((*taxi->GetColumn("zip"))->type(), DataType::kInt64);
+
+  JoinMIConfig config;
+  config.sketch_capacity = 64;
+  config.aggregation = AggKind::kFirst;
+  config.estimator = MIEstimatorKind::kMLE;
+  const JoinMIQuerySpec pop_spec{"zip", "trips", "zip", "population"};
+  auto pop = *SketchJoinMI(*taxi, *demo, pop_spec, config);
+  // population determines trips almost exactly here: high MI.
+  EXPECT_GT(pop.mi, 1.0);
+  EXPECT_EQ(pop.sample_size, 10u);
+
+  const JoinMIQuerySpec borough_spec{"zip", "trips", "zip", "borough"};
+  auto borough = *SketchJoinMI(*taxi, *demo, borough_spec, config);
+  // borough has 2 values: MI bounded by ln 2 but positive.
+  EXPECT_GT(borough.mi, 0.2);
+  EXPECT_LE(borough.mi, std::log(2.0) + 0.3);
+  // The finer-grained feature carries more information.
+  EXPECT_GT(pop.mi, borough.mi);
+}
+
+TEST(IntegrationTest, TupskMoreRobustToKeyDependenceThanLv2sk) {
+  // Figure 2's comparative claim, miniaturized: under KeyDep (join key
+  // equals the feature), LV2SK's MI estimates carry more error than
+  // TUPSK's. Averaged over several generated datasets.
+  double tupsk_err = 0.0, lv2sk_err = 0.0;
+  int trials = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SyntheticSpec spec;
+    spec.distribution = SyntheticDistribution::kTrinomial;
+    spec.m = 256;
+    spec.num_rows = 10000;
+    spec.key_scheme = KeyScheme::kKeyDep;
+    spec.seed = seed * 7;
+    spec.min_mi = 0.5;
+    spec.max_mi = 3.0;
+    auto dataset = *GenerateSyntheticDataset(spec);
+    JoinMIConfig config;
+    config.sketch_capacity = 256;
+    config.aggregation = AggKind::kFirst;
+    config.estimator = MIEstimatorKind::kMLE;
+    const JoinMIQuerySpec query{"K", "Y", "K", "Z"};
+    config.sketch_method = SketchMethod::kTupsk;
+    auto tupsk =
+        SketchJoinMI(*dataset.tables.train, *dataset.tables.cand, query,
+                     config);
+    config.sketch_method = SketchMethod::kLv2sk;
+    auto lv2sk =
+        SketchJoinMI(*dataset.tables.train, *dataset.tables.cand, query,
+                     config);
+    if (!tupsk.ok() || !lv2sk.ok()) continue;
+    tupsk_err += std::fabs(tupsk->mi - dataset.true_mi);
+    lv2sk_err += std::fabs(lv2sk->mi - dataset.true_mi);
+    ++trials;
+  }
+  ASSERT_GE(trials, 6);
+  EXPECT_LT(tupsk_err, lv2sk_err)
+      << "TUPSK mean abs error " << tupsk_err / trials
+      << " vs LV2SK " << lv2sk_err / trials;
+}
+
+TEST(IntegrationTest, CoordinationBeatsIndependenceOnJoinSize) {
+  // Table I's structural claim: coordinated sketches recover a much larger
+  // join sample than independent sampling at equal capacity.
+  SyntheticSpec spec;
+  spec.distribution = SyntheticDistribution::kTrinomial;
+  spec.m = 64;
+  spec.num_rows = 10000;
+  spec.key_scheme = KeyScheme::kKeyInd;
+  spec.seed = 77;
+  auto dataset = *GenerateSyntheticDataset(spec);
+  auto join_size_for = [&](SketchMethod method) {
+    SketchOptions options;
+    options.capacity = 256;
+    options.sampling_seed = method == SketchMethod::kIndsk ? 1111 : 99;
+    auto builder = MakeSketchBuilder(method, options);
+    auto train = dataset.tables.train;
+    auto cand = dataset.tables.cand;
+    auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                         *(*train->GetColumn("Y")));
+    SketchOptions cand_options = options;
+    cand_options.sampling_seed = 2222;  // independent stream for INDSK
+    auto cand_builder = MakeSketchBuilder(method, cand_options);
+    auto s_cand = *cand_builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                                 *(*cand->GetColumn("Z")),
+                                                 AggKind::kFirst);
+    return JoinSketches(s_train, s_cand)->join_size;
+  };
+  const size_t tupsk = join_size_for(SketchMethod::kTupsk);
+  const size_t indsk = join_size_for(SketchMethod::kIndsk);
+  EXPECT_EQ(tupsk, 256u);  // fully coordinated on unique keys
+  EXPECT_LT(indsk, 60u);   // ~ n^2 / distinct_keys = 256^2/10000 ~ 7
+}
+
+TEST(IntegrationTest, DiscoveryRankingMatchesFullJoinRanking) {
+  // Build a small repository of candidates with varying dependence and
+  // check that sketch-based ranking correlates with full-join ranking
+  // (the Table II protocol, miniaturized).
+  Rng rng(555);
+  std::vector<std::string> keys;
+  std::vector<std::string> targets;
+  for (int i = 0; i < 3000; ++i) {
+    const int k = static_cast<int>(rng.NextBounded(500));
+    keys.push_back("k" + std::to_string(k));
+    targets.push_back("t" + std::to_string(k % 6));
+  }
+  auto train = *Table::FromColumns({{"K", Column::MakeString(keys)},
+                                    {"Y", Column::MakeString(targets)}});
+  // Candidates: value = key bucket with per-candidate noise level.
+  JoinMIConfig config;
+  config.sketch_capacity = 512;
+  config.aggregation = AggKind::kMode;
+  config.estimator = MIEstimatorKind::kMLE;
+  config.min_join_size = 30;
+  std::vector<double> full_mis, sketch_mis;
+  for (int c = 0; c < 10; ++c) {
+    const double noise = static_cast<double>(c) / 10.0;
+    std::vector<std::string> cand_keys;
+    std::vector<std::string> cand_values;
+    for (int k = 0; k < 500; ++k) {
+      cand_keys.push_back("k" + std::to_string(k));
+      const int bucket = rng.Bernoulli(noise)
+                             ? static_cast<int>(rng.NextBounded(6))
+                             : k % 6;
+      cand_values.push_back("v" + std::to_string(bucket));
+    }
+    auto cand = *Table::FromColumns({{"K", Column::MakeString(cand_keys)},
+                                     {"Z", Column::MakeString(cand_values)}});
+    const JoinMIQuerySpec spec{"K", "Y", "K", "Z"};
+    auto full = *FullJoinMI(*train, *cand, spec, config);
+    auto sketched = *SketchJoinMI(*train, *cand, spec, config);
+    full_mis.push_back(full.mi);
+    sketch_mis.push_back(sketched.mi);
+  }
+  EXPECT_GT(*SpearmanCorrelation(full_mis, sketch_mis), 0.85);
+}
+
+TEST(IntegrationTest, HashSeedMismatchBreaksCoordinationVisibly) {
+  // Safety property: sketches built with different hash seeds share no key
+  // hashes, so the join is empty rather than silently wrong.
+  auto train = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "b", "c"})},
+       {"Y", Column::MakeInt64({1, 2, 3})}});
+  SketchOptions options_a;
+  options_a.capacity = 10;
+  options_a.hash_seed = 1;
+  SketchOptions options_b = options_a;
+  options_b.hash_seed = 2;
+  auto builder_a = MakeSketchBuilder(SketchMethod::kTupsk, options_a);
+  auto builder_b = MakeSketchBuilder(SketchMethod::kTupsk, options_b);
+  auto s_train = *builder_a->SketchTrain(*(*train->GetColumn("K")),
+                                         *(*train->GetColumn("Y")));
+  auto s_cand = *builder_b->SketchCandidate(*(*train->GetColumn("K")),
+                                            *(*train->GetColumn("Y")),
+                                            AggKind::kFirst);
+  auto joined = *JoinSketches(s_train, s_cand);
+  EXPECT_EQ(joined.join_size, 0u);
+}
+
+}  // namespace
+}  // namespace joinmi

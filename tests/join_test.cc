@@ -1,0 +1,283 @@
+// Unit tests for src/join: aggregators (Example 2 of the paper), group-by,
+// and the left-outer join-aggregation query (Section III-B).
+
+#include <gtest/gtest.h>
+
+#include "src/join/aggregators.h"
+#include "src/join/group_by.h"
+#include "src/join/left_join.h"
+
+namespace joinmi {
+namespace {
+
+std::vector<Value> Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.emplace_back(x);
+  return out;
+}
+
+// ----------------------------------------------------------- Aggregators --
+
+TEST(AggregatorsTest, KindParsingRoundTrip) {
+  for (AggKind kind : {AggKind::kFirst, AggKind::kAvg, AggKind::kSum,
+                       AggKind::kMin, AggKind::kMax, AggKind::kCount,
+                       AggKind::kMode, AggKind::kMedian}) {
+    auto parsed = AggKindFromString(AggKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(*AggKindFromString("MEAN"), AggKind::kAvg);
+  EXPECT_FALSE(AggKindFromString("bogus").ok());
+}
+
+TEST(AggregatorsTest, OutputTypes) {
+  EXPECT_EQ(*AggOutputType(AggKind::kCount, DataType::kString),
+            DataType::kInt64);
+  EXPECT_EQ(*AggOutputType(AggKind::kAvg, DataType::kInt64),
+            DataType::kDouble);
+  EXPECT_EQ(*AggOutputType(AggKind::kSum, DataType::kInt64),
+            DataType::kInt64);
+  EXPECT_EQ(*AggOutputType(AggKind::kMode, DataType::kString),
+            DataType::kString);
+  EXPECT_FALSE(AggOutputType(AggKind::kAvg, DataType::kString).ok());
+  EXPECT_FALSE(AggOutputType(AggKind::kMedian, DataType::kString).ok());
+}
+
+TEST(AggregatorsTest, NumericAggregates) {
+  const auto group = Ints({2, 2, 5});
+  EXPECT_EQ(*Aggregate(AggKind::kAvg, group), Value(3.0));
+  EXPECT_EQ(*Aggregate(AggKind::kSum, group), Value(int64_t{9}));
+  EXPECT_EQ(*Aggregate(AggKind::kMin, group), Value(int64_t{2}));
+  EXPECT_EQ(*Aggregate(AggKind::kMax, group), Value(int64_t{5}));
+  EXPECT_EQ(*Aggregate(AggKind::kCount, group), Value(int64_t{3}));
+  EXPECT_EQ(*Aggregate(AggKind::kMode, group), Value(int64_t{2}));
+  EXPECT_EQ(*Aggregate(AggKind::kMedian, group), Value(2.0));
+  EXPECT_EQ(*Aggregate(AggKind::kFirst, group), Value(int64_t{2}));
+}
+
+TEST(AggregatorsTest, MedianEvenSizeMidpoint) {
+  EXPECT_EQ(*Aggregate(AggKind::kMedian, Ints({1, 2, 3, 10})), Value(2.5));
+}
+
+TEST(AggregatorsTest, ModeFirstSeenTieBreak) {
+  // 7 and 9 both appear twice; 7 was seen first.
+  EXPECT_EQ(*Aggregate(AggKind::kMode, Ints({7, 9, 9, 7, 3})),
+            Value(int64_t{7}));
+}
+
+TEST(AggregatorsTest, StringAggregates) {
+  const std::vector<Value> group = {Value("b"), Value("a"), Value("b")};
+  EXPECT_EQ(*Aggregate(AggKind::kMode, group), Value("b"));
+  EXPECT_EQ(*Aggregate(AggKind::kMin, group), Value("a"));
+  EXPECT_EQ(*Aggregate(AggKind::kMax, group), Value("b"));
+  EXPECT_EQ(*Aggregate(AggKind::kCount, group), Value(int64_t{3}));
+  EXPECT_EQ(*Aggregate(AggKind::kFirst, group), Value("b"));
+  EXPECT_FALSE(Aggregate(AggKind::kAvg, group).ok());
+}
+
+TEST(AggregatorsTest, SumPreservesDoubleType) {
+  const std::vector<Value> group = {Value(1.5), Value(2.0)};
+  const Value sum = *Aggregate(AggKind::kSum, group);
+  EXPECT_TRUE(sum.is_double());
+  EXPECT_EQ(sum.dbl(), 3.5);
+}
+
+TEST(AggregatorsTest, EmptyGroupAndNullsRejected) {
+  EXPECT_FALSE(Aggregate(AggKind::kAvg, {}).ok());
+  AggregatorState state(AggKind::kAvg);
+  EXPECT_FALSE(state.Update(Value::Null()).ok());
+  EXPECT_FALSE(state.Finish().ok());
+}
+
+TEST(AggregatorsTest, StateResetClearsEverything) {
+  AggregatorState state(AggKind::kMedian);
+  ASSERT_TRUE(state.Update(Value(int64_t{5})).ok());
+  state.Reset();
+  EXPECT_EQ(state.count(), 0u);
+  ASSERT_TRUE(state.Update(Value(int64_t{1})).ok());
+  EXPECT_EQ(*state.Finish(), Value(1.0));
+}
+
+// --------------------------------------------------------------- GroupBy --
+
+TEST(GroupByTest, GroupsInFirstAppearanceOrder) {
+  auto keys = Column::MakeString({"b", "a", "b", "c", "a"});
+  auto groups = GroupRowsByKey(*keys);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 3u);
+  EXPECT_EQ((*groups)[0].key, Value("b"));
+  EXPECT_EQ((*groups)[0].rows, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ((*groups)[1].key, Value("a"));
+  EXPECT_EQ((*groups)[1].rows, (std::vector<size_t>{1, 4}));
+  EXPECT_EQ((*groups)[2].key, Value("c"));
+}
+
+TEST(GroupByTest, SkipsNullKeys) {
+  auto keys = Column::MakeString({"a", "b", "a"}, {true, false, true});
+  auto groups = GroupRowsByKey(*keys);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->size(), 1u);
+  EXPECT_EQ((*groups)[0].rows.size(), 2u);
+}
+
+TEST(GroupByTest, PaperExample2) {
+  // T_cand[K] = [a,b,b,b,c,c,c], T_cand[Z] = [1,2,2,5,0,3,3].
+  auto table = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "b", "b", "b", "c", "c", "c"})},
+       {"Z", Column::MakeInt64({1, 2, 2, 5, 0, 3, 3})}});
+  // AVG: {a->1, b->3, c->2}.
+  auto avg = *GroupByAggregate(*table, "K", "Z", AggKind::kAvg);
+  ASSERT_EQ(avg->num_rows(), 3u);
+  EXPECT_EQ((*avg->GetColumn("avg_Z"))->DoubleAt(0), 1.0);
+  EXPECT_EQ((*avg->GetColumn("avg_Z"))->DoubleAt(1), 3.0);
+  EXPECT_EQ((*avg->GetColumn("avg_Z"))->DoubleAt(2), 2.0);
+  // MODE: {a->1, b->2, c->3}.
+  auto mode = *GroupByAggregate(*table, "K", "Z", AggKind::kMode, "m");
+  EXPECT_EQ((*mode->GetColumn("m"))->Int64At(0), 1);
+  EXPECT_EQ((*mode->GetColumn("m"))->Int64At(1), 2);
+  EXPECT_EQ((*mode->GetColumn("m"))->Int64At(2), 3);
+  // COUNT: {a->1, b->3, c->3}.
+  auto count = *GroupByAggregate(*table, "K", "Z", AggKind::kCount, "c");
+  EXPECT_EQ((*count->GetColumn("c"))->Int64At(0), 1);
+  EXPECT_EQ((*count->GetColumn("c"))->Int64At(1), 3);
+  EXPECT_EQ((*count->GetColumn("c"))->Int64At(2), 3);
+}
+
+TEST(GroupByTest, DropsAllNullValueGroups) {
+  auto table = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "b"})},
+       {"Z", Column::MakeInt64({1, 0}, {true, false})}});
+  auto agg = *GroupByAggregate(*table, "K", "Z", AggKind::kSum);
+  EXPECT_EQ(agg->num_rows(), 1u);
+  EXPECT_EQ((*agg->GetColumn("K"))->StringAt(0), "a");
+}
+
+TEST(GroupByTest, KeyFrequencies) {
+  auto keys = Column::MakeString({"a", "b", "a", "a"});
+  const KeyFrequencies freq = CountKeyFrequencies(*keys);
+  EXPECT_EQ(freq.total_rows, 4u);
+  EXPECT_EQ(freq.distinct_keys(), 2u);
+}
+
+// --------------------------------------------------------- LeftJoin -----
+
+std::shared_ptr<Table> TrainTable() {
+  // K_Y = [a, a, b, c], Y = [10, 20, 30, 40]   (Example 2's left table).
+  return *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "a", "b", "c"})},
+       {"Y", Column::MakeInt64({10, 20, 30, 40})}});
+}
+
+std::shared_ptr<Table> CandTable() {
+  // K_Z = [a,b,b,b,c,c,c], Z = [1,2,2,5,0,3,3].
+  return *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "b", "b", "b", "c", "c", "c"})},
+       {"Z", Column::MakeInt64({1, 2, 2, 5, 0, 3, 3})}});
+}
+
+TEST(LeftJoinTest, PaperExample2JoinColumn) {
+  // AVG featurization should produce X = [1, 1, 3, 2].
+  auto result = LeftJoinAggregate(*TrainTable(), "K", "Y", *CandTable(), "K",
+                                  "Z", {});
+  ASSERT_TRUE(result.ok());
+  const auto& table = result->table;
+  ASSERT_EQ(table->num_rows(), 4u);
+  auto x = *table->GetColumn("X");
+  EXPECT_EQ(x->DoubleAt(0), 1.0);
+  EXPECT_EQ(x->DoubleAt(1), 1.0);
+  EXPECT_EQ(x->DoubleAt(2), 3.0);
+  EXPECT_EQ(x->DoubleAt(3), 2.0);
+  // Left multiplicity preserved: Y column intact.
+  auto y = *table->GetColumn("Y");
+  EXPECT_EQ(y->Int64At(0), 10);
+  EXPECT_EQ(y->Int64At(1), 20);
+  EXPECT_EQ(result->matched_rows, 4u);
+  EXPECT_EQ(result->unmatched_rows, 0u);
+}
+
+TEST(LeftJoinTest, ModeAndCountFeaturizations) {
+  JoinAggregateOptions mode_options;
+  mode_options.agg = AggKind::kMode;
+  auto mode = *LeftJoinAggregate(*TrainTable(), "K", "Y", *CandTable(), "K",
+                                 "Z", mode_options);
+  auto xm = *mode.table->GetColumn("X");
+  // MODE: X = [1, 1, 2, 3].
+  EXPECT_EQ(xm->Int64At(0), 1);
+  EXPECT_EQ(xm->Int64At(1), 1);
+  EXPECT_EQ(xm->Int64At(2), 2);
+  EXPECT_EQ(xm->Int64At(3), 3);
+
+  JoinAggregateOptions count_options;
+  count_options.agg = AggKind::kCount;
+  auto count = *LeftJoinAggregate(*TrainTable(), "K", "Y", *CandTable(), "K",
+                                  "Z", count_options);
+  auto xc = *count.table->GetColumn("X");
+  // COUNT: X = [1, 1, 3, 3].
+  EXPECT_EQ(xc->Int64At(0), 1);
+  EXPECT_EQ(xc->Int64At(1), 1);
+  EXPECT_EQ(xc->Int64At(2), 3);
+  EXPECT_EQ(xc->Int64At(3), 3);
+}
+
+TEST(LeftJoinTest, UnmatchedRowsDroppedByDefault) {
+  auto train = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "zzz"})},
+       {"Y", Column::MakeInt64({1, 2})}});
+  auto result = *LeftJoinAggregate(*train, "K", "Y", *CandTable(), "K", "Z",
+                                   {});
+  EXPECT_EQ(result.table->num_rows(), 1u);
+  EXPECT_EQ(result.matched_rows, 1u);
+  EXPECT_EQ(result.unmatched_rows, 1u);
+}
+
+TEST(LeftJoinTest, UnmatchedRowsKeptAsNullsWhenRequested) {
+  auto train = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "zzz"})},
+       {"Y", Column::MakeInt64({1, 2})}});
+  JoinAggregateOptions options;
+  options.drop_unmatched = false;
+  auto result = *LeftJoinAggregate(*train, "K", "Y", *CandTable(), "K", "Z",
+                                   options);
+  EXPECT_EQ(result.table->num_rows(), 2u);
+  EXPECT_TRUE((*result.table->GetColumn("X"))->GetValue(1).is_null());
+}
+
+TEST(LeftJoinTest, NullKeysAndTargetsSkipped) {
+  auto train = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "a", "b"}, {true, false, true})},
+       {"Y", Column::MakeInt64({1, 2, 3}, {true, true, false})}});
+  auto result = *LeftJoinAggregate(*train, "K", "Y", *CandTable(), "K", "Z",
+                                   {});
+  // Row 1 has a null key, row 2 a null target; only row 0 survives.
+  EXPECT_EQ(result.table->num_rows(), 1u);
+}
+
+TEST(LeftJoinTest, CustomFeatureName) {
+  JoinAggregateOptions options;
+  options.feature_name = "AVG_Z";
+  auto result = *LeftJoinAggregate(*TrainTable(), "K", "Y", *CandTable(), "K",
+                                   "Z", options);
+  EXPECT_TRUE(result.table->schema().HasField("AVG_Z"));
+}
+
+TEST(LeftJoinTest, MissingColumnsError) {
+  EXPECT_FALSE(
+      LeftJoinAggregate(*TrainTable(), "nope", "Y", *CandTable(), "K", "Z", {})
+          .ok());
+  EXPECT_FALSE(
+      LeftJoinAggregate(*TrainTable(), "K", "Y", *CandTable(), "K", "nope", {})
+          .ok());
+}
+
+TEST(EquiJoinSizeTest, CountsMatchingPairs) {
+  auto left = Column::MakeString({"a", "a", "b", "d"});
+  auto right = Column::MakeString({"a", "b", "b", "b", "c"});
+  // a matches 1 right row twice (2), b matches 3 right rows once (3).
+  EXPECT_EQ(*EquiJoinSize(*left, *right), 5u);
+  // Empty overlap.
+  auto none = Column::MakeString({"zz"});
+  EXPECT_EQ(*EquiJoinSize(*none, *right), 0u);
+}
+
+}  // namespace
+}  // namespace joinmi

@@ -1,0 +1,192 @@
+// Edge-case and stress tests for the kNN machinery (SortedPoints1D and
+// KdTree2D) beyond the core correctness checks in mi_test.cc: degenerate
+// geometries, duplicate-heavy data, leaf-boundary sizes, and randomized
+// brute-force differential sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/mi/knn.h"
+
+namespace joinmi {
+namespace {
+
+// ------------------------------------------------------- SortedPoints1D --
+
+TEST(SortedPoints1DEdgeTest, TwoPoints) {
+  SortedPoints1D points({1.0, 4.0});
+  EXPECT_EQ(points.KthNeighborDistance(1.0, 1), 3.0);
+  EXPECT_EQ(points.KthNeighborDistance(4.0, 1), 3.0);
+}
+
+TEST(SortedPoints1DEdgeTest, AllIdentical) {
+  SortedPoints1D points(std::vector<double>(50, 2.5));
+  for (int k = 1; k < 50; ++k) {
+    ASSERT_EQ(points.KthNeighborDistance(2.5, k), 0.0) << k;
+  }
+  // Closed count includes every copy; strict r=0 counts none.
+  EXPECT_EQ(points.CountWithin(2.5, 0.0, /*strict=*/false,
+                               /*exclude_self=*/false),
+            50u);
+  EXPECT_EQ(points.CountWithin(2.5, 0.0, /*strict=*/true,
+                               /*exclude_self=*/false),
+            0u);
+}
+
+TEST(SortedPoints1DEdgeTest, QueryAtExtremes) {
+  SortedPoints1D points({0.0, 1.0, 2.0, 3.0, 4.0});
+  // Leftmost point: all neighbors to the right.
+  EXPECT_EQ(points.KthNeighborDistance(0.0, 4), 4.0);
+  // Rightmost point: all neighbors to the left.
+  EXPECT_EQ(points.KthNeighborDistance(4.0, 4), 4.0);
+}
+
+TEST(SortedPoints1DEdgeTest, NegativeAndMixedSigns) {
+  SortedPoints1D points({-5.0, -1.0, 0.0, 3.0});
+  EXPECT_EQ(points.KthNeighborDistance(-1.0, 1), 1.0);   // -> 0.0
+  EXPECT_EQ(points.KthNeighborDistance(-1.0, 2), 4.0);   // -> -5.0 or 3.0
+  EXPECT_EQ(points.CountWithin(0.0, 4.0, /*strict=*/false), 2u);
+}
+
+TEST(SortedPoints1DEdgeTest, BruteForceDifferentialSweep) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Mixed continuous + heavily tied data.
+    std::vector<double> data;
+    const size_t n = 20 + rng.NextBounded(200);
+    for (size_t i = 0; i < n; ++i) {
+      data.push_back(rng.Bernoulli(0.4)
+                         ? static_cast<double>(rng.NextBounded(5))
+                         : rng.Uniform(-3.0, 8.0));
+    }
+    SortedPoints1D points(data);
+    for (int probe = 0; probe < 10; ++probe) {
+      const double x = data[rng.NextBounded(data.size())];
+      const int k = 1 + static_cast<int>(rng.NextBounded(
+                            std::min<size_t>(8, data.size() - 1)));
+      // Brute force: sorted |d| excluding one copy of x.
+      std::vector<double> dists;
+      bool excluded_self = false;
+      for (double p : data) {
+        if (!excluded_self && p == x) {
+          excluded_self = true;
+          continue;
+        }
+        dists.push_back(std::fabs(p - x));
+      }
+      std::sort(dists.begin(), dists.end());
+      ASSERT_DOUBLE_EQ(points.KthNeighborDistance(x, k),
+                       dists[static_cast<size_t>(k - 1)])
+          << "trial " << trial << " k " << k;
+      // Range counts, both strictness modes, self included.
+      const double r = dists[static_cast<size_t>(k - 1)];
+      size_t closed = 0, open = 0;
+      for (double p : data) {
+        const double d = std::fabs(p - x);
+        if (d <= r) ++closed;
+        if (d < r) ++open;
+      }
+      ASSERT_EQ(points.CountWithin(x, r, /*strict=*/false,
+                                   /*exclude_self=*/false),
+                closed);
+      ASSERT_EQ(points.CountWithin(x, r, /*strict=*/true,
+                                   /*exclude_self=*/false),
+                open);
+    }
+  }
+}
+
+// ------------------------------------------------------------- KdTree2D --
+
+TEST(KdTree2DEdgeTest, SizesAroundLeafBoundary) {
+  // The tree switches from a single leaf to internal nodes at 16 points;
+  // exercise sizes around that boundary against brute force.
+  Rng rng(7);
+  for (size_t n : {2u, 15u, 16u, 17u, 33u, 64u}) {
+    std::vector<double> xs(n), ys(n);
+    for (size_t i = 0; i < n; ++i) {
+      xs[i] = rng.Uniform(-1, 1);
+      ys[i] = rng.Uniform(-1, 1);
+    }
+    KdTree2D tree(xs, ys);
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        best = std::min(best, std::max(std::fabs(xs[j] - xs[i]),
+                                       std::fabs(ys[j] - ys[i])));
+      }
+      ASSERT_DOUBLE_EQ(tree.KthNeighborDistance(i, 1), best)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KdTree2DEdgeTest, CollinearPoints) {
+  // All points on a line stress one split axis.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(0.0);
+  }
+  KdTree2D tree(xs, ys);
+  EXPECT_EQ(tree.KthNeighborDistance(50, 1), 1.0);
+  EXPECT_EQ(tree.KthNeighborDistance(50, 4), 2.0);
+  EXPECT_EQ(tree.KthNeighborDistance(0, 3), 3.0);
+  EXPECT_EQ(tree.CountWithin(50, 2.0, /*strict=*/false), 4u);
+}
+
+TEST(KdTree2DEdgeTest, ManyCoincidentClusters) {
+  // 10 clusters of 30 identical points each.
+  std::vector<double> xs, ys;
+  for (int c = 0; c < 10; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      xs.push_back(static_cast<double>(c) * 5.0);
+      ys.push_back(static_cast<double>(c) * -3.0);
+    }
+  }
+  KdTree2D tree(xs, ys);
+  for (size_t i : {0u, 31u, 299u}) {
+    EXPECT_EQ(tree.CountCoincident(i), 29u) << i;
+    EXPECT_EQ(tree.KthNeighborDistance(i, 29), 0.0);
+    EXPECT_EQ(tree.KthNeighborDistance(i, 30), 5.0);
+  }
+}
+
+TEST(KdTree2DEdgeTest, RandomizedDifferentialWithTies) {
+  Rng rng(31);
+  const size_t n = 400;
+  std::vector<double> xs(n), ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Quantized coordinates: heavy Chebyshev ties.
+    xs[i] = static_cast<double>(rng.NextBounded(12));
+    ys[i] = static_cast<double>(rng.NextBounded(12));
+  }
+  KdTree2D tree(xs, ys);
+  for (size_t probe = 0; probe < 60; ++probe) {
+    const size_t i = rng.NextBounded(n);
+    const int k = 1 + static_cast<int>(rng.NextBounded(10));
+    std::vector<double> dists;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dists.push_back(
+          std::max(std::fabs(xs[j] - xs[i]), std::fabs(ys[j] - ys[i])));
+    }
+    std::sort(dists.begin(), dists.end());
+    const double expected = dists[static_cast<size_t>(k - 1)];
+    ASSERT_DOUBLE_EQ(tree.KthNeighborDistance(i, k), expected);
+    size_t open = 0, closed = 0;
+    for (double d : dists) {
+      if (d < expected) ++open;
+      if (d <= expected) ++closed;
+    }
+    ASSERT_EQ(tree.CountWithin(i, expected, /*strict=*/true), open);
+    ASSERT_EQ(tree.CountWithin(i, expected, /*strict=*/false), closed);
+  }
+}
+
+}  // namespace
+}  // namespace joinmi

@@ -1,0 +1,664 @@
+// Unit tests for src/sketch: KMV heap, key hashing, the five sketch
+// builders (size bounds, coordination, sampling properties), and the sketch
+// join — including the paper's Section IV-B pathological example.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/join/left_join.h"
+#include "src/sketch/builder.h"
+#include "src/sketch/key_hash.h"
+#include "src/sketch/sketch_join.h"
+
+namespace joinmi {
+namespace {
+
+// ----------------------------------------------------------------- KMV ----
+
+TEST(KmvHeapTest, KeepsMinimumRanks) {
+  KmvHeap heap(3);
+  for (double rank : {0.9, 0.1, 0.5, 0.7, 0.3, 0.2}) {
+    heap.Offer(SketchEntry{static_cast<uint64_t>(rank * 100), rank, Value()});
+  }
+  const auto entries = heap.TakeSorted();
+  ASSERT_EQ(entries.size(), 3u);
+  std::vector<double> ranks;
+  for (const auto& e : entries) ranks.push_back(e.rank);
+  std::sort(ranks.begin(), ranks.end());
+  EXPECT_EQ(ranks, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(KmvHeapTest, WouldAdmitMatchesOfferBehavior) {
+  KmvHeap heap(2);
+  heap.Offer(SketchEntry{1, 0.5, Value()});
+  EXPECT_TRUE(heap.WouldAdmit(0.9));  // not yet full
+  heap.Offer(SketchEntry{2, 0.8, Value()});
+  EXPECT_TRUE(heap.WouldAdmit(0.7));
+  EXPECT_FALSE(heap.WouldAdmit(0.8));  // equal rank not admitted
+  EXPECT_FALSE(heap.WouldAdmit(0.9));
+}
+
+TEST(KmvHeapTest, ZeroCapacityAndUnderfill) {
+  KmvHeap zero(0);
+  EXPECT_FALSE(zero.WouldAdmit(0.0));
+  zero.Offer(SketchEntry{1, 0.1, Value()});
+  EXPECT_EQ(zero.TakeSorted().size(), 0u);
+
+  KmvHeap big(100);
+  big.Offer(SketchEntry{1, 0.1, Value()});
+  EXPECT_EQ(big.TakeSorted().size(), 1u);
+}
+
+// ------------------------------------------------------------- KeyHash ----
+
+TEST(KeyHashTest, DeterministicAndSeedSeparated) {
+  EXPECT_EQ(HashKey(Value("k1"), 0), HashKey(Value("k1"), 0));
+  EXPECT_NE(HashKey(Value("k1"), 0), HashKey(Value("k1"), 1));
+  EXPECT_NE(HashKey(Value("k1"), 0), HashKey(Value("k2"), 0));
+  EXPECT_EQ(HashKey(Value(int64_t{5}), 0), HashKey(Value(int64_t{5}), 0));
+}
+
+TEST(KeyHashTest, TupleHashSeparatesOccurrences) {
+  const uint64_t h = HashKey(Value("k"), 0);
+  EXPECT_NE(TupleUnitHash(h, 1), TupleUnitHash(h, 2));
+  EXPECT_NE(TupleUnitHash(h, 1), KeyUnitHash(h));
+  EXPECT_EQ(TupleUnitHash(h, 3), TupleUnitHash(h, 3));
+}
+
+// ------------------------------------------------------ Builder helpers ---
+
+/// Builds a train table with the given keys/targets.
+std::shared_ptr<Table> MakeTrain(std::vector<std::string> keys,
+                                 std::vector<int64_t> targets) {
+  return *Table::FromColumns(
+      {{"K", Column::MakeString(std::move(keys))},
+       {"Y", Column::MakeInt64(std::move(targets))}});
+}
+
+SketchOptions Options(size_t n, uint64_t sampling_seed = 99) {
+  SketchOptions options;
+  options.capacity = n;
+  options.sampling_seed = sampling_seed;
+  return options;
+}
+
+Result<Sketch> BuildTrain(SketchMethod method, const Table& table, size_t n) {
+  auto builder = MakeSketchBuilder(method, Options(n));
+  return builder->SketchTrain(*(*table.GetColumn("K")),
+                              *(*table.GetColumn("Y")));
+}
+
+constexpr SketchMethod kAllMethods[] = {
+    SketchMethod::kTupsk, SketchMethod::kLv2sk, SketchMethod::kPrisk,
+    SketchMethod::kIndsk, SketchMethod::kCsk};
+
+// ------------------------------------------------------ Generic builder ---
+
+class SketchMethodTest : public testing::TestWithParam<SketchMethod> {};
+
+TEST_P(SketchMethodTest, NamesRoundTrip) {
+  auto parsed = SketchMethodFromString(SketchMethodToString(GetParam()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, GetParam());
+}
+
+TEST_P(SketchMethodTest, TrainSketchRespectsSizeBound) {
+  // 1000 rows over 200 distinct keys; capacity 64.
+  Rng rng(5);
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("key" + std::to_string(rng.NextBounded(200)));
+    targets.push_back(static_cast<int64_t>(rng.NextBounded(50)));
+  }
+  auto table = MakeTrain(keys, targets);
+  auto sketch = BuildTrain(GetParam(), *table, 64);
+  ASSERT_TRUE(sketch.ok());
+  // LV2SK/PRISK are bounded by 2n; the others by n.
+  const size_t bound = (GetParam() == SketchMethod::kLv2sk ||
+                        GetParam() == SketchMethod::kPrisk)
+                           ? 128
+                           : 64;
+  EXPECT_LE(sketch->size(), bound);
+  EXPECT_GT(sketch->size(), 0u);
+  EXPECT_EQ(sketch->capacity, 64u);
+  EXPECT_EQ(sketch->source_rows, 1000u);
+  EXPECT_EQ(sketch->source_distinct_keys, table->column(0)->CountDistinct());
+}
+
+TEST_P(SketchMethodTest, SmallTableFitsEntirely) {
+  // With capacity >= rows, coordinated sketches must keep every usable row
+  // (CSK keeps one per key; INDSK keeps all).
+  auto table = MakeTrain({"a", "b", "c"}, {1, 2, 3});
+  auto sketch = BuildTrain(GetParam(), *table, 100);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->size(), 3u);
+}
+
+TEST_P(SketchMethodTest, DeterministicAcrossRebuilds) {
+  Rng rng(17);
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("k" + std::to_string(rng.NextBounded(80)));
+    targets.push_back(static_cast<int64_t>(i));
+  }
+  auto table = MakeTrain(keys, targets);
+  auto a = BuildTrain(GetParam(), *table, 32);
+  auto b = BuildTrain(GetParam(), *table, 32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->entries[i].key_hash, b->entries[i].key_hash);
+    EXPECT_EQ(a->entries[i].value, b->entries[i].value);
+  }
+}
+
+TEST_P(SketchMethodTest, SkipsNullKeysAndValues) {
+  auto keys = Column::MakeString({"a", "b", "c", "d"},
+                                 {true, false, true, true});
+  auto values = Column::MakeInt64({1, 2, 3, 4}, {true, true, false, true});
+  auto builder = MakeSketchBuilder(GetParam(), Options(10));
+  auto sketch = builder->SketchTrain(*keys, *values);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->source_rows, 2u);  // only rows 0 and 3 fully valid
+  EXPECT_LE(sketch->size(), 2u);
+}
+
+TEST_P(SketchMethodTest, CandidateSketchAggregatesPerKey) {
+  // Keys b and c repeat; AVG must be applied before sampling.
+  auto cand = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "b", "b", "b", "c", "c", "c"})},
+       {"Z", Column::MakeInt64({1, 2, 2, 5, 0, 3, 3})}});
+  auto builder = MakeSketchBuilder(GetParam(), Options(10));
+  auto sketch = builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                         *(*cand->GetColumn("Z")),
+                                         AggKind::kAvg);
+  ASSERT_TRUE(sketch.ok());
+  // Unique keys after aggregation.
+  std::unordered_set<uint64_t> key_hashes;
+  for (const auto& e : sketch->entries) key_hashes.insert(e.key_hash);
+  EXPECT_EQ(key_hashes.size(), sketch->size());
+  if (GetParam() != SketchMethod::kCsk) {
+    // AVG values are {a->1, b->3, c->2}.
+    std::unordered_map<uint64_t, double> expected = {
+        {HashKey(Value("a"), 0), 1.0},
+        {HashKey(Value("b"), 0), 3.0},
+        {HashKey(Value("c"), 0), 2.0}};
+    ASSERT_EQ(sketch->size(), 3u);
+    for (const auto& e : sketch->entries) {
+      EXPECT_EQ(*e.value.AsDouble(), expected.at(e.key_hash));
+    }
+  } else {
+    // CSK keeps the first value per key: {a->1, b->2, c->0}.
+    std::unordered_map<uint64_t, int64_t> expected = {
+        {HashKey(Value("a"), 0), 1},
+        {HashKey(Value("b"), 0), 2},
+        {HashKey(Value("c"), 0), 0}};
+    for (const auto& e : sketch->entries) {
+      EXPECT_EQ(e.value.int64(), expected.at(e.key_hash));
+    }
+  }
+}
+
+TEST_P(SketchMethodTest, ZeroCapacityRejected) {
+  auto table = MakeTrain({"a"}, {1});
+  auto builder = MakeSketchBuilder(GetParam(), Options(0));
+  EXPECT_FALSE(builder
+                   ->SketchTrain(*(*table->GetColumn("K")),
+                                 *(*table->GetColumn("Y")))
+                   .ok());
+}
+
+TEST_P(SketchMethodTest, MismatchedColumnsRejected) {
+  auto keys = Column::MakeString({"a", "b"});
+  auto values = Column::MakeInt64({1});
+  auto builder = MakeSketchBuilder(GetParam(), Options(4));
+  EXPECT_FALSE(builder->SketchTrain(*keys, *values).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, SketchMethodTest,
+                         testing::ValuesIn(kAllMethods),
+                         [](const testing::TestParamInfo<SketchMethod>& info) {
+                           return SketchMethodToString(info.param);
+                         });
+
+// --------------------------------------------------------------- TUPSK ----
+
+TEST(TupskTest, RepeatedKeysRepresentedProportionally) {
+  // Key "hot" fills 80% of rows; in a TUPSK sketch its share of entries
+  // should be ~80% because rows are sampled uniformly.
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(i % 5 == 0 ? "cold" + std::to_string(i) : "hot");
+    targets.push_back(i);
+  }
+  auto table = MakeTrain(keys, targets);
+  auto sketch = *BuildTrain(SketchMethod::kTupsk, *table, 512);
+  const uint64_t hot_hash = HashKey(Value("hot"), 0);
+  size_t hot = 0;
+  for (const auto& e : sketch.entries) {
+    if (e.key_hash == hot_hash) ++hot;
+  }
+  const double share = static_cast<double>(hot) / sketch.size();
+  EXPECT_NEAR(share, 0.8, 0.08);
+}
+
+TEST(TupskTest, UniformRowInclusion) {
+  // Every row (not key) should appear in the sketch with probability n/N.
+  // Build many sketches varying the hash seed and count inclusions of a
+  // high-frequency key row vs a unique key row.
+  std::vector<std::string> keys = {"dup", "dup", "dup", "dup"};
+  std::vector<int64_t> targets = {0, 1, 2, 3};
+  for (int i = 0; i < 60; ++i) {
+    keys.push_back("solo" + std::to_string(i));
+    targets.push_back(100 + i);
+  }
+  auto table = MakeTrain(keys, targets);
+  size_t dup_row_hits = 0, solo_row_hits = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SketchOptions options = Options(16);
+    options.hash_seed = static_cast<uint32_t>(trial + 1);
+    auto builder = MakeSketchBuilder(SketchMethod::kTupsk, options);
+    auto sketch = *builder->SketchTrain(*(*table->GetColumn("K")),
+                                        *(*table->GetColumn("Y")));
+    for (const auto& e : sketch.entries) {
+      if (e.value == Value(int64_t{1})) ++dup_row_hits;     // 2nd dup row
+      if (e.value == Value(int64_t{105})) ++solo_row_hits;  // a solo row
+    }
+  }
+  // Both rows should be included at the same rate n/N = 16/64 = 0.25.
+  const double dup_rate = static_cast<double>(dup_row_hits) / kTrials;
+  const double solo_rate = static_cast<double>(solo_row_hits) / kTrials;
+  EXPECT_NEAR(dup_rate, 0.25, 0.07);
+  EXPECT_NEAR(solo_rate, 0.25, 0.07);
+}
+
+TEST(TupskTest, PaperPathologicalExampleKeepsTargetEntropy) {
+  // Section IV-B: K = [a,b,c,d,e,f,f,...,f], Y = [0,0,0,0,0,1,2,...,95].
+  // LV2SK's level-1 key sampling can select only the five zero rows,
+  // collapsing the target entropy; TUPSK samples rows uniformly so the f
+  // rows (95% of the table) dominate every sketch.
+  std::vector<std::string> keys = {"a", "b", "c", "d", "e"};
+  std::vector<int64_t> targets = {0, 0, 0, 0, 0};
+  for (int i = 1; i <= 95; ++i) {
+    keys.push_back("f");
+    targets.push_back(i);
+  }
+  auto table = MakeTrain(keys, targets);
+  auto sketch = *BuildTrain(SketchMethod::kTupsk, *table, 5);
+  EXPECT_EQ(sketch.size(), 5u);
+  const uint64_t f_hash = HashKey(Value("f"), 0);
+  size_t f_rows = 0;
+  for (const auto& e : sketch.entries) {
+    if (e.key_hash == f_hash) ++f_rows;
+  }
+  // E[f rows] = 5 * 0.95 = 4.75; anything >= 3 keeps entropy healthy. With
+  // the fixed seed this is deterministic; assert the qualitative property.
+  EXPECT_GE(f_rows, 3u);
+}
+
+// --------------------------------------------------------------- LV2SK ----
+
+TEST(Lv2skTest, PerKeyCapMatchesFormula) {
+  // One key with 60% of rows, n = 10: n_k = floor(10 * 0.6) = 6 samples;
+  // rare keys get max(1, floor(10 * small)) = 1.
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 60; ++i) {
+    keys.push_back("heavy");
+    targets.push_back(i);
+  }
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("light" + std::to_string(i));
+    targets.push_back(1000 + i);
+  }
+  auto table = MakeTrain(keys, targets);
+  auto sketch = *BuildTrain(SketchMethod::kLv2sk, *table, 10);
+  const uint64_t heavy_hash = HashKey(Value("heavy"), 0);
+  std::unordered_map<uint64_t, size_t> per_key;
+  for (const auto& e : sketch.entries) ++per_key[e.key_hash];
+  // Heavy key, if selected at level 1, carries exactly 6 entries.
+  if (per_key.count(heavy_hash) > 0) {
+    EXPECT_EQ(per_key[heavy_hash], 6u);
+  }
+  for (const auto& [hash, count] : per_key) {
+    if (hash != heavy_hash) EXPECT_EQ(count, 1u);
+  }
+}
+
+TEST(Lv2skTest, UniqueKeysBehaveLikeKmv) {
+  // With unique keys, level 2 always keeps exactly 1 row per key, so the
+  // sketch is exactly the n minimum-rank keys.
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back("u" + std::to_string(i));
+    targets.push_back(i);
+  }
+  auto table = MakeTrain(keys, targets);
+  auto sketch = *BuildTrain(SketchMethod::kLv2sk, *table, 50);
+  EXPECT_EQ(sketch.size(), 50u);
+  std::unordered_set<uint64_t> distinct;
+  for (const auto& e : sketch.entries) distinct.insert(e.key_hash);
+  EXPECT_EQ(distinct.size(), 50u);
+}
+
+TEST(Lv2skTest, PathologicalExampleUnderrepresentsHeavyKey) {
+  // Counterpart of TupskTest.PaperPathologicalExample: with keys a-e and f,
+  // level 1 picks 5 of 6 distinct keys regardless of frequency, so the
+  // probability that f is excluded is 1/6 -- and when it is included its
+  // rows are capped at ~n*0.95. Verify the first-level frequency blindness:
+  // across seeds, f is absent from ~1/6 of sketches.
+  std::vector<std::string> keys = {"a", "b", "c", "d", "e"};
+  std::vector<int64_t> targets = {0, 0, 0, 0, 0};
+  for (int i = 1; i <= 95; ++i) {
+    keys.push_back("f");
+    targets.push_back(i);
+  }
+  auto table = MakeTrain(keys, targets);
+  int absent = 0;
+  constexpr int kTrials = 600;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SketchOptions options = Options(5);
+    options.hash_seed = static_cast<uint32_t>(trial + 1);
+    auto builder = MakeSketchBuilder(SketchMethod::kLv2sk, options);
+    auto sketch = *builder->SketchTrain(*(*table->GetColumn("K")),
+                                        *(*table->GetColumn("Y")));
+    const uint64_t f_hash = HashKey(Value("f"), trial + 1);
+    bool has_f = false;
+    for (const auto& e : sketch.entries) {
+      if (e.key_hash == f_hash) has_f = true;
+    }
+    if (!has_f) ++absent;
+  }
+  EXPECT_NEAR(static_cast<double>(absent) / kTrials, 1.0 / 6.0, 0.05);
+}
+
+// --------------------------------------------------------------- PRISK ----
+
+TEST(PriskTest, PrioritizesFrequentKeys) {
+  // With weights = frequencies, the heavy key should almost always be
+  // selected at level 1, unlike LV2SK's frequency-blind selection.
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 95; ++i) {
+    keys.push_back("heavy");
+    targets.push_back(i);
+  }
+  for (int i = 0; i < 20; ++i) {
+    keys.push_back("rare" + std::to_string(i));
+    targets.push_back(1000 + i);
+  }
+  auto table = MakeTrain(keys, targets);
+  int heavy_present = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SketchOptions options = Options(5);
+    options.hash_seed = static_cast<uint32_t>(trial + 1);
+    auto builder = MakeSketchBuilder(SketchMethod::kPrisk, options);
+    auto sketch = *builder->SketchTrain(*(*table->GetColumn("K")),
+                                        *(*table->GetColumn("Y")));
+    const uint64_t heavy_hash = HashKey(Value("heavy"), trial + 1);
+    for (const auto& e : sketch.entries) {
+      if (e.key_hash == heavy_hash) {
+        ++heavy_present;
+        break;
+      }
+    }
+  }
+  // Priority rank u/95 vs u/1: heavy key wins level-1 almost surely.
+  EXPECT_GT(static_cast<double>(heavy_present) / kTrials, 0.95);
+}
+
+// ----------------------------------------------------------------- CSK ----
+
+TEST(CskTest, FirstValuePerKeyOnTrainSide) {
+  auto table = MakeTrain({"a", "a", "a", "b"}, {7, 8, 9, 1});
+  auto sketch = *BuildTrain(SketchMethod::kCsk, *table, 10);
+  ASSERT_EQ(sketch.size(), 2u);  // one entry per distinct key
+  for (const auto& e : sketch.entries) {
+    if (e.key_hash == HashKey(Value("a"), 0)) {
+      EXPECT_EQ(e.value, Value(int64_t{7}));  // first seen
+    }
+  }
+}
+
+// --------------------------------------------------------------- INDSK ----
+
+TEST(IndskTest, IndependentSamplingYieldsSmallOverlap) {
+  // Two tables sharing 400 unique keys; INDSK sketches of size 64 overlap
+  // on ~64*64/400 = ~10 keys, while TUPSK overlaps on ~64.
+  std::vector<std::string> keys;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    values.push_back(i);
+  }
+  auto train = MakeTrain(keys, values);
+  auto cand = *Table::FromColumns(
+      {{"K", Column::MakeString(keys)}, {"Z", Column::MakeInt64(values)}});
+
+  auto make_join_size = [&](SketchMethod method) {
+    SketchOptions train_options = Options(64, /*sampling_seed=*/111);
+    SketchOptions cand_options = Options(64, /*sampling_seed=*/222);
+    auto train_builder = MakeSketchBuilder(method, train_options);
+    auto cand_builder = MakeSketchBuilder(method, cand_options);
+    auto s_train = *train_builder->SketchTrain(*(*train->GetColumn("K")),
+                                               *(*train->GetColumn("Y")));
+    auto s_cand = *cand_builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                                 *(*cand->GetColumn("Z")),
+                                                 AggKind::kFirst);
+    return JoinSketches(s_train, s_cand)->join_size;
+  };
+  const size_t ind_join = make_join_size(SketchMethod::kIndsk);
+  const size_t tup_join = make_join_size(SketchMethod::kTupsk);
+  EXPECT_EQ(tup_join, 64u);   // coordinated: every sampled key matches
+  EXPECT_LT(ind_join, 30u);   // independent: quadratically fewer
+}
+
+// ---------------------------------------------------------- Sketch join ---
+
+TEST(SketchJoinTest, RecoversExactPairsOfFullJoin) {
+  // The sketch-join sample must be a subset of the true join pairs.
+  Rng rng(23);
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  std::vector<std::string> cand_keys;
+  std::vector<int64_t> cand_values;
+  for (int i = 0; i < 300; ++i) {
+    const int k = static_cast<int>(rng.NextBounded(60));
+    keys.push_back("k" + std::to_string(k));
+    targets.push_back(k * 10 + static_cast<int>(rng.NextBounded(3)));
+  }
+  for (int k = 0; k < 60; ++k) {
+    cand_keys.push_back("k" + std::to_string(k));
+    cand_values.push_back(k * 7);
+  }
+  auto train = MakeTrain(keys, targets);
+  auto cand = *Table::FromColumns({{"K", Column::MakeString(cand_keys)},
+                                   {"Z", Column::MakeInt64(cand_values)}});
+
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(64));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kFirst);
+  auto joined = *JoinSketches(s_train, s_cand);
+  EXPECT_EQ(joined.join_size, 64u);
+
+  // Ground truth: the full join pairs target k*10+j with feature k*7.
+  for (size_t i = 0; i < joined.sample.size(); ++i) {
+    const int64_t y = joined.sample.y[i].int64();
+    const int64_t x = joined.sample.x[i].int64();
+    EXPECT_EQ(x, (y / 10) * 7) << "pair " << i;
+  }
+}
+
+TEST(SketchJoinTest, TrainMultiplicityPreserved) {
+  // Repeated train keys must produce repeated feature values in the sample.
+  auto train = MakeTrain({"a", "a", "a", "b"}, {1, 2, 3, 4});
+  auto cand = *Table::FromColumns(
+      {{"K", Column::MakeString({"a", "b"})},
+       {"Z", Column::MakeInt64({100, 200})}});
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(10));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kFirst);
+  auto joined = *JoinSketches(s_train, s_cand);
+  EXPECT_EQ(joined.join_size, 4u);
+  EXPECT_EQ(joined.matched_keys, 2u);
+  size_t feature_100 = 0;
+  for (const Value& x : joined.sample.x) {
+    if (x == Value(int64_t{100})) ++feature_100;
+  }
+  EXPECT_EQ(feature_100, 3u);  // one per repeated "a" row
+}
+
+TEST(SketchJoinTest, RejectsTrainSketchOnRightSide) {
+  auto train = MakeTrain({"a", "a"}, {1, 2});
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(10));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  EXPECT_FALSE(JoinSketches(s_train, s_train).ok());
+}
+
+TEST(SketchJoinTest, DisjointKeysGiveEmptyJoin) {
+  auto train = MakeTrain({"a", "b"}, {1, 2});
+  auto cand = *Table::FromColumns({{"K", Column::MakeString({"x", "y"})},
+                                   {"Z", Column::MakeInt64({3, 4})}});
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(10));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kFirst);
+  auto joined = *JoinSketches(s_train, s_cand);
+  EXPECT_EQ(joined.join_size, 0u);
+  // Estimation on an empty join must fail cleanly via min_join_size.
+  EXPECT_FALSE(
+      EstimateSketchMI(s_train, s_cand, MIEstimatorKind::kMLE, {}, 1).ok());
+}
+
+TEST(SketchJoinTest, EstimateMatchesFullJoinOnCompleteSketch) {
+  // Capacity >= table sizes: the sketch join IS the full join, so the MI
+  // estimates must agree exactly.
+  Rng rng(29);
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  std::vector<std::string> cand_keys;
+  std::vector<int64_t> cand_values;
+  for (int i = 0; i < 200; ++i) {
+    const int k = static_cast<int>(rng.NextBounded(40));
+    keys.push_back("k" + std::to_string(k));
+    targets.push_back((k % 4) * 3 + static_cast<int>(rng.NextBounded(2)));
+  }
+  for (int k = 0; k < 40; ++k) {
+    cand_keys.push_back("k" + std::to_string(k));
+    cand_values.push_back(k % 4);
+  }
+  auto train = MakeTrain(keys, targets);
+  auto cand = *Table::FromColumns({{"K", Column::MakeString(cand_keys)},
+                                   {"Z", Column::MakeInt64(cand_values)}});
+
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(10000));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kFirst);
+  auto sketch_mi =
+      *EstimateSketchMI(s_train, s_cand, MIEstimatorKind::kMLE, {}, 1);
+  ASSERT_EQ(sketch_mi.join_size, 200u);
+
+  auto full = *LeftJoinAggregate(*train, "K", "Y", *cand, "K", "Z",
+                                 {AggKind::kFirst, true, "X"});
+  PairedSample full_sample;
+  auto x_col = *full.table->GetColumn("X");
+  auto y_col = *full.table->GetColumn("Y");
+  for (size_t r = 0; r < full.table->num_rows(); ++r) {
+    full_sample.x.push_back(x_col->GetValue(r));
+    full_sample.y.push_back(y_col->GetValue(r));
+  }
+  const double full_mi = *EstimateMI(MIEstimatorKind::kMLE, full_sample);
+  EXPECT_NEAR(sketch_mi.mi, full_mi, 1e-9);
+}
+
+TEST(SketchJoinTest, AutoEstimatorSelection) {
+  // String target + numeric feature -> DC-KSG via the auto policy.
+  Rng rng(31);
+  std::vector<std::string> keys, targets;
+  std::vector<std::string> cand_keys;
+  std::vector<double> cand_values;
+  for (int i = 0; i < 400; ++i) {
+    const int k = static_cast<int>(rng.NextBounded(100));
+    keys.push_back("k" + std::to_string(k));
+    targets.push_back("cat" + std::to_string(k % 3));
+  }
+  for (int k = 0; k < 100; ++k) {
+    cand_keys.push_back("k" + std::to_string(k));
+    cand_values.push_back(static_cast<double>(k % 3) + rng.Gaussian(0, 0.1));
+  }
+  auto train = *Table::FromColumns({{"K", Column::MakeString(keys)},
+                                    {"Y", Column::MakeString(targets)}});
+  auto cand = *Table::FromColumns({{"K", Column::MakeString(cand_keys)},
+                                   {"Z", Column::MakeDouble(cand_values)}});
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(256));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kAvg);
+  auto result = *EstimateSketchMIAuto(s_train, s_cand, {}, 10);
+  EXPECT_EQ(result.estimator, MIEstimatorKind::kDCKSG);
+  EXPECT_GT(result.mi, 0.5);  // strong dependence planted
+}
+
+// -------------------------------------------- Coordination across sides ---
+
+class CoordinationTest : public testing::TestWithParam<SketchMethod> {};
+
+TEST_P(CoordinationTest, CoordinatedMethodsAchieveFullJoinOnUniqueKeys) {
+  // Unique keys on both sides, full overlap: every coordinated sketch pair
+  // must recover ~n join samples (INDSK is excluded -- by design it can't).
+  std::vector<std::string> keys;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    values.push_back(i);
+  }
+  auto train = MakeTrain(keys, values);
+  auto cand = *Table::FromColumns(
+      {{"K", Column::MakeString(keys)}, {"Z", Column::MakeInt64(values)}});
+  auto builder = MakeSketchBuilder(GetParam(), Options(128));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kFirst);
+  auto joined = *JoinSketches(s_train, s_cand);
+  EXPECT_EQ(joined.join_size, 128u)
+      << SketchMethodToString(GetParam())
+      << " lost coordination on unique keys";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coordinated, CoordinationTest,
+    testing::Values(SketchMethod::kTupsk, SketchMethod::kLv2sk,
+                    SketchMethod::kPrisk, SketchMethod::kCsk),
+    [](const testing::TestParamInfo<SketchMethod>& info) {
+      return SketchMethodToString(info.param);
+    });
+
+}  // namespace
+}  // namespace joinmi

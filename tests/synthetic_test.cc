@@ -1,0 +1,326 @@
+// Unit tests for src/synthetic: trinomial parameter selection and exact MI,
+// CDUnif closed form, table decomposition (KeyInd/KeyDep), and the full
+// generation pipeline — verifying the generated tables re-join to exactly
+// the generated (X, Y) sample.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/join/left_join.h"
+#include "src/mi/estimator.h"
+#include "src/synthetic/cdunif.h"
+#include "src/synthetic/decompose.h"
+#include "src/synthetic/pipeline.h"
+#include "src/synthetic/trinomial.h"
+
+namespace joinmi {
+namespace {
+
+// --------------------------------------------------------------- Trinomial
+
+TEST(TrinomialTest, BinomialEntropyKnownValues) {
+  // Bin(1, 0.5) = fair coin: H = ln 2.
+  EXPECT_NEAR(BinomialEntropy(1, 0.5), std::log(2.0), 1e-12);
+  // Degenerate cases.
+  EXPECT_EQ(BinomialEntropy(10, 0.0), 0.0);
+  EXPECT_EQ(BinomialEntropy(10, 1.0), 0.0);
+  EXPECT_EQ(BinomialEntropy(0, 0.5), 0.0);
+  // Entropy grows with m: asymptotically 0.5 ln(2 pi e m p q).
+  const double h64 = BinomialEntropy(64, 0.3);
+  const double gaussian_approx = 0.5 * std::log(2 * M_PI * M_E * 64 * 0.3 * 0.7);
+  EXPECT_NEAR(h64, gaussian_approx, 0.01);
+}
+
+TEST(TrinomialTest, JointEntropyReducesToIndependentSum) {
+  // For a trinomial, X and Y are never exactly independent, but when
+  // p1 + p2 is small the dependence is weak: H(X,Y) ~ H(X) + H(Y).
+  const double hx = BinomialEntropy(100, 0.02);
+  const double hy = BinomialEntropy(100, 0.03);
+  const double hxy = TrinomialJointEntropy(100, 0.02, 0.03);
+  EXPECT_NEAR(hxy, hx + hy, 0.01);
+  EXPECT_LE(hxy, hx + hy + 1e-12);  // subadditivity
+}
+
+TEST(TrinomialTest, ExactMIIsNonNegativeAndSubadditive) {
+  for (double p1 : {0.2, 0.4}) {
+    for (double p2 : {0.2, 0.4}) {
+      const double mi = TrinomialExactMI(64, p1, p2);
+      EXPECT_GE(mi, 0.0);
+      EXPECT_LE(mi, std::min(BinomialEntropy(64, p1), BinomialEntropy(64, p2)) +
+                        1e-9);
+    }
+  }
+}
+
+TEST(TrinomialTest, MIGrowsWithNegativeDependenceStrength) {
+  // Larger p1 + p2 -> stronger negative coupling -> higher MI.
+  const double weak = TrinomialExactMI(128, 0.15, 0.15);
+  const double strong = TrinomialExactMI(128, 0.45, 0.45);
+  EXPECT_GT(strong, weak);
+}
+
+TEST(TrinomialTest, ParamSelectionHitsTargetRange) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    auto params = SampleTrinomialParams(512, rng, 0.5, 3.0);
+    ASSERT_TRUE(params.ok());
+    EXPECT_GE(params->p1, 0.15);
+    EXPECT_LE(params->p1, 0.85);
+    EXPECT_GE(params->p2, 0.15);
+    EXPECT_LE(params->p2, 0.85);
+    EXPECT_GE(params->target_mi, 0.5);
+    EXPECT_LE(params->target_mi, 3.0);
+    // The CLT approximation is good at m = 512: exact MI should be within
+    // ~25% of the bivariate-normal target used for selection.
+    EXPECT_NEAR(params->true_mi, params->target_mi,
+                0.05 + 0.25 * params->target_mi);
+  }
+}
+
+TEST(TrinomialTest, SamplerMatchesMarginalMoments) {
+  Rng rng(5);
+  TrinomialParams params;
+  params.trials = 100;
+  params.p1 = 0.3;
+  params.p2 = 0.4;
+  std::vector<int64_t> xs, ys;
+  SampleTrinomial(params, 50000, rng, &xs, &ys);
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    mx += static_cast<double>(xs[i]);
+    my += static_cast<double>(ys[i]);
+  }
+  mx /= static_cast<double>(xs.size());
+  my /= static_cast<double>(ys.size());
+  EXPECT_NEAR(mx, 30.0, 0.3);
+  EXPECT_NEAR(my, 40.0, 0.3);
+  // Support constraint: X + Y <= m.
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_LE(xs[i] + ys[i], 100);
+    ASSERT_GE(xs[i], 0);
+    ASSERT_GE(ys[i], 0);
+  }
+}
+
+TEST(TrinomialTest, SampledMIMatchesExactMI) {
+  // Estimate MI from a large sample; must approach the open-form value.
+  Rng rng(7);
+  auto params = *SampleTrinomialParams(64, rng, 1.0, 2.0);
+  std::vector<int64_t> xs, ys;
+  SampleTrinomial(params, 30000, rng, &xs, &ys);
+  PairedSample sample;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sample.x.emplace_back(xs[i]);
+    sample.y.emplace_back(ys[i]);
+  }
+  const double estimated = *EstimateMI(MIEstimatorKind::kMLE, sample);
+  EXPECT_NEAR(estimated, params.true_mi, 0.1);
+}
+
+TEST(TrinomialTest, RejectsBadArguments) {
+  Rng rng(9);
+  EXPECT_FALSE(SampleTrinomialParams(0, rng).ok());
+}
+
+// ------------------------------------------------------------------ CDUnif
+
+TEST(CDUnifTest, ClosedFormKnownValues) {
+  EXPECT_EQ(CDUnifExactMI(1), 0.0);
+  // m = 2: log 2 - (1/2) log 2 = 0.5 log 2.
+  EXPECT_NEAR(CDUnifExactMI(2), 0.5 * std::log(2.0), 1e-12);
+  // Monotone in m, approaching log(m) - log(2).
+  EXPECT_LT(CDUnifExactMI(16), CDUnifExactMI(256));
+  EXPECT_NEAR(CDUnifExactMI(100000), std::log(100000.0) - std::log(2.0), 1e-4);
+  // Paper quote: m = 256 ~ I = 4.85.
+  EXPECT_NEAR(CDUnifExactMI(256), 4.85, 0.01);
+}
+
+TEST(CDUnifTest, SampleRangesAndDependence) {
+  Rng rng(11);
+  std::vector<int64_t> xs;
+  std::vector<double> ys;
+  ASSERT_TRUE(SampleCDUnif(8, 20000, rng, &xs, &ys).ok());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_GE(xs[i], 0);
+    ASSERT_LT(xs[i], 8);
+    ASSERT_GE(ys[i], static_cast<double>(xs[i]));
+    ASSERT_LE(ys[i], static_cast<double>(xs[i]) + 2.0);
+  }
+  EXPECT_FALSE(SampleCDUnif(0, 10, rng, &xs, &ys).ok());
+}
+
+TEST(CDUnifTest, EstimatedMIMatchesClosedForm) {
+  Rng rng(13);
+  std::vector<int64_t> xs;
+  std::vector<double> ys;
+  ASSERT_TRUE(SampleCDUnif(4, 20000, rng, &xs, &ys).ok());
+  std::vector<Value> x_values;
+  for (int64_t x : xs) x_values.emplace_back(x);
+  PairedSample sample;
+  sample.x = x_values;
+  for (double y : ys) sample.y.emplace_back(y);
+  const double dc = *EstimateMI(MIEstimatorKind::kDCKSG, sample);
+  EXPECT_NEAR(dc, CDUnifExactMI(4), 0.1);
+}
+
+// --------------------------------------------------------------- Decompose
+
+std::vector<Value> IntValues(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.emplace_back(x);
+  return out;
+}
+
+TEST(DecomposeTest, KeyIndOneToOne) {
+  auto tables = *DecomposeIntoTables(IntValues({5, 7, 5}),
+                                     IntValues({1, 2, 3}), KeyScheme::kKeyInd);
+  EXPECT_EQ(tables.train->num_rows(), 3u);
+  EXPECT_EQ(tables.cand->num_rows(), 3u);
+  // Keys are sequential and unique.
+  auto keys = *tables.train->GetColumn(kKeyColumn);
+  EXPECT_EQ(keys->CountDistinct(), 3u);
+  EXPECT_EQ(keys->Int64At(0), 0);
+  EXPECT_EQ(keys->Int64At(2), 2);
+}
+
+TEST(DecomposeTest, KeyDepManyToOne) {
+  auto tables = *DecomposeIntoTables(IntValues({5, 7, 5, 5}),
+                                     IntValues({1, 2, 3, 4}),
+                                     KeyScheme::kKeyDep);
+  // Train keeps one row per sample; keys repeat with X's distribution.
+  EXPECT_EQ(tables.train->num_rows(), 4u);
+  auto train_keys = *tables.train->GetColumn(kKeyColumn);
+  EXPECT_EQ(train_keys->CountDistinct(), 2u);
+  // Candidate has one row per distinct X, mapping k -> k.
+  EXPECT_EQ(tables.cand->num_rows(), 2u);
+  auto cand_keys = *tables.cand->GetColumn(kKeyColumn);
+  auto cand_values = *tables.cand->GetColumn(kFeatureColumn);
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(cand_keys->GetValue(r), cand_values->GetValue(r));
+  }
+}
+
+TEST(DecomposeTest, KeyDepRejectsContinuousX) {
+  EXPECT_FALSE(DecomposeIntoTables({Value(1.5), Value(2.5)},
+                                   IntValues({1, 2}), KeyScheme::kKeyDep)
+                   .ok());
+}
+
+TEST(DecomposeTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(
+      DecomposeIntoTables({}, {}, KeyScheme::kKeyInd).ok());
+  EXPECT_FALSE(DecomposeIntoTables(IntValues({1}), IntValues({1, 2}),
+                                   KeyScheme::kKeyInd)
+                   .ok());
+}
+
+class DecomposeRoundTripTest : public testing::TestWithParam<KeyScheme> {};
+
+TEST_P(DecomposeRoundTripTest, JoinRecoversExactSample) {
+  // Decompose then re-join; the joined (X, Y) multiset must equal the
+  // original sample (the paper: "both methods enable table joins that
+  // exactly recover (X, Y)").
+  Rng rng(17);
+  std::vector<Value> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.emplace_back(static_cast<int64_t>(rng.NextBounded(20)));
+    ys.emplace_back(static_cast<int64_t>(rng.NextBounded(9)));
+  }
+  auto tables = *DecomposeIntoTables(xs, ys, GetParam());
+  auto joined = *LeftJoinAggregate(*tables.train, kKeyColumn, kTargetColumn,
+                                   *tables.cand, kKeyColumn, kFeatureColumn,
+                                   {AggKind::kFirst, true, "X"});
+  ASSERT_EQ(joined.table->num_rows(), 500u);
+  EXPECT_EQ(joined.unmatched_rows, 0u);
+  // Compare joint multisets via sorted (x, y) pair lists.
+  auto x_col = *joined.table->GetColumn("X");
+  auto y_col = *joined.table->GetColumn(kTargetColumn);
+  std::vector<std::pair<int64_t, int64_t>> expected, actual;
+  for (size_t i = 0; i < 500; ++i) {
+    expected.emplace_back(xs[i].int64(), ys[i].int64());
+    actual.emplace_back(x_col->GetValue(i).int64(),
+                        y_col->GetValue(i).int64());
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSchemes, DecomposeRoundTripTest,
+                         testing::Values(KeyScheme::kKeyInd,
+                                         KeyScheme::kKeyDep),
+                         [](const testing::TestParamInfo<KeyScheme>& info) {
+                           return KeySchemeToString(info.param);
+                         });
+
+// ---------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, TrinomialDatasetEndToEnd) {
+  SyntheticSpec spec;
+  spec.distribution = SyntheticDistribution::kTrinomial;
+  spec.m = 64;
+  spec.num_rows = 2000;
+  spec.key_scheme = KeyScheme::kKeyDep;
+  spec.seed = 21;
+  auto dataset = GenerateSyntheticDataset(spec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->xs.size(), 2000u);
+  EXPECT_GT(dataset->true_mi, 0.0);
+  EXPECT_EQ(dataset->tables.train->num_rows(), 2000u);
+  // Full-join MI estimate should approximate the analytic MI.
+  auto joined = *LeftJoinAggregate(
+      *dataset->tables.train, kKeyColumn, kTargetColumn,
+      *dataset->tables.cand, kKeyColumn, kFeatureColumn,
+      {AggKind::kFirst, true, "X"});
+  PairedSample sample;
+  auto x_col = *joined.table->GetColumn("X");
+  auto y_col = *joined.table->GetColumn(kTargetColumn);
+  for (size_t r = 0; r < joined.table->num_rows(); ++r) {
+    sample.x.push_back(x_col->GetValue(r));
+    sample.y.push_back(y_col->GetValue(r));
+  }
+  const double estimated = *EstimateMI(MIEstimatorKind::kMLE, sample);
+  EXPECT_NEAR(estimated, dataset->true_mi, 0.35);
+}
+
+TEST(PipelineTest, CDUnifDatasetEndToEnd) {
+  SyntheticSpec spec;
+  spec.distribution = SyntheticDistribution::kCDUnif;
+  spec.m = 16;
+  spec.num_rows = 5000;
+  spec.key_scheme = KeyScheme::kKeyInd;
+  spec.seed = 23;
+  auto dataset = GenerateSyntheticDataset(spec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_NEAR(dataset->true_mi, CDUnifExactMI(16), 1e-12);
+  // Y must be continuous (double), X discrete (int64).
+  EXPECT_TRUE(dataset->ys[0].is_double());
+  EXPECT_TRUE(dataset->xs[0].is_int64());
+}
+
+TEST(PipelineTest, DeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.m = 32;
+  spec.num_rows = 100;
+  spec.seed = 31;
+  auto a = *GenerateSyntheticDataset(spec);
+  auto b = *GenerateSyntheticDataset(spec);
+  EXPECT_EQ(a.true_mi, b.true_mi);
+  for (size_t i = 0; i < a.xs.size(); ++i) {
+    ASSERT_EQ(a.xs[i], b.xs[i]);
+    ASSERT_EQ(a.ys[i], b.ys[i]);
+  }
+  spec.seed = 32;
+  auto c = *GenerateSyntheticDataset(spec);
+  EXPECT_NE(a.true_mi, c.true_mi);
+}
+
+TEST(PipelineTest, RejectsEmptySpec) {
+  SyntheticSpec spec;
+  spec.num_rows = 0;
+  EXPECT_FALSE(GenerateSyntheticDataset(spec).ok());
+}
+
+}  // namespace
+}  // namespace joinmi
