@@ -75,7 +75,9 @@ Result<JoinMIQuery> JoinMIQuery::Create(const Table& train,
   JOINMI_ASSIGN_OR_RETURN(auto target_col, train.GetColumn(train_target));
   JOINMI_ASSIGN_OR_RETURN(Sketch sketch,
                           builder->SketchTrain(*key_col, *target_col));
-  return JoinMIQuery(std::move(sketch), config);
+  JOINMI_ASSIGN_OR_RETURN(PreparedTrainSketch prepared,
+                          PreparedTrainSketch::Create(std::move(sketch)));
+  return JoinMIQuery(std::move(prepared), config);
 }
 
 Result<Sketch> JoinMIQuery::SketchCandidate(

@@ -73,14 +73,16 @@ class JoinMIQuery {
                                        const std::string& cand_key,
                                        const std::string& cand_value) const;
 
-  const Sketch& train_sketch() const { return train_sketch_; }
+  const Sketch& train_sketch() const { return train_sketch_.sketch(); }
   const JoinMIConfig& config() const { return config_; }
 
  private:
-  JoinMIQuery(Sketch train_sketch, JoinMIConfig config)
+  JoinMIQuery(PreparedTrainSketch train_sketch, JoinMIConfig config)
       : train_sketch_(std::move(train_sketch)), config_(std::move(config)) {}
 
-  Sketch train_sketch_;
+  // Pre-indexed for repeated probing: Estimate() against many candidate
+  // sketches skips the per-join probe-map build.
+  PreparedTrainSketch train_sketch_;
   JoinMIConfig config_;
 };
 

@@ -1,0 +1,95 @@
+#include "src/discovery/search.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+
+namespace joinmi {
+
+namespace {
+
+struct CandidateOutcome {
+  std::optional<JoinMIEstimate> estimate;
+};
+
+// Evaluates candidate pair `i` into `outcomes[i]`. Runs on worker threads:
+// touches only const shared state plus its own outcome slot.
+void EvaluateCandidate(const JoinMIQuery& query,
+                       const TableRepository& repository,
+                       const ColumnPairRef& ref, CandidateOutcome* outcome) {
+  auto table = repository.GetTable(ref.table_name);
+  if (!table.ok()) return;
+  auto estimate = query.EstimateTable(**table, ref.key_column,
+                                      ref.value_column);
+  if (!estimate.ok()) return;
+  outcome->estimate = *estimate;
+}
+
+}  // namespace
+
+Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                          const SearchSpec& spec,
+                                          const TableRepository& repository,
+                                          size_t k,
+                                          const SearchConfig& config) {
+  if (k == 0) {
+    return Status::InvalidArgument("top-k search requires k >= 1");
+  }
+  JOINMI_ASSIGN_OR_RETURN(
+      JoinMIQuery query,
+      JoinMIQuery::Create(base_table, spec.base_key, spec.base_target,
+                          config.join_config));
+
+  const std::vector<ColumnPairRef> pairs = repository.ExtractColumnPairs();
+  std::vector<CandidateOutcome> outcomes(pairs.size());
+
+  const size_t num_threads = config.num_threads == 0
+                                 ? ThreadPool::DefaultThreadCount()
+                                 : config.num_threads;
+  if (num_threads <= 1 || pairs.size() <= 1) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EvaluateCandidate(query, repository, pairs[i], &outcomes[i]);
+    }
+  } else {
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      pool.Submit([&query, &repository, &pairs, &outcomes, i] {
+        EvaluateCandidate(query, repository, pairs[i], &outcomes[i]);
+      });
+    }
+    pool.Wait();
+  }
+
+  // Merge: indices of evaluated candidates ranked by MI descending, with
+  // the enumeration index (== repository order, which is sorted by table
+  // name then column names) as the deterministic tie-break.
+  std::vector<size_t> ranked;
+  ranked.reserve(pairs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].estimate.has_value()) ranked.push_back(i);
+  }
+  TopKSearchResult result;
+  result.num_candidates = pairs.size();
+  result.num_evaluated = ranked.size();
+  result.num_skipped = pairs.size() - ranked.size();
+  const size_t take = std::min(k, ranked.size());
+  auto better = [&outcomes](size_t a, size_t b) {
+    const double mi_a = outcomes[a].estimate->mi;
+    const double mi_b = outcomes[b].estimate->mi;
+    if (mi_a != mi_b) return mi_a > mi_b;
+    return a < b;
+  };
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    better);
+  result.hits.reserve(take);
+  for (size_t r = 0; r < take; ++r) {
+    const size_t i = ranked[r];
+    result.hits.push_back(SearchHit{pairs[i], *outcomes[i].estimate});
+  }
+  return result;
+}
+
+}  // namespace joinmi

@@ -1,0 +1,75 @@
+// Parallel batch discovery: fan one MI-over-join query out across every
+// candidate column pair in a repository and return a deterministic top-k —
+// the online half of the paper's discovery deployment (Section V-C), built
+// for scale: the base sketch is built once and shared (read-only) by all
+// worker threads, and results are merged in candidate-enumeration order so
+// rankings are identical for any thread count.
+
+#ifndef JOINMI_DISCOVERY_SEARCH_H_
+#define JOINMI_DISCOVERY_SEARCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/join_mi.h"
+#include "src/discovery/repository.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+
+/// \brief Base-table column bindings for one discovery search.
+struct SearchSpec {
+  std::string base_key;     ///< K_Y: join key in the base table
+  std::string base_target;  ///< Y: target attribute in the base table
+};
+
+/// \brief Execution knobs for TopKJoinMISearch.
+struct SearchConfig {
+  /// Worker threads; 0 means hardware concurrency, 1 runs inline without a
+  /// pool. Rankings do not depend on this value.
+  size_t num_threads = 0;
+  /// Per-query sketching/estimation configuration.
+  JoinMIConfig join_config;
+};
+
+/// \brief One ranked search answer.
+struct SearchHit {
+  ColumnPairRef candidate;
+  JoinMIEstimate estimate;
+};
+
+/// \brief Outcome of one top-k discovery search.
+struct TopKSearchResult {
+  /// Hits sorted by MI descending; ties break on candidate enumeration
+  /// order (table name, then key/value column), so the ranking is stable
+  /// and reproducible.
+  std::vector<SearchHit> hits;
+  /// Column pairs enumerated from the repository.
+  size_t num_candidates = 0;
+  /// Candidates that produced an estimate.
+  size_t num_evaluated = 0;
+  /// Candidates skipped (tiny sketch-join overlap, unsketchable columns).
+  size_t num_skipped = 0;
+};
+
+/// \brief Searches the repository for the k candidate column pairs whose
+/// join-aggregation with `base_table` has the highest estimated MI with
+/// `spec.base_target`.
+///
+/// The base table's sketch is built exactly once and probed concurrently;
+/// every candidate pair from `repository.ExtractColumnPairs()` is sketched
+/// and estimated independently, so the search parallelizes embarrassingly.
+/// Candidates whose estimate fails (e.g. overlap below
+/// `config.join_config.min_join_size`) are counted in `num_skipped` rather
+/// than failing the search.
+Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                          const SearchSpec& spec,
+                                          const TableRepository& repository,
+                                          size_t k,
+                                          const SearchConfig& config = {});
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_SEARCH_H_

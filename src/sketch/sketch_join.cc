@@ -1,8 +1,49 @@
 #include "src/sketch/sketch_join.h"
 
+#include <algorithm>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 namespace joinmi {
+
+namespace {
+
+// Shared tail of EstimateSketchMI*: size guard + estimator dispatch.
+Result<SketchMIResult> EstimateOnJoin(SketchJoinResult joined,
+                                      MIEstimatorKind estimator,
+                                      const MIOptions& options,
+                                      size_t min_join_size) {
+  if (joined.join_size < min_join_size) {
+    return Status::OutOfRange(
+        "sketch join produced " + std::to_string(joined.join_size) +
+        " samples, fewer than the required " + std::to_string(min_join_size));
+  }
+  SketchMIResult result;
+  result.estimator = estimator;
+  result.join_size = joined.join_size;
+  JOINMI_ASSIGN_OR_RETURN(result.mi,
+                          EstimateMI(estimator, joined.sample, options));
+  return result;
+}
+
+// Mirrors EstimateMIAuto's type inference to report the chosen estimator.
+Result<MIEstimatorKind> ChooseEstimatorForSample(const PairedSample& sample) {
+  auto all_numeric = [](const std::vector<Value>& values) {
+    for (const Value& v : values) {
+      if (!IsNumeric(v.type())) return false;
+    }
+    return true;
+  };
+  const DataType x_type =
+      all_numeric(sample.x) ? DataType::kDouble : DataType::kString;
+  const DataType y_type =
+      all_numeric(sample.y) ? DataType::kDouble : DataType::kString;
+  return ChooseEstimator(x_type, y_type);
+}
+
+}  // namespace
 
 Result<SketchJoinResult> JoinSketches(const Sketch& train,
                                       const Sketch& candidate) {
@@ -23,17 +64,95 @@ Result<SketchJoinResult> JoinSketches(const Sketch& train,
   SketchJoinResult result;
   result.sample.x.reserve(train.entries.size());
   result.sample.y.reserve(train.entries.size());
-  std::unordered_map<uint64_t, bool> matched;
+  // A set, not an adjacency counter: this overload stays correct for
+  // hand-built or deserialized train sketches that violate the sortedness
+  // invariant (the prepared path validates it instead).
+  std::unordered_set<uint64_t> matched;
   matched.reserve(train.entries.size());
   for (const SketchEntry& entry : train.entries) {
     const auto it = aug.find(entry.key_hash);
     if (it == aug.end()) continue;
     result.sample.x.push_back(*it->second);
     result.sample.y.push_back(entry.value);
-    matched.emplace(entry.key_hash, true);
+    matched.insert(entry.key_hash);
   }
   result.join_size = result.sample.size();
   result.matched_keys = matched.size();
+  return result;
+}
+
+Result<PreparedTrainSketch> PreparedTrainSketch::Create(Sketch train) {
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups;
+  groups.reserve(train.entries.size());
+  for (uint32_t i = 0; i < train.entries.size();) {
+    const uint64_t hash = train.entries[i].key_hash;
+    uint32_t end = i + 1;
+    while (end < train.entries.size() &&
+           train.entries[end].key_hash == hash) {
+      ++end;
+    }
+    if (!groups.emplace(hash, std::make_pair(i, end)).second) {
+      return Status::InvalidArgument(
+          "train sketch entries are not sorted by key_hash");
+    }
+    i = end;
+  }
+  return PreparedTrainSketch(std::move(train), std::move(groups));
+}
+
+Result<SketchJoinResult> PreparedTrainSketch::Join(
+    const Sketch& candidate) const {
+  if (candidate.side != SketchSide::kCandidate) {
+    return Status::InvalidArgument(
+        "right operand of a sketch join must be a candidate sketch");
+  }
+  // Probe the prebuilt train index with each candidate key, then emit the
+  // matches in train-entry order so the sample is byte-identical to
+  // JoinSketches on the wrapped sketch.
+  struct Match {
+    uint32_t begin;
+    uint32_t end;
+    const Value* value;
+  };
+  std::vector<Match> matches;
+  matches.reserve(std::min(candidate.entries.size(), groups_.size()));
+  size_t join_size = 0;
+  const SketchEntry* prev = nullptr;
+  for (const SketchEntry& entry : candidate.entries) {
+    // Candidate entries are sorted by key_hash (builder invariant), so
+    // duplicate keys are adjacent; this keeps the duplicate rejection of
+    // JoinSketches without a per-join probe set.
+    if (prev != nullptr && prev->key_hash == entry.key_hash) {
+      return Status::InvalidArgument(
+          "candidate sketch has duplicate keys; was it built as a train "
+          "sketch?");
+    }
+    prev = &entry;
+    const auto it = groups_.find(entry.key_hash);
+    if (it == groups_.end()) continue;
+    matches.push_back(Match{it->second.first, it->second.second, &entry.value});
+    join_size += it->second.second - it->second.first;
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) { return a.begin < b.begin; });
+  for (size_t i = 1; i < matches.size(); ++i) {
+    if (matches[i].begin == matches[i - 1].begin) {
+      return Status::InvalidArgument(
+          "candidate sketch has duplicate keys; was it built as a train "
+          "sketch?");
+    }
+  }
+  SketchJoinResult result;
+  result.sample.x.reserve(join_size);
+  result.sample.y.reserve(join_size);
+  for (const Match& match : matches) {
+    for (uint32_t i = match.begin; i < match.end; ++i) {
+      result.sample.x.push_back(*match.value);
+      result.sample.y.push_back(train_.entries[i].value);
+    }
+  }
+  result.join_size = result.sample.size();
+  result.matched_keys = matches.size();
   return result;
 }
 
@@ -44,17 +163,7 @@ Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
                                         size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined,
                           JoinSketches(train, candidate));
-  if (joined.join_size < min_join_size) {
-    return Status::OutOfRange(
-        "sketch join produced " + std::to_string(joined.join_size) +
-        " samples, fewer than the required " + std::to_string(min_join_size));
-  }
-  SketchMIResult result;
-  result.estimator = estimator;
-  result.join_size = joined.join_size;
-  JOINMI_ASSIGN_OR_RETURN(result.mi,
-                          EstimateMI(estimator, joined.sample, options));
-  return result;
+  return EstimateOnJoin(std::move(joined), estimator, options, min_join_size);
 }
 
 Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
@@ -63,29 +172,28 @@ Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
                                             size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined,
                           JoinSketches(train, candidate));
-  if (joined.join_size < min_join_size) {
-    return Status::OutOfRange(
-        "sketch join produced " + std::to_string(joined.join_size) +
-        " samples, fewer than the required " + std::to_string(min_join_size));
-  }
-  // Mirror EstimateMIAuto's type inference to report the chosen estimator.
-  auto all_numeric = [](const std::vector<Value>& values) {
-    for (const Value& v : values) {
-      if (!IsNumeric(v.type())) return false;
-    }
-    return true;
-  };
-  const DataType x_type = all_numeric(joined.sample.x) ? DataType::kDouble
-                                                       : DataType::kString;
-  const DataType y_type = all_numeric(joined.sample.y) ? DataType::kDouble
-                                                       : DataType::kString;
   JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
-                          ChooseEstimator(x_type, y_type));
-  SketchMIResult result;
-  result.estimator = kind;
-  result.join_size = joined.join_size;
-  JOINMI_ASSIGN_OR_RETURN(result.mi, EstimateMI(kind, joined.sample, options));
-  return result;
+                          ChooseEstimatorForSample(joined.sample));
+  return EstimateOnJoin(std::move(joined), kind, options, min_join_size);
+}
+
+Result<SketchMIResult> EstimateSketchMI(const PreparedTrainSketch& train,
+                                        const Sketch& candidate,
+                                        MIEstimatorKind estimator,
+                                        const MIOptions& options,
+                                        size_t min_join_size) {
+  JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, train.Join(candidate));
+  return EstimateOnJoin(std::move(joined), estimator, options, min_join_size);
+}
+
+Result<SketchMIResult> EstimateSketchMIAuto(const PreparedTrainSketch& train,
+                                            const Sketch& candidate,
+                                            const MIOptions& options,
+                                            size_t min_join_size) {
+  JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, train.Join(candidate));
+  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
+                          ChooseEstimatorForSample(joined.sample));
+  return EstimateOnJoin(std::move(joined), kind, options, min_join_size);
 }
 
 }  // namespace joinmi

@@ -5,6 +5,10 @@
 #ifndef JOINMI_SKETCH_SKETCH_JOIN_H_
 #define JOINMI_SKETCH_SKETCH_JOIN_H_
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
 #include "src/common/status.h"
 #include "src/mi/estimator.h"
 #include "src/sketch/sketch.h"
@@ -29,6 +33,38 @@ struct SketchJoinResult {
 Result<SketchJoinResult> JoinSketches(const Sketch& train,
                                       const Sketch& candidate);
 
+/// \brief A train sketch pre-indexed for repeated probing.
+///
+/// In the discovery setting one base (train) sketch is joined against
+/// thousands of candidate sketches. `JoinSketches` pays a per-join hash-map
+/// build over the candidate entries; preparing the train side once instead
+/// turns each join into pure lookups. Join output is byte-identical to
+/// `JoinSketches` on the wrapped sketch: pairs are emitted in train-entry
+/// order, preserving multiplicity.
+class PreparedTrainSketch {
+ public:
+  /// \brief Takes ownership of a train-side sketch and builds the key-hash
+  /// group index. Fails if entries are not sorted by key_hash (the builder
+  /// invariant every sketch variant maintains).
+  static Result<PreparedTrainSketch> Create(Sketch train);
+
+  const Sketch& sketch() const { return train_; }
+
+  /// \brief Joins against a candidate sketch using the prebuilt index.
+  Result<SketchJoinResult> Join(const Sketch& candidate) const;
+
+ private:
+  PreparedTrainSketch(
+      Sketch train,
+      std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups)
+      : train_(std::move(train)), groups_(std::move(groups)) {}
+
+  Sketch train_;
+  /// key_hash -> [begin, end) index range into train_.entries (entries with
+  /// equal key_hash are contiguous because the builder sorts them).
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups_;
+};
+
 /// \brief End-to-end sketch-based MI estimate.
 struct SketchMIResult {
   double mi = 0.0;
@@ -49,6 +85,19 @@ Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
 /// (paper policy: string/string -> MLE, numeric/numeric -> MixedKSG,
 /// otherwise DC-KSG).
 Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
+                                            const Sketch& candidate,
+                                            const MIOptions& options = {},
+                                            size_t min_join_size = 1);
+
+/// \brief Prepared-train variants for the many-candidates setting; results
+/// match the Sketch overloads exactly.
+Result<SketchMIResult> EstimateSketchMI(const PreparedTrainSketch& train,
+                                        const Sketch& candidate,
+                                        MIEstimatorKind estimator,
+                                        const MIOptions& options = {},
+                                        size_t min_join_size = 1);
+
+Result<SketchMIResult> EstimateSketchMIAuto(const PreparedTrainSketch& train,
                                             const Sketch& candidate,
                                             const MIOptions& options = {},
                                             size_t min_join_size = 1);

@@ -9,7 +9,11 @@
 #include <cmath>
 
 #include "src/common/random.h"
+#include "src/mi/estimator.h"
 #include "src/mi/knn.h"
+#include "src/mi/ksg.h"
+#include "src/mi/mixed_ksg.h"
+#include "src/mi/mle.h"
 
 namespace joinmi {
 namespace {
@@ -186,6 +190,155 @@ TEST(KdTree2DEdgeTest, RandomizedDifferentialWithTies) {
     ASSERT_EQ(tree.CountWithin(i, expected, /*strict=*/true), open);
     ASSERT_EQ(tree.CountWithin(i, expected, /*strict=*/false), closed);
   }
+}
+
+// -------------------------------------------- KSG / MixedKSG with ties --
+//
+// Ties are the classic KSG failure mode: duplicate points give a zero
+// k-th-neighbor distance, which breaks the continuous-marginal assumption
+// KSG is derived under. MixedKSG handles them by switching to coincident
+// counts; KSG must at least stay finite and well-defined so the estimator
+// facade can run on join-derived (heavily repeated) features.
+
+TEST(MixedKsgTiesTest, FullyDiscreteDependenceMatchesPlugIn) {
+  // 40 copies each of (0,0), (1,1), (2,2): every point is duplicated, every
+  // neighbor distance is tied at 0. MixedKSG degenerates to the plug-in
+  // estimator, so the estimate must be ~log 3 like MLE's.
+  std::vector<double> xs, ys;
+  std::vector<Value> vx, vy;
+  for (int v = 0; v < 3; ++v) {
+    for (int copy = 0; copy < 40; ++copy) {
+      xs.push_back(static_cast<double>(v));
+      ys.push_back(static_cast<double>(v));
+      vx.emplace_back(static_cast<int64_t>(v));
+      vy.emplace_back(static_cast<int64_t>(v));
+    }
+  }
+  auto mixed = MutualInformationMixedKSG(xs, ys, 3);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  auto mle = MutualInformationMLE(vx, vy);
+  ASSERT_TRUE(mle.ok());
+  EXPECT_NEAR(*mixed, *mle, 0.05);
+  EXPECT_NEAR(*mixed, std::log(3.0), 0.05);
+}
+
+TEST(MixedKsgTiesTest, FullyDiscreteIndependenceIsNearZero) {
+  // x and y cycle with coprime periods, so they are independent and every
+  // (x, y) cell is hit equally often — all duplicates, zero MI.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(static_cast<double>(i % 2));
+    ys.push_back(static_cast<double>(i % 3));
+  }
+  auto mixed = MutualInformationMixedKSG(xs, ys, 3);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_NEAR(*mixed, 0.0, 0.05);
+}
+
+TEST(MixedKsgTiesTest, ConstantVariableGivesZeroMI) {
+  Rng rng(17);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(1.5);  // degenerate: a single duplicated value
+    ys.push_back(rng.Gaussian());
+  }
+  auto mixed = MutualInformationMixedKSG(xs, ys, 3);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_NEAR(*mixed, 0.0, 1e-9);
+}
+
+TEST(MixedKsgTiesTest, MixtureOfContinuousAndDuplicatedPoints) {
+  // Half the mass sits on exact duplicates of (0, 0), half is continuous
+  // and dependent (y == x): a discrete-continuous mixture in both
+  // coordinates. The estimate must be finite, non-negative (up to
+  // estimator noise), and detect strong dependence.
+  Rng rng(29);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 150; ++i) {
+    xs.push_back(0.0);
+    ys.push_back(0.0);
+  }
+  for (int i = 0; i < 150; ++i) {
+    const double u = rng.Uniform(1.0, 2.0);
+    xs.push_back(u);
+    ys.push_back(u);
+  }
+  auto mixed = MutualInformationMixedKSG(xs, ys, 3);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_TRUE(std::isfinite(*mixed));
+  EXPECT_GT(*mixed, 0.3);
+}
+
+TEST(KsgTiesTest, DuplicatePointsCollapseWithoutPerturbation) {
+  // Quantized data tie every k-th-neighbor distance at 0, so the marginal
+  // counts vanish and KSG collapses to the data-independent constant
+  // psi(k) + psi(N): dependent and independent inputs become
+  // indistinguishable. This is the classic KSG tie failure the paper works
+  // around; the perturbation device (Section V-A) must restore the
+  // dependent > independent ordering.
+  Rng rng(55);
+  std::vector<double> xs_dep, ys_dep, xs_ind, ys_ind;
+  for (int i = 0; i < 400; ++i) {
+    const double q = static_cast<double>(rng.NextBounded(6));
+    xs_dep.push_back(q);
+    ys_dep.push_back(q);
+    xs_ind.push_back(static_cast<double>(rng.NextBounded(6)));
+    ys_ind.push_back(static_cast<double>(rng.NextBounded(6)));
+  }
+  auto dep = MutualInformationKSG(xs_dep, ys_dep, 3);
+  auto ind = MutualInformationKSG(xs_ind, ys_ind, 3);
+  ASSERT_TRUE(dep.ok()) << dep.status();
+  ASSERT_TRUE(ind.ok()) << ind.status();
+  EXPECT_TRUE(std::isfinite(*dep));
+  EXPECT_TRUE(std::isfinite(*ind));
+  // Both saturate to the same degenerate value — the failure mode itself.
+  EXPECT_EQ(*dep, *ind);
+
+  // With tie-breaking noise the ordering comes back.
+  const double sigma = 1e-6;
+  auto dep_p = MutualInformationKSG(PerturbForTies(xs_dep, sigma, 1),
+                                    PerturbForTies(ys_dep, sigma, 2), 3);
+  auto ind_p = MutualInformationKSG(PerturbForTies(xs_ind, sigma, 1),
+                                    PerturbForTies(ys_ind, sigma, 2), 3);
+  ASSERT_TRUE(dep_p.ok()) << dep_p.status();
+  ASSERT_TRUE(ind_p.ok()) << ind_p.status();
+  EXPECT_GT(*dep_p, *ind_p);
+  // MixedKSG needs no perturbation to separate the two on the same data.
+  auto dep_m = MutualInformationMixedKSG(xs_dep, ys_dep, 3);
+  auto ind_m = MutualInformationMixedKSG(xs_ind, ys_ind, 3);
+  ASSERT_TRUE(dep_m.ok());
+  ASSERT_TRUE(ind_m.ok());
+  EXPECT_GT(*dep_m, *ind_m);
+}
+
+TEST(KsgTiesTest, TiedDistancesOnAUniformGrid) {
+  // Evenly spaced 1-D marginals: every neighbor distance is tied at a
+  // multiple of the grid step in both coordinates. No crash, finite value.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 120; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(static_cast<double>(120 - i));
+  }
+  auto ksg = MutualInformationKSG(xs, ys, 4);
+  ASSERT_TRUE(ksg.ok()) << ksg.status();
+  EXPECT_TRUE(std::isfinite(*ksg));
+  // Perfect monotone dependence: the estimate should be strongly positive.
+  EXPECT_GT(*ksg, 1.0);
+}
+
+TEST(KsgTiesTest, AllPointsIdenticalIsHandled) {
+  // The most degenerate input: one duplicated point. Both estimators must
+  // either return a finite value or fail cleanly with a Status — never
+  // crash or return NaN.
+  std::vector<double> xs(50, 3.25), ys(50, -1.0);
+  auto ksg = MutualInformationKSG(xs, ys, 3);
+  if (ksg.ok()) {
+    EXPECT_TRUE(std::isfinite(*ksg));
+  }
+  auto mixed = MutualInformationMixedKSG(xs, ys, 3);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_TRUE(std::isfinite(*mixed));
+  EXPECT_NEAR(*mixed, 0.0, 1e-9);
 }
 
 }  // namespace

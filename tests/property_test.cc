@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <set>
 #include <tuple>
@@ -22,7 +24,12 @@ namespace {
 
 /// gtest parameter names must be alphanumeric; strip the '-' in "DC-KSG".
 std::string SafeName(std::string s) {
-  std::erase_if(s, [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); });
+  s.erase(std::remove_if(
+              s.begin(), s.end(),
+              [](char c) {
+                return !std::isalnum(static_cast<unsigned char>(c));
+              }),
+          s.end());
   return s;
 }
 

@@ -1,0 +1,220 @@
+// Tests for the parallel top-k discovery engine: ranking correctness on a
+// synthetic repository, deterministic results across thread counts, the
+// stable tie-break, and skip accounting for unusable candidates.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/discovery/search.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+namespace {
+
+std::shared_ptr<Table> MakeTwoColumnTable(const std::string& key_name,
+                                          std::vector<std::string> keys,
+                                          const std::string& value_name,
+                                          std::vector<int64_t> values) {
+  return *Table::FromColumns(
+      {{key_name, Column::MakeString(std::move(keys))},
+       {value_name, Column::MakeInt64(std::move(values))}});
+}
+
+/// Fixed-seed synthetic discovery universe: a base table whose target is a
+/// deterministic function of the key, plus candidates of graded relevance.
+struct SyntheticUniverse {
+  std::shared_ptr<Table> base;
+  TableRepository repository;
+};
+
+SyntheticUniverse MakeUniverse() {
+  SyntheticUniverse universe;
+  Rng rng(4242);
+  const size_t num_keys = 160;
+  std::vector<std::string> base_keys;
+  std::vector<int64_t> base_targets;
+  for (size_t i = 0; i < num_keys; ++i) {
+    base_keys.push_back("key" + std::to_string(i));
+    base_targets.push_back(static_cast<int64_t>(i % 7));
+  }
+  universe.base = MakeTwoColumnTable("K", base_keys, "Y", base_targets);
+
+  // "exact": value == target, maximal MI.
+  std::vector<std::string> keys;
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    values.push_back(static_cast<int64_t>(i % 7));
+  }
+  universe.repository
+      .AddTable("exact", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+
+  // "coarse": a lossy function of the target, intermediate MI.
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>((i % 7) / 3));
+  }
+  universe.repository
+      .AddTable("coarse", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+
+  // "noise": independent of the target.
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBounded(7)));
+  }
+  universe.repository
+      .AddTable("noise", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+
+  // "disjoint": no key overlap with the base table; its estimate fails the
+  // min-join-size guard and the candidate is skipped.
+  keys.clear();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("other" + std::to_string(i));
+    values.push_back(static_cast<int64_t>(i));
+  }
+  universe.repository
+      .AddTable("disjoint", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  return universe;
+}
+
+SearchConfig MakeConfig(size_t num_threads) {
+  SearchConfig config;
+  config.num_threads = num_threads;
+  config.join_config.sketch_capacity = 128;
+  config.join_config.min_join_size = 16;
+  return config;
+}
+
+TEST(TopKJoinMISearchTest, RanksCandidatesByRelevance) {
+  SyntheticUniverse universe = MakeUniverse();
+  auto result = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                 universe.repository, 10, MakeConfig(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 4 tables x 1 string-key/int-value pair each.
+  EXPECT_EQ(result->num_candidates, 4u);
+  EXPECT_EQ(result->num_evaluated, 3u);
+  EXPECT_EQ(result->num_skipped, 1u);
+  ASSERT_EQ(result->hits.size(), 3u);
+  EXPECT_EQ(result->hits[0].candidate.table_name, "exact");
+  EXPECT_EQ(result->hits[1].candidate.table_name, "coarse");
+  EXPECT_EQ(result->hits[2].candidate.table_name, "noise");
+  // Sorted descending.
+  EXPECT_GE(result->hits[0].estimate.mi, result->hits[1].estimate.mi);
+  EXPECT_GE(result->hits[1].estimate.mi, result->hits[2].estimate.mi);
+  for (const SearchHit& hit : result->hits) {
+    EXPECT_TRUE(hit.estimate.sketched);
+    EXPECT_GE(hit.estimate.sample_size, 16u);
+  }
+}
+
+TEST(TopKJoinMISearchTest, KTruncatesTheRanking) {
+  SyntheticUniverse universe = MakeUniverse();
+  auto result = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                 universe.repository, 1, MakeConfig(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->hits.size(), 1u);
+  EXPECT_EQ(result->hits[0].candidate.table_name, "exact");
+  // Accounting still covers the whole repository.
+  EXPECT_EQ(result->num_candidates, 4u);
+  EXPECT_EQ(result->num_evaluated, 3u);
+}
+
+TEST(TopKJoinMISearchTest, RejectsZeroK) {
+  SyntheticUniverse universe = MakeUniverse();
+  auto result = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                 universe.repository, 0, MakeConfig(1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TopKJoinMISearchTest, FailsOnMissingBaseColumns) {
+  SyntheticUniverse universe = MakeUniverse();
+  auto result = TopKJoinMISearch(*universe.base, {"nope", "Y"},
+                                 universe.repository, 3, MakeConfig(1));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TopKJoinMISearchTest, EmptyRepositoryYieldsEmptyResult) {
+  SyntheticUniverse universe = MakeUniverse();
+  TableRepository empty;
+  auto result =
+      TopKJoinMISearch(*universe.base, {"K", "Y"}, empty, 5, MakeConfig(2));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->hits.empty());
+  EXPECT_EQ(result->num_candidates, 0u);
+}
+
+// The determinism satellite: rankings must be byte-identical for any thread
+// count, including hardware-default.
+TEST(TopKJoinMISearchTest, ThreadCountDoesNotChangeTheRanking) {
+  SyntheticUniverse universe = MakeUniverse();
+  auto serial = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                 universe.repository, 10, MakeConfig(1));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (size_t num_threads : {2u, 4u, 8u, 0u}) {
+    auto parallel =
+        TopKJoinMISearch(*universe.base, {"K", "Y"}, universe.repository, 10,
+                         MakeConfig(num_threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->num_candidates, serial->num_candidates);
+    EXPECT_EQ(parallel->num_evaluated, serial->num_evaluated);
+    EXPECT_EQ(parallel->num_skipped, serial->num_skipped);
+    ASSERT_EQ(parallel->hits.size(), serial->hits.size()) << num_threads;
+    for (size_t i = 0; i < serial->hits.size(); ++i) {
+      EXPECT_EQ(parallel->hits[i].candidate.table_name,
+                serial->hits[i].candidate.table_name);
+      EXPECT_EQ(parallel->hits[i].candidate.key_column,
+                serial->hits[i].candidate.key_column);
+      EXPECT_EQ(parallel->hits[i].candidate.value_column,
+                serial->hits[i].candidate.value_column);
+      // Bit-exact, not approximately equal: the whole estimate pipeline is
+      // seeded, so threads must not perturb any arithmetic.
+      EXPECT_EQ(parallel->hits[i].estimate.mi, serial->hits[i].estimate.mi);
+      EXPECT_EQ(parallel->hits[i].estimate.sample_size,
+                serial->hits[i].estimate.sample_size);
+      EXPECT_EQ(parallel->hits[i].estimate.estimator,
+                serial->hits[i].estimate.estimator);
+    }
+  }
+}
+
+TEST(TopKJoinMISearchTest, TiesBreakByEnumerationOrder) {
+  // Two byte-identical candidate tables produce exactly equal MI; the hit
+  // order must follow repository enumeration (lexicographic table name).
+  Rng rng(99);
+  const size_t num_keys = 120;
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets, values;
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    targets.push_back(static_cast<int64_t>(i % 4));
+    values.push_back(static_cast<int64_t>(i % 4));
+  }
+  auto base = MakeTwoColumnTable("K", keys, "Y", targets);
+  TableRepository repository;
+  repository.AddTable("twin_b", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  repository.AddTable("twin_a", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  for (size_t num_threads : {1u, 4u}) {
+    auto result = TopKJoinMISearch(*base, {"K", "Y"}, repository, 2,
+                                   MakeConfig(num_threads));
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->hits.size(), 2u);
+    EXPECT_EQ(result->hits[0].estimate.mi, result->hits[1].estimate.mi);
+    EXPECT_EQ(result->hits[0].candidate.table_name, "twin_a");
+    EXPECT_EQ(result->hits[1].candidate.table_name, "twin_b");
+  }
+}
+
+}  // namespace
+}  // namespace joinmi

@@ -69,6 +69,8 @@ INSTANTIATE_TEST_SUITE_P(
     MethodsAndTypes, SerializeRoundTripTest,
     testing::Combine(testing::Values(SketchMethod::kTupsk,
                                      SketchMethod::kLv2sk,
+                                     SketchMethod::kPrisk,
+                                     SketchMethod::kIndsk,
                                      SketchMethod::kCsk),
                      testing::Values(DataType::kInt64, DataType::kDouble,
                                      DataType::kString)),
@@ -78,15 +80,68 @@ INSTANTIATE_TEST_SUITE_P(
              "_" + DataTypeToString(std::get<1>(info.param));
     });
 
-TEST(SerializeTest, EmptySketchRoundTrips) {
-  Sketch sketch;
-  sketch.method = SketchMethod::kPrisk;
-  sketch.side = SketchSide::kCandidate;
-  sketch.capacity = 32;
-  auto restored = DeserializeSketch(SerializeSketch(sketch));
-  ASSERT_TRUE(restored.ok());
-  ExpectSketchesEqual(sketch, *restored);
+// Empty and single-key sketches for every named variant: the boundary
+// conditions a persisted discovery index actually hits (all-null candidate
+// columns serialize empty; capacity-1 sketches hold one key).
+class SerializeEdgeCaseTest : public testing::TestWithParam<SketchMethod> {};
+
+TEST_P(SerializeEdgeCaseTest, EmptySketchRoundTrips) {
+  for (SketchSide side : {SketchSide::kTrain, SketchSide::kCandidate}) {
+    Sketch sketch;
+    sketch.method = GetParam();
+    sketch.side = side;
+    sketch.capacity = 32;
+    auto restored = DeserializeSketch(SerializeSketch(sketch));
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    ExpectSketchesEqual(sketch, *restored);
+    EXPECT_EQ(restored->size(), 0u);
+  }
 }
+
+TEST_P(SerializeEdgeCaseTest, BuiltEmptySketchRoundTrips) {
+  // An all-null column yields a sketch with zero entries through the real
+  // builder path; it must survive persistence with provenance intact.
+  std::vector<Value> nulls(8, Value::Null());
+  auto key_col = *Column::FromValues(nulls);
+  auto value_col = *Column::FromValues(nulls);
+  SketchOptions options;
+  options.capacity = 16;
+  auto builder = MakeSketchBuilder(GetParam(), options);
+  auto sketch = builder->SketchTrain(*key_col, *value_col);
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  EXPECT_EQ(sketch->size(), 0u);
+  auto restored = DeserializeSketch(SerializeSketch(*sketch));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectSketchesEqual(*sketch, *restored);
+}
+
+TEST_P(SerializeEdgeCaseTest, SingleKeySketchRoundTrips) {
+  auto key_col = Column::MakeString({"only-key"});
+  auto value_col = Column::MakeString({"only-value"});
+  SketchOptions options;
+  options.capacity = 4;
+  auto builder = MakeSketchBuilder(GetParam(), options);
+  for (bool candidate_side : {false, true}) {
+    Result<Sketch> sketch =
+        candidate_side
+            ? builder->SketchCandidate(*key_col, *value_col, AggKind::kFirst)
+            : builder->SketchTrain(*key_col, *value_col);
+    ASSERT_TRUE(sketch.ok()) << sketch.status();
+    ASSERT_EQ(sketch->size(), 1u);
+    auto restored = DeserializeSketch(SerializeSketch(*sketch));
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    ExpectSketchesEqual(*sketch, *restored);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SerializeEdgeCaseTest,
+    testing::Values(SketchMethod::kCsk, SketchMethod::kIndsk,
+                    SketchMethod::kLv2sk, SketchMethod::kPrisk,
+                    SketchMethod::kTupsk),
+    [](const testing::TestParamInfo<SketchMethod>& info) {
+      return SketchMethodToString(info.param);
+    });
 
 TEST(SerializeTest, NullValueRoundTrips) {
   Sketch sketch;

@@ -330,7 +330,9 @@ TEST(Lv2skTest, PerKeyCapMatchesFormula) {
     EXPECT_EQ(per_key[heavy_hash], 6u);
   }
   for (const auto& [hash, count] : per_key) {
-    if (hash != heavy_hash) EXPECT_EQ(count, 1u);
+    if (hash != heavy_hash) {
+      EXPECT_EQ(count, 1u);
+    }
   }
 }
 
@@ -659,6 +661,146 @@ INSTANTIATE_TEST_SUITE_P(
     [](const testing::TestParamInfo<SketchMethod>& info) {
       return SketchMethodToString(info.param);
     });
+
+// ------------------------------------------------- PreparedTrainSketch ---
+
+TEST(PreparedTrainSketchTest, JoinMatchesJoinSketchesForEveryMethod) {
+  // The prepared path is an optimization, not a semantic change: for every
+  // sketch variant the joined sample must be byte-identical to
+  // JoinSketches, including train-side multiplicity and pair order.
+  Rng rng(77);
+  std::vector<std::string> train_keys, cand_keys;
+  std::vector<int64_t> train_values, cand_values;
+  for (int i = 0; i < 1500; ++i) {
+    train_keys.push_back("k" + std::to_string(rng.NextBounded(300)));
+    train_values.push_back(static_cast<int64_t>(rng.NextBounded(40)));
+  }
+  for (int i = 0; i < 350; ++i) {
+    cand_keys.push_back("k" + std::to_string(i));
+    cand_values.push_back(static_cast<int64_t>(rng.NextBounded(40)));
+  }
+  auto train = MakeTrain(train_keys, train_values);
+  auto cand = *Table::FromColumns({{"K", Column::MakeString(cand_keys)},
+                                   {"Z", Column::MakeInt64(cand_values)}});
+  for (SketchMethod method : kAllMethods) {
+    auto builder = MakeSketchBuilder(method, Options(96));
+    auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                         *(*train->GetColumn("Y")));
+    auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                            *(*cand->GetColumn("Z")),
+                                            AggKind::kAvg);
+    auto plain = *JoinSketches(s_train, s_cand);
+    auto prepared = PreparedTrainSketch::Create(s_train);
+    ASSERT_TRUE(prepared.ok()) << SketchMethodToString(method);
+    auto fast = *prepared->Join(s_cand);
+    ASSERT_EQ(fast.join_size, plain.join_size) << SketchMethodToString(method);
+    EXPECT_EQ(fast.matched_keys, plain.matched_keys);
+    for (size_t i = 0; i < plain.sample.size(); ++i) {
+      ASSERT_EQ(fast.sample.x[i], plain.sample.x[i])
+          << SketchMethodToString(method) << " pair " << i;
+      ASSERT_EQ(fast.sample.y[i], plain.sample.y[i])
+          << SketchMethodToString(method) << " pair " << i;
+    }
+  }
+}
+
+TEST(PreparedTrainSketchTest, EstimateMatchesUnpreparedOverloads) {
+  std::vector<std::string> keys;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 600; ++i) {
+    keys.push_back("k" + std::to_string(i % 150));
+    values.push_back(static_cast<int64_t>(i % 6));
+  }
+  auto train = MakeTrain(keys, values);
+  auto cand = *Table::FromColumns(
+      {{"K", Column::MakeString(keys)}, {"Z", Column::MakeInt64(values)}});
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, Options(64));
+  auto s_train = *builder->SketchTrain(*(*train->GetColumn("K")),
+                                       *(*train->GetColumn("Y")));
+  auto s_cand = *builder->SketchCandidate(*(*cand->GetColumn("K")),
+                                          *(*cand->GetColumn("Z")),
+                                          AggKind::kFirst);
+  auto prepared = *PreparedTrainSketch::Create(s_train);
+  auto plain = *EstimateSketchMI(s_train, s_cand, MIEstimatorKind::kMLE);
+  auto fast = *EstimateSketchMI(prepared, s_cand, MIEstimatorKind::kMLE);
+  EXPECT_EQ(plain.mi, fast.mi);
+  EXPECT_EQ(plain.join_size, fast.join_size);
+  auto plain_auto = *EstimateSketchMIAuto(s_train, s_cand);
+  auto fast_auto = *EstimateSketchMIAuto(prepared, s_cand);
+  EXPECT_EQ(plain_auto.mi, fast_auto.mi);
+  EXPECT_EQ(plain_auto.estimator, fast_auto.estimator);
+}
+
+TEST(PreparedTrainSketchTest, EmptyTrainSketchJoinsEmpty) {
+  Sketch train;
+  train.side = SketchSide::kTrain;
+  auto prepared = PreparedTrainSketch::Create(train);
+  ASSERT_TRUE(prepared.ok());
+  Sketch cand;
+  cand.side = SketchSide::kCandidate;
+  cand.entries.push_back(SketchEntry{42, 0.1, Value(int64_t{1})});
+  auto joined = prepared->Join(cand);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->join_size, 0u);
+  EXPECT_EQ(joined->matched_keys, 0u);
+}
+
+TEST(PreparedTrainSketchTest, RejectsUnsortedTrainEntries) {
+  Sketch train;
+  train.side = SketchSide::kTrain;
+  // Same key hash in two non-adjacent runs violates the sort invariant.
+  train.entries.push_back(SketchEntry{7, 0.1, Value(int64_t{1})});
+  train.entries.push_back(SketchEntry{3, 0.2, Value(int64_t{2})});
+  train.entries.push_back(SketchEntry{7, 0.3, Value(int64_t{3})});
+  auto prepared = PreparedTrainSketch::Create(train);
+  EXPECT_FALSE(prepared.ok());
+  EXPECT_TRUE(prepared.status().IsInvalidArgument());
+}
+
+TEST(PreparedTrainSketchTest, RejectsDuplicateCandidateKeys) {
+  Sketch train;
+  train.side = SketchSide::kTrain;
+  train.entries.push_back(SketchEntry{5, 0.1, Value(int64_t{1})});
+  auto prepared = *PreparedTrainSketch::Create(train);
+  Sketch cand;
+  cand.side = SketchSide::kCandidate;
+  cand.entries.push_back(SketchEntry{5, 0.1, Value(int64_t{1})});
+  cand.entries.push_back(SketchEntry{5, 0.2, Value(int64_t{2})});
+  auto joined = prepared.Join(cand);
+  EXPECT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsInvalidArgument());
+  // Duplicate candidate keys are rejected even when they match no train
+  // entry — parity with the JoinSketches overload.
+  Sketch unmatched_dupes;
+  unmatched_dupes.side = SketchSide::kCandidate;
+  unmatched_dupes.entries.push_back(SketchEntry{9, 0.1, Value(int64_t{1})});
+  unmatched_dupes.entries.push_back(SketchEntry{9, 0.2, Value(int64_t{2})});
+  EXPECT_FALSE(prepared.Join(unmatched_dupes).ok());
+  EXPECT_FALSE(JoinSketches(prepared.sketch(), unmatched_dupes).ok());
+  // And a train sketch on the right is still rejected.
+  Sketch wrong_side;
+  wrong_side.side = SketchSide::kTrain;
+  EXPECT_FALSE(prepared.Join(wrong_side).ok());
+}
+
+TEST(SketchJoinTest, MatchedKeysDistinctEvenForUnsortedTrainSketch) {
+  // JoinSketches (unlike the prepared path) accepts train sketches that
+  // violate the sorted-by-key-hash invariant, e.g. hand-built ones; the
+  // distinct-key count must not rely on equal hashes being adjacent.
+  Sketch train;
+  train.side = SketchSide::kTrain;
+  train.entries.push_back(SketchEntry{7, 0.1, Value(int64_t{1})});
+  train.entries.push_back(SketchEntry{3, 0.2, Value(int64_t{2})});
+  train.entries.push_back(SketchEntry{7, 0.3, Value(int64_t{3})});
+  Sketch cand;
+  cand.side = SketchSide::kCandidate;
+  cand.entries.push_back(SketchEntry{3, 0.1, Value(int64_t{30})});
+  cand.entries.push_back(SketchEntry{7, 0.2, Value(int64_t{70})});
+  auto joined = JoinSketches(train, cand);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  EXPECT_EQ(joined->join_size, 3u);
+  EXPECT_EQ(joined->matched_keys, 2u);
+}
 
 }  // namespace
 }  // namespace joinmi
