@@ -1,7 +1,7 @@
 // Throughput benchmark for the parallel top-k discovery engine.
 //
-// Compares three ways of ranking every candidate column pair of a synthetic
-// repository against one base table:
+// Part 1 compares three ways of ranking every candidate column pair of a
+// synthetic repository against one base table:
 //
 //   naive serial    one SketchJoinMI call per candidate — rebuilds the base
 //                   table's sketch for every query (the pre-engine API);
@@ -9,41 +9,76 @@
 //                   and probed via the prepared train index;
 //   engine xT       TopKJoinMISearch with T threads (default 4).
 //
-// The engine's win decomposes into base-sketch reuse (visible even on one
-// core) and thread-level parallelism (visible with >= 2 cores). Both
-// speedup factors are reported, and the 1-thread and T-thread rankings are
-// cross-checked for equality before any number is printed.
+// Part 2 is the sketch-once / query-many deployment (the paper's Sections I
+// and V-C): a SketchIndex is built once (every candidate sketched offline)
+// and then probed by a stream of queries. For each query count Q it
+// compares
+//
+//   per-query sketching   Q x TopKJoinMISearch(repository) — candidates
+//                         re-sketched on every query;
+//   index-backed probing  index build (paid once) + Q x
+//                         TopKJoinMISearch(index) — queries only join
+//                         against prepared candidate probe maps.
+//
+// Amortization is the headline: the index path pays the candidate
+// sketching cost once, so it wins as soon as a couple of queries share it.
+// Rankings from the two paths are cross-checked for equality before any
+// number is printed, as are 1-thread vs T-thread engine rankings.
+//
+// `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
+// batch) so the whole binary runs in well under a second; CI runs that
+// mode as a ctest to keep this harness from rotting.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/core/join_mi.h"
 #include "src/discovery/search.h"
+#include "src/discovery/sketch_index.h"
 #include "src/table/table.h"
 
 namespace joinmi {
 namespace bench {
 namespace {
 
-constexpr size_t kBaseRows = 120000;
-constexpr size_t kDistinctKeys = 4000;
-constexpr size_t kCandidateTables = 48;
-constexpr size_t kCandidateRows = 4000;
-constexpr size_t kTopK = 10;
+struct BenchParams {
+  size_t base_rows = 120000;
+  size_t distinct_keys = 4000;
+  size_t candidate_tables = 48;
+  size_t candidate_rows = 4000;
+  size_t top_k = 10;
+  size_t sketch_capacity = 512;
+  size_t min_join_size = 32;
+  std::vector<size_t> query_counts = {1, 2, 4, 8};
+};
+
+BenchParams SmokeParams() {
+  BenchParams params;
+  params.base_rows = 3000;
+  params.distinct_keys = 200;
+  params.candidate_tables = 6;
+  params.candidate_rows = 500;
+  params.sketch_capacity = 128;
+  params.min_join_size = 16;
+  params.query_counts = {2};
+  return params;
+}
 
 std::string KeyName(uint64_t i) { return "key" + std::to_string(i); }
 
-std::shared_ptr<Table> MakeBaseTable(Rng* rng) {
+std::shared_ptr<Table> MakeBaseTable(const BenchParams& params, Rng* rng) {
   std::vector<std::string> keys;
   std::vector<int64_t> targets;
-  keys.reserve(kBaseRows);
-  targets.reserve(kBaseRows);
-  for (size_t i = 0; i < kBaseRows; ++i) {
-    const uint64_t k = rng->NextBounded(kDistinctKeys);
+  keys.reserve(params.base_rows);
+  targets.reserve(params.base_rows);
+  for (size_t i = 0; i < params.base_rows; ++i) {
+    const uint64_t k = rng->NextBounded(params.distinct_keys);
     keys.push_back(KeyName(k));
     targets.push_back(static_cast<int64_t>(k % 16));
   }
@@ -51,18 +86,18 @@ std::shared_ptr<Table> MakeBaseTable(Rng* rng) {
                               {"Y", Column::MakeInt64(std::move(targets))}});
 }
 
-TableRepository MakeRepository(Rng* rng) {
+TableRepository MakeRepository(const BenchParams& params, Rng* rng) {
   TableRepository repository;
-  for (size_t t = 0; t < kCandidateTables; ++t) {
+  for (size_t t = 0; t < params.candidate_tables; ++t) {
     std::vector<std::string> keys;
     std::vector<int64_t> values;
-    keys.reserve(kCandidateRows);
-    values.reserve(kCandidateRows);
+    keys.reserve(params.candidate_rows);
+    values.reserve(params.candidate_rows);
     // Candidates range from perfectly informative (t = 0 copies the target
     // function) to pure noise, so the top-k ranking is non-trivial.
     const uint64_t noise = 1 + static_cast<uint64_t>(t);
-    for (size_t i = 0; i < kCandidateRows; ++i) {
-      const uint64_t k = rng->NextBounded(kDistinctKeys);
+    for (size_t i = 0; i < params.candidate_rows; ++i) {
+      const uint64_t k = rng->NextBounded(params.distinct_keys);
       keys.push_back(KeyName(k));
       const int64_t signal = static_cast<int64_t>(k % 16);
       const int64_t jitter = static_cast<int64_t>(rng->NextBounded(noise));
@@ -84,17 +119,18 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-JoinMIConfig MakeJoinConfig() {
+JoinMIConfig MakeJoinConfig(const BenchParams& params) {
   JoinMIConfig config;
-  config.sketch_capacity = 512;
-  config.min_join_size = 32;
+  config.sketch_capacity = params.sketch_capacity;
+  config.min_join_size = params.min_join_size;
   return config;
 }
 
 // The pre-engine API: one independent SketchJoinMI per candidate pair,
 // keeping the best k by (mi desc, enumeration order) like the engine does.
-double RunNaiveSerial(const Table& base, const TableRepository& repository) {
-  const JoinMIConfig config = MakeJoinConfig();
+double RunNaiveSerial(const BenchParams& params, const Table& base,
+                      const TableRepository& repository) {
+  const JoinMIConfig config = MakeJoinConfig(params);
   const auto start = std::chrono::steady_clock::now();
   size_t evaluated = 0;
   double best = 0.0;
@@ -115,18 +151,21 @@ double RunNaiveSerial(const Table& base, const TableRepository& repository) {
   return ms;
 }
 
-double RunEngine(const Table& base, const TableRepository& repository,
-                 size_t num_threads, TopKSearchResult* result_out) {
+double RunEngine(const BenchParams& params, const Table& base,
+                 const TableRepository& repository, size_t num_threads,
+                 TopKSearchResult* result_out) {
   SearchConfig config;
   config.num_threads = num_threads;
-  config.join_config = MakeJoinConfig();
+  config.join_config = MakeJoinConfig(params);
   const auto start = std::chrono::steady_clock::now();
-  auto result = TopKJoinMISearch(base, {"K", "Y"}, repository, kTopK, config);
+  auto result = TopKJoinMISearch(base, {"K", "Y"}, repository, params.top_k,
+                                 config);
   const double ms = MillisSince(start);
   result.status().Abort("TopKJoinMISearch");
-  std::printf("engine x%-4zu: %8.1f ms  (%zu evaluated, %zu skipped, top hit "
-              "%s MI %.3f)\n",
+  std::printf("engine x%-4zu: %8.1f ms  (%zu evaluated, %zu skipped, %zu "
+              "errors, top hit %s MI %.3f)\n",
               num_threads, ms, result->num_evaluated, result->num_skipped,
+              result->num_errors,
               result->hits.empty()
                   ? "-"
                   : result->hits[0].candidate.table_name.c_str(),
@@ -135,7 +174,8 @@ double RunEngine(const Table& base, const TableRepository& repository,
   return ms;
 }
 
-void ExpectSameRanking(const TopKSearchResult& a, const TopKSearchResult& b) {
+void ExpectSameRanking(const TopKSearchResult& a, const TopKSearchResult& b,
+                       const char* what) {
   bool same = a.hits.size() == b.hits.size();
   for (size_t i = 0; same && i < a.hits.size(); ++i) {
     same = a.hits[i].candidate.table_name == b.hits[i].candidate.table_name &&
@@ -143,33 +183,111 @@ void ExpectSameRanking(const TopKSearchResult& a, const TopKSearchResult& b) {
            a.hits[i].estimate.mi == b.hits[i].estimate.mi;
   }
   if (!same) {
-    std::fprintf(stderr,
-                 "FATAL: 1-thread and multi-thread rankings disagree\n");
+    std::fprintf(stderr, "FATAL: %s rankings disagree\n", what);
     std::abort();
   }
 }
 
-int Run(size_t threads) {
-  std::printf("top-k discovery throughput — base %zu rows, %zu candidate "
-              "tables x %zu rows, sketch n=512, k=%zu\n\n",
-              kBaseRows, kCandidateTables, kCandidateRows, kTopK);
-  Rng rng(20240612);
-  auto base = MakeBaseTable(&rng);
-  TableRepository repository = MakeRepository(&rng);
+// Part 2: sketch-once / query-many amortization.
+void RunIndexAmortization(const BenchParams& params,
+                          const TableRepository& repository, size_t threads,
+                          Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  const size_t max_queries = *std::max_element(params.query_counts.begin(),
+                                               params.query_counts.end());
+  std::vector<std::shared_ptr<Table>> queries;
+  queries.reserve(max_queries);
+  for (size_t q = 0; q < max_queries; ++q) {
+    queries.push_back(MakeBaseTable(params, rng));
+  }
 
-  const double naive_ms = RunNaiveSerial(*base, repository);
+  std::printf("\n== sketch-once / query-many: per-query sketching vs "
+              "index-backed probing (engine x%zu) ==\n",
+              threads);
+  auto build_start = std::chrono::steady_clock::now();
+  SketchIndex index(config);
+  auto indexed = index.IndexRepository(repository);
+  indexed.status().Abort("building the sketch index");
+  const double build_ms = MillisSince(build_start);
+  std::printf("index build  : %8.1f ms  (%zu candidate sketches, capacity "
+              "%zu)\n",
+              build_ms, *indexed, config.sketch_capacity);
+
+  // Correctness gate: at matched config the index-backed ranking must be
+  // identical to the per-query-sketching ranking.
+  {
+    SearchConfig search_config;
+    search_config.num_threads = threads;
+    search_config.join_config = config;
+    auto via_repo = TopKJoinMISearch(*queries[0], {"K", "Y"}, repository,
+                                     params.top_k, search_config);
+    via_repo.status().Abort("repository-path search");
+    auto via_index = TopKJoinMISearch(*queries[0], {"K", "Y"}, index,
+                                      params.top_k, threads);
+    via_index.status().Abort("index-path search");
+    ExpectSameRanking(*via_repo, *via_index, "repository-path and index-path");
+  }
+
+  for (size_t num_queries : params.query_counts) {
+    SearchConfig search_config;
+    search_config.num_threads = threads;
+    search_config.join_config = config;
+    auto sketch_start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < num_queries; ++q) {
+      TopKJoinMISearch(*queries[q], {"K", "Y"}, repository, params.top_k,
+                       search_config)
+          .status()
+          .Abort("per-query-sketching search");
+    }
+    const double sketch_ms = MillisSince(sketch_start);
+
+    auto probe_start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < num_queries; ++q) {
+      TopKJoinMISearch(*queries[q], {"K", "Y"}, index, params.top_k, threads)
+          .status()
+          .Abort("index-backed search");
+    }
+    const double probe_ms = MillisSince(probe_start);
+    // The index path's total cost includes its one-time build.
+    const double index_total = build_ms + probe_ms;
+    std::printf("Q=%-3zu per-query sketching %8.1f ms | index build+probe "
+                "%6.1f+%6.1f = %8.1f ms | %s %.2fx\n",
+                num_queries, sketch_ms, build_ms, probe_ms, index_total,
+                index_total <= sketch_ms ? "index ahead" : "index behind",
+                sketch_ms / index_total);
+  }
+  std::printf("(per-probe marginal cost: the probe column divided by Q — "
+              "the build never recurs)\n");
+}
+
+int Run(size_t threads, bool smoke) {
+  const BenchParams params = smoke ? SmokeParams() : BenchParams{};
+  std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
+              "tables x %zu rows, sketch n=%zu, k=%zu\n\n",
+              smoke ? " (smoke mode)" : "", params.base_rows,
+              params.candidate_tables, params.candidate_rows,
+              params.sketch_capacity, params.top_k);
+  Rng rng(20240612);
+  auto base = MakeBaseTable(params, &rng);
+  TableRepository repository = MakeRepository(params, &rng);
+
+  const double naive_ms = RunNaiveSerial(params, *base, repository);
   TopKSearchResult serial_result;
-  const double engine1_ms = RunEngine(*base, repository, 1, &serial_result);
+  const double engine1_ms =
+      RunEngine(params, *base, repository, 1, &serial_result);
   TopKSearchResult parallel_result;
   const double engineN_ms =
-      RunEngine(*base, repository, threads, &parallel_result);
-  ExpectSameRanking(serial_result, parallel_result);
+      RunEngine(params, *base, repository, threads, &parallel_result);
+  ExpectSameRanking(serial_result, parallel_result,
+                    "1-thread and multi-thread");
 
   std::printf("\nspeedup vs naive serial: engine x1 %.2fx, engine x%zu "
               "%.2fx\n",
               naive_ms / engine1_ms, threads, naive_ms / engineN_ms);
   std::printf("thread scaling (engine x%zu vs x1): %.2fx\n", threads,
               engine1_ms / engineN_ms);
+
+  RunIndexAmortization(params, repository, threads, &rng);
   return 0;
 }
 
@@ -179,10 +297,27 @@ int Run(size_t threads) {
 
 int main(int argc, char** argv) {
   long threads = 4;
-  if (argc > 1) threads = std::strtol(argv[1], nullptr, 10);
-  if (threads < 1 || threads > 256) {
-    std::fprintf(stderr, "usage: %s [threads 1..256]\n", argv[0]);
+  bool smoke = false;
+  bool have_threads = false;
+  bool usage_error = false;
+  for (int arg = 1; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--smoke") == 0 && !smoke) {
+      smoke = true;
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(argv[arg], &end, 10);
+    if (have_threads || end == argv[arg] || *end != '\0' || parsed < 1 ||
+        parsed > 256) {
+      usage_error = true;  // unknown flag, repeat, junk, or out of range
+      break;
+    }
+    threads = parsed;
+    have_threads = true;
+  }
+  if (usage_error) {
+    std::fprintf(stderr, "usage: %s [--smoke] [threads 1..256]\n", argv[0]);
     return 2;
   }
-  return joinmi::bench::Run(static_cast<size_t>(threads));
+  return joinmi::bench::Run(static_cast<size_t>(threads), smoke);
 }

@@ -5,7 +5,10 @@
 // my table, tell me the most about my target?" online — touching only
 // sketches, never the repository's raw rows.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
 
 #include "src/common/random.h"
 #include "src/discovery/opendata_sim.h"
@@ -79,5 +82,28 @@ int main() {
       "\nEvery score above was computed from two sketches of at most %zu\n"
       "tuples each; no join against the repository was materialized.\n",
       config.sketch_capacity);
-  return 0;
+
+  // 4. Persistence: the index survives a restart. Write it out, load it in
+  //    a fresh object, and verify the reloaded index answers identically —
+  //    the sketch-once / query-many deployment across processes.
+  const std::string index_path = "/tmp/joinmi_dataset_search_index." +
+                                 std::to_string(getpid()) + ".bin";
+  WriteIndexFile(index, index_path).Abort("persisting the index");
+  auto reloaded = ReadIndexFile(index_path);
+  reloaded.status().Abort("reloading the index");
+  auto hits_again = reloaded->Query(*query, /*top_k=*/8);
+  hits_again.status().Abort("querying the reloaded index");
+  bool identical = hits_again->size() == hits->size();
+  for (size_t i = 0; identical && i < hits->size(); ++i) {
+    identical = (*hits_again)[i].mi == (*hits)[i].mi &&
+                (*hits_again)[i].join_size == (*hits)[i].join_size &&
+                (*hits_again)[i].ref.ToString() == (*hits)[i].ref.ToString();
+  }
+  std::printf(
+      "\nPersisted the index to %s and reloaded it: %zu sketches, "
+      "rankings %s.\n",
+      index_path.c_str(), reloaded->size(),
+      identical ? "identical" : "DIFFER (bug!)");
+  std::remove(index_path.c_str());
+  return identical ? 0 : 1;
 }

@@ -111,6 +111,29 @@ Result<JoinMIEstimate> JoinMIQuery::Estimate(const Sketch& candidate) const {
   return estimate;
 }
 
+Result<JoinMIEstimate> JoinMIQuery::Estimate(
+    const PreparedCandidateSketch& candidate) const {
+  SketchMIResult sketch_result;
+  if (config_.estimator.has_value()) {
+    JOINMI_ASSIGN_OR_RETURN(
+        sketch_result,
+        EstimateSketchMI(train_sketch_.sketch(), candidate,
+                         *config_.estimator, config_.mi_options,
+                         config_.min_join_size));
+  } else {
+    JOINMI_ASSIGN_OR_RETURN(
+        sketch_result,
+        EstimateSketchMIAuto(train_sketch_.sketch(), candidate,
+                             config_.mi_options, config_.min_join_size));
+  }
+  JoinMIEstimate estimate;
+  estimate.mi = sketch_result.mi;
+  estimate.estimator = sketch_result.estimator;
+  estimate.sample_size = sketch_result.join_size;
+  estimate.sketched = true;
+  return estimate;
+}
+
 Result<JoinMIEstimate> JoinMIQuery::EstimateTable(
     const Table& cand, const std::string& cand_key,
     const std::string& cand_value) const {

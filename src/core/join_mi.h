@@ -68,6 +68,11 @@ class JoinMIQuery {
   /// \brief Estimates MI against a pre-built candidate sketch.
   Result<JoinMIEstimate> Estimate(const Sketch& candidate) const;
 
+  /// \brief Estimates MI against a prepared (probe-map-indexed) candidate
+  /// sketch — the persisted-index hot path. Results match the Sketch
+  /// overload exactly.
+  Result<JoinMIEstimate> Estimate(const PreparedCandidateSketch& candidate) const;
+
   /// \brief Convenience: sketch + estimate in one call.
   Result<JoinMIEstimate> EstimateTable(const Table& cand,
                                        const std::string& cand_key,

@@ -13,10 +13,14 @@ namespace {
 
 struct CandidateOutcome {
   std::optional<JoinMIEstimate> estimate;
+  bool skipped = false;  // overlap below min_join_size (OutOfRange)
 };
 
 // Evaluates candidate pair `i` into `outcomes[i]`. Runs on worker threads:
-// touches only const shared state plus its own outcome slot.
+// touches only const shared state plus its own outcome slot. An OutOfRange
+// estimate marks the slot skipped; every other failure (missing table,
+// unsketchable column, estimator error) leaves {nullopt, skipped=false},
+// which the merge counts as a hard error.
 void EvaluateCandidate(const JoinMIQuery& query,
                        const TableRepository& repository,
                        const ColumnPairRef& ref, CandidateOutcome* outcome) {
@@ -24,8 +28,42 @@ void EvaluateCandidate(const JoinMIQuery& query,
   if (!table.ok()) return;
   auto estimate = query.EstimateTable(**table, ref.key_column,
                                       ref.value_column);
-  if (!estimate.ok()) return;
-  outcome->estimate = *estimate;
+  if (estimate.ok()) {
+    outcome->estimate = *estimate;
+  } else if (estimate.status().IsOutOfRange()) {
+    outcome->skipped = true;
+  }
+}
+
+// Deterministic top-k merge shared by both search overloads: ranks the
+// present estimates by MI descending with the enumeration index (==
+// candidate order, sorted for repositories, insertion order for indexes)
+// breaking ties, then fills result->hits using ref_at(i) for provenance.
+// Also sets num_evaluated.
+template <typename RefAt>
+void MergeTopKByEnumeration(
+    const std::vector<std::optional<JoinMIEstimate>>& estimates, size_t k,
+    RefAt&& ref_at, TopKSearchResult* result) {
+  std::vector<size_t> ranked;
+  ranked.reserve(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    if (estimates[i].has_value()) ranked.push_back(i);
+  }
+  result->num_evaluated = ranked.size();
+  const size_t take = std::min(k, ranked.size());
+  auto better = [&estimates](size_t a, size_t b) {
+    const double mi_a = estimates[a]->mi;
+    const double mi_b = estimates[b]->mi;
+    if (mi_a != mi_b) return mi_a > mi_b;
+    return a < b;
+  };
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    better);
+  result->hits.reserve(take);
+  for (size_t r = 0; r < take; ++r) {
+    const size_t i = ranked[r];
+    result->hits.push_back(SearchHit{ref_at(i), *estimates[i]});
+  }
 }
 
 }  // namespace
@@ -63,32 +101,48 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
     pool.Wait();
   }
 
-  // Merge: indices of evaluated candidates ranked by MI descending, with
-  // the enumeration index (== repository order, which is sorted by table
-  // name then column names) as the deterministic tie-break.
-  std::vector<size_t> ranked;
-  ranked.reserve(pairs.size());
-  for (size_t i = 0; i < outcomes.size(); ++i) {
-    if (outcomes[i].estimate.has_value()) ranked.push_back(i);
-  }
   TopKSearchResult result;
   result.num_candidates = pairs.size();
-  result.num_evaluated = ranked.size();
-  result.num_skipped = pairs.size() - ranked.size();
-  const size_t take = std::min(k, ranked.size());
-  auto better = [&outcomes](size_t a, size_t b) {
-    const double mi_a = outcomes[a].estimate->mi;
-    const double mi_b = outcomes[b].estimate->mi;
-    if (mi_a != mi_b) return mi_a > mi_b;
-    return a < b;
-  };
-  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
-                    better);
-  result.hits.reserve(take);
-  for (size_t r = 0; r < take; ++r) {
-    const size_t i = ranked[r];
-    result.hits.push_back(SearchHit{pairs[i], *outcomes[i].estimate});
+  std::vector<std::optional<JoinMIEstimate>> estimates;
+  estimates.reserve(outcomes.size());
+  for (CandidateOutcome& outcome : outcomes) {
+    if (!outcome.estimate.has_value()) {
+      if (outcome.skipped) {
+        ++result.num_skipped;
+      } else {
+        ++result.num_errors;
+      }
+    }
+    estimates.push_back(std::move(outcome.estimate));
   }
+  MergeTopKByEnumeration(estimates, k,
+                         [&pairs](size_t i) { return pairs[i]; }, &result);
+  return result;
+}
+
+Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                          const SearchSpec& spec,
+                                          const SketchIndex& index, size_t k,
+                                          size_t num_threads) {
+  if (k == 0) {
+    return Status::InvalidArgument("top-k search requires k >= 1");
+  }
+  // The index's config (not a caller-supplied one) drives the query sketch:
+  // candidate sketches were built under it, and only same-config sketches
+  // coordinate. This is what makes the ranking match the repository path.
+  JOINMI_ASSIGN_OR_RETURN(
+      JoinMIQuery query,
+      JoinMIQuery::Create(base_table, spec.base_key, spec.base_target,
+                          index.config()));
+  JOINMI_ASSIGN_OR_RETURN(IndexEvaluation evaluation,
+                          index.EvaluateAll(query, num_threads));
+  TopKSearchResult result;
+  result.num_candidates = index.size();
+  result.num_skipped = evaluation.num_skipped;
+  result.num_errors = evaluation.num_errors;
+  MergeTopKByEnumeration(
+      evaluation.estimates, k,
+      [&index](size_t i) { return index.candidates()[i].ref; }, &result);
   return result;
 }
 

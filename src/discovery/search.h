@@ -15,6 +15,7 @@
 #include "src/common/status.h"
 #include "src/core/join_mi.h"
 #include "src/discovery/repository.h"
+#include "src/discovery/sketch_index.h"
 #include "src/table/table.h"
 
 namespace joinmi {
@@ -46,12 +47,17 @@ struct TopKSearchResult {
   /// order (table name, then key/value column), so the ranking is stable
   /// and reproducible.
   std::vector<SearchHit> hits;
-  /// Column pairs enumerated from the repository.
+  /// Column pairs enumerated from the repository (or indexed candidates).
   size_t num_candidates = 0;
   /// Candidates that produced an estimate.
   size_t num_evaluated = 0;
-  /// Candidates skipped (tiny sketch-join overlap, unsketchable columns).
+  /// Candidates skipped because the sketch-join overlap fell below
+  /// config.min_join_size — expected in healthy repositories.
   size_t num_skipped = 0;
+  /// Candidates that failed hard (missing tables, unsketchable columns,
+  /// estimator errors). Kept separate from num_skipped so "overlap too
+  /// small" is distinguishable from "repository is broken".
+  size_t num_errors = 0;
 };
 
 /// \brief Searches the repository for the k candidate column pairs whose
@@ -69,6 +75,19 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
                                           const TableRepository& repository,
                                           size_t k,
                                           const SearchConfig& config = {});
+
+/// \brief Index-backed search: probes a persisted SketchIndex instead of
+/// re-sketching every candidate per query — the paper's sketch-once /
+/// query-many deployment. The base table is sketched once with the
+/// *index's* JoinMIConfig (so query and index sketches are guaranteed to
+/// coordinate), then joined against every pre-built candidate sketch via
+/// its prepared probe map. At matched config and seed the ranking is
+/// identical to the repository overload's; only the per-query candidate
+/// sketching cost disappears. `num_threads` 0 means hardware concurrency.
+Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                          const SearchSpec& spec,
+                                          const SketchIndex& index,
+                                          size_t k, size_t num_threads = 0);
 
 }  // namespace joinmi
 

@@ -1,8 +1,34 @@
 #include "src/discovery/sketch_index.h"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+#include "src/sketch/serialize.h"
 
 namespace joinmi {
+
+namespace {
+
+// Per-candidate query outcome, written by exactly one worker thread.
+struct CandidateOutcome {
+  std::optional<JoinMIEstimate> estimate;
+  bool skipped = false;  // join below min_join_size (OutOfRange)
+};
+
+void EvaluateOne(const JoinMIQuery& query, const IndexedCandidate& candidate,
+                 CandidateOutcome* outcome) {
+  auto estimate = query.Estimate(candidate.prepared);
+  if (estimate.ok()) {
+    outcome->estimate = *estimate;
+  } else if (estimate.status().IsOutOfRange()) {
+    outcome->skipped = true;
+  }
+  // Anything else stays {nullopt, skipped=false}: a hard error.
+}
+
+}  // namespace
 
 Status SketchIndex::AddCandidate(const Table& table,
                                  const ColumnPairRef& ref) {
@@ -13,7 +39,19 @@ Status SketchIndex::AddCandidate(const Table& table,
   JOINMI_ASSIGN_OR_RETURN(
       Sketch sketch,
       builder->SketchCandidate(*key_col, *value_col, config_.aggregation));
-  candidates_.push_back(IndexedCandidate{ref, std::move(sketch)});
+  return AddSketch(ref, std::move(sketch));
+}
+
+Status SketchIndex::AddSketch(const ColumnPairRef& ref, Sketch sketch) {
+  if (sketch.hash_seed != config_.hash_seed) {
+    return Status::InvalidArgument(
+        "sketch for " + ref.ToString() + " was built with hash seed " +
+        std::to_string(sketch.hash_seed) + ", index config uses " +
+        std::to_string(config_.hash_seed));
+  }
+  JOINMI_ASSIGN_OR_RETURN(PreparedCandidateSketch prepared,
+                          PreparedCandidateSketch::Create(std::move(sketch)));
+  candidates_.push_back(IndexedCandidate{ref, std::move(prepared)});
   return Status::OK();
 }
 
@@ -29,23 +67,223 @@ Result<size_t> SketchIndex::IndexRepository(
   return indexed;
 }
 
-Result<std::vector<DiscoveryHit>> SketchIndex::Query(const JoinMIQuery& query,
-                                                     size_t top_k) const {
-  std::vector<DiscoveryHit> hits;
-  hits.reserve(candidates_.size());
-  for (const IndexedCandidate& candidate : candidates_) {
-    auto estimate = query.Estimate(candidate.sketch);
-    if (!estimate.ok()) continue;  // too-small join or incompatible types
-    hits.push_back(DiscoveryHit{candidate.ref, estimate->mi,
-                                estimate->sample_size, estimate->estimator});
+Result<IndexEvaluation> SketchIndex::EvaluateAll(const JoinMIQuery& query,
+                                                 size_t num_threads) const {
+  // The per-join seed check would catch this candidate by candidate, but a
+  // whole-index mismatch is a configuration error worth one clear failure
+  // instead of size() identical ones counted as errors.
+  if (query.train_sketch().hash_seed != config_.hash_seed) {
+    return Status::InvalidArgument(
+        "query sketch hash seed " +
+        std::to_string(query.train_sketch().hash_seed) +
+        " does not match index hash seed " +
+        std::to_string(config_.hash_seed));
   }
-  std::sort(hits.begin(), hits.end(),
-            [](const DiscoveryHit& a, const DiscoveryHit& b) {
-              if (a.mi != b.mi) return a.mi > b.mi;
-              return a.join_size > b.join_size;
-            });
-  if (hits.size() > top_k) hits.resize(top_k);
+  std::vector<CandidateOutcome> outcomes(candidates_.size());
+  const size_t threads = num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                          : num_threads;
+  if (threads <= 1 || candidates_.size() <= 1) {
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      EvaluateOne(query, candidates_[i], &outcomes[i]);
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      pool.Submit([this, &query, &outcomes, i] {
+        EvaluateOne(query, candidates_[i], &outcomes[i]);
+      });
+    }
+    pool.Wait();
+  }
+  IndexEvaluation evaluation;
+  evaluation.estimates.reserve(outcomes.size());
+  for (CandidateOutcome& outcome : outcomes) {
+    if (outcome.estimate.has_value()) {
+      ++evaluation.num_evaluated;
+    } else if (outcome.skipped) {
+      ++evaluation.num_skipped;
+    } else {
+      ++evaluation.num_errors;
+    }
+    evaluation.estimates.push_back(std::move(outcome.estimate));
+  }
+  return evaluation;
+}
+
+Result<std::vector<DiscoveryHit>> SketchIndex::Query(const JoinMIQuery& query,
+                                                     size_t top_k,
+                                                     size_t num_threads) const {
+  JOINMI_ASSIGN_OR_RETURN(IndexEvaluation evaluation,
+                          EvaluateAll(query, num_threads));
+  std::vector<size_t> ranked;
+  ranked.reserve(evaluation.num_evaluated);
+  for (size_t i = 0; i < evaluation.estimates.size(); ++i) {
+    if (evaluation.estimates[i].has_value()) ranked.push_back(i);
+  }
+  // Strict weak order with no incomparable pairs: MI desc, join size desc,
+  // then the candidate ref and finally the insertion index, so duplicated
+  // candidates and exact ties cannot reorder across runs or thread counts.
+  auto better = [this, &evaluation](size_t a, size_t b) {
+    const JoinMIEstimate& ea = *evaluation.estimates[a];
+    const JoinMIEstimate& eb = *evaluation.estimates[b];
+    if (ea.mi != eb.mi) return ea.mi > eb.mi;
+    if (ea.sample_size != eb.sample_size) {
+      return ea.sample_size > eb.sample_size;
+    }
+    const ColumnPairRef& ra = candidates_[a].ref;
+    const ColumnPairRef& rb = candidates_[b].ref;
+    if (ra.table_name != rb.table_name) {
+      return ra.table_name < rb.table_name;
+    }
+    if (ra.key_column != rb.key_column) {
+      return ra.key_column < rb.key_column;
+    }
+    if (ra.value_column != rb.value_column) {
+      return ra.value_column < rb.value_column;
+    }
+    return a < b;
+  };
+  const size_t take = std::min(top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    better);
+  std::vector<DiscoveryHit> hits;
+  hits.reserve(take);
+  for (size_t r = 0; r < take; ++r) {
+    const size_t i = ranked[r];
+    const JoinMIEstimate& estimate = *evaluation.estimates[i];
+    hits.push_back(DiscoveryHit{candidates_[i].ref, estimate.mi,
+                                estimate.sample_size, estimate.estimator});
+  }
   return hits;
+}
+
+// ------------------------------------------------------------ Persistence
+
+namespace {
+
+constexpr char kIndexMagic[4] = {'J', 'M', 'I', 'X'};
+constexpr uint32_t kIndexVersion = 1;
+
+void AppendConfig(std::string* out, const JoinMIConfig& config) {
+  wire::AppendPod<uint8_t>(out, static_cast<uint8_t>(config.sketch_method));
+  wire::AppendPod<uint64_t>(out, config.sketch_capacity);
+  wire::AppendPod<uint32_t>(out, config.hash_seed);
+  wire::AppendPod<uint64_t>(out, config.sampling_seed);
+  wire::AppendPod<uint8_t>(out, static_cast<uint8_t>(config.aggregation));
+  wire::AppendPod<uint8_t>(out, config.estimator.has_value() ? 1 : 0);
+  wire::AppendPod<uint8_t>(
+      out, config.estimator.has_value()
+               ? static_cast<uint8_t>(*config.estimator)
+               : 0);
+  wire::AppendPod<int32_t>(out, config.mi_options.k);
+  wire::AppendPod<double>(out, config.mi_options.laplace_alpha);
+  wire::AppendPod<double>(out, config.mi_options.perturb_sigma);
+  wire::AppendPod<uint64_t>(out, config.mi_options.perturb_seed);
+  wire::AppendPod<uint64_t>(out, config.min_join_size);
+}
+
+Result<JoinMIConfig> ReadConfig(wire::Reader* reader) {
+  JoinMIConfig config;
+  uint8_t method = 0, aggregation = 0, has_estimator = 0, estimator = 0;
+  uint64_t capacity = 0, min_join_size = 0;
+  JOINMI_RETURN_NOT_OK(reader->Read(&method));
+  JOINMI_RETURN_NOT_OK(reader->Read(&capacity));
+  JOINMI_RETURN_NOT_OK(reader->Read(&config.hash_seed));
+  JOINMI_RETURN_NOT_OK(reader->Read(&config.sampling_seed));
+  JOINMI_RETURN_NOT_OK(reader->Read(&aggregation));
+  JOINMI_RETURN_NOT_OK(reader->Read(&has_estimator));
+  JOINMI_RETURN_NOT_OK(reader->Read(&estimator));
+  JOINMI_RETURN_NOT_OK(reader->Read(&config.mi_options.k));
+  JOINMI_RETURN_NOT_OK(reader->Read(&config.mi_options.laplace_alpha));
+  JOINMI_RETURN_NOT_OK(reader->Read(&config.mi_options.perturb_sigma));
+  JOINMI_RETURN_NOT_OK(reader->Read(&config.mi_options.perturb_seed));
+  JOINMI_RETURN_NOT_OK(reader->Read(&min_join_size));
+  if (method > static_cast<uint8_t>(SketchMethod::kCsk)) {
+    return Status::IOError("unknown sketch method tag in index config");
+  }
+  if (aggregation > static_cast<uint8_t>(AggKind::kMedian)) {
+    return Status::IOError("unknown aggregation tag in index config");
+  }
+  if (has_estimator > 1 ||
+      estimator > static_cast<uint8_t>(MIEstimatorKind::kDCKSG)) {
+    return Status::IOError("unknown estimator tag in index config");
+  }
+  config.sketch_method = static_cast<SketchMethod>(method);
+  config.sketch_capacity = capacity;
+  config.aggregation = static_cast<AggKind>(aggregation);
+  if (has_estimator == 1) {
+    config.estimator = static_cast<MIEstimatorKind>(estimator);
+  }
+  config.min_join_size = min_join_size;
+  JOINMI_RETURN_NOT_OK(config.Validate());
+  return config;
+}
+
+}  // namespace
+
+std::string SerializeIndex(const SketchIndex& index) {
+  std::string out;
+  wire::AppendRaw(&out, kIndexMagic, sizeof(kIndexMagic));
+  wire::AppendPod<uint32_t>(&out, kIndexVersion);
+  AppendConfig(&out, index.config());
+  wire::AppendPod<uint64_t>(&out, index.size());
+  for (const IndexedCandidate& candidate : index.candidates()) {
+    wire::AppendLengthPrefixed(&out, candidate.ref.table_name);
+    wire::AppendLengthPrefixed(&out, candidate.ref.key_column);
+    wire::AppendLengthPrefixed(&out, candidate.ref.value_column);
+    wire::AppendLengthPrefixed(&out, SerializeSketch(candidate.sketch()));
+  }
+  return out;
+}
+
+Result<SketchIndex> DeserializeIndex(const std::string& data) {
+  wire::Reader reader(data);
+  char magic[4];
+  JOINMI_RETURN_NOT_OK(reader.Read(&magic));
+  if (std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return Status::IOError("bad index magic");
+  }
+  uint32_t version = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&version));
+  if (version != kIndexVersion) {
+    return Status::IOError("unsupported index version " +
+                           std::to_string(version));
+  }
+  JOINMI_ASSIGN_OR_RETURN(JoinMIConfig config, ReadConfig(&reader));
+  uint64_t count = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&count));
+  // Each candidate needs at least 4 length prefixes (16 bytes) on the
+  // wire; divide rather than multiply so a crafted count cannot overflow
+  // past the check.
+  if (count > reader.remaining() / 16) {
+    return Status::IOError("index candidate count exceeds buffer size");
+  }
+  SketchIndex index(std::move(config));
+  for (uint64_t i = 0; i < count; ++i) {
+    ColumnPairRef ref;
+    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&ref.table_name));
+    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&ref.key_column));
+    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&ref.value_column));
+    std::string blob;
+    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&blob));
+    JOINMI_ASSIGN_OR_RETURN(Sketch sketch, DeserializeSketch(blob));
+    // AddSketch re-validates seed agreement and candidate-side invariants,
+    // so a tampered or mismatched payload cannot produce a poisoned index.
+    JOINMI_RETURN_NOT_OK(index.AddSketch(std::move(ref), std::move(sketch)));
+  }
+  if (!reader.AtEnd()) {
+    return Status::IOError("trailing bytes after index payload");
+  }
+  return index;
+}
+
+Status WriteIndexFile(const SketchIndex& index, const std::string& path) {
+  return wire::WriteFileBytes(SerializeIndex(index), path);
+}
+
+Result<SketchIndex> ReadIndexFile(const std::string& path) {
+  JOINMI_ASSIGN_OR_RETURN(std::string data, wire::ReadFileBytes(path));
+  return DeserializeIndex(data);
 }
 
 }  // namespace joinmi

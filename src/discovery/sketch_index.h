@@ -1,11 +1,28 @@
 // Offline sketch index for MI-based data discovery: candidate column pairs
 // are sketched once (offline), then a query table's sketch is joined against
 // every indexed candidate to rank augmentations by estimated MI — the
-// deployment shape motivating the paper (Sections I and III).
+// deployment shape motivating the paper (Sections I, III, V-C).
+//
+// The index is the persisted backbone of that deployment: candidates carry
+// prepared probe maps so repeated queries are pure hash lookups, queries fan
+// out across a thread pool with a deterministic merge, and the whole index
+// (config + provenance + sketches) serializes to a versioned binary format
+// so it can be built offline and served after a restart.
+//
+// On-disk format (little-endian, version-tagged):
+//   magic "JMIX" | u32 version
+//   | config: u8 sketch_method, u64 sketch_capacity, u32 hash_seed,
+//     u64 sampling_seed, u8 aggregation, u8 has_estimator, u8 estimator,
+//     i32 mi_k, f64 laplace_alpha, f64 perturb_sigma, u64 perturb_seed,
+//     u64 min_join_size
+//   | u64 candidate_count
+//   | per candidate: table_name, key_column, value_column (u32 length +
+//     bytes each), then u32 length + serialized sketch (serialize.h format)
 
 #ifndef JOINMI_DISCOVERY_SKETCH_INDEX_H_
 #define JOINMI_DISCOVERY_SKETCH_INDEX_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,10 +31,13 @@
 
 namespace joinmi {
 
-/// \brief One indexed candidate: provenance plus its pre-built sketch.
+/// \brief One indexed candidate: provenance plus its pre-built sketch,
+/// wrapped in the probe map that makes repeated queries cheap.
 struct IndexedCandidate {
   ColumnPairRef ref;
-  Sketch sketch;
+  PreparedCandidateSketch prepared;
+
+  const Sketch& sketch() const { return prepared.sketch(); }
 };
 
 /// \brief One ranked answer from a discovery query.
@@ -26,6 +46,22 @@ struct DiscoveryHit {
   double mi = 0.0;
   size_t join_size = 0;
   MIEstimatorKind estimator = MIEstimatorKind::kMLE;
+};
+
+/// \brief Per-candidate outcomes of evaluating one query against the whole
+/// index, in candidate enumeration order.
+struct IndexEvaluation {
+  /// estimates[i] belongs to candidates()[i]; nullopt if it was skipped or
+  /// errored.
+  std::vector<std::optional<JoinMIEstimate>> estimates;
+  /// Candidates that produced an estimate.
+  size_t num_evaluated = 0;
+  /// Candidates whose sketch join fell below config.min_join_size (the
+  /// paper's meaningless-estimate guard).
+  size_t num_skipped = 0;
+  /// Candidates that failed hard (estimator/type errors) — distinct from
+  /// num_skipped so a broken index is not mistaken for small overlaps.
+  size_t num_errors = 0;
 };
 
 /// \brief Sketch-per-candidate index over a repository.
@@ -42,21 +78,51 @@ class SketchIndex {
   /// \brief Sketches one candidate column pair and adds it.
   Status AddCandidate(const Table& table, const ColumnPairRef& ref);
 
+  /// \brief Adds a pre-built candidate sketch (the deserialization path).
+  /// Rejects sketches whose hash seed disagrees with the index config —
+  /// they could never join a query sketched under this config.
+  Status AddSketch(const ColumnPairRef& ref, Sketch sketch);
+
   /// \brief Indexes every extractable column pair of the repository.
   /// Column pairs that cannot be sketched (e.g. all-null) are skipped;
   /// returns the number indexed.
   Result<size_t> IndexRepository(const TableRepository& repository);
 
+  /// \brief Evaluates the query against every candidate, fanning out on a
+  /// thread pool (`num_threads` 0 = hardware concurrency, 1 = inline).
+  /// Outcomes land in enumeration order, so results never depend on the
+  /// thread count. Fails fast on a query/index hash-seed mismatch.
+  Result<IndexEvaluation> EvaluateAll(const JoinMIQuery& query,
+                                      size_t num_threads = 0) const;
+
   /// \brief Ranks all candidates by estimated MI against the query; hits
   /// whose sketch join is smaller than config.min_join_size are dropped
-  /// (the paper's meaningless-estimate guard). Ties break by join size.
+  /// (the paper's meaningless-estimate guard). Ties break by join size,
+  /// then by candidate ref (table, key, value), then by insertion order,
+  /// so the ranking is fully deterministic — including across thread
+  /// counts and for duplicated candidates.
   Result<std::vector<DiscoveryHit>> Query(const JoinMIQuery& query,
-                                          size_t top_k) const;
+                                          size_t top_k,
+                                          size_t num_threads = 0) const;
 
  private:
   JoinMIConfig config_;
   std::vector<IndexedCandidate> candidates_;
 };
+
+/// \brief Serializes the index (config, refs, sketches) to a binary string.
+std::string SerializeIndex(const SketchIndex& index);
+
+/// \brief Parses a serialized index; validates magic, version, enum tags,
+/// and every embedded sketch, so corrupted inputs fail cleanly. The
+/// candidate probe maps are rebuilt on load.
+Result<SketchIndex> DeserializeIndex(const std::string& data);
+
+/// \brief Writes the index to a file.
+Status WriteIndexFile(const SketchIndex& index, const std::string& path);
+
+/// \brief Reads an index from a file.
+Result<SketchIndex> ReadIndexFile(const std::string& path);
 
 }  // namespace joinmi
 

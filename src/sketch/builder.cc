@@ -19,6 +19,7 @@ Result<Sketch> SketchBuilder::InitSketch(const Column& keys,
   sketch.method = method();
   sketch.side = side;
   sketch.capacity = options_.capacity;
+  sketch.hash_seed = options_.hash_seed;
   std::unordered_set<uint64_t> distinct;
   distinct.reserve(keys.size());
   for (size_t row = 0; row < keys.size(); ++row) {

@@ -6,10 +6,56 @@
 
 namespace joinmi {
 
+namespace wire {
+
+void AppendLengthPrefixed(std::string* out, const std::string& s) {
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  AppendRaw(out, s.data(), s.size());
+}
+
+Status Reader::ReadBytes(size_t len, std::string* out) {
+  if (pos_ + len > data_.size()) {
+    return Status::IOError("truncated string payload");
+  }
+  out->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::ReadLengthPrefixed(std::string* out) {
+  uint32_t len = 0;
+  JOINMI_RETURN_NOT_OK(Read(&len));
+  return ReadBytes(len, out);
+}
+
+Status WriteFileBytes(const std::string& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  // close() flushes; a flush failure (e.g. full disk) sets failbit, which
+  // would otherwise be silently discarded in the destructor.
+  out.close();
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("failed reading '" + path + "'");
+  return buffer.str();
+}
+
+}  // namespace wire
+
 namespace {
 
 constexpr char kMagic[4] = {'J', 'M', 'S', 'K'};
-constexpr uint32_t kVersion = 1;
+// v1 had no hash_seed field; v2 inserts it after the side byte.
+constexpr uint32_t kLegacyVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 // Value tags in the wire format.
 enum : uint8_t {
@@ -19,68 +65,27 @@ enum : uint8_t {
   kTagString = 3,
 };
 
-void AppendRaw(std::string* out, const void* data, size_t len) {
-  out->append(static_cast<const char*>(data), len);
-}
-
-template <typename T>
-void AppendPod(std::string* out, T value) {
-  AppendRaw(out, &value, sizeof(T));
-}
-
 void AppendValue(std::string* out, const Value& v) {
   switch (v.type()) {
     case DataType::kNull:
-      AppendPod<uint8_t>(out, kTagNull);
+      wire::AppendPod<uint8_t>(out, kTagNull);
       break;
     case DataType::kInt64:
-      AppendPod<uint8_t>(out, kTagInt64);
-      AppendPod<int64_t>(out, v.int64());
+      wire::AppendPod<uint8_t>(out, kTagInt64);
+      wire::AppendPod<int64_t>(out, v.int64());
       break;
     case DataType::kDouble:
-      AppendPod<uint8_t>(out, kTagDouble);
-      AppendPod<double>(out, v.dbl());
+      wire::AppendPod<uint8_t>(out, kTagDouble);
+      wire::AppendPod<double>(out, v.dbl());
       break;
     case DataType::kString:
-      AppendPod<uint8_t>(out, kTagString);
-      AppendPod<uint32_t>(out, static_cast<uint32_t>(v.str().size()));
-      AppendRaw(out, v.str().data(), v.str().size());
+      wire::AppendPod<uint8_t>(out, kTagString);
+      wire::AppendLengthPrefixed(out, v.str());
       break;
   }
 }
 
-/// Bounds-checked sequential reader over the serialized buffer.
-class Reader {
- public:
-  explicit Reader(const std::string& data) : data_(data) {}
-
-  template <typename T>
-  Status Read(T* out) {
-    if (pos_ + sizeof(T) > data_.size()) {
-      return Status::IOError("truncated sketch buffer");
-    }
-    std::memcpy(out, data_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return Status::OK();
-  }
-
-  Status ReadBytes(size_t len, std::string* out) {
-    if (pos_ + len > data_.size()) {
-      return Status::IOError("truncated sketch string payload");
-    }
-    out->assign(data_.data() + pos_, len);
-    pos_ += len;
-    return Status::OK();
-  }
-
-  bool AtEnd() const { return pos_ == data_.size(); }
-
- private:
-  const std::string& data_;
-  size_t pos_ = 0;
-};
-
-Result<Value> ReadValue(Reader* reader) {
+Result<Value> ReadValue(wire::Reader* reader) {
   uint8_t tag = 0;
   JOINMI_RETURN_NOT_OK(reader->Read(&tag));
   switch (tag) {
@@ -97,10 +102,8 @@ Result<Value> ReadValue(Reader* reader) {
       return Value(v);
     }
     case kTagString: {
-      uint32_t len = 0;
-      JOINMI_RETURN_NOT_OK(reader->Read(&len));
       std::string s;
-      JOINMI_RETURN_NOT_OK(reader->ReadBytes(len, &s));
+      JOINMI_RETURN_NOT_OK(reader->ReadLengthPrefixed(&s));
       return Value(std::move(s));
     }
     default:
@@ -112,25 +115,26 @@ Result<Value> ReadValue(Reader* reader) {
 
 std::string SerializeSketch(const Sketch& sketch) {
   std::string out;
-  out.reserve(32 + sketch.entries.size() * 24);
-  AppendRaw(&out, kMagic, sizeof(kMagic));
-  AppendPod<uint32_t>(&out, kVersion);
-  AppendPod<uint8_t>(&out, static_cast<uint8_t>(sketch.method));
-  AppendPod<uint8_t>(&out, static_cast<uint8_t>(sketch.side));
-  AppendPod<uint64_t>(&out, sketch.capacity);
-  AppendPod<uint64_t>(&out, sketch.source_rows);
-  AppendPod<uint64_t>(&out, sketch.source_distinct_keys);
-  AppendPod<uint64_t>(&out, sketch.entries.size());
+  out.reserve(40 + sketch.entries.size() * 24);
+  wire::AppendRaw(&out, kMagic, sizeof(kMagic));
+  wire::AppendPod<uint32_t>(&out, kVersion);
+  wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(sketch.method));
+  wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(sketch.side));
+  wire::AppendPod<uint32_t>(&out, sketch.hash_seed);
+  wire::AppendPod<uint64_t>(&out, sketch.capacity);
+  wire::AppendPod<uint64_t>(&out, sketch.source_rows);
+  wire::AppendPod<uint64_t>(&out, sketch.source_distinct_keys);
+  wire::AppendPod<uint64_t>(&out, sketch.entries.size());
   for (const SketchEntry& entry : sketch.entries) {
-    AppendPod<uint64_t>(&out, entry.key_hash);
-    AppendPod<double>(&out, entry.rank);
+    wire::AppendPod<uint64_t>(&out, entry.key_hash);
+    wire::AppendPod<double>(&out, entry.rank);
     AppendValue(&out, entry.value);
   }
   return out;
 }
 
 Result<Sketch> DeserializeSketch(const std::string& data) {
-  Reader reader(data);
+  wire::Reader reader(data);
   char magic[4];
   JOINMI_RETURN_NOT_OK(reader.Read(&magic));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -138,7 +142,7 @@ Result<Sketch> DeserializeSketch(const std::string& data) {
   }
   uint32_t version = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&version));
-  if (version != kVersion) {
+  if (version != kVersion && version != kLegacyVersion) {
     return Status::IOError("unsupported sketch version " +
                            std::to_string(version));
   }
@@ -154,6 +158,12 @@ Result<Sketch> DeserializeSketch(const std::string& data) {
   Sketch sketch;
   sketch.method = static_cast<SketchMethod>(method);
   sketch.side = static_cast<SketchSide>(side);
+  if (version >= 2) {
+    // v1 buffers predate seed tracking and deserialize with the default
+    // seed 0. A v1 sketch actually built under a non-default seed cannot
+    // be detected — re-sketch such data to regain seed enforcement.
+    JOINMI_RETURN_NOT_OK(reader.Read(&sketch.hash_seed));
+  }
   uint64_t capacity = 0, source_rows = 0, distinct = 0, count = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&capacity));
   JOINMI_RETURN_NOT_OK(reader.Read(&source_rows));
@@ -182,20 +192,12 @@ Result<Sketch> DeserializeSketch(const std::string& data) {
 }
 
 Status WriteSketchFile(const Sketch& sketch, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  const std::string data = SerializeSketch(sketch);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out) return Status::IOError("failed writing '" + path + "'");
-  return Status::OK();
+  return wire::WriteFileBytes(SerializeSketch(sketch), path);
 }
 
 Result<Sketch> ReadSketchFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeSketch(buffer.str());
+  JOINMI_ASSIGN_OR_RETURN(std::string data, wire::ReadFileBytes(path));
+  return DeserializeSketch(data);
 }
 
 }  // namespace joinmi

@@ -48,6 +48,10 @@ struct Sketch {
   SketchSide side = SketchSide::kTrain;
   /// Capacity parameter n (the paper's single tuning knob).
   size_t capacity = 0;
+  /// Hash seed the sketch was built with. Two sketches only join if their
+  /// seeds agree; JoinSketches enforces this, so a persisted sketch probed
+  /// by a mismatched-seed query fails loudly instead of returning garbage.
+  uint32_t hash_seed = 0;
   /// Entries sorted by (key_hash, rank) for deterministic joins.
   std::vector<SketchEntry> entries;
   /// Rows of the source relation that had non-null key and value.

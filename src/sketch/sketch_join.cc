@@ -28,6 +28,30 @@ Result<SketchMIResult> EstimateOnJoin(SketchJoinResult joined,
   return result;
 }
 
+// Preconditions shared by every join entry point: correct sides and equal
+// hash seeds. Seeds must match because key hashes drawn from different
+// seeds are incomparable — joining them "works" mechanically but returns a
+// meaningless sample, which is exactly the failure mode a persisted index
+// probed by a misconfigured query would hit silently.
+Status CheckJoinable(const Sketch& train, const Sketch& candidate) {
+  if (train.side != SketchSide::kTrain) {
+    return Status::InvalidArgument(
+        "left operand of a sketch join must be a train sketch");
+  }
+  if (candidate.side != SketchSide::kCandidate) {
+    return Status::InvalidArgument(
+        "right operand of a sketch join must be a candidate sketch");
+  }
+  if (train.hash_seed != candidate.hash_seed) {
+    return Status::InvalidArgument(
+        "sketch hash seeds differ (train " +
+        std::to_string(train.hash_seed) + " vs candidate " +
+        std::to_string(candidate.hash_seed) +
+        "); sketches from different seeds cannot be joined");
+  }
+  return Status::OK();
+}
+
 // Mirrors EstimateMIAuto's type inference to report the chosen estimator.
 Result<MIEstimatorKind> ChooseEstimatorForSample(const PairedSample& sample) {
   auto all_numeric = [](const std::vector<Value>& values) {
@@ -47,10 +71,7 @@ Result<MIEstimatorKind> ChooseEstimatorForSample(const PairedSample& sample) {
 
 Result<SketchJoinResult> JoinSketches(const Sketch& train,
                                       const Sketch& candidate) {
-  if (candidate.side != SketchSide::kCandidate) {
-    return Status::InvalidArgument(
-        "right operand of a sketch join must be a candidate sketch");
-  }
+  JOINMI_RETURN_NOT_OK(CheckJoinable(train, candidate));
   // Candidate keys are unique post-aggregation; build the probe map on them.
   std::unordered_map<uint64_t, const Value*> aug;
   aug.reserve(candidate.entries.size());
@@ -102,10 +123,7 @@ Result<PreparedTrainSketch> PreparedTrainSketch::Create(Sketch train) {
 
 Result<SketchJoinResult> PreparedTrainSketch::Join(
     const Sketch& candidate) const {
-  if (candidate.side != SketchSide::kCandidate) {
-    return Status::InvalidArgument(
-        "right operand of a sketch join must be a candidate sketch");
-  }
+  JOINMI_RETURN_NOT_OK(CheckJoinable(train_, candidate));
   // Probe the prebuilt train index with each candidate key, then emit the
   // matches in train-entry order so the sample is byte-identical to
   // JoinSketches on the wrapped sketch.
@@ -156,6 +174,47 @@ Result<SketchJoinResult> PreparedTrainSketch::Join(
   return result;
 }
 
+Result<PreparedCandidateSketch> PreparedCandidateSketch::Create(
+    Sketch candidate) {
+  if (candidate.side != SketchSide::kCandidate) {
+    return Status::InvalidArgument(
+        "PreparedCandidateSketch requires a candidate-side sketch");
+  }
+  std::unordered_map<uint64_t, uint32_t> probe;
+  probe.reserve(candidate.entries.size());
+  for (uint32_t i = 0; i < candidate.entries.size(); ++i) {
+    if (!probe.emplace(candidate.entries[i].key_hash, i).second) {
+      return Status::InvalidArgument(
+          "candidate sketch has duplicate keys; was it built as a train "
+          "sketch?");
+    }
+  }
+  return PreparedCandidateSketch(std::move(candidate), std::move(probe));
+}
+
+Result<SketchJoinResult> PreparedCandidateSketch::Join(
+    const Sketch& train) const {
+  JOINMI_RETURN_NOT_OK(CheckJoinable(train, candidate_));
+  // Same traversal as JoinSketches — train entries in order, probing the
+  // candidate map — so the emitted sample is byte-identical; only the map
+  // build is amortized away.
+  SketchJoinResult result;
+  result.sample.x.reserve(train.entries.size());
+  result.sample.y.reserve(train.entries.size());
+  std::unordered_set<uint64_t> matched;
+  matched.reserve(train.entries.size());
+  for (const SketchEntry& entry : train.entries) {
+    const auto it = probe_.find(entry.key_hash);
+    if (it == probe_.end()) continue;
+    result.sample.x.push_back(candidate_.entries[it->second].value);
+    result.sample.y.push_back(entry.value);
+    matched.insert(entry.key_hash);
+  }
+  result.join_size = result.sample.size();
+  result.matched_keys = matched.size();
+  return result;
+}
+
 Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
                                         const Sketch& candidate,
                                         MIEstimatorKind estimator,
@@ -191,6 +250,23 @@ Result<SketchMIResult> EstimateSketchMIAuto(const PreparedTrainSketch& train,
                                             const MIOptions& options,
                                             size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, train.Join(candidate));
+  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
+                          ChooseEstimatorForSample(joined.sample));
+  return EstimateOnJoin(std::move(joined), kind, options, min_join_size);
+}
+
+Result<SketchMIResult> EstimateSketchMI(
+    const Sketch& train, const PreparedCandidateSketch& candidate,
+    MIEstimatorKind estimator, const MIOptions& options,
+    size_t min_join_size) {
+  JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, candidate.Join(train));
+  return EstimateOnJoin(std::move(joined), estimator, options, min_join_size);
+}
+
+Result<SketchMIResult> EstimateSketchMIAuto(
+    const Sketch& train, const PreparedCandidateSketch& candidate,
+    const MIOptions& options, size_t min_join_size) {
+  JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, candidate.Join(train));
   JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
                           ChooseEstimatorForSample(joined.sample));
   return EstimateOnJoin(std::move(joined), kind, options, min_join_size);

@@ -29,7 +29,9 @@ struct SketchJoinResult {
 
 /// \brief Joins the sketches on h(k). The candidate sketch must be
 /// aggregated (unique keys); each train entry matches at most one candidate
-/// entry. Sketches must be built with the same hash seed.
+/// entry. Sketches must be built with the same hash seed: key hashes from
+/// different seeds are incomparable, so a mismatch returns InvalidArgument
+/// instead of a silently meaningless (empty or garbage) join.
 Result<SketchJoinResult> JoinSketches(const Sketch& train,
                                       const Sketch& candidate);
 
@@ -63,6 +65,35 @@ class PreparedTrainSketch {
   /// key_hash -> [begin, end) index range into train_.entries (entries with
   /// equal key_hash are contiguous because the builder sorts them).
   std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups_;
+};
+
+/// \brief A candidate sketch pre-indexed for repeated probing — the
+/// symmetric optimization to PreparedTrainSketch for the persisted-index
+/// setting, where candidate sketches are long-lived and every query brings
+/// a fresh train sketch. `JoinSketches` pays a per-join probe-map build
+/// over the candidate entries; preparing the candidate once turns each
+/// query's join into pure lookups. Join output is byte-identical to
+/// `JoinSketches` on the wrapped sketch.
+class PreparedCandidateSketch {
+ public:
+  /// \brief Takes ownership of a candidate-side sketch and builds the
+  /// key-hash probe map. Fails on train-side input or duplicate keys.
+  static Result<PreparedCandidateSketch> Create(Sketch candidate);
+
+  const Sketch& sketch() const { return candidate_; }
+
+  /// \brief Joins a train sketch against this candidate using the prebuilt
+  /// probe map. Enforces the same seed/side preconditions as JoinSketches.
+  Result<SketchJoinResult> Join(const Sketch& train) const;
+
+ private:
+  PreparedCandidateSketch(Sketch candidate,
+                          std::unordered_map<uint64_t, uint32_t> probe)
+      : candidate_(std::move(candidate)), probe_(std::move(probe)) {}
+
+  Sketch candidate_;
+  /// key_hash -> index into candidate_.entries (keys unique post-agg).
+  std::unordered_map<uint64_t, uint32_t> probe_;
 };
 
 /// \brief End-to-end sketch-based MI estimate.
@@ -101,6 +132,18 @@ Result<SketchMIResult> EstimateSketchMIAuto(const PreparedTrainSketch& train,
                                             const Sketch& candidate,
                                             const MIOptions& options = {},
                                             size_t min_join_size = 1);
+
+/// \brief Prepared-candidate variants for the persisted-index setting;
+/// results match the Sketch overloads exactly.
+Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
+                                        const PreparedCandidateSketch& candidate,
+                                        MIEstimatorKind estimator,
+                                        const MIOptions& options = {},
+                                        size_t min_join_size = 1);
+
+Result<SketchMIResult> EstimateSketchMIAuto(
+    const Sketch& train, const PreparedCandidateSketch& candidate,
+    const MIOptions& options = {}, size_t min_join_size = 1);
 
 }  // namespace joinmi
 

@@ -170,9 +170,12 @@ TEST(IntegrationTest, DiscoveryRankingMatchesFullJoinRanking) {
   EXPECT_GT(*SpearmanCorrelation(full_mis, sketch_mis), 0.85);
 }
 
-TEST(IntegrationTest, HashSeedMismatchBreaksCoordinationVisibly) {
-  // Safety property: sketches built with different hash seeds share no key
-  // hashes, so the join is empty rather than silently wrong.
+TEST(IntegrationTest, HashSeedMismatchIsRejectedLoudly) {
+  // Safety property: sketches record the hash seed they were built with,
+  // and joining across seeds fails with InvalidArgument — key hashes from
+  // different seeds are incomparable, so any "result" would be garbage
+  // (the failure mode a persisted index probed by a misconfigured query
+  // would otherwise hit silently).
   auto train = *Table::FromColumns(
       {{"K", Column::MakeString({"a", "b", "c"})},
        {"Y", Column::MakeInt64({1, 2, 3})}});
@@ -188,8 +191,17 @@ TEST(IntegrationTest, HashSeedMismatchBreaksCoordinationVisibly) {
   auto s_cand = *builder_b->SketchCandidate(*(*train->GetColumn("K")),
                                             *(*train->GetColumn("Y")),
                                             AggKind::kFirst);
-  auto joined = *JoinSketches(s_train, s_cand);
-  EXPECT_EQ(joined.join_size, 0u);
+  EXPECT_EQ(s_train.hash_seed, 1u);
+  EXPECT_EQ(s_cand.hash_seed, 2u);
+  auto joined = JoinSketches(s_train, s_cand);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsInvalidArgument());
+  // Same seeds join fine (and emptily here: disjoint key universes are not
+  // the failure being guarded against).
+  auto s_cand_same = *builder_a->SketchCandidate(*(*train->GetColumn("K")),
+                                                 *(*train->GetColumn("Y")),
+                                                 AggKind::kFirst);
+  EXPECT_TRUE(JoinSketches(s_train, s_cand_same).ok());
 }
 
 }  // namespace

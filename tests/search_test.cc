@@ -103,6 +103,7 @@ TEST(TopKJoinMISearchTest, RanksCandidatesByRelevance) {
   EXPECT_EQ(result->num_candidates, 4u);
   EXPECT_EQ(result->num_evaluated, 3u);
   EXPECT_EQ(result->num_skipped, 1u);
+  EXPECT_EQ(result->num_errors, 0u);
   ASSERT_EQ(result->hits.size(), 3u);
   EXPECT_EQ(result->hits[0].candidate.table_name, "exact");
   EXPECT_EQ(result->hits[1].candidate.table_name, "coarse");
@@ -184,6 +185,36 @@ TEST(TopKJoinMISearchTest, ThreadCountDoesNotChangeTheRanking) {
       EXPECT_EQ(parallel->hits[i].estimate.estimator,
                 serial->hits[i].estimate.estimator);
     }
+  }
+}
+
+TEST(TopKJoinMISearchTest, CountsHardErrorsSeparatelyFromSkips) {
+  // "disjoint" has no key overlap — an expected skip (overlap too small).
+  // "textual" is all-string, so both of its extracted pairs feed a string
+  // value column to the default kAvg aggregation — hard errors. Operators
+  // must be able to tell these apart: skips are normal, errors mean the
+  // repository (or config) is broken for those candidates.
+  SyntheticUniverse universe = MakeUniverse();
+  std::vector<std::string> keys;
+  std::vector<std::string> words;
+  for (size_t i = 0; i < 160; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    words.push_back("w" + std::to_string(i % 3));
+  }
+  universe.repository
+      .AddTable("textual",
+                *Table::FromColumns({{"K", Column::MakeString(keys)},
+                                     {"V", Column::MakeString(words)}}))
+      .Abort();
+  for (size_t num_threads : {1u, 4u}) {
+    auto result = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                   universe.repository, 10,
+                                   MakeConfig(num_threads));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->num_candidates, 6u);
+    EXPECT_EQ(result->num_evaluated, 3u);
+    EXPECT_EQ(result->num_skipped, 1u);
+    EXPECT_EQ(result->num_errors, 2u);
   }
 }
 

@@ -43,6 +43,7 @@ void ExpectSketchesEqual(const Sketch& a, const Sketch& b) {
   EXPECT_EQ(a.method, b.method);
   EXPECT_EQ(a.side, b.side);
   EXPECT_EQ(a.capacity, b.capacity);
+  EXPECT_EQ(a.hash_seed, b.hash_seed);
   EXPECT_EQ(a.source_rows, b.source_rows);
   EXPECT_EQ(a.source_distinct_keys, b.source_distinct_keys);
   ASSERT_EQ(a.entries.size(), b.entries.size());
@@ -143,6 +144,95 @@ INSTANTIATE_TEST_SUITE_P(
       return SketchMethodToString(info.param);
     });
 
+TEST(SerializeTest, HashSeedRoundTrips) {
+  // The v2 format records the builder's hash seed, so a persisted sketch
+  // carries the provenance JoinSketches needs to enforce seed agreement.
+  auto key_col = Column::MakeString({"a", "b", "c"});
+  auto value_col = Column::MakeInt64({1, 2, 3});
+  SketchOptions options;
+  options.capacity = 8;
+  options.hash_seed = 9;
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, options);
+  auto sketch = *builder->SketchTrain(*key_col, *value_col);
+  EXPECT_EQ(sketch.hash_seed, 9u);
+  auto restored = DeserializeSketch(SerializeSketch(sketch));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->hash_seed, 9u);
+  ExpectSketchesEqual(sketch, *restored);
+}
+
+// Hand-encodes the legacy v1 layout (no hash_seed field) for a sketch with
+// int64 values, byte for byte what the v1 writer produced.
+std::string EncodeV1(const Sketch& sketch) {
+  std::string out;
+  auto pod = [&out](const void* p, size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  out.append("JMSK");
+  const uint32_t version = 1;
+  pod(&version, 4);
+  const uint8_t method = static_cast<uint8_t>(sketch.method);
+  const uint8_t side = static_cast<uint8_t>(sketch.side);
+  pod(&method, 1);
+  pod(&side, 1);
+  const uint64_t capacity = sketch.capacity;
+  const uint64_t rows = sketch.source_rows;
+  const uint64_t distinct = sketch.source_distinct_keys;
+  const uint64_t count = sketch.entries.size();
+  pod(&capacity, 8);
+  pod(&rows, 8);
+  pod(&distinct, 8);
+  pod(&count, 8);
+  for (const SketchEntry& entry : sketch.entries) {
+    pod(&entry.key_hash, 8);
+    pod(&entry.rank, 8);
+    const uint8_t tag = 1;  // int64
+    pod(&tag, 1);
+    const int64_t v = entry.value.int64();
+    pod(&v, 8);
+  }
+  return out;
+}
+
+TEST(SerializeTest, ReadsLegacyV1BuffersWithDefaultSeed) {
+  Sketch sketch;
+  sketch.method = SketchMethod::kTupsk;
+  sketch.side = SketchSide::kCandidate;
+  sketch.capacity = 4;
+  sketch.source_rows = 2;
+  sketch.source_distinct_keys = 2;
+  sketch.entries.push_back(SketchEntry{3, 0.25, Value(int64_t{10})});
+  sketch.entries.push_back(SketchEntry{8, 0.5, Value(int64_t{20})});
+  auto restored = DeserializeSketch(EncodeV1(sketch));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // v1 predates seed tracking; the default seed 0 is assumed on load.
+  EXPECT_EQ(restored->hash_seed, 0u);
+  ExpectSketchesEqual(sketch, *restored);
+}
+
+TEST(SerializeTest, MismatchedSeedSketchesRefuseToJoin) {
+  // The hole the format bump closes: a persisted candidate probed by a
+  // query sketched under a different seed must fail, not estimate.
+  auto key_col = Column::MakeString({"a", "b", "c", "d"});
+  auto value_col = Column::MakeInt64({1, 2, 3, 4});
+  SketchOptions options;
+  options.capacity = 8;
+  options.hash_seed = 1;
+  auto builder = MakeSketchBuilder(SketchMethod::kTupsk, options);
+  auto cand = *builder->SketchCandidate(*key_col, *value_col, AggKind::kFirst);
+  auto restored_cand = *DeserializeSketch(SerializeSketch(cand));
+
+  SketchOptions query_options = options;
+  query_options.hash_seed = 2;
+  auto query_builder = MakeSketchBuilder(SketchMethod::kTupsk, query_options);
+  auto train = *query_builder->SketchTrain(*key_col, *value_col);
+  auto joined = JoinSketches(train, restored_cand);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsInvalidArgument());
+  EXPECT_FALSE(
+      EstimateSketchMI(train, restored_cand, MIEstimatorKind::kMLE).ok());
+}
+
 TEST(SerializeTest, NullValueRoundTrips) {
   Sketch sketch;
   sketch.capacity = 1;
@@ -225,8 +315,9 @@ TEST(SerializeTest, RejectsCorruptedInputs) {
 
   // Corrupted entry count (enormous) must not allocate wildly.
   std::string bad_count = data;
-  // entry count lives after magic(4)+version(4)+method(1)+side(1)+3*u64.
-  const size_t count_offset = 4 + 4 + 1 + 1 + 24;
+  // entry count lives after
+  // magic(4)+version(4)+method(1)+side(1)+hash_seed(4)+3*u64.
+  const size_t count_offset = 4 + 4 + 1 + 1 + 4 + 24;
   for (int b = 0; b < 8; ++b) {
     bad_count[count_offset + static_cast<size_t>(b)] = '\xFF';
   }

@@ -1,0 +1,366 @@
+// Tests for the persisted, parallel SketchIndex: query determinism across
+// thread counts and duplicated candidates, the versioned on-disk format
+// (byte-exact round trips, corruption handling), hash-seed enforcement, and
+// rank agreement between index-backed and per-query-sketching search.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/discovery/search.h"
+#include "src/discovery/sketch_index.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+namespace {
+
+std::shared_ptr<Table> MakeTwoColumnTable(const std::string& key_name,
+                                          std::vector<std::string> keys,
+                                          const std::string& value_name,
+                                          std::vector<int64_t> values) {
+  return *Table::FromColumns(
+      {{key_name, Column::MakeString(std::move(keys))},
+       {value_name, Column::MakeInt64(std::move(values))}});
+}
+
+/// Fixed universe: a base table whose target is a function of the key, and
+/// a repository of candidates with graded relevance (as in search_test).
+struct Universe {
+  std::shared_ptr<Table> base;
+  TableRepository repository;
+};
+
+Universe MakeUniverse() {
+  Universe universe;
+  Rng rng(7171);
+  const size_t num_keys = 160;
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    targets.push_back(static_cast<int64_t>(i % 7));
+  }
+  universe.base = MakeTwoColumnTable("K", keys, "Y", targets);
+
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(i % 7));
+  }
+  universe.repository
+      .AddTable("exact", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>((i % 7) / 3));
+  }
+  universe.repository
+      .AddTable("coarse", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBounded(7)));
+  }
+  universe.repository
+      .AddTable("noise", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  return universe;
+}
+
+JoinMIConfig MakeIndexConfig() {
+  JoinMIConfig config;
+  config.sketch_capacity = 128;
+  config.min_join_size = 16;
+  return config;
+}
+
+void ExpectSameHits(const std::vector<DiscoveryHit>& a,
+                    const std::vector<DiscoveryHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ref.table_name, b[i].ref.table_name) << i;
+    EXPECT_EQ(a[i].ref.key_column, b[i].ref.key_column) << i;
+    EXPECT_EQ(a[i].ref.value_column, b[i].ref.value_column) << i;
+    // Bit-exact: the estimate pipeline is fully seeded.
+    EXPECT_EQ(a[i].mi, b[i].mi) << i;
+    EXPECT_EQ(a[i].join_size, b[i].join_size) << i;
+    EXPECT_EQ(a[i].estimator, b[i].estimator) << i;
+  }
+}
+
+TEST(SketchIndexQueryTest, ThreadCountDoesNotChangeTheRanking) {
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  ASSERT_EQ(index.size(), 3u);
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", config);
+  auto serial = *index.Query(query, 10, /*num_threads=*/1);
+  ASSERT_EQ(serial.size(), 3u);
+  EXPECT_EQ(serial[0].ref.table_name, "exact");
+  for (size_t num_threads : {2u, 4u, 8u, 0u}) {
+    auto parallel = *index.Query(query, 10, num_threads);
+    ExpectSameHits(serial, parallel);
+  }
+}
+
+TEST(SketchIndexQueryTest, DuplicatedCandidatesKeepInsertionOrder) {
+  // The determinism satellite: exact duplicates tie on MI, join size, AND
+  // ref, so only the insertion index separates them — the ranking must be
+  // reproducible for any thread count regardless.
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  auto exact = *universe.repository.GetTable("exact");
+  const ColumnPairRef ref{"exact", "K", "V"};
+  for (int copy = 0; copy < 4; ++copy) {
+    ASSERT_TRUE(index.AddCandidate(*exact, ref).ok());
+  }
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", config);
+  auto serial = *index.Query(query, 10, 1);
+  ASSERT_EQ(serial.size(), 4u);
+  for (size_t i = 1; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].mi, serial[0].mi);
+    EXPECT_EQ(serial[i].join_size, serial[0].join_size);
+  }
+  for (size_t num_threads : {2u, 4u, 0u}) {
+    ExpectSameHits(serial, *index.Query(query, 10, num_threads));
+  }
+}
+
+TEST(SketchIndexQueryTest, TiesBreakOnCandidateRef) {
+  // Identical tables registered under different names produce exactly equal
+  // (mi, join_size); the ranking must follow ref order — table name here —
+  // even though the candidates were inserted in the reverse order.
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  auto exact = *universe.repository.GetTable("exact");
+  SketchIndex index(config);
+  ASSERT_TRUE(index.AddCandidate(*exact, {"twin_b", "K", "V"}).ok());
+  ASSERT_TRUE(index.AddCandidate(*exact, {"twin_a", "K", "V"}).ok());
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", config);
+  for (size_t num_threads : {1u, 4u}) {
+    auto hits = *index.Query(query, 2, num_threads);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].mi, hits[1].mi);
+    EXPECT_EQ(hits[0].join_size, hits[1].join_size);
+    EXPECT_EQ(hits[0].ref.table_name, "twin_a");
+    EXPECT_EQ(hits[1].ref.table_name, "twin_b");
+  }
+}
+
+TEST(SketchIndexQueryTest, EvaluateAllSeparatesSkipsFromErrors) {
+  // "disjoint" fails the min-join-size guard — an expected skip.
+  Universe universe = MakeUniverse();
+  std::vector<std::string> other_keys;
+  std::vector<int64_t> other_values;
+  for (size_t i = 0; i < 160; ++i) {
+    other_keys.push_back("other" + std::to_string(i));
+    other_values.push_back(static_cast<int64_t>(i));
+  }
+  ASSERT_TRUE(universe.repository
+                  .AddTable("disjoint", MakeTwoColumnTable("K", other_keys,
+                                                           "V", other_values))
+                  .ok());
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  ASSERT_EQ(index.size(), 4u);
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", config);
+  auto evaluation = *index.EvaluateAll(query, 1);
+  EXPECT_EQ(evaluation.num_evaluated, 3u);
+  EXPECT_EQ(evaluation.num_skipped, 1u);
+  EXPECT_EQ(evaluation.num_errors, 0u);
+  ASSERT_EQ(evaluation.estimates.size(), 4u);
+
+  // A string-valued candidate joins fine but cannot feed a forced KSG
+  // estimator — a hard error, counted apart from the overlap skips.
+  JoinMIConfig ksg_config = MakeIndexConfig();
+  ksg_config.estimator = MIEstimatorKind::kKSG;
+  ksg_config.aggregation = AggKind::kFirst;
+  std::vector<std::string> keys, svals;
+  for (size_t i = 0; i < 160; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    svals.push_back("s" + std::to_string(i % 5));
+  }
+  auto textual = *Table::FromColumns(
+      {{"K", Column::MakeString(keys)}, {"V", Column::MakeString(svals)}});
+  SketchIndex ksg_index(ksg_config);
+  ASSERT_TRUE(ksg_index.AddCandidate(*textual, {"textual", "K", "V"}).ok());
+  auto ksg_query = *JoinMIQuery::Create(*universe.base, "K", "Y", ksg_config);
+  auto ksg_eval = *ksg_index.EvaluateAll(ksg_query, 1);
+  EXPECT_EQ(ksg_eval.num_evaluated, 0u);
+  EXPECT_EQ(ksg_eval.num_skipped, 0u);
+  EXPECT_EQ(ksg_eval.num_errors, 1u);
+}
+
+TEST(SketchIndexSeedTest, QueryWithMismatchedSeedIsRejected) {
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  JoinMIConfig other_seed = config;
+  other_seed.hash_seed = 7;
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", other_seed);
+  auto hits = index.Query(query, 10, 1);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsInvalidArgument());
+}
+
+TEST(SketchIndexSeedTest, AddSketchRejectsMismatchedSeed) {
+  Universe universe = MakeUniverse();
+  JoinMIConfig other_seed = MakeIndexConfig();
+  other_seed.hash_seed = 7;
+  auto builder = MakeSketchBuilder(other_seed.sketch_method,
+                                   other_seed.sketch_options());
+  auto exact = *universe.repository.GetTable("exact");
+  auto sketch = *builder->SketchCandidate(*(*exact->GetColumn("K")),
+                                          *(*exact->GetColumn("V")),
+                                          AggKind::kAvg);
+  SketchIndex index(MakeIndexConfig());  // seed 0
+  auto status = index.AddSketch({"exact", "K", "V"}, std::move(sketch));
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// ------------------------------------------------------------ Persistence
+
+TEST(SketchIndexPersistenceTest, SerializeRoundTripsByteExactly) {
+  Universe universe = MakeUniverse();
+  JoinMIConfig config = MakeIndexConfig();
+  config.hash_seed = 42;
+  config.estimator = MIEstimatorKind::kMLE;
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+
+  const std::string data = SerializeIndex(index);
+  auto restored = DeserializeIndex(data);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->size(), index.size());
+  EXPECT_EQ(restored->config().hash_seed, 42u);
+  EXPECT_EQ(restored->config().min_join_size, config.min_join_size);
+  ASSERT_TRUE(restored->config().estimator.has_value());
+  EXPECT_EQ(*restored->config().estimator, MIEstimatorKind::kMLE);
+  // Byte-exact: re-serializing the loaded index reproduces the buffer.
+  EXPECT_EQ(SerializeIndex(*restored), data);
+}
+
+TEST(SketchIndexPersistenceTest, FileRoundTripPreservesQueryResults) {
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string path = testing::TempDir() + "/joinmi_index_test.bin";
+  ASSERT_TRUE(WriteIndexFile(index, path).ok());
+  auto loaded = ReadIndexFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // A query against the loaded index must reproduce the in-memory results
+  // exactly — the whole point of persisting sketches across processes.
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", config);
+  auto before = *index.Query(query, 10, 1);
+  auto after = *loaded->Query(query, 10, 1);
+  ExpectSameHits(before, after);
+  ASSERT_GE(before.size(), 1u);
+  EXPECT_EQ(before[0].ref.table_name, "exact");
+
+  EXPECT_FALSE(ReadIndexFile("/no/such/dir/index.bin").ok());
+}
+
+TEST(SketchIndexPersistenceTest, EmptyIndexRoundTrips) {
+  JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  const std::string data = SerializeIndex(index);
+  auto restored = DeserializeIndex(data);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->size(), 0u);
+  EXPECT_EQ(SerializeIndex(*restored), data);
+}
+
+TEST(SketchIndexPersistenceTest, RejectsCorruptedInputs) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string data = SerializeIndex(index);
+
+  std::string bad_magic = data;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeIndex(bad_magic).ok());
+
+  std::string bad_version = data;
+  bad_version[4] = 99;
+  EXPECT_FALSE(DeserializeIndex(bad_version).ok());
+
+  // Truncations at every interesting prefix must fail cleanly.
+  for (size_t len : {0u, 3u, 8u, 20u, 40u, 60u}) {
+    EXPECT_FALSE(DeserializeIndex(data.substr(0, len)).ok()) << len;
+  }
+  EXPECT_FALSE(DeserializeIndex(data.substr(0, data.size() - 1)).ok());
+  EXPECT_FALSE(DeserializeIndex(data + "x").ok());
+}
+
+// ------------------------------------------- Index-backed search overload
+
+void ExpectSameSearchHits(const TopKSearchResult& a,
+                          const TopKSearchResult& b) {
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].candidate.table_name,
+              b.hits[i].candidate.table_name);
+    EXPECT_EQ(a.hits[i].candidate.key_column, b.hits[i].candidate.key_column);
+    EXPECT_EQ(a.hits[i].candidate.value_column,
+              b.hits[i].candidate.value_column);
+    EXPECT_EQ(a.hits[i].estimate.mi, b.hits[i].estimate.mi);
+    EXPECT_EQ(a.hits[i].estimate.sample_size,
+              b.hits[i].estimate.sample_size);
+    EXPECT_EQ(a.hits[i].estimate.estimator, b.hits[i].estimate.estimator);
+  }
+}
+
+TEST(IndexedSearchTest, MatchesPerQuerySketchingRanking) {
+  // The acceptance gate: at the same config and seed, probing the persisted
+  // index must return rankings identical to sketching every candidate per
+  // query — including after the index survives a file round trip.
+  Universe universe = MakeUniverse();
+  SearchConfig search_config;
+  search_config.num_threads = 1;
+  search_config.join_config = MakeIndexConfig();
+
+  auto via_repo = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                   universe.repository, 10, search_config);
+  ASSERT_TRUE(via_repo.ok()) << via_repo.status();
+  ASSERT_EQ(via_repo->hits.size(), 3u);
+
+  SketchIndex index(search_config.join_config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  for (size_t num_threads : {1u, 4u, 0u}) {
+    auto via_index = TopKJoinMISearch(*universe.base, {"K", "Y"}, index, 10,
+                                      num_threads);
+    ASSERT_TRUE(via_index.ok()) << via_index.status();
+    EXPECT_EQ(via_index->num_candidates, index.size());
+    EXPECT_EQ(via_index->num_evaluated, via_repo->num_evaluated);
+    ExpectSameSearchHits(*via_repo, *via_index);
+  }
+
+  const std::string path = testing::TempDir() + "/joinmi_search_index.bin";
+  ASSERT_TRUE(WriteIndexFile(index, path).ok());
+  auto loaded = ReadIndexFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto via_loaded =
+      TopKJoinMISearch(*universe.base, {"K", "Y"}, *loaded, 10, 1);
+  ASSERT_TRUE(via_loaded.ok()) << via_loaded.status();
+  ExpectSameSearchHits(*via_repo, *via_loaded);
+}
+
+TEST(IndexedSearchTest, RejectsZeroK) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  auto result = TopKJoinMISearch(*universe.base, {"K", "Y"}, index, 0, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace joinmi
