@@ -25,21 +25,32 @@
 // Rankings from the two paths are cross-checked for equality before any
 // number is printed, as are 1-thread vs T-thread engine rankings.
 //
+// Part 3 is shard-count scaling: the index is partitioned into K shard
+// files (round-robin), reloaded through the manifest, and the same query
+// stream is answered via the sharded fan-out. In-process all shards share
+// one machine, so the interesting numbers are the partition+write cost and
+// the per-query fan-out overhead versus the unsharded index — the ranking
+// cross-check (sharded must be bit-identical to unsharded) runs first.
+//
 // `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
 // batch) so the whole binary runs in well under a second; CI runs that
 // mode as a ctest to keep this harness from rotting.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/core/join_mi.h"
 #include "src/discovery/search.h"
+#include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
 #include "src/table/table.h"
 
@@ -56,6 +67,7 @@ struct BenchParams {
   size_t sketch_capacity = 512;
   size_t min_join_size = 32;
   std::vector<size_t> query_counts = {1, 2, 4, 8};
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
 };
 
 BenchParams SmokeParams() {
@@ -67,6 +79,7 @@ BenchParams SmokeParams() {
   params.sketch_capacity = 128;
   params.min_join_size = 16;
   params.query_counts = {2};
+  params.shard_counts = {2};
   return params;
 }
 
@@ -260,6 +273,63 @@ void RunIndexAmortization(const BenchParams& params,
               "the build never recurs)\n");
 }
 
+// Part 3: shard-count scaling of the fan-out search.
+void RunShardScaling(const BenchParams& params,
+                     const TableRepository& repository, size_t threads,
+                     Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  SketchIndex index(config);
+  index.IndexRepository(repository).status().Abort("building the index");
+  auto query_table = MakeBaseTable(params, rng);
+  const size_t queries = 4;
+
+  std::printf("\n== shard-count scaling: unsharded index vs manifest-driven "
+              "fan-out (engine x%zu, %zu queries) ==\n",
+              threads, queries);
+  auto unsharded_start = std::chrono::steady_clock::now();
+  TopKSearchResult unsharded;
+  for (size_t q = 0; q < queries; ++q) {
+    auto result = TopKJoinMISearch(*query_table, {"K", "Y"}, index,
+                                   params.top_k, threads);
+    result.status().Abort("unsharded index search");
+    unsharded = std::move(*result);
+  }
+  const double unsharded_ms = MillisSince(unsharded_start);
+  std::printf("unsharded    : %8.1f ms  (%zu candidates)\n", unsharded_ms,
+              index.size());
+
+  const std::string shard_root =
+      "/tmp/joinmi_bench_shards." + std::to_string(getpid());
+  for (size_t num_shards : params.shard_counts) {
+    const std::string dir = shard_root + "/" + std::to_string(num_shards);
+    auto build_start = std::chrono::steady_clock::now();
+    auto manifest_path = BuildShards(index, num_shards,
+                                     ShardPartitionPolicy::kRoundRobin, dir);
+    manifest_path.status().Abort("partitioning the index");
+    auto sharded = ShardedSketchIndex::Load(*manifest_path);
+    sharded.status().Abort("loading the sharded index");
+    const double build_ms = MillisSince(build_start);
+
+    auto probe_start = std::chrono::steady_clock::now();
+    TopKSearchResult via_shards;
+    for (size_t q = 0; q < queries; ++q) {
+      auto result = TopKJoinMISearch(*query_table, {"K", "Y"}, *sharded,
+                                     params.top_k, threads);
+      result.status().Abort("sharded search");
+      via_shards = std::move(*result);
+    }
+    const double probe_ms = MillisSince(probe_start);
+    ExpectSameRanking(unsharded, via_shards, "unsharded and sharded");
+    std::printf("K=%-3zu partition+write+load %8.1f ms | fan-out search "
+                "%8.1f ms | overhead vs unsharded %.2fx\n",
+                num_shards, build_ms, probe_ms, probe_ms / unsharded_ms);
+  }
+  std::filesystem::remove_all(shard_root);
+  std::printf("(one process hosts every shard here, so the fan-out column "
+              "is pure orchestration overhead; the win arrives when shards "
+              "become servers)\n");
+}
+
 int Run(size_t threads, bool smoke) {
   const BenchParams params = smoke ? SmokeParams() : BenchParams{};
   std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
@@ -288,6 +358,7 @@ int Run(size_t threads, bool smoke) {
               engine1_ms / engineN_ms);
 
   RunIndexAmortization(params, repository, threads, &rng);
+  RunShardScaling(params, repository, threads, &rng);
   return 0;
 }
 

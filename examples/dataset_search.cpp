@@ -8,17 +8,32 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "src/common/random.h"
 #include "src/discovery/opendata_sim.h"
 #include "src/discovery/ranking.h"
 #include "src/discovery/repository.h"
+#include "src/discovery/search.h"
+#include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
 
 using namespace joinmi;
 
-int main() {
+int main(int argc, char** argv) {
+  // --keep-index PATH persists the index there (and keeps it) so CI can
+  // chain the build_shards tool onto this example's output.
+  std::string keep_index_path;
+  for (int arg = 1; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--keep-index") == 0 && arg + 1 < argc) {
+      keep_index_path = argv[++arg];
+    } else {
+      std::fprintf(stderr, "usage: %s [--keep-index PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   // 1. Build a repository out of simulated open-data tables. Each generated
   //    pair contributes its candidate table; we keep one query pair aside.
   OpenDataParams params = NYCLikeParams();
@@ -86,8 +101,10 @@ int main() {
   // 4. Persistence: the index survives a restart. Write it out, load it in
   //    a fresh object, and verify the reloaded index answers identically —
   //    the sketch-once / query-many deployment across processes.
-  const std::string index_path = "/tmp/joinmi_dataset_search_index." +
-                                 std::to_string(getpid()) + ".bin";
+  const std::string index_path =
+      keep_index_path.empty() ? "/tmp/joinmi_dataset_search_index." +
+                                    std::to_string(getpid()) + ".bin"
+                              : keep_index_path;
   WriteIndexFile(index, index_path).Abort("persisting the index");
   auto reloaded = ReadIndexFile(index_path);
   reloaded.status().Abort("reloading the index");
@@ -104,6 +121,52 @@ int main() {
       "rankings %s.\n",
       index_path.c_str(), reloaded->size(),
       identical ? "identical" : "DIFFER (bug!)");
-  std::remove(index_path.c_str());
-  return identical ? 0 : 1;
+
+  // 5. Sharding: partition the index across shard files, reload through the
+  //    manifest, and fan the same search out — the multi-node deployment.
+  //    Drift check: the sharded ranking must be bit-identical to the
+  //    unsharded index-backed search for every shard count and policy.
+  auto unsharded =
+      TopKJoinMISearch(*query_table, {"K", "Y"}, index, /*k=*/8);
+  unsharded.status().Abort("unsharded index-backed search");
+  const std::string shard_root = "/tmp/joinmi_dataset_search_shards." +
+                                 std::to_string(getpid());
+  bool drift = false;
+  for (ShardPartitionPolicy policy : {ShardPartitionPolicy::kRoundRobin,
+                                      ShardPartitionPolicy::kHashByDataset}) {
+    for (size_t num_shards : {1u, 3u}) {
+      const std::string dir = shard_root + "/" +
+                              ShardPartitionPolicyToString(policy) + "_" +
+                              std::to_string(num_shards);
+      auto manifest_path = BuildShards(index, num_shards, policy, dir);
+      manifest_path.status().Abort("partitioning the index");
+      auto sharded = ShardedSketchIndex::Load(*manifest_path);
+      sharded.status().Abort("loading the sharded index");
+      auto via_shards =
+          TopKJoinMISearch(*query_table, {"K", "Y"}, *sharded, /*k=*/8);
+      via_shards.status().Abort("sharded search");
+      bool same = via_shards->hits.size() == unsharded->hits.size() &&
+                  via_shards->num_candidates == unsharded->num_candidates &&
+                  via_shards->num_evaluated == unsharded->num_evaluated &&
+                  via_shards->num_skipped == unsharded->num_skipped &&
+                  via_shards->num_errors == unsharded->num_errors;
+      for (size_t i = 0; same && i < unsharded->hits.size(); ++i) {
+        same = via_shards->hits[i].estimate.mi ==
+                   unsharded->hits[i].estimate.mi &&
+               via_shards->hits[i].estimate.sample_size ==
+                   unsharded->hits[i].estimate.sample_size &&
+               via_shards->hits[i].estimate.estimator ==
+                   unsharded->hits[i].estimate.estimator &&
+               via_shards->hits[i].candidate.ToString() ==
+                   unsharded->hits[i].candidate.ToString();
+      }
+      std::printf("drift check  : policy %-12s K=%zu -> %s\n",
+                  ShardPartitionPolicyToString(policy), num_shards,
+                  same ? "identical to unsharded" : "DRIFT (bug!)");
+      if (!same) drift = true;
+    }
+  }
+  std::filesystem::remove_all(shard_root);
+  if (keep_index_path.empty()) std::remove(index_path.c_str());
+  return identical && !drift ? 0 : 1;
 }

@@ -44,6 +44,26 @@ struct JoinMIConfig {
   Status Validate() const;
 
   std::string ToString() const;
+
+  /// \brief Field-wise equality. Two configs compare equal iff sketches and
+  /// estimates produced under one are interchangeable with the other's —
+  /// the agreement every shard of a partitioned index must satisfy.
+  bool operator==(const JoinMIConfig& other) const {
+    return sketch_method == other.sketch_method &&
+           sketch_capacity == other.sketch_capacity &&
+           hash_seed == other.hash_seed &&
+           sampling_seed == other.sampling_seed &&
+           aggregation == other.aggregation &&
+           estimator == other.estimator &&
+           mi_options.k == other.mi_options.k &&
+           mi_options.laplace_alpha == other.mi_options.laplace_alpha &&
+           mi_options.perturb_sigma == other.mi_options.perturb_sigma &&
+           mi_options.perturb_seed == other.mi_options.perturb_seed &&
+           min_join_size == other.min_join_size;
+  }
+  bool operator!=(const JoinMIConfig& other) const {
+    return !(*this == other);
+  }
 };
 
 }  // namespace joinmi

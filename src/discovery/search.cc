@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/thread_pool.h"
+#include "src/discovery/topk_merge.h"
 
 namespace joinmi {
 
@@ -35,33 +36,21 @@ void EvaluateCandidate(const JoinMIQuery& query,
   }
 }
 
-// Deterministic top-k merge shared by both search overloads: ranks the
-// present estimates by MI descending with the enumeration index (==
-// candidate order, sorted for repositories, insertion order for indexes)
-// breaking ties, then fills result->hits using ref_at(i) for provenance.
-// Also sets num_evaluated.
+// Deterministic top-k merge shared by both unsharded search overloads:
+// ranks the present estimates by the canonical discovery order
+// (topk_merge.h) with the enumeration index (== candidate order, sorted
+// for repositories, insertion order for indexes) as the ordering key, then
+// fills result->hits using ref_at(i) for provenance. Also sets
+// num_evaluated.
 template <typename RefAt>
 void MergeTopKByEnumeration(
     const std::vector<std::optional<JoinMIEstimate>>& estimates, size_t k,
     RefAt&& ref_at, TopKSearchResult* result) {
-  std::vector<size_t> ranked;
-  ranked.reserve(estimates.size());
-  for (size_t i = 0; i < estimates.size(); ++i) {
-    if (estimates[i].has_value()) ranked.push_back(i);
-  }
-  result->num_evaluated = ranked.size();
-  const size_t take = std::min(k, ranked.size());
-  auto better = [&estimates](size_t a, size_t b) {
-    const double mi_a = estimates[a]->mi;
-    const double mi_b = estimates[b]->mi;
-    if (mi_a != mi_b) return mi_a > mi_b;
-    return a < b;
-  };
-  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
-                    better);
-  result->hits.reserve(take);
-  for (size_t r = 0; r < take; ++r) {
-    const size_t i = ranked[r];
+  internal::TopKSelection selection = internal::SelectTopKByMI(
+      estimates, k, [](size_t i) { return static_cast<uint64_t>(i); });
+  result->num_evaluated = selection.num_evaluated;
+  result->hits.reserve(selection.indices.size());
+  for (size_t i : selection.indices) {
     result->hits.push_back(SearchHit{ref_at(i), *estimates[i]});
   }
 }
@@ -143,6 +132,33 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
   MergeTopKByEnumeration(
       evaluation.estimates, k,
       [&index](size_t i) { return index.candidates()[i].ref; }, &result);
+  return result;
+}
+
+Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                          const SearchSpec& spec,
+                                          const ShardedSketchIndex& index,
+                                          size_t k, size_t num_threads) {
+  if (k == 0) {
+    return Status::InvalidArgument("top-k search requires k >= 1");
+  }
+  // As in the unsharded index overload, the index's config drives the query
+  // sketch; Create validated that every shard agrees with it.
+  JOINMI_ASSIGN_OR_RETURN(
+      JoinMIQuery query,
+      JoinMIQuery::Create(base_table, spec.base_key, spec.base_target,
+                          index.config()));
+  JOINMI_ASSIGN_OR_RETURN(ShardSearchResult merged,
+                          index.Search(query, k, num_threads));
+  TopKSearchResult result;
+  result.num_candidates = merged.num_candidates;
+  result.num_evaluated = merged.num_evaluated;
+  result.num_skipped = merged.num_skipped;
+  result.num_errors = merged.num_errors;
+  result.hits.reserve(merged.hits.size());
+  for (ShardSearchHit& hit : merged.hits) {
+    result.hits.push_back(SearchHit{std::move(hit.ref), hit.estimate});
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "src/common/status.h"
 #include "src/core/join_mi.h"
 #include "src/discovery/repository.h"
+#include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
 #include "src/table/table.h"
 
@@ -87,6 +88,18 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
 Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
                                           const SearchSpec& spec,
                                           const SketchIndex& index,
+                                          size_t k, size_t num_threads = 0);
+
+/// \brief Sharded search: sketches the base table once with the sharded
+/// index's config, fans the query out to every shard through its
+/// ShardClient, and merges the per-shard top-k lists on
+/// (MI desc, global insertion index asc). Because that is the same total
+/// order the unsharded index overload ranks by, the result is bit-identical
+/// to searching the unsharded index — for any shard count, either
+/// partitioning policy, and any thread count.
+Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                          const SearchSpec& spec,
+                                          const ShardedSketchIndex& index,
                                           size_t k, size_t num_threads = 0);
 
 }  // namespace joinmi

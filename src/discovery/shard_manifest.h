@@ -1,0 +1,98 @@
+// Shard manifest for a partitioned sketch index: the versioned on-disk
+// record of how a candidate repository was split across N shard index
+// files. The manifest is the unit of deployment — a serving tier loads it,
+// opens (or connects to) every shard it names, and can verify that what it
+// opened is exactly what the partitioner wrote: per shard it stores the
+// index file path, the candidate count, a content checksum over the raw
+// file bytes, and the candidates' *global* insertion indices in the
+// original unsharded enumeration.
+//
+// The global indices are what make a fan-out search bit-identical to the
+// unsharded one: the unsharded top-k breaks MI ties on insertion order, so
+// a cross-shard merge needs each hit's position in that order — local shard
+// positions are not enough once candidates interleave (hash partitioning)
+// or duplicate across shards. Storing them also keeps the manifest
+// self-describing for partitioning policies whose assignment cannot be
+// re-derived from shard contents alone.
+//
+// On-disk format (little-endian, version-tagged):
+//   magic "JMIM" | u32 version | u8 policy | u64 shard_count
+//   | u64 total_candidates
+//   | per shard: path (u32 length + bytes, relative to the manifest's
+//     directory), u64 candidate_count, u64 checksum,
+//     candidate_count x u64 global index
+
+#ifndef JOINMI_DISCOVERY_SHARD_MANIFEST_H_
+#define JOINMI_DISCOVERY_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+
+/// \brief How candidates are assigned to shards. Both policies are pure
+/// functions of (enumeration index, ref, shard count), so partitioning the
+/// same index the same way always yields the same shards.
+enum class ShardPartitionPolicy : uint8_t {
+  /// Candidate i goes to shard i % N — perfectly balanced counts.
+  kRoundRobin = 0,
+  /// All candidates of one table land on the same shard (hash of the table
+  /// name) — dataset locality for per-table updates, at the cost of skew.
+  kHashByDataset = 1,
+};
+
+const char* ShardPartitionPolicyToString(ShardPartitionPolicy policy);
+
+/// \brief Parses the CLI spellings "round_robin" / "hash_dataset".
+Result<ShardPartitionPolicy> ParseShardPartitionPolicy(
+    const std::string& name);
+
+/// \brief One shard's entry in the manifest.
+struct ShardManifestEntry {
+  /// Shard index file, relative to the directory holding the manifest
+  /// (absolute paths are honored as-is when loading).
+  std::string path;
+  /// Candidates the shard file must contain.
+  uint64_t candidate_count = 0;
+  /// wire::Checksum64 over the shard file's raw bytes.
+  uint64_t checksum = 0;
+  /// For each local candidate (in shard insertion order) its index in the
+  /// original unsharded enumeration; strictly increasing within a shard.
+  std::vector<uint64_t> global_indices;
+};
+
+/// \brief The full partitioning record ("JMIM" v1).
+struct ShardManifest {
+  ShardPartitionPolicy policy = ShardPartitionPolicy::kRoundRobin;
+  /// Candidates across all shards (== the unsharded index size).
+  uint64_t total_candidates = 0;
+  std::vector<ShardManifestEntry> shards;
+
+  /// \brief Structural consistency: at least one shard, per-shard index
+  /// lists matching candidate_count and strictly increasing, and the union
+  /// of all global indices being exactly {0, ..., total_candidates - 1}
+  /// (every candidate assigned to exactly one shard slot).
+  Status Validate() const;
+};
+
+/// \brief Serializes the manifest to its binary format.
+std::string SerializeManifest(const ShardManifest& manifest);
+
+/// \brief Parses a serialized manifest; validates magic, version, policy
+/// tag, and structural consistency (Validate()), so corrupted or tampered
+/// manifests fail cleanly.
+Result<ShardManifest> DeserializeManifest(const std::string& data);
+
+/// \brief Writes the manifest to a file.
+Status WriteManifestFile(const ShardManifest& manifest,
+                         const std::string& path);
+
+/// \brief Reads and validates a manifest from a file.
+Result<ShardManifest> ReadManifestFile(const std::string& path);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_SHARD_MANIFEST_H_

@@ -1,0 +1,277 @@
+#include "src/discovery/sharded_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/hashing.h"
+#include "src/common/thread_pool.h"
+#include "src/discovery/topk_merge.h"
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+
+namespace {
+
+// Seed for the hash-by-dataset assignment; distinct from any sketch hash
+// seed so shard placement never correlates with sketch sampling.
+constexpr uint32_t kShardAssignSeed = 0x5A4DC0DEu;
+
+// Orders hits by the canonical discovery order (topk_merge.h) with the
+// global insertion index as the key — the same total order the unsharded
+// merge uses, which is what makes sharded rankings bit-identical.
+bool BetterHit(const ShardSearchHit& a, const ShardSearchHit& b) {
+  return internal::BetterByMIThenKey(a.estimate.mi, a.global_index,
+                                     b.estimate.mi, b.global_index);
+}
+
+std::string ShardFileName(size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard_%05zu.jmix", shard);
+  return name;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- LocalShardClient
+
+Result<std::unique_ptr<LocalShardClient>> LocalShardClient::Create(
+    SketchIndex index, std::vector<uint64_t> global_indices) {
+  if (global_indices.size() != index.size()) {
+    return Status::InvalidArgument(
+        "shard holds " + std::to_string(index.size()) +
+        " candidates but the global index mapping lists " +
+        std::to_string(global_indices.size()));
+  }
+  for (size_t i = 1; i < global_indices.size(); ++i) {
+    if (global_indices[i - 1] >= global_indices[i]) {
+      return Status::InvalidArgument(
+          "shard global indices are not strictly increasing");
+    }
+  }
+  return std::unique_ptr<LocalShardClient>(new LocalShardClient(
+      std::move(index), std::move(global_indices)));
+}
+
+Result<ShardSearchResult> LocalShardClient::Search(const JoinMIQuery& query,
+                                                   size_t k,
+                                                   size_t num_threads) const {
+  if (k == 0) {
+    return Status::InvalidArgument("shard search requires k >= 1");
+  }
+  JOINMI_ASSIGN_OR_RETURN(IndexEvaluation evaluation,
+                          index_.EvaluateAll(query, num_threads));
+  ShardSearchResult result;
+  result.num_candidates = index_.size();
+  result.num_evaluated = evaluation.num_evaluated;
+  result.num_skipped = evaluation.num_skipped;
+  result.num_errors = evaluation.num_errors;
+  // Within one shard global order equals local order, but selecting on the
+  // global key keeps the shard's top-k consistent with the cross-shard
+  // merge by construction.
+  internal::TopKSelection selection = internal::SelectTopKByMI(
+      evaluation.estimates, k,
+      [this](size_t i) { return global_indices_[i]; });
+  result.hits.reserve(selection.indices.size());
+  for (size_t i : selection.indices) {
+    result.hits.push_back(ShardSearchHit{global_indices_[i],
+                                         index_.candidates()[i].ref,
+                                         *evaluation.estimates[i]});
+  }
+  return result;
+}
+
+// ----------------------------------------------------- ShardedSketchIndex
+
+Result<ShardedSketchIndex> ShardedSketchIndex::Create(
+    ShardManifest manifest,
+    std::vector<std::unique_ptr<ShardClient>> clients) {
+  JOINMI_RETURN_NOT_OK(manifest.Validate());
+  if (clients.size() != manifest.shards.size()) {
+    return Status::InvalidArgument(
+        "manifest names " + std::to_string(manifest.shards.size()) +
+        " shards but " + std::to_string(clients.size()) +
+        " clients were provided");
+  }
+  for (size_t s = 0; s < clients.size(); ++s) {
+    if (clients[s] == nullptr) {
+      return Status::InvalidArgument("shard client " + std::to_string(s) +
+                                     " is null");
+    }
+    if (clients[s]->num_candidates() != manifest.shards[s].candidate_count) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " ('" + manifest.shards[s].path +
+          "') holds " + std::to_string(clients[s]->num_candidates()) +
+          " candidates but the manifest records " +
+          std::to_string(manifest.shards[s].candidate_count));
+    }
+    if (clients[s]->config() != clients[0]->config()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " was built under a different JoinMIConfig than shard 0 — "
+          "sketches across shards would not coordinate");
+    }
+  }
+  return ShardedSketchIndex(std::move(manifest), std::move(clients));
+}
+
+Result<ShardedSketchIndex> ShardedSketchIndex::Load(
+    const std::string& manifest_path) {
+  JOINMI_ASSIGN_OR_RETURN(ShardManifest manifest,
+                          ReadManifestFile(manifest_path));
+  const std::filesystem::path base =
+      std::filesystem::path(manifest_path).parent_path();
+  std::vector<std::unique_ptr<ShardClient>> clients;
+  clients.reserve(manifest.shards.size());
+  for (const ShardManifestEntry& entry : manifest.shards) {
+    const std::filesystem::path entry_path(entry.path);
+    const std::string resolved =
+        entry_path.is_absolute() ? entry.path : (base / entry_path).string();
+    JOINMI_ASSIGN_OR_RETURN(std::string bytes,
+                            wire::ReadFileBytes(resolved));
+    // Verify against the manifest before parsing: a corrupt or swapped
+    // shard file must fail here with provenance, not as a blob error (or
+    // not at all, if the bit flip lands in sketch payload bytes).
+    const uint64_t checksum = wire::Checksum64(bytes);
+    if (checksum != entry.checksum) {
+      return Status::InvalidArgument(
+          "shard file '" + resolved + "' checksum " +
+          std::to_string(checksum) + " disagrees with the manifest (" +
+          std::to_string(entry.checksum) +
+          ") — the file is corrupt or does not belong to this manifest");
+    }
+    JOINMI_ASSIGN_OR_RETURN(SketchIndex index, DeserializeIndex(bytes));
+    if (index.size() != entry.candidate_count) {
+      return Status::InvalidArgument(
+          "shard file '" + resolved + "' holds " +
+          std::to_string(index.size()) +
+          " candidates but the manifest records " +
+          std::to_string(entry.candidate_count));
+    }
+    JOINMI_ASSIGN_OR_RETURN(
+        std::unique_ptr<LocalShardClient> client,
+        LocalShardClient::Create(std::move(index), entry.global_indices));
+    clients.push_back(std::move(client));
+  }
+  return Create(std::move(manifest), std::move(clients));
+}
+
+Result<ShardSearchResult> ShardedSketchIndex::Search(
+    const JoinMIQuery& query, size_t k, size_t num_threads) const {
+  if (k == 0) {
+    return Status::InvalidArgument("sharded search requires k >= 1");
+  }
+  const size_t num_shards = clients_.size();
+  std::vector<ShardSearchResult> per_shard(num_shards);
+  std::vector<Status> statuses(num_shards, Status::OK());
+  auto run_shard = [this, &query, k, &per_shard, &statuses](
+                       size_t s, size_t shard_threads) {
+    auto result = clients_[s]->Search(query, k, shard_threads);
+    if (result.ok()) {
+      per_shard[s] = std::move(*result);
+    } else {
+      statuses[s] = result.status();
+    }
+  };
+  const size_t threads = num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                          : num_threads;
+  if (threads <= 1 || num_shards <= 1) {
+    for (size_t s = 0; s < num_shards; ++s) run_shard(s, threads);
+  } else {
+    // One task per shard, with the thread budget divided among the shard
+    // evaluations (each gets >= 1) so total concurrency stays ~threads
+    // whether the index has 2 shards or 200 — never fewer workers than the
+    // unsharded path would use, never oversubscribed by nesting.
+    const size_t per_shard_threads = std::max<size_t>(1, threads / num_shards);
+    ThreadPool pool(std::min(threads, num_shards));
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool.Submit([&run_shard, s, per_shard_threads] {
+        run_shard(s, per_shard_threads);
+      });
+    }
+    pool.Wait();
+  }
+  // First failure in shard order wins, so errors are deterministic too.
+  for (const Status& status : statuses) {
+    JOINMI_RETURN_NOT_OK(status);
+  }
+  ShardSearchResult merged;
+  size_t total_hits = 0;
+  for (const ShardSearchResult& shard : per_shard) {
+    merged.num_candidates += shard.num_candidates;
+    merged.num_evaluated += shard.num_evaluated;
+    merged.num_skipped += shard.num_skipped;
+    merged.num_errors += shard.num_errors;
+    total_hits += shard.hits.size();
+  }
+  merged.hits.reserve(total_hits);
+  for (ShardSearchResult& shard : per_shard) {
+    for (ShardSearchHit& hit : shard.hits) {
+      merged.hits.push_back(std::move(hit));
+    }
+  }
+  std::sort(merged.hits.begin(), merged.hits.end(), BetterHit);
+  if (merged.hits.size() > k) merged.hits.resize(k);
+  return merged;
+}
+
+// ------------------------------------------------------------ Partitioner
+
+size_t AssignShard(ShardPartitionPolicy policy, size_t index,
+                   const ColumnPairRef& ref, size_t num_shards) {
+  switch (policy) {
+    case ShardPartitionPolicy::kRoundRobin:
+      return index % num_shards;
+    case ShardPartitionPolicy::kHashByDataset:
+      return MurmurHash3_32(ref.table_name, kShardAssignSeed) % num_shards;
+  }
+  return 0;
+}
+
+Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
+                                ShardPartitionPolicy policy,
+                                const std::string& output_dir) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("cannot partition into 0 shards");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(output_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create shard output directory '" +
+                           output_dir + "': " + ec.message());
+  }
+  std::vector<SketchIndex> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards.emplace_back(index.config());
+  }
+  ShardManifest manifest;
+  manifest.policy = policy;
+  manifest.total_candidates = index.size();
+  manifest.shards.resize(num_shards);
+  for (size_t i = 0; i < index.candidates().size(); ++i) {
+    const IndexedCandidate& candidate = index.candidates()[i];
+    const size_t s = AssignShard(policy, i, candidate.ref, num_shards);
+    // Sketch is copied (not shared): each shard file must be independently
+    // loadable, and AddSketch rebuilds the candidate probe map.
+    JOINMI_RETURN_NOT_OK(
+        shards[s].AddSketch(candidate.ref, candidate.sketch()));
+    manifest.shards[s].global_indices.push_back(i);
+  }
+  const std::filesystem::path dir(output_dir);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardManifestEntry& entry = manifest.shards[s];
+    entry.path = ShardFileName(s);
+    entry.candidate_count = shards[s].size();
+    const std::string bytes = SerializeIndex(shards[s]);
+    entry.checksum = wire::Checksum64(bytes);
+    JOINMI_RETURN_NOT_OK(
+        wire::WriteFileBytes(bytes, (dir / entry.path).string()));
+  }
+  const std::string manifest_path = (dir / "manifest.jmim").string();
+  JOINMI_RETURN_NOT_OK(WriteManifestFile(manifest, manifest_path));
+  return manifest_path;
+}
+
+}  // namespace joinmi

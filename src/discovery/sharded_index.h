@@ -1,0 +1,152 @@
+// Sharded sketch index: the repository-scale deployment of discovery
+// search. A partitioner splits one SketchIndex across N shard index files
+// and records the split in a versioned ShardManifest; a query is sketched
+// once, fanned out to every shard, and the per-shard top-k lists are merged
+// into a global top-k.
+//
+// Determinism contract: every candidate carries its *global* insertion
+// index from the original unsharded enumeration (stored in the manifest),
+// and both the per-shard selection and the cross-shard merge order hits by
+// (MI desc, global index asc) — exactly the comparator the unsharded
+// index-backed TopKJoinMISearch uses. Per-shard top-k under a total order
+// loses nothing the global top-k could keep, so a K-shard search returns
+// bit-identical rankings to the unsharded path for every K and either
+// partitioning policy, duplicated candidates included.
+//
+// Serving boundary: queries reach shards through the ShardClient interface.
+// LocalShardClient is the in-process implementation over a loaded
+// SketchIndex; a future RPC client implements the same three methods
+// against a remote shard server without touching the fan-out or merge.
+
+#ifndef JOINMI_DISCOVERY_SHARDED_INDEX_H_
+#define JOINMI_DISCOVERY_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/join_mi.h"
+#include "src/discovery/shard_manifest.h"
+#include "src/discovery/sketch_index.h"
+
+namespace joinmi {
+
+/// \brief One per-shard search answer, annotated with the candidate's
+/// global insertion index — the tie-break key of the cross-shard merge.
+struct ShardSearchHit {
+  uint64_t global_index = 0;
+  ColumnPairRef ref;
+  JoinMIEstimate estimate;
+};
+
+/// \brief Outcome of one shard-level (or merged) top-k search. Hits are
+/// sorted by (MI desc, global index asc) and truncated to k.
+struct ShardSearchResult {
+  std::vector<ShardSearchHit> hits;
+  size_t num_candidates = 0;
+  size_t num_evaluated = 0;
+  size_t num_skipped = 0;
+  size_t num_errors = 0;
+};
+
+/// \brief Serving boundary of one shard — the future RPC seam. The query
+/// arrives pre-sketched (over the wire this is the serialized train
+/// sketch), so shards never see the base table's rows.
+class ShardClient {
+ public:
+  virtual ~ShardClient() = default;
+
+  /// \brief The shard's JoinMIConfig; all shards of one index must agree.
+  virtual const JoinMIConfig& config() const = 0;
+
+  /// \brief Candidates this shard holds.
+  virtual size_t num_candidates() const = 0;
+
+  /// \brief This shard's top-k for the query, ordered by
+  /// (MI desc, global index asc). `num_threads` 0 = hardware concurrency.
+  virtual Result<ShardSearchResult> Search(const JoinMIQuery& query,
+                                           size_t k,
+                                           size_t num_threads) const = 0;
+};
+
+/// \brief In-process ShardClient over a loaded SketchIndex.
+class LocalShardClient : public ShardClient {
+ public:
+  /// \brief Wraps `index`; `global_indices[i]` is local candidate i's index
+  /// in the original unsharded enumeration. Rejects a mapping whose size
+  /// disagrees with the index or that is not strictly increasing.
+  static Result<std::unique_ptr<LocalShardClient>> Create(
+      SketchIndex index, std::vector<uint64_t> global_indices);
+
+  const JoinMIConfig& config() const override { return index_.config(); }
+  size_t num_candidates() const override { return index_.size(); }
+  Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
+                                   size_t num_threads) const override;
+
+ private:
+  LocalShardClient(SketchIndex index, std::vector<uint64_t> global_indices)
+      : index_(std::move(index)),
+        global_indices_(std::move(global_indices)) {}
+
+  SketchIndex index_;
+  std::vector<uint64_t> global_indices_;
+};
+
+/// \brief A partitioned index: the manifest plus one client per shard.
+class ShardedSketchIndex {
+ public:
+  /// \brief Assembles a sharded index from an already-validated manifest
+  /// and matching clients (the seam for remote shards). Rejects client
+  /// count or per-shard candidate counts that disagree with the manifest,
+  /// and shards whose configs differ.
+  static Result<ShardedSketchIndex> Create(
+      ShardManifest manifest,
+      std::vector<std::unique_ptr<ShardClient>> clients);
+
+  /// \brief Loads a manifest and every shard file it names (paths resolved
+  /// relative to the manifest's directory). Each shard file's bytes are
+  /// checked against the manifest checksum and its candidate count against
+  /// the manifest entry *before* use, so a truncated, bit-flipped, or
+  /// swapped shard file fails with a clear InvalidArgument instead of
+  /// surfacing as blob-level corruption or — worse — wrong rankings.
+  static Result<ShardedSketchIndex> Load(const std::string& manifest_path);
+
+  const ShardManifest& manifest() const { return manifest_; }
+  const JoinMIConfig& config() const { return clients_[0]->config(); }
+  size_t num_shards() const { return clients_.size(); }
+  /// \brief Total candidates across all shards.
+  size_t size() const { return static_cast<size_t>(manifest_.total_candidates); }
+
+  /// \brief Fans the query out to every shard (one ThreadPool task per
+  /// shard when `num_threads` > 1) and merges the per-shard top-k lists by
+  /// (MI desc, global index asc). Identical results for any thread count.
+  Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
+                                   size_t num_threads = 0) const;
+
+ private:
+  ShardedSketchIndex(ShardManifest manifest,
+                     std::vector<std::unique_ptr<ShardClient>> clients)
+      : manifest_(std::move(manifest)), clients_(std::move(clients)) {}
+
+  ShardManifest manifest_;
+  std::vector<std::unique_ptr<ShardClient>> clients_;
+};
+
+/// \brief Deterministic shard assignment for candidate `ref` at enumeration
+/// index `index` — exposed so tests and tools agree with the partitioner.
+size_t AssignShard(ShardPartitionPolicy policy, size_t index,
+                   const ColumnPairRef& ref, size_t num_shards);
+
+/// \brief Partitions `index` into `num_shards` shard index files inside
+/// `output_dir` (created if missing) named shard_NNNNN.jmix, writes
+/// `manifest.jmim` next to them, and returns the manifest path. The split
+/// is a pure function of (index contents, policy, num_shards); rebuilding
+/// produces byte-identical shard files and manifest.
+Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
+                                ShardPartitionPolicy policy,
+                                const std::string& output_dir);
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_SHARDED_INDEX_H_

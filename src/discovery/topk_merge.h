@@ -1,0 +1,65 @@
+// The discovery ranking order, defined once: MI descending, then an
+// ordering key ascending (candidate enumeration order for unsharded
+// searches, the global insertion index for sharded ones). Every top-k
+// selection — the unsharded merge, the per-shard selection, and the
+// cross-shard merge — must sort by this same total order; if any of them
+// diverges, the bit-identical guarantee between sharded and unsharded
+// rankings breaks. Internal to the discovery module.
+
+#ifndef JOINMI_DISCOVERY_TOPK_MERGE_H_
+#define JOINMI_DISCOVERY_TOPK_MERGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/join_mi.h"
+
+namespace joinmi {
+namespace internal {
+
+/// \brief True iff (mi_a, key_a) ranks strictly before (mi_b, key_b).
+inline bool BetterByMIThenKey(double mi_a, uint64_t key_a, double mi_b,
+                              uint64_t key_b) {
+  if (mi_a != mi_b) return mi_a > mi_b;
+  return key_a < key_b;
+}
+
+/// \brief Indices of the top-k present estimates plus how many were
+/// present at all (the evaluated count, independent of k).
+struct TopKSelection {
+  std::vector<size_t> indices;
+  size_t num_evaluated = 0;
+};
+
+/// \brief Selects the top-k present estimates ordered by
+/// (MI desc, order_key_at(i) asc). `order_key_at` maps a local position to
+/// its ordering key and must be injective over present estimates.
+template <typename OrderKeyAt>
+TopKSelection SelectTopKByMI(
+    const std::vector<std::optional<JoinMIEstimate>>& estimates, size_t k,
+    OrderKeyAt&& order_key_at) {
+  TopKSelection selection;
+  selection.indices.reserve(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    if (estimates[i].has_value()) selection.indices.push_back(i);
+  }
+  selection.num_evaluated = selection.indices.size();
+  auto better = [&estimates, &order_key_at](size_t a, size_t b) {
+    return BetterByMIThenKey(estimates[a]->mi, order_key_at(a),
+                             estimates[b]->mi, order_key_at(b));
+  };
+  const size_t take = std::min(k, selection.indices.size());
+  std::partial_sort(selection.indices.begin(),
+                    selection.indices.begin() + take, selection.indices.end(),
+                    better);
+  selection.indices.resize(take);
+  return selection;
+}
+
+}  // namespace internal
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_TOPK_MERGE_H_

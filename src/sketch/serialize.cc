@@ -13,6 +13,16 @@ void AppendLengthPrefixed(std::string* out, const std::string& s) {
   AppendRaw(out, s.data(), s.size());
 }
 
+uint64_t Checksum64(const std::string& data) {
+  // FNV-1a, 64-bit offset basis / prime.
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 Status Reader::ReadBytes(size_t len, std::string* out) {
   if (pos_ + len > data_.size()) {
     return Status::IOError("truncated string payload");

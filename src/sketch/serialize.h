@@ -43,6 +43,11 @@ void AppendPod(std::string* out, T value) {
 /// \brief u32 length + bytes.
 void AppendLengthPrefixed(std::string* out, const std::string& s);
 
+/// \brief FNV-1a 64-bit content checksum. Not cryptographic — it exists so
+/// composite formats (e.g. the discovery shard manifest) can detect
+/// truncated, bit-flipped, or swapped payload files before parsing them.
+uint64_t Checksum64(const std::string& data);
+
 /// \brief Writes `data` to `path`, flushing before reporting success so a
 /// full disk cannot masquerade as a persisted file.
 Status WriteFileBytes(const std::string& data, const std::string& path);

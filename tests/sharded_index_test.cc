@@ -1,0 +1,561 @@
+// Tests for the sharded sketch index: bit-identical rank agreement with the
+// unsharded search across shard counts and partitioning policies (including
+// duplicated candidates straddling shard boundaries and empty shards), the
+// "JMIM" manifest format, and corruption rejection — truncated, bit-flipped,
+// and count-mismatched shard files must all fail with a clear
+// InvalidArgument at load, never surface as wrong rankings.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/discovery/search.h"
+#include "src/discovery/sharded_index.h"
+#include "src/discovery/sketch_index.h"
+#include "src/sketch/serialize.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+namespace {
+
+std::shared_ptr<Table> MakeTwoColumnTable(const std::string& key_name,
+                                          std::vector<std::string> keys,
+                                          const std::string& value_name,
+                                          std::vector<int64_t> values) {
+  return *Table::FromColumns(
+      {{key_name, Column::MakeString(std::move(keys))},
+       {value_name, Column::MakeInt64(std::move(values))}});
+}
+
+/// Base table whose target is a function of the key, plus a repository of
+/// candidates with graded relevance — several of which tie exactly, so the
+/// merge's tie-breaks are actually exercised.
+struct Universe {
+  std::shared_ptr<Table> base;
+  TableRepository repository;
+};
+
+Universe MakeUniverse() {
+  Universe universe;
+  Rng rng(7171);
+  const size_t num_keys = 160;
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    targets.push_back(static_cast<int64_t>(i % 7));
+  }
+  universe.base = MakeTwoColumnTable("K", keys, "Y", targets);
+
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(i % 7));
+  }
+  auto exact = MakeTwoColumnTable("K", keys, "V", values);
+  universe.repository.AddTable("exact", exact).Abort();
+  // Exact twins: identical MI and join size, so cross-shard merges must
+  // fall back to enumeration order to agree with the unsharded path.
+  universe.repository.AddTable("exact_twin", exact).Abort();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>((i % 7) / 3));
+  }
+  universe.repository
+      .AddTable("coarse", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBounded(7)));
+  }
+  universe.repository
+      .AddTable("noise", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  return universe;
+}
+
+JoinMIConfig MakeIndexConfig() {
+  JoinMIConfig config;
+  config.sketch_capacity = 128;
+  config.min_join_size = 16;
+  return config;
+}
+
+/// Fresh per-test scratch directory under the gtest temp dir.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/joinmi_shards_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectBitIdentical(const TopKSearchResult& expected,
+                        const TopKSearchResult& actual) {
+  EXPECT_EQ(expected.num_candidates, actual.num_candidates);
+  EXPECT_EQ(expected.num_evaluated, actual.num_evaluated);
+  EXPECT_EQ(expected.num_skipped, actual.num_skipped);
+  EXPECT_EQ(expected.num_errors, actual.num_errors);
+  ASSERT_EQ(expected.hits.size(), actual.hits.size());
+  for (size_t i = 0; i < expected.hits.size(); ++i) {
+    EXPECT_EQ(expected.hits[i].candidate.table_name,
+              actual.hits[i].candidate.table_name) << i;
+    EXPECT_EQ(expected.hits[i].candidate.key_column,
+              actual.hits[i].candidate.key_column) << i;
+    EXPECT_EQ(expected.hits[i].candidate.value_column,
+              actual.hits[i].candidate.value_column) << i;
+    // Bit-exact: the estimate pipeline is fully seeded.
+    EXPECT_EQ(expected.hits[i].estimate.mi, actual.hits[i].estimate.mi) << i;
+    EXPECT_EQ(expected.hits[i].estimate.sample_size,
+              actual.hits[i].estimate.sample_size) << i;
+    EXPECT_EQ(expected.hits[i].estimate.estimator,
+              actual.hits[i].estimate.estimator) << i;
+  }
+}
+
+// ------------------------------------------------------- Rank agreement
+
+TEST(ShardedSearchTest, AgreesWithUnshardedForEveryShardCountAndPolicy) {
+  // The acceptance gate: for every K and both partitioners the sharded
+  // fan-out must return rankings bit-identical to the unsharded index path,
+  // after a full manifest + shard-file round trip through BuildShards.
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  ASSERT_EQ(index.size(), 4u);
+
+  auto unsharded =
+      TopKJoinMISearch(*universe.base, {"K", "Y"}, index, 10, 1);
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status();
+  ASSERT_EQ(unsharded->hits.size(), 4u);
+
+  for (ShardPartitionPolicy policy :
+       {ShardPartitionPolicy::kRoundRobin,
+        ShardPartitionPolicy::kHashByDataset}) {
+    for (size_t num_shards : {1u, 2u, 3u, 7u}) {
+      const std::string dir =
+          ScratchDir(std::string("agree_") +
+                     ShardPartitionPolicyToString(policy) + "_" +
+                     std::to_string(num_shards));
+      auto manifest_path = BuildShards(index, num_shards, policy, dir);
+      ASSERT_TRUE(manifest_path.ok()) << manifest_path.status();
+      auto sharded = ShardedSketchIndex::Load(*manifest_path);
+      ASSERT_TRUE(sharded.ok()) << sharded.status();
+      EXPECT_EQ(sharded->num_shards(), num_shards);
+      EXPECT_EQ(sharded->size(), index.size());
+      for (size_t num_threads : {1u, 4u, 0u}) {
+        auto via_shards = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                           *sharded, 10, num_threads);
+        ASSERT_TRUE(via_shards.ok()) << via_shards.status();
+        ExpectBitIdentical(*unsharded, *via_shards);
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+TEST(ShardedSearchTest, SmallKTruncatesIdenticallyToUnsharded) {
+  // k smaller than the hit count forces per-shard truncation; the global
+  // merge must still pick exactly what the unsharded partial sort picks —
+  // with exact twins in the universe, only the global-index tie-break does.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  for (size_t k : {1u, 2u, 3u}) {
+    auto unsharded =
+        TopKJoinMISearch(*universe.base, {"K", "Y"}, index, k, 1);
+    ASSERT_TRUE(unsharded.ok());
+    ASSERT_EQ(unsharded->hits.size(), k);
+    const std::string dir = ScratchDir("smallk_" + std::to_string(k));
+    auto manifest_path = BuildShards(index, 3, ShardPartitionPolicy::kRoundRobin, dir);
+    ASSERT_TRUE(manifest_path.ok());
+    auto sharded = ShardedSketchIndex::Load(*manifest_path);
+    ASSERT_TRUE(sharded.ok());
+    auto via_shards =
+        TopKJoinMISearch(*universe.base, {"K", "Y"}, *sharded, k, 1);
+    ASSERT_TRUE(via_shards.ok());
+    ExpectBitIdentical(*unsharded, *via_shards);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ShardedSearchTest, DuplicatedCandidatesStraddlingShardBoundaries) {
+  // Four exact copies of one candidate tie on MI, join size, AND ref; with
+  // round-robin over 3 shards the copies land on different shards, so only
+  // the stored global insertion index keeps the merge aligned with the
+  // unsharded ranking.
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  auto exact = *universe.repository.GetTable("exact");
+  const ColumnPairRef ref{"exact", "K", "V"};
+  for (int copy = 0; copy < 4; ++copy) {
+    ASSERT_TRUE(index.AddCandidate(*exact, ref).ok());
+  }
+  auto noise = *universe.repository.GetTable("noise");
+  ASSERT_TRUE(index.AddCandidate(*noise, {"noise", "K", "V"}).ok());
+
+  auto unsharded =
+      TopKJoinMISearch(*universe.base, {"K", "Y"}, index, 10, 1);
+  ASSERT_TRUE(unsharded.ok());
+  ASSERT_EQ(unsharded->hits.size(), 5u);
+
+  for (size_t num_shards : {2u, 3u}) {
+    const std::string dir = ScratchDir("dup_" + std::to_string(num_shards));
+    auto manifest_path =
+        BuildShards(index, num_shards, ShardPartitionPolicy::kRoundRobin, dir);
+    ASSERT_TRUE(manifest_path.ok());
+    // The duplicates really do straddle shards: no shard holds all four.
+    auto sharded = ShardedSketchIndex::Load(*manifest_path);
+    ASSERT_TRUE(sharded.ok());
+    for (const ShardManifestEntry& entry : sharded->manifest().shards) {
+      EXPECT_LT(entry.candidate_count, 4u);
+    }
+    for (size_t num_threads : {1u, 4u}) {
+      auto via_shards = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                         *sharded, 10, num_threads);
+      ASSERT_TRUE(via_shards.ok());
+      ExpectBitIdentical(*unsharded, *via_shards);
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ShardedSearchTest, EmptyShardsAreHarmless) {
+  // 7 round-robin shards over 4 candidates leaves three shards empty; they
+  // must load, answer with zero hits, and not disturb the merge.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  ASSERT_EQ(index.size(), 4u);
+  const std::string dir = ScratchDir("empty_shard");
+  auto manifest_path =
+      BuildShards(index, 7, ShardPartitionPolicy::kRoundRobin, dir);
+  ASSERT_TRUE(manifest_path.ok());
+  auto sharded = ShardedSketchIndex::Load(*manifest_path);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ(sharded->num_shards(), 7u);
+  size_t empty = 0;
+  for (const ShardManifestEntry& entry : sharded->manifest().shards) {
+    if (entry.candidate_count == 0) ++empty;
+  }
+  EXPECT_EQ(empty, 3u);
+  auto unsharded = TopKJoinMISearch(*universe.base, {"K", "Y"}, index, 10, 1);
+  auto via_shards =
+      TopKJoinMISearch(*universe.base, {"K", "Y"}, *sharded, 10, 1);
+  ASSERT_TRUE(unsharded.ok());
+  ASSERT_TRUE(via_shards.ok());
+  ExpectBitIdentical(*unsharded, *via_shards);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedSearchTest, HashByDatasetKeepsTablesTogether) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  // Every candidate of one table must map to the same shard regardless of
+  // its enumeration index.
+  for (size_t i = 0; i < index.size(); ++i) {
+    const ColumnPairRef& ref = index.candidates()[i].ref;
+    EXPECT_EQ(AssignShard(ShardPartitionPolicy::kHashByDataset, i, ref, 5),
+              AssignShard(ShardPartitionPolicy::kHashByDataset, i + 17, ref, 5));
+  }
+  // Round-robin depends only on the enumeration index.
+  EXPECT_EQ(AssignShard(ShardPartitionPolicy::kRoundRobin, 9,
+                        {"anything", "K", "V"}, 4),
+            1u);
+}
+
+TEST(ShardedSearchTest, RejectsZeroKAndZeroShards) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  auto built = BuildShards(index, 0, ShardPartitionPolicy::kRoundRobin,
+                           ScratchDir("zero"));
+  ASSERT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsInvalidArgument());
+
+  const std::string dir = ScratchDir("zerok");
+  auto manifest_path =
+      BuildShards(index, 2, ShardPartitionPolicy::kRoundRobin, dir);
+  ASSERT_TRUE(manifest_path.ok());
+  auto sharded = ShardedSketchIndex::Load(*manifest_path);
+  ASSERT_TRUE(sharded.ok());
+  auto result = TopKJoinMISearch(*universe.base, {"K", "Y"}, *sharded, 0, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ Manifest format
+
+TEST(ShardManifestTest, RoundTripsByteExactly) {
+  ShardManifest manifest;
+  manifest.policy = ShardPartitionPolicy::kHashByDataset;
+  manifest.total_candidates = 5;
+  manifest.shards.push_back(
+      ShardManifestEntry{"shard_00000.jmix", 3, 0xDEADBEEFu, {0, 2, 4}});
+  manifest.shards.push_back(
+      ShardManifestEntry{"shard_00001.jmix", 2, 0xC0FFEEu, {1, 3}});
+  ASSERT_TRUE(manifest.Validate().ok());
+  const std::string data = SerializeManifest(manifest);
+  auto restored = DeserializeManifest(data);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->policy, ShardPartitionPolicy::kHashByDataset);
+  EXPECT_EQ(restored->total_candidates, 5u);
+  ASSERT_EQ(restored->shards.size(), 2u);
+  EXPECT_EQ(restored->shards[0].path, "shard_00000.jmix");
+  EXPECT_EQ(restored->shards[1].checksum, 0xC0FFEEu);
+  EXPECT_EQ(restored->shards[0].global_indices,
+            (std::vector<uint64_t>{0, 2, 4}));
+  EXPECT_EQ(SerializeManifest(*restored), data);
+}
+
+TEST(ShardManifestTest, ValidateCatchesStructuralLies) {
+  ShardManifest manifest;
+  manifest.total_candidates = 2;
+  manifest.shards.push_back(ShardManifestEntry{"a.jmix", 1, 0, {0}});
+  manifest.shards.push_back(ShardManifestEntry{"b.jmix", 1, 0, {1}});
+  ASSERT_TRUE(manifest.Validate().ok());
+
+  ShardManifest no_shards;
+  EXPECT_TRUE(no_shards.Validate().IsInvalidArgument());
+
+  ShardManifest count_lie = manifest;
+  count_lie.shards[0].candidate_count = 2;  // indices list still has 1
+  EXPECT_TRUE(count_lie.Validate().IsInvalidArgument());
+
+  ShardManifest duplicate = manifest;
+  duplicate.shards[1].global_indices = {0};  // 0 claimed twice
+  EXPECT_TRUE(duplicate.Validate().IsInvalidArgument());
+
+  ShardManifest out_of_range = manifest;
+  out_of_range.shards[1].global_indices = {7};
+  EXPECT_TRUE(out_of_range.Validate().IsInvalidArgument());
+
+  ShardManifest not_increasing = manifest;
+  not_increasing.shards[0].candidate_count = 2;
+  not_increasing.shards[0].global_indices = {1, 0};
+  not_increasing.shards[1].candidate_count = 0;
+  not_increasing.shards[1].global_indices = {};
+  EXPECT_TRUE(not_increasing.Validate().IsInvalidArgument());
+}
+
+TEST(ShardManifestTest, RejectsCorruptedBuffers) {
+  ShardManifest manifest;
+  manifest.total_candidates = 1;
+  manifest.shards.push_back(ShardManifestEntry{"a.jmix", 1, 42, {0}});
+  const std::string data = SerializeManifest(manifest);
+  ASSERT_TRUE(DeserializeManifest(data).ok());
+
+  std::string bad_magic = data;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeManifest(bad_magic).ok());
+
+  std::string bad_version = data;
+  bad_version[4] = 99;
+  EXPECT_FALSE(DeserializeManifest(bad_version).ok());
+
+  std::string bad_policy = data;
+  bad_policy[8] = 9;  // after magic(4) + version(4)
+  EXPECT_FALSE(DeserializeManifest(bad_policy).ok());
+
+  for (size_t len = 0; len < data.size(); len += 3) {
+    EXPECT_FALSE(DeserializeManifest(data.substr(0, len)).ok()) << len;
+  }
+  EXPECT_FALSE(DeserializeManifest(data + "x").ok());
+}
+
+// --------------------------------------------------- Corruption at load
+
+struct ShardedFixture {
+  std::string dir;
+  std::string manifest_path;
+  std::string shard0_path;
+};
+
+ShardedFixture BuildFixture(const std::string& name) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  index.IndexRepository(universe.repository).status().Abort();
+  ShardedFixture fixture;
+  fixture.dir = ScratchDir(name);
+  auto manifest_path =
+      BuildShards(index, 2, ShardPartitionPolicy::kRoundRobin, fixture.dir);
+  manifest_path.status().Abort();
+  fixture.manifest_path = *manifest_path;
+  fixture.shard0_path = fixture.dir + "/shard_00000.jmix";
+  return fixture;
+}
+
+std::string ReadAll(const std::string& path) {
+  return *wire::ReadFileBytes(path);
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  wire::WriteFileBytes(data, path).Abort();
+}
+
+TEST(ShardedLoadCorruptionTest, TruncatedShardFileIsRejected) {
+  ShardedFixture fixture = BuildFixture("truncated");
+  const std::string bytes = ReadAll(fixture.shard0_path);
+  WriteAll(fixture.shard0_path, bytes.substr(0, bytes.size() / 2));
+  auto sharded = ShardedSketchIndex::Load(fixture.manifest_path);
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_TRUE(sharded.status().IsInvalidArgument()) << sharded.status();
+  EXPECT_NE(sharded.status().message().find("checksum"), std::string::npos)
+      << sharded.status();
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(ShardedLoadCorruptionTest, BitFlippedShardFileIsRejected) {
+  ShardedFixture fixture = BuildFixture("bitflip");
+  std::string bytes = ReadAll(fixture.shard0_path);
+  // Flip a bit deep in the sketch payload — past every header the blob
+  // parser checks, where only the manifest checksum can catch it.
+  bytes[bytes.size() - 9] ^= 0x40;
+  WriteAll(fixture.shard0_path, bytes);
+  auto sharded = ShardedSketchIndex::Load(fixture.manifest_path);
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_TRUE(sharded.status().IsInvalidArgument()) << sharded.status();
+  EXPECT_NE(sharded.status().message().find("checksum"), std::string::npos);
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(ShardedLoadCorruptionTest, SwappedShardFilesAreRejected) {
+  // Both files are individually valid indexes; only the manifest checksum
+  // knows they are in the wrong slots.
+  ShardedFixture fixture = BuildFixture("swapped");
+  const std::string shard1_path = fixture.dir + "/shard_00001.jmix";
+  const std::string a = ReadAll(fixture.shard0_path);
+  const std::string b = ReadAll(shard1_path);
+  WriteAll(fixture.shard0_path, b);
+  WriteAll(shard1_path, a);
+  auto sharded = ShardedSketchIndex::Load(fixture.manifest_path);
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_TRUE(sharded.status().IsInvalidArgument());
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(ShardedLoadCorruptionTest, CandidateCountMismatchIsRejected) {
+  // Tamper the manifest so it validates structurally but disagrees with the
+  // shard file's actual candidate count: drop shard 1's last candidate and
+  // shrink the total accordingly (the dropped index was the global max), and
+  // re-point the checksum at the real file so only the count check can fire.
+  ShardedFixture fixture = BuildFixture("count_mismatch");
+  auto manifest = *ReadManifestFile(fixture.manifest_path);
+  ShardManifestEntry& entry = manifest.shards[1];
+  ASSERT_GE(entry.candidate_count, 1u);
+  ASSERT_EQ(entry.global_indices.back(), manifest.total_candidates - 1);
+  entry.global_indices.pop_back();
+  entry.candidate_count -= 1;
+  manifest.total_candidates -= 1;
+  ASSERT_TRUE(manifest.Validate().ok());
+  ASSERT_TRUE(WriteManifestFile(manifest, fixture.manifest_path).ok());
+
+  auto sharded = ShardedSketchIndex::Load(fixture.manifest_path);
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_TRUE(sharded.status().IsInvalidArgument()) << sharded.status();
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(ShardedLoadCorruptionTest, MissingShardFileIsRejected) {
+  ShardedFixture fixture = BuildFixture("missing");
+  std::remove(fixture.shard0_path.c_str());
+  EXPECT_FALSE(ShardedSketchIndex::Load(fixture.manifest_path).ok());
+  std::filesystem::remove_all(fixture.dir);
+}
+
+// ----------------------------------------------- Client-level validation
+
+TEST(LocalShardClientTest, RejectsInconsistentGlobalIndexMappings) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  SketchIndex copy = DeserializeIndex(SerializeIndex(index)).ValueOrDie();
+  auto wrong_size = LocalShardClient::Create(std::move(copy), {0, 1});
+  ASSERT_FALSE(wrong_size.ok());
+  EXPECT_TRUE(wrong_size.status().IsInvalidArgument());
+
+  SketchIndex copy2 = DeserializeIndex(SerializeIndex(index)).ValueOrDie();
+  auto not_increasing =
+      LocalShardClient::Create(std::move(copy2), {0, 2, 1, 3});
+  ASSERT_FALSE(not_increasing.ok());
+  EXPECT_TRUE(not_increasing.status().IsInvalidArgument());
+}
+
+TEST(ShardedSketchIndexTest, CreateRejectsConfigDisagreement) {
+  // Two shards built under different hash seeds can never serve one query;
+  // Create must refuse to assemble them.
+  Universe universe = MakeUniverse();
+  auto exact = *universe.repository.GetTable("exact");
+
+  SketchIndex shard0(MakeIndexConfig());
+  ASSERT_TRUE(shard0.AddCandidate(*exact, {"exact", "K", "V"}).ok());
+  JoinMIConfig other = MakeIndexConfig();
+  other.hash_seed = 99;
+  SketchIndex shard1(other);
+  ASSERT_TRUE(shard1.AddCandidate(*exact, {"exact", "K", "V"}).ok());
+
+  ShardManifest manifest;
+  manifest.total_candidates = 2;
+  manifest.shards.push_back(ShardManifestEntry{"s0", 1, 0, {0}});
+  manifest.shards.push_back(ShardManifestEntry{"s1", 1, 0, {1}});
+  std::vector<std::unique_ptr<ShardClient>> clients;
+  clients.push_back(
+      LocalShardClient::Create(std::move(shard0), {0}).ValueOrDie());
+  clients.push_back(
+      LocalShardClient::Create(std::move(shard1), {1}).ValueOrDie());
+  auto sharded =
+      ShardedSketchIndex::Create(std::move(manifest), std::move(clients));
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_TRUE(sharded.status().IsInvalidArgument());
+  EXPECT_NE(sharded.status().message().find("JoinMIConfig"),
+            std::string::npos);
+}
+
+TEST(ShardedSketchIndexTest, QueryWithMismatchedSeedFailsDeterministically) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string dir = ScratchDir("seed_mismatch");
+  auto manifest_path =
+      BuildShards(index, 3, ShardPartitionPolicy::kRoundRobin, dir);
+  ASSERT_TRUE(manifest_path.ok());
+  auto sharded = ShardedSketchIndex::Load(*manifest_path);
+  ASSERT_TRUE(sharded.ok());
+  JoinMIConfig other_seed = MakeIndexConfig();
+  other_seed.hash_seed = 7;
+  auto query = *JoinMIQuery::Create(*universe.base, "K", "Y", other_seed);
+  for (size_t num_threads : {1u, 4u}) {
+    auto result = sharded->Search(query, 10, num_threads);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedSketchIndexTest, EmptyIndexShardsAndSearches) {
+  SketchIndex index(MakeIndexConfig());
+  const std::string dir = ScratchDir("empty_index");
+  auto manifest_path =
+      BuildShards(index, 3, ShardPartitionPolicy::kHashByDataset, dir);
+  ASSERT_TRUE(manifest_path.ok()) << manifest_path.status();
+  auto sharded = ShardedSketchIndex::Load(*manifest_path);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ(sharded->size(), 0u);
+  Universe universe = MakeUniverse();
+  auto result =
+      TopKJoinMISearch(*universe.base, {"K", "Y"}, *sharded, 5, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->hits.empty());
+  EXPECT_EQ(result->num_candidates, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace joinmi
