@@ -32,6 +32,14 @@
 // the per-query fan-out overhead versus the unsharded index — the ranking
 // cross-check (sharded must be bit-identical to unsharded) runs first.
 //
+// Part 4 is the serving boundary: the same shard layouts are served by
+// real ShardServer instances on loopback TCP and queried through
+// RpcShardClient, versus the in-process LocalShardClient fan-out. The
+// delta is the true per-query cost of crossing the network — framing,
+// sketch serialization, socket round trips — as a function of shard
+// count. Rankings are cross-checked (RPC must be bit-identical to local)
+// before any number is printed.
+//
 // `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
 // batch) so the whole binary runs in well under a second; CI runs that
 // mode as a ctest to keep this harness from rotting.
@@ -49,7 +57,9 @@
 
 #include "src/common/random.h"
 #include "src/core/join_mi.h"
+#include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
+#include "src/discovery/shard_server.h"
 #include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
 #include "src/table/table.h"
@@ -330,6 +340,89 @@ void RunShardScaling(const BenchParams& params,
               "become servers)\n");
 }
 
+// Part 4: the cost of the process boundary — loopback RPC vs in-process
+// shard fan-out for the same shard layouts.
+void RunRpcServing(const BenchParams& params,
+                   const TableRepository& repository, size_t threads,
+                   Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  SketchIndex index(config);
+  index.IndexRepository(repository).status().Abort("building the index");
+  auto query_table = MakeBaseTable(params, rng);
+  const size_t queries = 4;
+
+  std::printf("\n== serving boundary: loopback RPC shard servers vs "
+              "in-process fan-out (engine x%zu, %zu queries) ==\n",
+              threads, queries);
+  const std::string shard_root =
+      "/tmp/joinmi_bench_rpc_shards." + std::to_string(getpid());
+  for (size_t num_shards : params.shard_counts) {
+    const std::string dir = shard_root + "/" + std::to_string(num_shards);
+    auto manifest_path = BuildShards(index, num_shards,
+                                     ShardPartitionPolicy::kRoundRobin, dir);
+    manifest_path.status().Abort("partitioning the index");
+    auto local = ShardedSketchIndex::Load(*manifest_path);
+    local.status().Abort("loading the local sharded index");
+
+    // One real server per shard on an ephemeral loopback port.
+    std::vector<std::unique_ptr<ShardServer>> servers;
+    std::vector<ShardEndpoint> endpoints;
+    for (size_t s = 0; s < num_shards; ++s) {
+      ShardServerOptions options;
+      options.num_workers = 2;
+      auto server = ShardServer::Create(*manifest_path, s, options);
+      server.status().Abort("creating a shard server");
+      (*server)->Start().Abort("starting a shard server");
+      endpoints.push_back(ShardEndpoint{"127.0.0.1", (*server)->port()});
+      servers.push_back(std::move(*server));
+    }
+    auto remote = ShardedSketchIndex::Load(
+        *manifest_path, RpcShardClient::Factory(endpoints));
+    remote.status().Abort("assembling the RPC sharded index");
+
+    // Correctness gate first: the wire must not change a single bit.
+    {
+      auto via_local =
+          TopKJoinMISearch(*query_table, {"K", "Y"}, *local,
+                           params.top_k, threads);
+      via_local.status().Abort("local sharded search");
+      auto via_rpc =
+          TopKJoinMISearch(*query_table, {"K", "Y"}, *remote,
+                           params.top_k, threads);
+      via_rpc.status().Abort("RPC sharded search");
+      ExpectSameRanking(*via_local, *via_rpc, "in-process and RPC");
+    }
+
+    auto local_start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < queries; ++q) {
+      TopKJoinMISearch(*query_table, {"K", "Y"}, *local, params.top_k,
+                       threads)
+          .status()
+          .Abort("local sharded search");
+    }
+    const double local_ms = MillisSince(local_start) / queries;
+
+    auto rpc_start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < queries; ++q) {
+      TopKJoinMISearch(*query_table, {"K", "Y"}, *remote, params.top_k,
+                       threads)
+          .status()
+          .Abort("RPC sharded search");
+    }
+    const double rpc_ms = MillisSince(rpc_start) / queries;
+
+    std::printf("K=%-3zu in-process %8.2f ms/query | loopback RPC %8.2f "
+                "ms/query | boundary overhead %+7.2f ms (%.2fx)\n",
+                num_shards, local_ms, rpc_ms, rpc_ms - local_ms,
+                local_ms > 0 ? rpc_ms / local_ms : 0.0);
+    for (auto& server : servers) server->Stop();
+  }
+  std::filesystem::remove_all(shard_root);
+  std::printf("(same shard files, same merge — the delta is framing, "
+              "sketch serialization, and socket round trips; amortize it "
+              "with bigger candidate universes per shard)\n");
+}
+
 int Run(size_t threads, bool smoke) {
   const BenchParams params = smoke ? SmokeParams() : BenchParams{};
   std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
@@ -359,6 +452,7 @@ int Run(size_t threads, bool smoke) {
 
   RunIndexAmortization(params, repository, threads, &rng);
   RunShardScaling(params, repository, threads, &rng);
+  RunRpcServing(params, repository, threads, &rng);
   return 0;
 }
 

@@ -7,32 +7,70 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <set>
 #include <string>
 
 #include "src/common/random.h"
 #include "src/discovery/opendata_sim.h"
 #include "src/discovery/ranking.h"
 #include "src/discovery/repository.h"
+#include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
 #include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
+#include "src/discovery/topk_merge.h"
 
 using namespace joinmi;
 
 int main(int argc, char** argv) {
   // --keep-index PATH persists the index there (and keeps it) so CI can
   // chain the build_shards tool onto this example's output.
+  //
+  // --rpc-manifest M --rpc-endpoints E run the same search through
+  // RpcShardClient against already-running shard servers and drift-check
+  // it against the unsharded answer; --rpc-expect-down N instead asserts
+  // that exactly N shards are down: strict mode must fail and degraded
+  // mode must return the surviving shards' correctly merged top-k. This
+  // is the CI serving end-to-end (generation is fully deterministic, so a
+  // rerun probes the same index the servers loaded).
   std::string keep_index_path;
+  std::string rpc_manifest_path;
+  std::string rpc_endpoints_path;
+  long rpc_expect_down = 0;
   for (int arg = 1; arg < argc; ++arg) {
-    if (std::strcmp(argv[arg], "--keep-index") == 0 && arg + 1 < argc) {
+    const bool has_value = arg + 1 < argc;
+    if (std::strcmp(argv[arg], "--keep-index") == 0 && has_value) {
       keep_index_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--rpc-manifest") == 0 && has_value) {
+      rpc_manifest_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--rpc-endpoints") == 0 && has_value) {
+      rpc_endpoints_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--rpc-expect-down") == 0 &&
+               has_value) {
+      char* end = nullptr;
+      rpc_expect_down = std::strtol(argv[++arg], &end, 10);
+      if (end == argv[arg] || *end != '\0' || rpc_expect_down < 1 ||
+          rpc_expect_down > 100000) {
+        std::fprintf(stderr,
+                     "--rpc-expect-down must be a positive integer\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--keep-index PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--keep-index PATH] [--rpc-manifest PATH "
+                   "--rpc-endpoints PATH [--rpc-expect-down N]]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (rpc_manifest_path.empty() != rpc_endpoints_path.empty()) {
+    std::fprintf(stderr,
+                 "--rpc-manifest and --rpc-endpoints go together\n");
+    return 2;
   }
   // 1. Build a repository out of simulated open-data tables. Each generated
   //    pair contributes its candidate table; we keep one query pair aside.
@@ -167,6 +205,107 @@ int main(int argc, char** argv) {
     }
   }
   std::filesystem::remove_all(shard_root);
+
+  // 6. Networked serving (only when CI or an operator points us at live
+  //    shard servers): the same query through RpcShardClient. Healthy
+  //    deployments must be drift-free vs. the unsharded index; partially
+  //    down deployments must fail strict queries and answer degraded ones
+  //    with exactly the surviving shards' merged top-k.
+  bool rpc_ok = true;
+  if (!rpc_manifest_path.empty()) {
+    auto endpoints = ReadEndpointsFile(rpc_endpoints_path);
+    endpoints.status().Abort("reading the endpoint file");
+    auto rpc_index = ShardedSketchIndex::Load(
+        rpc_manifest_path, RpcShardClient::Factory(*endpoints));
+    rpc_index.status().Abort("assembling the RPC-backed sharded index");
+
+    if (rpc_expect_down == 0) {
+      auto via_rpc =
+          TopKJoinMISearch(*query_table, {"K", "Y"}, *rpc_index, /*k=*/8);
+      via_rpc.status().Abort("RPC-backed search");
+      bool same = via_rpc->hits.size() == unsharded->hits.size() &&
+                  via_rpc->shard_failures.empty();
+      for (size_t i = 0; same && i < unsharded->hits.size(); ++i) {
+        same = via_rpc->hits[i].estimate.mi ==
+                   unsharded->hits[i].estimate.mi &&
+               via_rpc->hits[i].estimate.sample_size ==
+                   unsharded->hits[i].estimate.sample_size &&
+               via_rpc->hits[i].candidate.ToString() ==
+                   unsharded->hits[i].candidate.ToString();
+      }
+      std::printf("rpc check    : %zu shards over loopback -> %s\n",
+                  rpc_index->num_shards(),
+                  same ? "identical to unsharded" : "DRIFT (bug!)");
+      if (!same) rpc_ok = false;
+    } else {
+      // Outage drill. Strict must refuse...
+      auto rpc_query =
+          JoinMIQuery::Create(*query_table, "K", "Y", rpc_index->config());
+      rpc_query.status().Abort("sketching the RPC query");
+      auto strict = rpc_index->Search(*rpc_query, /*k=*/8, /*num_threads=*/0,
+                                      ShardQueryMode::kStrict);
+      if (strict.ok()) {
+        std::printf("rpc degraded : strict mode unexpectedly succeeded "
+                    "with %ld shards down (bug!)\n", rpc_expect_down);
+        rpc_ok = false;
+      }
+      // ...degraded must answer, reporting exactly the expected outages.
+      auto degraded = rpc_index->Search(*rpc_query, /*k=*/8,
+                                        /*num_threads=*/0,
+                                        ShardQueryMode::kDegraded);
+      degraded.status().Abort("degraded RPC search");
+      if (degraded->shard_failures.size() !=
+          static_cast<size_t>(rpc_expect_down)) {
+        std::printf("rpc degraded : %zu shard failures recorded, expected "
+                    "%ld (bug!)\n", degraded->shard_failures.size(),
+                    rpc_expect_down);
+        rpc_ok = false;
+      }
+      // Recompute the expected degraded answer from the local shard files
+      // (CI runs this next to the servers' shard directory): per-shard
+      // top-k of every surviving shard, merged on (MI desc, global asc).
+      std::set<size_t> down;
+      for (const ShardFailure& failure : degraded->shard_failures) {
+        down.insert(failure.shard);
+      }
+      const std::string manifest_dir =
+          std::filesystem::path(rpc_manifest_path).parent_path().string();
+      auto manifest = ReadManifestFile(rpc_manifest_path);
+      manifest.status().Abort("reading the manifest for the drill");
+      std::vector<ShardSearchHit> expected;
+      for (size_t s = 0; s < manifest->shards.size(); ++s) {
+        if (down.count(s) != 0) continue;
+        auto client =
+            ShardedSketchIndex::LocalFileFactory()(*manifest, s,
+                                                   manifest_dir);
+        client.status().Abort("loading a surviving shard locally");
+        auto shard_hits = (*client)->Search(*rpc_query, /*k=*/8, 0);
+        shard_hits.status().Abort("searching a surviving shard locally");
+        expected.insert(expected.end(), shard_hits->hits.begin(),
+                        shard_hits->hits.end());
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const ShardSearchHit& a, const ShardSearchHit& b) {
+                  return internal::BetterByMIThenKey(
+                      a.estimate.mi, a.global_index, b.estimate.mi,
+                      b.global_index);
+                });
+      if (expected.size() > 8) expected.resize(8);
+      bool same = degraded->hits.size() == expected.size();
+      for (size_t i = 0; same && i < expected.size(); ++i) {
+        same = degraded->hits[i].global_index ==
+                   expected[i].global_index &&
+               degraded->hits[i].estimate.mi == expected[i].estimate.mi;
+      }
+      std::printf("rpc degraded : %ld down, %zu shard failures recorded, "
+                  "surviving merge %s\n",
+                  rpc_expect_down, degraded->shard_failures.size(),
+                  same ? "matches local recomputation"
+                       : "DIFFERS (bug!)");
+      if (!same) rpc_ok = false;
+    }
+  }
+
   if (keep_index_path.empty()) std::remove(index_path.c_str());
-  return identical && !drift ? 0 : 1;
+  return identical && !drift && rpc_ok ? 0 : 1;
 }

@@ -15,6 +15,10 @@
 
 namespace joinmi {
 
+namespace wire {
+class Reader;
+}  // namespace wire
+
 /// \brief Configuration for JoinMIQuery.
 struct JoinMIConfig {
   /// Sketching method (TUPSK is the paper's recommendation).
@@ -65,6 +69,16 @@ struct JoinMIConfig {
     return !(*this == other);
   }
 };
+
+/// \brief Appends the config in its shared binary wire layout — the one
+/// layout used by the "JMIX" index format, the "JMIM" v2 shard manifest,
+/// and the "JMRP" serving handshake, so a config written by any of them is
+/// readable by all.
+void AppendJoinMIConfig(std::string* out, const JoinMIConfig& config);
+
+/// \brief Parses a config from the shared wire layout; validates enum tags
+/// and ranges (Validate()), so corrupted buffers fail cleanly.
+Result<JoinMIConfig> ReadJoinMIConfig(wire::Reader* reader);
 
 }  // namespace joinmi
 

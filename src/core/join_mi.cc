@@ -1,6 +1,7 @@
 #include "src/core/join_mi.h"
 
 #include "src/join/left_join.h"
+#include "src/sketch/serialize.h"
 
 namespace joinmi {
 
@@ -78,6 +79,31 @@ Result<JoinMIQuery> JoinMIQuery::Create(const Table& train,
   JOINMI_ASSIGN_OR_RETURN(PreparedTrainSketch prepared,
                           PreparedTrainSketch::Create(std::move(sketch)));
   return JoinMIQuery(std::move(prepared), config);
+}
+
+Result<JoinMIQuery> JoinMIQuery::FromTrainSketch(Sketch train_sketch,
+                                                 const JoinMIConfig& config) {
+  JOINMI_RETURN_NOT_OK(config.Validate());
+  if (train_sketch.side != SketchSide::kTrain) {
+    return Status::InvalidArgument(
+        "FromTrainSketch requires a train-side sketch");
+  }
+  if (train_sketch.hash_seed != config.hash_seed) {
+    return Status::InvalidArgument(
+        "train sketch was built with hash seed " +
+        std::to_string(train_sketch.hash_seed) + " but the config uses " +
+        std::to_string(config.hash_seed));
+  }
+  JOINMI_ASSIGN_OR_RETURN(PreparedTrainSketch prepared,
+                          PreparedTrainSketch::Create(std::move(train_sketch)));
+  return JoinMIQuery(std::move(prepared), config);
+}
+
+const std::string& JoinMIQuery::SerializedTrainSketch() const {
+  std::call_once(serialized_->once, [this] {
+    serialized_->bytes = SerializeSketch(train_sketch_.sketch());
+  });
+  return serialized_->bytes;
 }
 
 Result<Sketch> JoinMIQuery::SketchCandidate(

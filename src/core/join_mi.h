@@ -10,6 +10,7 @@
 #define JOINMI_CORE_JOIN_MI_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/core/config.h"
@@ -59,6 +60,15 @@ class JoinMIQuery {
                                     const std::string& train_target,
                                     const JoinMIConfig& config = {});
 
+  /// \brief Reconstructs a query from an already-built train sketch — the
+  /// serving path, where the sketch arrives over the wire and the base
+  /// table's rows never leave the client. Rejects candidate-side sketches
+  /// and sketches whose hash seed disagrees with `config`, so a server
+  /// cannot silently answer from an incompatible sketch. Estimates match
+  /// a Create()-built query over the same sketch exactly.
+  static Result<JoinMIQuery> FromTrainSketch(Sketch train_sketch,
+                                             const JoinMIConfig& config);
+
   /// \brief Builds a candidate sketch with this query's configuration so it
   /// can be stored in an offline index.
   Result<Sketch> SketchCandidate(const Table& cand,
@@ -81,6 +91,12 @@ class JoinMIQuery {
   const Sketch& train_sketch() const { return train_sketch_.sketch(); }
   const JoinMIConfig& config() const { return config_; }
 
+  /// \brief The train sketch's wire bytes (serialize.h format), built
+  /// lazily on first use and cached — an N-shard RPC fan-out ships the
+  /// same bytes to every shard, so serialization must not scale with N.
+  /// Thread-safe; copies of the query share the cache.
+  const std::string& SerializedTrainSketch() const;
+
  private:
   JoinMIQuery(PreparedTrainSketch train_sketch, JoinMIConfig config)
       : train_sketch_(std::move(train_sketch)), config_(std::move(config)) {}
@@ -89,6 +105,13 @@ class JoinMIQuery {
   // sketches skips the per-join probe-map build.
   PreparedTrainSketch train_sketch_;
   JoinMIConfig config_;
+  // Heap-held so the query stays movable (std::once_flag is not).
+  struct SerializedCache {
+    std::once_flag once;
+    std::string bytes;
+  };
+  std::shared_ptr<SerializedCache> serialized_ =
+      std::make_shared<SerializedCache>();
 };
 
 }  // namespace joinmi

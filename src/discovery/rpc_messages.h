@@ -1,0 +1,99 @@
+// Typed JMRP message payloads for shard serving: what travels inside the
+// net::Frame envelope between RpcShardClient and a shard server.
+//
+//   HandshakeRequest   (empty payload) -> HandshakeResponse
+//       the server's JoinMIConfig (shared wire layout from core/config.h)
+//       + u64 candidate count; the client checks both against the manifest
+//       with JoinMIConfig::operator== before trusting the shard.
+//   SearchRequest      u32 length-prefixed serialized train sketch
+//       (sketch/serialize.h format — the query's base table never crosses
+//       the wire) + u64 k + u64 min_join_size.
+//   SearchResponse     a wire-encoded Status; on OK, the full
+//       ShardSearchResult (counters + hits with global indices), so the
+//       router's cross-shard merge sees exactly what LocalShardClient
+//       would have produced. Per-shard results never carry
+//       shard_failures — that field is router-level bookkeeping.
+//   HealthRequest      (empty payload) -> HealthResponse
+//       u64 candidate count + u64 requests served since startup.
+//   Error              a wire-encoded Status, for requests the server
+//       could not even parse or dispatch.
+//
+// All encodings use the wire:: primitives; every decoder is
+// truncation-safe and validates enum tags, so a corrupt peer fails with a
+// clear IOError instead of poisoning a merge.
+
+#ifndef JOINMI_DISCOVERY_RPC_MESSAGES_H_
+#define JOINMI_DISCOVERY_RPC_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/config.h"
+#include "src/discovery/sharded_index.h"
+
+namespace joinmi {
+namespace rpc {
+
+/// \brief Status as it crosses the wire: u8 code + length-prefixed
+/// message. Round trips code and message exactly. (Out-parameter shape
+/// because Result<Status> cannot exist: Status is Result's error arm.)
+void AppendStatus(std::string* out, const Status& status);
+Status ReadStatus(wire::Reader* reader, Status* out);
+
+// ----------------------------------------------------------- Handshake
+
+struct HandshakeResponse {
+  JoinMIConfig config;
+  uint64_t num_candidates = 0;
+};
+
+std::string EncodeHandshakeResponse(const HandshakeResponse& response);
+Result<HandshakeResponse> DecodeHandshakeResponse(const std::string& payload);
+
+// -------------------------------------------------------------- Search
+
+struct SearchRequest {
+  /// SerializeSketch() bytes of the query's train sketch.
+  std::string train_sketch;
+  uint64_t k = 0;
+  /// The query's min_join_size (the one JoinMIQuery honors locally); the
+  /// server evaluates under its shard config with this value substituted,
+  /// which is what keeps RPC rankings byte-identical to LocalShardClient.
+  uint64_t min_join_size = 0;
+};
+
+std::string EncodeSearchRequest(const SearchRequest& request);
+Result<SearchRequest> DecodeSearchRequest(const std::string& payload);
+
+struct SearchResponse {
+  /// The shard-side Search outcome; `result` is meaningful only when OK.
+  Status status;
+  ShardSearchResult result;
+};
+
+std::string EncodeSearchResponse(const SearchResponse& response);
+Result<SearchResponse> DecodeSearchResponse(const std::string& payload);
+
+// -------------------------------------------------------------- Health
+
+struct HealthResponse {
+  uint64_t num_candidates = 0;
+  /// Search + health requests answered since the server started.
+  uint64_t requests_served = 0;
+};
+
+std::string EncodeHealthResponse(const HealthResponse& response);
+Result<HealthResponse> DecodeHealthResponse(const std::string& payload);
+
+// --------------------------------------------------------------- Error
+
+std::string EncodeErrorPayload(const Status& status);
+/// \brief Decodes an error payload into `*out`; the returned Status
+/// reports decode failures, `*out` carries the server's error.
+Status DecodeErrorPayload(const std::string& payload, Status* out);
+
+}  // namespace rpc
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_RPC_MESSAGES_H_

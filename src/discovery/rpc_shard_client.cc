@@ -1,0 +1,308 @@
+#include "src/discovery/rpc_shard_client.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/net/frame.h"
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+
+// ---------------------------------------------------------- Endpoint file
+
+Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("endpoint '" + spec +
+                                   "' is not host:port");
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  long port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint '" + spec +
+                                     "' has a non-numeric port");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("endpoint '" + spec +
+                                     "' port is out of range");
+    }
+  }
+  if (port < 1) {
+    return Status::InvalidArgument("endpoint '" + spec +
+                                   "' port is out of range");
+  }
+  ShardEndpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open endpoint file '" + path + "'");
+  }
+  std::vector<ShardEndpoint> endpoints;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim whitespace and drop comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const size_t end = line.find_last_not_of(" \t\r");
+    auto parsed = ParseShardEndpoint(line.substr(begin, end - begin + 1));
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": " +
+          parsed.status().message());
+    }
+    endpoints.push_back(std::move(*parsed));
+  }
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("endpoint file '" + path +
+                                   "' lists no endpoints");
+  }
+  return endpoints;
+}
+
+// --------------------------------------------------------- RpcShardClient
+
+Result<std::unique_ptr<RpcShardClient>> RpcShardClient::Create(
+    ShardEndpoint endpoint, JoinMIConfig expected_config,
+    uint64_t expected_candidates, RpcClientOptions options) {
+  JOINMI_RETURN_NOT_OK(expected_config.Validate());
+  std::unique_ptr<RpcShardClient> client(new RpcShardClient(
+      std::move(endpoint), std::move(expected_config), expected_candidates,
+      options));
+  // Eager dial: a reachable-but-wrong server (handshake mismatch, an
+  // InvalidArgument) is a deployment error and fails Create; an
+  // unreachable one (IOError) is an outage the router must survive, so
+  // the client is returned disconnected and re-dials per request.
+  std::lock_guard<std::mutex> lock(client->mutex_);
+  const Status status = client->EnsureConnectedLocked();
+  if (!status.ok() && status.IsInvalidArgument()) {
+    return status;
+  }
+  return client;
+}
+
+Status RpcShardClient::EnsureConnectedLocked() const {
+  if (socket_.valid()) {
+    // A cached connection whose server has since restarted (or died)
+    // accepts writes but can never answer; probe before reuse so the
+    // failure lands here — before any request byte — where re-dialing
+    // is free, instead of at RecvFrame where retry is forbidden.
+    if (!socket_.StaleForReuse()) return Status::OK();
+    socket_.Close();
+  }
+  auto connected = net::Socket::Connect(endpoint_.host, endpoint_.port,
+                                        options_.connect_timeout_ms);
+  if (!connected.ok()) {
+    return Status::IOError("shard server " + endpoint_.ToString() +
+                           " is unreachable: " +
+                           connected.status().message());
+  }
+  net::Socket socket = std::move(*connected);
+  JOINMI_RETURN_NOT_OK(
+      socket.SetTimeouts(options_.io_timeout_ms, options_.io_timeout_ms));
+  JOINMI_RETURN_NOT_OK(
+      net::SendFrame(&socket, net::FrameType::kHandshakeRequest, ""));
+  JOINMI_ASSIGN_OR_RETURN(net::Frame frame, net::RecvFrame(&socket));
+  if (frame.type == net::FrameType::kError) {
+    Status server_error;
+    JOINMI_RETURN_NOT_OK(
+        rpc::DecodeErrorPayload(frame.payload, &server_error));
+    return server_error;
+  }
+  if (frame.type != net::FrameType::kHandshakeResponse) {
+    return Status::IOError("shard server " + endpoint_.ToString() +
+                           " answered the handshake with a " +
+                           std::string(net::FrameTypeToString(frame.type)) +
+                           " frame");
+  }
+  JOINMI_ASSIGN_OR_RETURN(rpc::HandshakeResponse handshake,
+                          rpc::DecodeHandshakeResponse(frame.payload));
+  // The operator== agreement: a server whose shard was built under any
+  // other config can never coordinate with this manifest's queries.
+  if (handshake.config != config_) {
+    return Status::InvalidArgument(
+        "shard server " + endpoint_.ToString() +
+        " serves a shard built under a different JoinMIConfig (" +
+        handshake.config.ToString() + ") than the manifest expects (" +
+        config_.ToString() + ")");
+  }
+  if (handshake.num_candidates != num_candidates_) {
+    return Status::InvalidArgument(
+        "shard server " + endpoint_.ToString() + " holds " +
+        std::to_string(handshake.num_candidates) +
+        " candidates but the manifest records " +
+        std::to_string(num_candidates_));
+  }
+  socket_ = std::move(socket);
+  return Status::OK();
+}
+
+Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
+                                                 size_t k,
+                                                 size_t num_threads) const {
+  (void)num_threads;  // evaluation parallelism belongs to the server
+  if (k == 0) {
+    return Status::InvalidArgument("shard search requires k >= 1");
+  }
+  // Everything except min_join_size must match the shard's config: those
+  // fields change estimates, and only min_join_size travels with the
+  // request. Rejecting here keeps "RPC == local, byte for byte" honest.
+  JoinMIConfig comparable = config_;
+  comparable.min_join_size = query.config().min_join_size;
+  if (query.config() != comparable) {
+    return Status::InvalidArgument(
+        "query config (" + query.config().ToString() +
+        ") disagrees with shard server " + endpoint_.ToString() +
+        "'s config (" + config_.ToString() +
+        ") beyond min_join_size — the shard would answer under the wrong "
+        "configuration");
+  }
+  rpc::SearchRequest request;
+  // Cached on the query: every shard of a fan-out ships the same bytes.
+  request.train_sketch = query.SerializedTrainSketch();
+  request.k = k;
+  request.min_join_size = query.config().min_join_size;
+  const std::string payload = rpc::EncodeSearchRequest(request);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status last = Status::IOError("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    Status status = EnsureConnectedLocked();
+    if (!status.ok()) {
+      // Nothing of this request reached the wire; retrying is free.
+      socket_.Close();
+      last = std::move(status);
+      continue;
+    }
+    size_t bytes_written = 0;
+    status = net::SendFrame(&socket_, net::FrameType::kSearchRequest,
+                            payload, &bytes_written);
+    if (!status.ok()) {
+      socket_.Close();
+      if (bytes_written == 0) {
+        // A cached connection the server already closed fails exactly
+        // here with zero bytes out — the classic reused-connection race.
+        // Still provably un-sent, so eligible for another attempt.
+        last = std::move(status);
+        continue;
+      }
+      return Status::IOError("request to shard server " +
+                             endpoint_.ToString() +
+                             " failed after a partial write (not retried): " +
+                             status.message());
+    }
+    auto frame = net::RecvFrame(&socket_);
+    if (!frame.ok()) {
+      // The request is on the wire; the server may have executed it.
+      socket_.Close();
+      return Status::IOError("no response from shard server " +
+                             endpoint_.ToString() + " (not retried): " +
+                             frame.status().message());
+    }
+    if (frame->type == net::FrameType::kError) {
+      // Frame boundaries are intact; the connection stays usable.
+      Status server_error;
+      JOINMI_RETURN_NOT_OK(
+          rpc::DecodeErrorPayload(frame->payload, &server_error));
+      return server_error;
+    }
+    if (frame->type != net::FrameType::kSearchResponse) {
+      socket_.Close();
+      return Status::IOError(
+          "shard server " + endpoint_.ToString() +
+          " answered a search with a " +
+          std::string(net::FrameTypeToString(frame->type)) + " frame");
+    }
+    auto response = rpc::DecodeSearchResponse(frame->payload);
+    if (!response.ok()) {
+      socket_.Close();
+      return response.status();
+    }
+    if (!response->status.ok()) {
+      return response->status;
+    }
+    return std::move(response->result);
+  }
+  return last;
+}
+
+Result<rpc::HealthResponse> RpcShardClient::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status status = EnsureConnectedLocked();
+  if (!status.ok()) {
+    socket_.Close();
+    return status;
+  }
+  status = net::SendFrame(&socket_, net::FrameType::kHealthRequest, "");
+  if (!status.ok()) {
+    socket_.Close();
+    return status;
+  }
+  auto frame = net::RecvFrame(&socket_);
+  if (!frame.ok()) {
+    socket_.Close();
+    return frame.status();
+  }
+  if (frame->type == net::FrameType::kError) {
+    Status server_error;
+    JOINMI_RETURN_NOT_OK(
+        rpc::DecodeErrorPayload(frame->payload, &server_error));
+    return server_error;
+  }
+  if (frame->type != net::FrameType::kHealthResponse) {
+    socket_.Close();
+    return Status::IOError(
+        "shard server " + endpoint_.ToString() +
+        " answered a health probe with a " +
+        std::string(net::FrameTypeToString(frame->type)) + " frame");
+  }
+  auto response = rpc::DecodeHealthResponse(frame->payload);
+  if (!response.ok()) {
+    socket_.Close();
+    return response.status();
+  }
+  return *response;
+}
+
+ShardClientFactory RpcShardClient::Factory(
+    std::vector<ShardEndpoint> endpoints, RpcClientOptions options) {
+  return [endpoints = std::move(endpoints), options](
+             const ShardManifest& manifest, size_t shard,
+             const std::string& manifest_dir)
+             -> Result<std::unique_ptr<ShardClient>> {
+    (void)manifest_dir;  // remote shards have no local files
+    if (!manifest.config.has_value()) {
+      return Status::InvalidArgument(
+          "manifest has no embedded JoinMIConfig (legacy v1 format) — "
+          "remote serving needs it to sketch queries; repartition with "
+          "the current build_shards");
+    }
+    if (endpoints.size() != manifest.shards.size()) {
+      return Status::InvalidArgument(
+          "manifest names " + std::to_string(manifest.shards.size()) +
+          " shards but " + std::to_string(endpoints.size()) +
+          " endpoints were provided");
+    }
+    JOINMI_ASSIGN_OR_RETURN(
+        std::unique_ptr<RpcShardClient> client,
+        RpcShardClient::Create(endpoints[shard], *manifest.config,
+                               manifest.shards[shard].candidate_count,
+                               options));
+    return std::unique_ptr<ShardClient>(std::move(client));
+  };
+}
+
+}  // namespace joinmi

@@ -1,0 +1,136 @@
+// RpcShardClient: the ShardClient implementation that speaks JMRP to a
+// remote shard server process, making a ShardedSketchIndex assembled from
+// host:port endpoints behave exactly like one assembled from local shard
+// files — same three methods, same merged rankings, byte for byte.
+//
+// Connection model: one lazily-dialed TCP connection per client, reused
+// across requests and re-dialed transparently after failures. Creating a
+// client against a *down* server succeeds (the router must be able to
+// assemble and serve degraded while a shard is being restarted); the
+// outage surfaces per-request from Search/Health, which is what the
+// degraded query mode feeds on. A *reachable* server that fails the
+// handshake — wrong JoinMIConfig or candidate count for the manifest
+// entry — fails Create loudly instead: that is a deployment
+// misconfiguration, not an outage.
+//
+// Retry policy: a request is retried (bounded by
+// RpcClientOptions::max_attempts) only while it is provably not yet on
+// the wire — connect/handshake failures, or a send that wrote zero bytes.
+// After a partial write, and after any failure past the send, the request
+// is NOT retried: the server may have executed it, and "maybe executed
+// twice" is a property this layer refuses to introduce even for
+// idempotent searches.
+
+#ifndef JOINMI_DISCOVERY_RPC_SHARD_CLIENT_H_
+#define JOINMI_DISCOVERY_RPC_SHARD_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/discovery/rpc_messages.h"
+#include "src/discovery/sharded_index.h"
+#include "src/net/socket.h"
+
+namespace joinmi {
+
+/// \brief One shard server address.
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// \brief Parses "host:port" (the port is the digits after the last
+/// colon, so bracketless IPv6 hosts are not supported — use names or
+/// IPv4 addresses).
+Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec);
+
+/// \brief Reads an endpoint file: one "host:port" per line, in shard
+/// order; blank lines and '#' comments ignored. The router pairs line i
+/// with manifest shard i, so the file must list exactly one endpoint per
+/// shard.
+Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
+    const std::string& path);
+
+/// \brief Client-side networking knobs.
+struct RpcClientOptions {
+  /// Bound on dialing a shard server; a down server fails this fast.
+  int connect_timeout_ms = 2000;
+  /// Per-request read/write bound on the established connection.
+  int io_timeout_ms = 30000;
+  /// Attempts per request, counting the first; extra attempts are spent
+  /// only on failures that provably precede the request reaching the wire.
+  int max_attempts = 2;
+};
+
+/// \brief ShardClient over a remote shard server.
+class RpcShardClient : public ShardClient {
+ public:
+  /// \brief Builds a client for `endpoint`, expecting the server to hold
+  /// `expected_candidates` candidates sketched under `expected_config`
+  /// (both from the manifest). Dials eagerly to surface handshake
+  /// mismatches at assembly time, but an unreachable server is tolerated —
+  /// see the connection model above.
+  static Result<std::unique_ptr<RpcShardClient>> Create(
+      ShardEndpoint endpoint, JoinMIConfig expected_config,
+      uint64_t expected_candidates, RpcClientOptions options = {});
+
+  /// \brief The manifest-agreed config (identical to the server's; the
+  /// handshake enforces it with JoinMIConfig::operator==).
+  const JoinMIConfig& config() const override { return config_; }
+  size_t num_candidates() const override {
+    return static_cast<size_t>(num_candidates_);
+  }
+
+  /// \brief Remote search. Serializes the query's train sketch, ships it
+  /// with k and the query's min_join_size, and decodes the shard's result
+  /// — byte-identical to LocalShardClient over the same shard.
+  /// `num_threads` is ignored: evaluation parallelism belongs to the
+  /// server. Queries whose config disagrees with the shard's (beyond
+  /// min_join_size, which travels with the request) are rejected here —
+  /// the server would silently answer under *its* config otherwise.
+  Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
+                                   size_t num_threads) const override;
+
+  /// \brief Liveness + identity probe: cheap, never retried.
+  Result<rpc::HealthResponse> Health() const;
+
+  const ShardEndpoint& endpoint() const { return endpoint_; }
+
+  /// \brief ShardClientFactory dialing `endpoints[shard]` for each shard.
+  /// Requires a v2 manifest (embedded config) and exactly one endpoint
+  /// per shard.
+  static ShardClientFactory Factory(std::vector<ShardEndpoint> endpoints,
+                                    RpcClientOptions options = {});
+
+ private:
+  RpcShardClient(ShardEndpoint endpoint, JoinMIConfig expected_config,
+                 uint64_t expected_candidates, RpcClientOptions options)
+      : endpoint_(std::move(endpoint)),
+        config_(std::move(expected_config)),
+        num_candidates_(expected_candidates),
+        options_(options) {}
+
+  /// \brief Dials + handshakes if not connected. Caller holds mutex_.
+  Status EnsureConnectedLocked() const;
+
+  ShardEndpoint endpoint_;
+  JoinMIConfig config_;
+  uint64_t num_candidates_ = 0;
+  RpcClientOptions options_;
+
+  // One connection, serialized: the router issues one request per shard
+  // per query, but nothing stops callers from sharing a client.
+  mutable std::mutex mutex_;
+  mutable net::Socket socket_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_RPC_SHARD_CLIENT_H_

@@ -138,7 +138,8 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
 Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
                                           const SearchSpec& spec,
                                           const ShardedSketchIndex& index,
-                                          size_t k, size_t num_threads) {
+                                          size_t k, size_t num_threads,
+                                          ShardQueryMode mode) {
   if (k == 0) {
     return Status::InvalidArgument("top-k search requires k >= 1");
   }
@@ -149,12 +150,13 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
       JoinMIQuery::Create(base_table, spec.base_key, spec.base_target,
                           index.config()));
   JOINMI_ASSIGN_OR_RETURN(ShardSearchResult merged,
-                          index.Search(query, k, num_threads));
+                          index.Search(query, k, num_threads, mode));
   TopKSearchResult result;
   result.num_candidates = merged.num_candidates;
   result.num_evaluated = merged.num_evaluated;
   result.num_skipped = merged.num_skipped;
   result.num_errors = merged.num_errors;
+  result.shard_failures = std::move(merged.shard_failures);
   result.hits.reserve(merged.hits.size());
   for (ShardSearchHit& hit : merged.hits) {
     result.hits.push_back(SearchHit{std::move(hit.ref), hit.estimate});

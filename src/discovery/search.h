@@ -59,6 +59,10 @@ struct TopKSearchResult {
   /// estimator errors). Kept separate from num_skipped so "overlap too
   /// small" is distinguishable from "repository is broken".
   size_t num_errors = 0;
+  /// Shards that did not answer (sharded overload in degraded mode only;
+  /// always empty otherwise). When non-empty, hits and counters cover the
+  /// answering shards only.
+  std::vector<ShardFailure> shard_failures;
 };
 
 /// \brief Searches the repository for the k candidate column pairs whose
@@ -96,11 +100,15 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
 /// (MI desc, global insertion index asc). Because that is the same total
 /// order the unsharded index overload ranks by, the result is bit-identical
 /// to searching the unsharded index — for any shard count, either
-/// partitioning policy, and any thread count.
-Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
-                                          const SearchSpec& spec,
-                                          const ShardedSketchIndex& index,
-                                          size_t k, size_t num_threads = 0);
+/// partitioning policy, any thread count, and whether shards are local
+/// files or remote servers. In ShardQueryMode::kDegraded a failed shard
+/// lands in result.shard_failures instead of failing the query (see
+/// sharded_index.h); the bit-identical guarantee then covers the shards
+/// that answered.
+Result<TopKSearchResult> TopKJoinMISearch(
+    const Table& base_table, const SearchSpec& spec,
+    const ShardedSketchIndex& index, size_t k, size_t num_threads = 0,
+    ShardQueryMode mode = ShardQueryMode::kStrict);
 
 }  // namespace joinmi
 

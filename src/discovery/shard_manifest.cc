@@ -9,7 +9,10 @@ namespace joinmi {
 namespace {
 
 constexpr char kManifestMagic[4] = {'J', 'M', 'I', 'M'};
-constexpr uint32_t kManifestVersion = 1;
+// v1 had no embedded config; v2 (current) carries the JoinMIConfig so a
+// router can serve from the manifest alone. v1 still reads.
+constexpr uint32_t kLegacyManifestVersion = 1;
+constexpr uint32_t kManifestVersion = 2;
 
 }  // namespace
 
@@ -96,6 +99,10 @@ std::string SerializeManifest(const ShardManifest& manifest) {
   wire::AppendRaw(&out, kManifestMagic, sizeof(kManifestMagic));
   wire::AppendPod<uint32_t>(&out, kManifestVersion);
   wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(manifest.policy));
+  wire::AppendPod<uint8_t>(&out, manifest.config.has_value() ? 1 : 0);
+  if (manifest.config.has_value()) {
+    AppendJoinMIConfig(&out, *manifest.config);
+  }
   wire::AppendPod<uint64_t>(&out, manifest.shards.size());
   wire::AppendPod<uint64_t>(&out, manifest.total_candidates);
   for (const ShardManifestEntry& entry : manifest.shards) {
@@ -118,7 +125,7 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
   }
   uint32_t version = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&version));
-  if (version != kManifestVersion) {
+  if (version != kManifestVersion && version != kLegacyManifestVersion) {
     return Status::IOError("unsupported shard manifest version " +
                            std::to_string(version));
   }
@@ -129,6 +136,18 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
   }
   ShardManifest manifest;
   manifest.policy = static_cast<ShardPartitionPolicy>(policy);
+  if (version >= 2) {
+    uint8_t has_config = 0;
+    JOINMI_RETURN_NOT_OK(reader.Read(&has_config));
+    if (has_config > 1) {
+      return Status::IOError("bad config presence flag in shard manifest");
+    }
+    if (has_config == 1) {
+      JOINMI_ASSIGN_OR_RETURN(JoinMIConfig config,
+                              ReadJoinMIConfig(&reader));
+      manifest.config = std::move(config);
+    }
+  }
   uint64_t shard_count = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&shard_count));
   JOINMI_RETURN_NOT_OK(reader.Read(&manifest.total_candidates));

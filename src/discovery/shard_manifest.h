@@ -16,20 +16,31 @@
 // re-derived from shard contents alone.
 //
 // On-disk format (little-endian, version-tagged):
-//   magic "JMIM" | u32 version | u8 policy | u64 shard_count
-//   | u64 total_candidates
+//   magic "JMIM" | u32 version | u8 policy
+//   | v2+: u8 has_config, then the shared JoinMIConfig wire layout
+//     (core/config.h) when has_config == 1
+//   | u64 shard_count | u64 total_candidates
 //   | per shard: path (u32 length + bytes, relative to the manifest's
 //     directory), u64 candidate_count, u64 checksum,
 //     candidate_count x u64 global index
+//
+// Version history: v1 had no config block. v2 (current) embeds the
+// JoinMIConfig the shards were built under, so a query router that only
+// holds the manifest — shard files live on remote servers — can still
+// sketch queries and verify config agreement at the serving handshake.
+// v1 manifests still load, with config absent; remote serving requires a
+// v2 manifest (repartition with the current build_shards to upgrade).
 
 #ifndef JOINMI_DISCOVERY_SHARD_MANIFEST_H_
 #define JOINMI_DISCOVERY_SHARD_MANIFEST_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/config.h"
 
 namespace joinmi {
 
@@ -64,9 +75,14 @@ struct ShardManifestEntry {
   std::vector<uint64_t> global_indices;
 };
 
-/// \brief The full partitioning record ("JMIM" v1).
+/// \brief The full partitioning record ("JMIM" v2).
 struct ShardManifest {
   ShardPartitionPolicy policy = ShardPartitionPolicy::kRoundRobin;
+  /// The JoinMIConfig every shard of this partition was built under —
+  /// what a shard-file-less router sketches queries with and what the
+  /// serving handshake checks agreement against. Absent only for
+  /// manifests read from the legacy v1 format.
+  std::optional<JoinMIConfig> config;
   /// Candidates across all shards (== the unsharded index size).
   uint64_t total_candidates = 0;
   std::vector<ShardManifestEntry> shards;

@@ -1,0 +1,178 @@
+#include "src/discovery/shard_server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "src/core/join_mi.h"
+#include "src/discovery/rpc_messages.h"
+#include "src/discovery/shard_manifest.h"
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Create(
+    const std::string& manifest_path, size_t shard,
+    ShardServerOptions options) {
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("shard server needs at least one worker");
+  }
+  JOINMI_ASSIGN_OR_RETURN(ShardManifest manifest,
+                          ReadManifestFile(manifest_path));
+  if (shard >= manifest.shards.size()) {
+    return Status::InvalidArgument(
+        "shard index " + std::to_string(shard) +
+        " is out of range: the manifest names " +
+        std::to_string(manifest.shards.size()) + " shards");
+  }
+  // The same verified load path the local router uses: checksum and
+  // candidate count against the manifest entry before anything parses.
+  const std::string manifest_dir =
+      std::filesystem::path(manifest_path).parent_path().string();
+  JOINMI_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardClient> client,
+      ShardedSketchIndex::LocalFileFactory()(manifest, shard, manifest_dir));
+  return std::unique_ptr<ShardServer>(
+      new ShardServer(std::move(client), shard, std::move(options)));
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+Status ShardServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("shard server already started");
+  }
+  JOINMI_ASSIGN_OR_RETURN(listener_,
+                          net::Listener::Bind(options_.host, options_.port));
+  workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ShardServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock workers parked in recv on idle connections; their loops then
+  // observe stopping_ (or EOF) and wind down.
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    for (int fd : active_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  workers_.reset();  // drains and joins
+  listener_.Close();
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    // Short poll so Stop() is honored promptly even with no traffic.
+    auto accepted = listener_.AcceptWithTimeout(100);
+    if (!accepted.ok()) {
+      // OutOfRange is the poll timeout (and EINTR) — just look again.
+      if (accepted.status().IsOutOfRange()) continue;
+      if (stopping_.load()) break;
+      // A real accept failure (e.g. EMFILE under fd exhaustion) leaves
+      // the pending connection in the backlog, so poll() stays ready and
+      // a bare continue would spin a core; back off before looking again.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    auto socket = std::make_shared<net::Socket>(std::move(*accepted));
+    workers_->Submit([this, socket] {
+      ServeConnection(std::move(*socket));
+    });
+  }
+}
+
+void ShardServer::ServeConnection(net::Socket socket) {
+  if (!socket.SetTimeouts(options_.io_timeout_ms, options_.io_timeout_ms)
+           .ok()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    if (stopping_.load()) return;
+    active_fds_.insert(socket.fd());
+  }
+  while (!stopping_.load()) {
+    auto frame = net::RecvFrame(&socket);
+    if (!frame.ok()) {
+      // EOF, timeout, a mismatched protocol version, or garbage: the
+      // stream is unusable (or gone), so there is nothing to answer.
+      break;
+    }
+    std::string reply;
+    const net::FrameType reply_type = HandleFrame(*frame, &reply);
+    requests_served_.fetch_add(1);
+    if (!net::SendFrame(&socket, reply_type, reply).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_fds_.erase(socket.fd());
+  }
+}
+
+net::FrameType ShardServer::HandleFrame(const net::Frame& frame,
+                                        std::string* reply) {
+  switch (frame.type) {
+    case net::FrameType::kHandshakeRequest: {
+      rpc::HandshakeResponse response;
+      response.config = client_->config();
+      response.num_candidates = client_->num_candidates();
+      *reply = rpc::EncodeHandshakeResponse(response);
+      return net::FrameType::kHandshakeResponse;
+    }
+    case net::FrameType::kHealthRequest: {
+      rpc::HealthResponse response;
+      response.num_candidates = client_->num_candidates();
+      response.requests_served = requests_served_.load();
+      *reply = rpc::EncodeHealthResponse(response);
+      return net::FrameType::kHealthResponse;
+    }
+    case net::FrameType::kSearchRequest: {
+      rpc::SearchResponse response;
+      auto run = [&]() -> Result<ShardSearchResult> {
+        JOINMI_ASSIGN_OR_RETURN(rpc::SearchRequest request,
+                                rpc::DecodeSearchRequest(frame.payload));
+        JOINMI_ASSIGN_OR_RETURN(Sketch train_sketch,
+                                DeserializeSketch(request.train_sketch));
+        // The shard's own config governs the evaluation, with only the
+        // caller's min_join_size substituted — the one knob that travels
+        // per request (see rpc_messages.h).
+        JoinMIConfig query_config = client_->config();
+        query_config.min_join_size =
+            static_cast<size_t>(request.min_join_size);
+        JOINMI_ASSIGN_OR_RETURN(
+            JoinMIQuery query,
+            JoinMIQuery::FromTrainSketch(std::move(train_sketch),
+                                         query_config));
+        return client_->Search(query, static_cast<size_t>(request.k),
+                               options_.eval_threads);
+      };
+      auto result = run();
+      if (result.ok()) {
+        response.status = Status::OK();
+        response.result = std::move(*result);
+      } else {
+        response.status = result.status();
+      }
+      *reply = rpc::EncodeSearchResponse(response);
+      return net::FrameType::kSearchResponse;
+    }
+    default: {
+      *reply = rpc::EncodeErrorPayload(Status::InvalidArgument(
+          std::string("shard server cannot handle a ") +
+          net::FrameTypeToString(frame.type) + " frame"));
+      return net::FrameType::kError;
+    }
+  }
+}
+
+}  // namespace joinmi

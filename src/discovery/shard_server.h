@@ -1,0 +1,114 @@
+// ShardServer: the serving process for one shard of a partitioned sketch
+// index. Loads a single shard file named by a manifest (checksum- and
+// count-verified against the manifest entry, exactly like the local
+// loader — a server can no more serve a corrupt shard than a router can
+// load one), binds a TCP port, and answers JMRP requests: handshake,
+// serialized-train-sketch searches, and health probes.
+//
+// Concurrency: a dedicated accept thread hands each connection to a
+// bounded ThreadPool of connection workers; each connection is served
+// sequentially (one frame in, one frame out) and every search evaluates
+// with a fixed per-request thread count, so total parallelism is
+// num_workers x eval_threads regardless of how many routers connect.
+// Rankings do not depend on either knob.
+//
+// This class is the in-process embedding (tests, benchmarks host real
+// socket servers without fork/exec); tools/shard_server.cc is the
+// operational CLI around it.
+
+#ifndef JOINMI_DISCOVERY_SHARD_SERVER_H_
+#define JOINMI_DISCOVERY_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+#include "src/discovery/sharded_index.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace joinmi {
+
+struct ShardServerOptions {
+  /// Address to bind; loopback by default (serving beyond the host is a
+  /// deliberate operator decision).
+  std::string host = "127.0.0.1";
+  /// Port to bind; 0 binds an ephemeral port reported by port().
+  uint16_t port = 0;
+  /// Connection-handler pool size — the bound on concurrent connections
+  /// being served (further connections queue in the listener backlog).
+  size_t num_workers = 4;
+  /// Threads per search evaluation (1 = inline; results never depend on
+  /// this).
+  size_t eval_threads = 1;
+  /// Per-connection read/write bound; an idle or wedged peer is dropped
+  /// after this long.
+  int io_timeout_ms = 30000;
+};
+
+class ShardServer {
+ public:
+  /// \brief Loads shard `shard` of the manifest at `manifest_path`
+  /// (checksum-verified) and prepares a server; call Start() to bind and
+  /// serve.
+  static Result<std::unique_ptr<ShardServer>> Create(
+      const std::string& manifest_path, size_t shard,
+      ShardServerOptions options = {});
+
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// \brief Binds the listener and spawns the accept thread.
+  Status Start();
+
+  /// \brief Stops accepting, shuts down in-flight connections, and joins
+  /// every worker. Idempotent.
+  void Stop();
+
+  /// \brief The bound port (meaningful after Start; resolves port 0).
+  uint16_t port() const { return listener_.port(); }
+  const std::string& host() const { return options_.host; }
+  size_t shard() const { return shard_; }
+  const JoinMIConfig& config() const { return client_->config(); }
+  size_t num_candidates() const { return client_->num_candidates(); }
+  /// \brief Requests answered (any type) since Start.
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  ShardServer(std::unique_ptr<ShardClient> client, size_t shard,
+              ShardServerOptions options)
+      : client_(std::move(client)), shard_(shard),
+        options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void ServeConnection(net::Socket socket);
+  /// Builds the reply frame for one request frame.
+  net::FrameType HandleFrame(const net::Frame& frame, std::string* reply);
+
+  std::unique_ptr<ShardClient> client_;
+  size_t shard_ = 0;
+  ShardServerOptions options_;
+
+  net::Listener listener_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  // Live connection fds, so Stop() can shutdown(2) blocked readers
+  // instead of waiting out their io timeout.
+  std::mutex active_mutex_;
+  std::set<int> active_fds_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_SHARD_SERVER_H_

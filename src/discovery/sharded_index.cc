@@ -88,6 +88,12 @@ Result<ShardedSketchIndex> ShardedSketchIndex::Create(
     ShardManifest manifest,
     std::vector<std::unique_ptr<ShardClient>> clients) {
   JOINMI_RETURN_NOT_OK(manifest.Validate());
+  // Validate() already rejects zero-shard manifests; this re-check keeps
+  // config()'s clients_[0] dereference safe even if Validate ever relaxes.
+  if (clients.empty()) {
+    return Status::InvalidArgument(
+        "a sharded index needs at least one shard client");
+  }
   if (clients.size() != manifest.shards.size()) {
     return Status::InvalidArgument(
         "manifest names " + std::to_string(manifest.shards.size()) +
@@ -117,17 +123,36 @@ Result<ShardedSketchIndex> ShardedSketchIndex::Create(
 }
 
 Result<ShardedSketchIndex> ShardedSketchIndex::Load(
-    const std::string& manifest_path) {
+    const std::string& manifest_path, const ShardClientFactory& factory) {
   JOINMI_ASSIGN_OR_RETURN(ShardManifest manifest,
                           ReadManifestFile(manifest_path));
-  const std::filesystem::path base =
-      std::filesystem::path(manifest_path).parent_path();
+  const std::string base =
+      std::filesystem::path(manifest_path).parent_path().string();
   std::vector<std::unique_ptr<ShardClient>> clients;
   clients.reserve(manifest.shards.size());
-  for (const ShardManifestEntry& entry : manifest.shards) {
+  for (size_t s = 0; s < manifest.shards.size(); ++s) {
+    JOINMI_ASSIGN_OR_RETURN(std::unique_ptr<ShardClient> client,
+                            factory(manifest, s, base));
+    clients.push_back(std::move(client));
+  }
+  return Create(std::move(manifest), std::move(clients));
+}
+
+Result<ShardedSketchIndex> ShardedSketchIndex::Load(
+    const std::string& manifest_path) {
+  return Load(manifest_path, LocalFileFactory());
+}
+
+ShardClientFactory ShardedSketchIndex::LocalFileFactory() {
+  return [](const ShardManifest& manifest, size_t shard,
+            const std::string& manifest_dir)
+             -> Result<std::unique_ptr<ShardClient>> {
+    const ShardManifestEntry& entry = manifest.shards[shard];
     const std::filesystem::path entry_path(entry.path);
     const std::string resolved =
-        entry_path.is_absolute() ? entry.path : (base / entry_path).string();
+        entry_path.is_absolute()
+            ? entry.path
+            : (std::filesystem::path(manifest_dir) / entry_path).string();
     JOINMI_ASSIGN_OR_RETURN(std::string bytes,
                             wire::ReadFileBytes(resolved));
     // Verify against the manifest before parsing: a corrupt or swapped
@@ -152,13 +177,13 @@ Result<ShardedSketchIndex> ShardedSketchIndex::Load(
     JOINMI_ASSIGN_OR_RETURN(
         std::unique_ptr<LocalShardClient> client,
         LocalShardClient::Create(std::move(index), entry.global_indices));
-    clients.push_back(std::move(client));
-  }
-  return Create(std::move(manifest), std::move(clients));
+    return std::unique_ptr<ShardClient>(std::move(client));
+  };
 }
 
 Result<ShardSearchResult> ShardedSketchIndex::Search(
-    const JoinMIQuery& query, size_t k, size_t num_threads) const {
+    const JoinMIQuery& query, size_t k, size_t num_threads,
+    ShardQueryMode mode) const {
   if (k == 0) {
     return Status::InvalidArgument("sharded search requires k >= 1");
   }
@@ -192,22 +217,43 @@ Result<ShardSearchResult> ShardedSketchIndex::Search(
     }
     pool.Wait();
   }
-  // First failure in shard order wins, so errors are deterministic too.
-  for (const Status& status : statuses) {
-    JOINMI_RETURN_NOT_OK(status);
-  }
   ShardSearchResult merged;
+  if (mode == ShardQueryMode::kStrict) {
+    // First failure in shard order wins, so errors are deterministic too.
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!statuses[s].ok()) {
+        return Status(statuses[s].code(),
+                      "shard " + std::to_string(s) + " failed: " +
+                          statuses[s].message());
+      }
+    }
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!statuses[s].ok()) {
+        merged.shard_failures.push_back(ShardFailure{s, statuses[s]});
+      }
+    }
+    if (merged.shard_failures.size() == num_shards) {
+      const Status& first = merged.shard_failures.front().status;
+      return Status(first.code(),
+                    "every shard failed; first failure (shard " +
+                        std::to_string(merged.shard_failures.front().shard) +
+                        "): " + first.message());
+    }
+  }
   size_t total_hits = 0;
-  for (const ShardSearchResult& shard : per_shard) {
-    merged.num_candidates += shard.num_candidates;
-    merged.num_evaluated += shard.num_evaluated;
-    merged.num_skipped += shard.num_skipped;
-    merged.num_errors += shard.num_errors;
-    total_hits += shard.hits.size();
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!statuses[s].ok()) continue;
+    merged.num_candidates += per_shard[s].num_candidates;
+    merged.num_evaluated += per_shard[s].num_evaluated;
+    merged.num_skipped += per_shard[s].num_skipped;
+    merged.num_errors += per_shard[s].num_errors;
+    total_hits += per_shard[s].hits.size();
   }
   merged.hits.reserve(total_hits);
-  for (ShardSearchResult& shard : per_shard) {
-    for (ShardSearchHit& hit : shard.hits) {
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!statuses[s].ok()) continue;
+    for (ShardSearchHit& hit : per_shard[s].hits) {
       merged.hits.push_back(std::move(hit));
     }
   }
@@ -248,6 +294,10 @@ Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
   }
   ShardManifest manifest;
   manifest.policy = policy;
+  // Embedding the config (manifest v2) is what lets a router without the
+  // shard files — the remote-serving deployment — sketch queries and
+  // check handshake agreement.
+  manifest.config = index.config();
   manifest.total_candidates = index.size();
   manifest.shards.resize(num_shards);
   for (size_t i = 0; i < index.candidates().size(); ++i) {

@@ -15,13 +15,27 @@
 //
 // Serving boundary: queries reach shards through the ShardClient interface.
 // LocalShardClient is the in-process implementation over a loaded
-// SketchIndex; a future RPC client implements the same three methods
-// against a remote shard server without touching the fan-out or merge.
+// SketchIndex; RpcShardClient (rpc_shard_client.h) implements the same
+// three methods against a remote shard server process without touching the
+// fan-out or merge. Which one a router uses is decided by the
+// ShardClientFactory handed to Load — local shard files and host:port
+// endpoints are interchangeable deployments of the same manifest.
+//
+// Availability: Search runs in one of two modes. Strict (the default, and
+// the only behavior before networked serving existed) fails the whole
+// query on the first shard error, deterministically in shard order.
+// Degraded answers from the shards that responded, reporting every failed
+// shard in ShardSearchResult::shard_failures — the router keeps serving
+// through single-shard outages and the caller can see exactly what the
+// answer is missing. A degraded query with zero healthy shards still
+// fails: an answer from nothing would be indistinguishable from an empty
+// repository.
 
 #ifndef JOINMI_DISCOVERY_SHARDED_INDEX_H_
 #define JOINMI_DISCOVERY_SHARDED_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +54,26 @@ struct ShardSearchHit {
   JoinMIEstimate estimate;
 };
 
+/// \brief One shard that failed to answer a degraded-mode query.
+struct ShardFailure {
+  /// Index of the shard in the manifest.
+  size_t shard = 0;
+  /// Why it failed (connection refused, timeout, shard-side error, ...).
+  Status status;
+};
+
+/// \brief How a fan-out search treats shard failures.
+enum class ShardQueryMode : uint8_t {
+  /// Any shard failure fails the whole query (first failure in shard
+  /// order, so errors are deterministic). The historical behavior and the
+  /// default — bit-identical guarantees hold only over complete answers.
+  kStrict = 0,
+  /// Failed shards are recorded in ShardSearchResult::shard_failures and
+  /// the merged top-k covers the healthy shards only. Fails only when no
+  /// shard answered.
+  kDegraded = 1,
+};
+
 /// \brief Outcome of one shard-level (or merged) top-k search. Hits are
 /// sorted by (MI desc, global index asc) and truncated to k.
 struct ShardSearchResult {
@@ -48,6 +82,11 @@ struct ShardSearchResult {
   size_t num_evaluated = 0;
   size_t num_skipped = 0;
   size_t num_errors = 0;
+  /// Shards that did not answer, in shard order. Always empty in strict
+  /// mode (a failure fails the query instead) and for single-shard
+  /// results; when non-empty, `hits` and the counters cover only the
+  /// shards that answered.
+  std::vector<ShardFailure> shard_failures;
 };
 
 /// \brief Serving boundary of one shard — the future RPC seam. The query
@@ -93,26 +132,50 @@ class LocalShardClient : public ShardClient {
   std::vector<uint64_t> global_indices_;
 };
 
+/// \brief Builds the ShardClient serving shard `shard` of `manifest`.
+/// `manifest_dir` is the directory holding the manifest file (where
+/// relative shard paths resolve), empty when the manifest never touched
+/// disk. The factory seam is what makes local files and remote endpoints
+/// interchangeable deployments: Load neither knows nor cares which one it
+/// is wiring up.
+using ShardClientFactory =
+    std::function<Result<std::unique_ptr<ShardClient>>(
+        const ShardManifest& manifest, size_t shard,
+        const std::string& manifest_dir)>;
+
 /// \brief A partitioned index: the manifest plus one client per shard.
 class ShardedSketchIndex {
  public:
   /// \brief Assembles a sharded index from an already-validated manifest
-  /// and matching clients (the seam for remote shards). Rejects client
-  /// count or per-shard candidate counts that disagree with the manifest,
-  /// and shards whose configs differ.
+  /// and matching clients (the seam for remote shards). Rejects
+  /// zero-shard manifests, client counts or per-shard candidate counts
+  /// that disagree with the manifest, and shards whose configs differ.
   static Result<ShardedSketchIndex> Create(
       ShardManifest manifest,
       std::vector<std::unique_ptr<ShardClient>> clients);
 
+  /// \brief Loads a manifest and builds one client per shard through
+  /// `factory`. LocalFileFactory() reads shard files next to the
+  /// manifest; RpcShardClient::Factory (rpc_shard_client.h) dials
+  /// host:port endpoints instead.
+  static Result<ShardedSketchIndex> Load(const std::string& manifest_path,
+                                         const ShardClientFactory& factory);
+
   /// \brief Loads a manifest and every shard file it names (paths resolved
-  /// relative to the manifest's directory). Each shard file's bytes are
-  /// checked against the manifest checksum and its candidate count against
-  /// the manifest entry *before* use, so a truncated, bit-flipped, or
-  /// swapped shard file fails with a clear InvalidArgument instead of
-  /// surfacing as blob-level corruption or — worse — wrong rankings.
+  /// relative to the manifest's directory) — Load with LocalFileFactory().
   static Result<ShardedSketchIndex> Load(const std::string& manifest_path);
 
+  /// \brief The factory behind single-argument Load: opens each shard
+  /// index file named by the manifest. The file's bytes are checked
+  /// against the manifest checksum and its candidate count against the
+  /// manifest entry *before* use, so a truncated, bit-flipped, or swapped
+  /// shard file fails with a clear InvalidArgument instead of surfacing
+  /// as blob-level corruption or — worse — wrong rankings.
+  static ShardClientFactory LocalFileFactory();
+
   const ShardManifest& manifest() const { return manifest_; }
+  /// \brief The shards' agreed JoinMIConfig. Create guarantees at least
+  /// one client exists and that all clients agree.
   const JoinMIConfig& config() const { return clients_[0]->config(); }
   size_t num_shards() const { return clients_.size(); }
   /// \brief Total candidates across all shards.
@@ -121,8 +184,10 @@ class ShardedSketchIndex {
   /// \brief Fans the query out to every shard (one ThreadPool task per
   /// shard when `num_threads` > 1) and merges the per-shard top-k lists by
   /// (MI desc, global index asc). Identical results for any thread count.
-  Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
-                                   size_t num_threads = 0) const;
+  /// See ShardQueryMode for how shard failures are handled.
+  Result<ShardSearchResult> Search(
+      const JoinMIQuery& query, size_t k, size_t num_threads = 0,
+      ShardQueryMode mode = ShardQueryMode::kStrict) const;
 
  private:
   ShardedSketchIndex(ShardManifest manifest,

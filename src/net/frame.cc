@@ -1,0 +1,126 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+namespace net {
+
+namespace {
+
+struct FrameHeader {
+  FrameType type;
+  uint32_t payload_len;
+};
+
+// Validates everything knowable from the fixed header alone — magic,
+// version, type tag, payload bound — shared by the buffer and socket
+// decode paths so they cannot drift.
+Result<FrameHeader> ParseHeader(const char (&raw)[kFrameHeaderSize]) {
+  if (std::memcmp(raw, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::IOError("bad JMRP frame magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, raw + 4, sizeof(version));
+  if (version != kProtocolVersion) {
+    return Status::IOError("unsupported JMRP protocol version " +
+                           std::to_string(version) + " (this build speaks " +
+                           std::to_string(kProtocolVersion) + ")");
+  }
+  const uint8_t type = static_cast<uint8_t>(raw[8]);
+  if (type < static_cast<uint8_t>(FrameType::kHandshakeRequest) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    return Status::IOError("unknown JMRP frame type " + std::to_string(type));
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type);
+  std::memcpy(&header.payload_len, raw + 9, sizeof(header.payload_len));
+  if (header.payload_len > kMaxFramePayload) {
+    return Status::IOError(
+        "JMRP frame payload length " + std::to_string(header.payload_len) +
+        " exceeds the " + std::to_string(kMaxFramePayload) + "-byte bound");
+  }
+  return header;
+}
+
+}  // namespace
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHandshakeRequest:
+      return "handshake_request";
+    case FrameType::kHandshakeResponse:
+      return "handshake_response";
+    case FrameType::kSearchRequest:
+      return "search_request";
+    case FrameType::kSearchResponse:
+      return "search_response";
+    case FrameType::kHealthRequest:
+      return "health_request";
+    case FrameType::kHealthResponse:
+      return "health_response";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  wire::AppendRaw(&out, kFrameMagic, sizeof(kFrameMagic));
+  wire::AppendPod<uint32_t>(&out, kProtocolVersion);
+  wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(type));
+  wire::AppendPod<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  wire::AppendRaw(&out, payload.data(), payload.size());
+  return out;
+}
+
+Result<Frame> DecodeFrame(const std::string& buffer) {
+  if (buffer.size() < kFrameHeaderSize) {
+    return Status::IOError("truncated JMRP frame header");
+  }
+  char raw[kFrameHeaderSize];
+  std::memcpy(raw, buffer.data(), kFrameHeaderSize);
+  JOINMI_ASSIGN_OR_RETURN(FrameHeader header, ParseHeader(raw));
+  if (buffer.size() - kFrameHeaderSize < header.payload_len) {
+    return Status::IOError("truncated JMRP frame payload");
+  }
+  if (buffer.size() - kFrameHeaderSize > header.payload_len) {
+    return Status::IOError("trailing bytes after JMRP frame payload");
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.payload = buffer.substr(kFrameHeaderSize);
+  return frame;
+}
+
+Status SendFrame(Socket* socket, FrameType type, const std::string& payload,
+                 size_t* bytes_written) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "refusing to send a JMRP frame with a " +
+        std::to_string(payload.size()) + "-byte payload (bound " +
+        std::to_string(kMaxFramePayload) + ")");
+  }
+  const std::string encoded = EncodeFrame(type, payload);
+  return socket->WriteAll(encoded.data(), encoded.size(), bytes_written);
+}
+
+Result<Frame> RecvFrame(Socket* socket) {
+  char raw[kFrameHeaderSize];
+  JOINMI_RETURN_NOT_OK(socket->ReadExact(raw, sizeof(raw)));
+  JOINMI_ASSIGN_OR_RETURN(FrameHeader header, ParseHeader(raw));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    JOINMI_RETURN_NOT_OK(
+        socket->ReadExact(&frame.payload[0], header.payload_len));
+  }
+  return frame;
+}
+
+}  // namespace net
+}  // namespace joinmi

@@ -1,0 +1,86 @@
+// JMRP ("JoinMI RPC") framing: every message on a shard-serving connection
+// is one length-prefixed, version-tagged frame
+//
+//   magic "JMRP" | u32 protocol_version | u8 frame_type | u32 payload_len
+//   | payload_len bytes of payload
+//
+// little-endian, built on the same wire:: primitives as the sketch and
+// index formats. The frame layer knows nothing about payload contents —
+// typed message encode/decode lives in src/discovery/rpc_messages.h, so
+// the codec below is testable without any discovery type.
+//
+// Versioning: the protocol version rides in every frame header (not just a
+// hello) so a mismatched peer is rejected on the first frame either side
+// reads, whichever direction speaks first. Payloads are bounded by
+// kMaxFramePayload; a length prefix past the bound is rejected before any
+// allocation, so a corrupt or hostile peer cannot make a server reserve
+// gigabytes.
+
+#ifndef JOINMI_NET_FRAME_H_
+#define JOINMI_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/socket.h"
+
+namespace joinmi {
+namespace net {
+
+inline constexpr char kFrameMagic[4] = {'J', 'M', 'R', 'P'};
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Wire size of the fixed frame header (magic + version + type + length).
+inline constexpr size_t kFrameHeaderSize = 4 + 4 + 1 + 4;
+/// Hard payload bound: a serialized train sketch plus headroom; far above
+/// any legitimate message, far below an allocation attack.
+inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// \brief Message kinds carried over a serving connection.
+enum class FrameType : uint8_t {
+  kHandshakeRequest = 1,
+  kHandshakeResponse = 2,
+  kSearchRequest = 3,
+  kSearchResponse = 4,
+  kHealthRequest = 5,
+  kHealthResponse = 6,
+  /// Server-side failure to even parse/dispatch a request (a well-formed
+  /// response frame carries its own Status instead).
+  kError = 7,
+};
+
+const char* FrameTypeToString(FrameType type);
+
+/// \brief One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// \brief Encodes a complete frame (header + payload) at the current
+/// protocol version. The payload bound is enforced at the send/decode
+/// layer, not here, so tests can craft oversized frames.
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+/// \brief Decodes a buffer holding exactly one frame. Validates magic,
+/// protocol version, frame type tag, the payload bound, and that the
+/// buffer length matches the declared payload length (no trailing bytes).
+Result<Frame> DecodeFrame(const std::string& buffer);
+
+/// \brief Writes one frame to the socket. On failure `*bytes_written`
+/// (optional) reports how many frame bytes reached the wire — zero means
+/// the request never left this process, which is the only case a retrying
+/// caller may treat as safe to resend unconditionally.
+Status SendFrame(Socket* socket, FrameType type, const std::string& payload,
+                 size_t* bytes_written = nullptr);
+
+/// \brief Reads one frame from the socket, applying the same validation as
+/// DecodeFrame before the payload is read (so an oversized length prefix
+/// is rejected without allocating or draining it).
+Result<Frame> RecvFrame(Socket* socket);
+
+}  // namespace net
+}  // namespace joinmi
+
+#endif  // JOINMI_NET_FRAME_H_

@@ -1,0 +1,328 @@
+// Tests for the JMRP wire layer: frame decoding under truncation,
+// oversized length prefixes, bad magic/version/type tags; frame transport
+// over a real socketpair; and the typed rpc message codecs (handshake,
+// search request/response, health, error) including their corruption
+// rejection. The shard-serving protocol's safety against a corrupt or
+// hostile peer lives entirely in these decoders.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/discovery/rpc_messages.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+namespace {
+
+using net::DecodeFrame;
+using net::EncodeFrame;
+using net::Frame;
+using net::FrameType;
+
+// ------------------------------------------------------------ Frame codec
+
+TEST(FrameCodecTest, RoundTripsEveryType) {
+  for (FrameType type :
+       {FrameType::kHandshakeRequest, FrameType::kHandshakeResponse,
+        FrameType::kSearchRequest, FrameType::kSearchResponse,
+        FrameType::kHealthRequest, FrameType::kHealthResponse,
+        FrameType::kError}) {
+    const std::string payload = "payload for " +
+                                std::string(net::FrameTypeToString(type));
+    const std::string encoded = EncodeFrame(type, payload);
+    EXPECT_EQ(encoded.size(), net::kFrameHeaderSize + payload.size());
+    auto decoded = DecodeFrame(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->type, type);
+    EXPECT_EQ(decoded->payload, payload);
+  }
+}
+
+TEST(FrameCodecTest, RoundTripsEmptyPayload) {
+  const std::string encoded = EncodeFrame(FrameType::kHealthRequest, "");
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameCodecTest, RejectsBadMagic) {
+  std::string encoded = EncodeFrame(FrameType::kSearchRequest, "x");
+  encoded[0] = 'X';
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(FrameCodecTest, RejectsWrongProtocolVersion) {
+  std::string encoded = EncodeFrame(FrameType::kSearchRequest, "x");
+  const uint32_t bogus = net::kProtocolVersion + 1;
+  std::memcpy(&encoded[4], &bogus, sizeof(bogus));
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(FrameCodecTest, RejectsUnknownFrameType) {
+  std::string encoded = EncodeFrame(FrameType::kSearchRequest, "x");
+  encoded[8] = 0;  // below the first valid tag
+  EXPECT_FALSE(DecodeFrame(encoded).ok());
+  encoded[8] = 99;  // above the last valid tag
+  EXPECT_FALSE(DecodeFrame(encoded).ok());
+}
+
+TEST(FrameCodecTest, RejectsTruncationAtEveryLength) {
+  const std::string encoded =
+      EncodeFrame(FrameType::kSearchRequest, "some payload bytes");
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodeFrame(encoded.substr(0, len)).ok()) << len;
+  }
+  ASSERT_TRUE(DecodeFrame(encoded).ok());
+}
+
+TEST(FrameCodecTest, RejectsTrailingBytes) {
+  const std::string encoded = EncodeFrame(FrameType::kError, "abc");
+  EXPECT_FALSE(DecodeFrame(encoded + "z").ok());
+}
+
+TEST(FrameCodecTest, RejectsOversizedLengthPrefix) {
+  // A header whose declared payload length exceeds the hard bound must be
+  // rejected before any allocation happens — craft it by hand.
+  std::string encoded = EncodeFrame(FrameType::kSearchRequest, "");
+  const uint32_t huge = net::kMaxFramePayload + 1;
+  std::memcpy(&encoded[9], &huge, sizeof(huge));
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("bound"), std::string::npos);
+}
+
+TEST(FrameCodecTest, SendRefusesOversizedPayload) {
+  // SendFrame's own guard (the socket never sees the bytes). Socket is
+  // default-constructed/invalid; the size check fires first.
+  net::Socket invalid;
+  std::string big;
+  big.resize(net::kMaxFramePayload + 1);
+  const Status status =
+      net::SendFrame(&invalid, FrameType::kSearchRequest, big);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// ------------------------------------------------------- Socket transport
+
+/// A connected local socket pair for transport tests without TCP setup.
+struct SocketPair {
+  net::Socket a;
+  net::Socket b;
+};
+
+SocketPair MakeSocketPair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  SocketPair pair;
+  pair.a = net::Socket(fds[0]);
+  pair.b = net::Socket(fds[1]);
+  return pair;
+}
+
+TEST(FrameTransportTest, SendsAndReceivesOverSocketPair) {
+  SocketPair pair = MakeSocketPair();
+  const std::string payload(100000, 'q');  // bigger than one segment
+  std::thread sender([&pair, &payload] {
+    ASSERT_TRUE(net::SendFrame(&pair.a, FrameType::kSearchResponse, payload)
+                    .ok());
+  });
+  auto frame = net::RecvFrame(&pair.b);
+  sender.join();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kSearchResponse);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTransportTest, PeerCloseSurfacesAsClosedError) {
+  SocketPair pair = MakeSocketPair();
+  pair.a.Close();
+  auto frame = net::RecvFrame(&pair.b);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("closed"), std::string::npos);
+}
+
+TEST(FrameTransportTest, GarbageOnTheWireIsRejected) {
+  SocketPair pair = MakeSocketPair();
+  const std::string garbage = "this is not a JMRP frame, sorry";
+  ASSERT_TRUE(pair.a.WriteAll(garbage.data(), garbage.size()).ok());
+  pair.a.Close();
+  EXPECT_FALSE(net::RecvFrame(&pair.b).ok());
+}
+
+TEST(FrameTransportTest, ReportsBytesWrittenOnClosedPeer) {
+  SocketPair pair = MakeSocketPair();
+  pair.b.Close();
+  // Writing into a closed pair eventually fails (EPIPE, not SIGPIPE);
+  // bytes_written must reflect what actually left, which the retry policy
+  // depends on. The first small write may be buffered, so push enough.
+  std::string big(1 << 22, 'x');
+  size_t written = 12345;
+  Status status = Status::OK();
+  for (int i = 0; i < 8 && status.ok(); ++i) {
+    status = pair.a.WriteAll(big.data(), big.size(), &written);
+  }
+  ASSERT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------- Message codecs
+
+TEST(RpcMessageTest, StatusRoundTrips) {
+  for (const Status& status :
+       {Status::OK(), Status::InvalidArgument("bad arg"),
+        Status::IOError("io"), Status::OutOfRange(""),
+        Status::UnknownError("???")}) {
+    std::string buffer;
+    rpc::AppendStatus(&buffer, status);
+    wire::Reader reader(buffer);
+    Status decoded;
+    ASSERT_TRUE(rpc::ReadStatus(&reader, &decoded).ok());
+    EXPECT_EQ(decoded.code(), status.code());
+    EXPECT_EQ(decoded.message(), status.message());
+  }
+}
+
+TEST(RpcMessageTest, StatusRejectsUnknownCodeTag) {
+  std::string buffer;
+  rpc::AppendStatus(&buffer, Status::IOError("x"));
+  buffer[0] = 99;
+  wire::Reader reader(buffer);
+  Status decoded;
+  EXPECT_FALSE(rpc::ReadStatus(&reader, &decoded).ok());
+}
+
+TEST(RpcMessageTest, HandshakeResponseRoundTrips) {
+  rpc::HandshakeResponse response;
+  response.config.sketch_capacity = 512;
+  response.config.hash_seed = 77;
+  response.config.min_join_size = 100;
+  response.config.estimator = MIEstimatorKind::kMixedKSG;
+  response.num_candidates = 12345;
+  auto decoded =
+      rpc::DecodeHandshakeResponse(rpc::EncodeHandshakeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->config == response.config);
+  EXPECT_EQ(decoded->num_candidates, 12345u);
+}
+
+TEST(RpcMessageTest, SearchRequestRoundTripsAndRejectsCorruption) {
+  rpc::SearchRequest request;
+  request.train_sketch = std::string("\x01\x02\x03sketchy", 10);
+  request.k = 7;
+  request.min_join_size = 64;
+  const std::string payload = rpc::EncodeSearchRequest(request);
+  auto decoded = rpc::DecodeSearchRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->train_sketch, request.train_sketch);
+  EXPECT_EQ(decoded->k, 7u);
+  EXPECT_EQ(decoded->min_join_size, 64u);
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(rpc::DecodeSearchRequest(payload.substr(0, len)).ok())
+        << len;
+  }
+  EXPECT_FALSE(rpc::DecodeSearchRequest(payload + "x").ok());
+}
+
+TEST(RpcMessageTest, SearchResponseRoundTripsHitsExactly) {
+  rpc::SearchResponse response;
+  response.status = Status::OK();
+  response.result.num_candidates = 10;
+  response.result.num_evaluated = 8;
+  response.result.num_skipped = 1;
+  response.result.num_errors = 1;
+  ShardSearchHit hit;
+  hit.global_index = 42;
+  hit.ref = ColumnPairRef{"weather", "zip", "temp"};
+  hit.estimate.mi = 1.25;
+  hit.estimate.estimator = MIEstimatorKind::kDCKSG;
+  hit.estimate.sample_size = 256;
+  hit.estimate.sketched = true;
+  response.result.hits.push_back(hit);
+  hit.global_index = 7;
+  hit.estimate.mi = 0.5;
+  response.result.hits.push_back(hit);
+
+  const std::string payload = rpc::EncodeSearchResponse(response);
+  auto decoded = rpc::DecodeSearchResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->result.num_candidates, 10u);
+  EXPECT_EQ(decoded->result.num_evaluated, 8u);
+  EXPECT_EQ(decoded->result.num_skipped, 1u);
+  EXPECT_EQ(decoded->result.num_errors, 1u);
+  ASSERT_EQ(decoded->result.hits.size(), 2u);
+  EXPECT_EQ(decoded->result.hits[0].global_index, 42u);
+  EXPECT_EQ(decoded->result.hits[0].ref.table_name, "weather");
+  EXPECT_EQ(decoded->result.hits[0].ref.key_column, "zip");
+  EXPECT_EQ(decoded->result.hits[0].ref.value_column, "temp");
+  EXPECT_EQ(decoded->result.hits[0].estimate.mi, 1.25);
+  EXPECT_EQ(decoded->result.hits[0].estimate.estimator,
+            MIEstimatorKind::kDCKSG);
+  EXPECT_EQ(decoded->result.hits[0].estimate.sample_size, 256u);
+  EXPECT_TRUE(decoded->result.hits[0].estimate.sketched);
+  EXPECT_EQ(decoded->result.hits[1].global_index, 7u);
+  EXPECT_EQ(decoded->result.hits[1].estimate.mi, 0.5);
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(rpc::DecodeSearchResponse(payload.substr(0, len)).ok())
+        << len;
+  }
+}
+
+TEST(RpcMessageTest, ErrorSearchResponseCarriesStatusOnly) {
+  rpc::SearchResponse response;
+  response.status = Status::OutOfRange("join too small");
+  const std::string payload = rpc::EncodeSearchResponse(response);
+  auto decoded = rpc::DecodeSearchResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->status.IsOutOfRange());
+  EXPECT_EQ(decoded->status.message(), "join too small");
+  EXPECT_TRUE(decoded->result.hits.empty());
+}
+
+TEST(RpcMessageTest, SearchResponseRejectsLyingHitCount) {
+  rpc::SearchResponse response;
+  response.status = Status::OK();
+  const std::string payload = rpc::EncodeSearchResponse(response);
+  // The hit count is the last u64; claim many hits with no bytes behind
+  // them. The divide-side bound check must reject before reserving.
+  std::string lying = payload;
+  const uint64_t huge = ~0ULL / 2;
+  std::memcpy(&lying[lying.size() - 8], &huge, sizeof(huge));
+  EXPECT_FALSE(rpc::DecodeSearchResponse(lying).ok());
+}
+
+TEST(RpcMessageTest, HealthAndErrorRoundTrip) {
+  rpc::HealthResponse health;
+  health.num_candidates = 31;
+  health.requests_served = 99;
+  auto decoded_health =
+      rpc::DecodeHealthResponse(rpc::EncodeHealthResponse(health));
+  ASSERT_TRUE(decoded_health.ok());
+  EXPECT_EQ(decoded_health->num_candidates, 31u);
+  EXPECT_EQ(decoded_health->requests_served, 99u);
+  EXPECT_FALSE(rpc::DecodeHealthResponse("short").ok());
+
+  Status decoded_error;
+  ASSERT_TRUE(rpc::DecodeErrorPayload(
+                  rpc::EncodeErrorPayload(Status::IOError("shard on fire")),
+                  &decoded_error)
+                  .ok());
+  EXPECT_TRUE(decoded_error.IsIOError());
+  EXPECT_EQ(decoded_error.message(), "shard on fire");
+}
+
+}  // namespace
+}  // namespace joinmi

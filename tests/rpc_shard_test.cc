@@ -1,0 +1,507 @@
+// End-to-end tests for networked shard serving, over real loopback
+// sockets: ShardServer processes-in-miniature (in-process instances, real
+// TCP) serve shard files, RpcShardClient dials them, and the acceptance
+// gate is bit-identical rankings against LocalShardClient for K in
+// {1, 2, 7}, both partition policies, and any thread count. Availability:
+// killing one shard fails a strict-mode query with a clear status, while
+// a degraded-mode query returns the surviving shards' correctly merged
+// top-k with the outage recorded in shard_failures.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/discovery/rpc_shard_client.h"
+#include "src/discovery/search.h"
+#include "src/discovery/shard_server.h"
+#include "src/discovery/sharded_index.h"
+#include "src/discovery/sketch_index.h"
+#include "src/discovery/topk_merge.h"
+#include "src/sketch/serialize.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+namespace {
+
+std::shared_ptr<Table> MakeTwoColumnTable(const std::string& key_name,
+                                          std::vector<std::string> keys,
+                                          const std::string& value_name,
+                                          std::vector<int64_t> values) {
+  return *Table::FromColumns(
+      {{key_name, Column::MakeString(std::move(keys))},
+       {value_name, Column::MakeInt64(std::move(values))}});
+}
+
+struct Universe {
+  std::shared_ptr<Table> base;
+  TableRepository repository;
+};
+
+// Same construction as sharded_index_test: graded relevance plus exact
+// twins, so the cross-shard (and now cross-socket) tie-breaks matter.
+Universe MakeUniverse() {
+  Universe universe;
+  Rng rng(40414);
+  const size_t num_keys = 160;
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    targets.push_back(static_cast<int64_t>(i % 7));
+  }
+  universe.base = MakeTwoColumnTable("K", keys, "Y", targets);
+
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(i % 7));
+  }
+  auto exact = MakeTwoColumnTable("K", keys, "V", values);
+  universe.repository.AddTable("exact", exact).Abort();
+  universe.repository.AddTable("exact_twin", exact).Abort();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>((i % 7) / 3));
+  }
+  universe.repository
+      .AddTable("coarse", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  values.clear();
+  for (size_t i = 0; i < num_keys; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBounded(7)));
+  }
+  universe.repository
+      .AddTable("noise", MakeTwoColumnTable("K", keys, "V", values))
+      .Abort();
+  return universe;
+}
+
+JoinMIConfig MakeIndexConfig() {
+  JoinMIConfig config;
+  config.sketch_capacity = 128;
+  config.min_join_size = 16;
+  return config;
+}
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/joinmi_rpc_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectBitIdentical(const TopKSearchResult& expected,
+                        const TopKSearchResult& actual) {
+  EXPECT_EQ(expected.num_candidates, actual.num_candidates);
+  EXPECT_EQ(expected.num_evaluated, actual.num_evaluated);
+  EXPECT_EQ(expected.num_skipped, actual.num_skipped);
+  EXPECT_EQ(expected.num_errors, actual.num_errors);
+  ASSERT_EQ(expected.hits.size(), actual.hits.size());
+  for (size_t i = 0; i < expected.hits.size(); ++i) {
+    EXPECT_EQ(expected.hits[i].candidate.table_name,
+              actual.hits[i].candidate.table_name) << i;
+    EXPECT_EQ(expected.hits[i].candidate.key_column,
+              actual.hits[i].candidate.key_column) << i;
+    EXPECT_EQ(expected.hits[i].candidate.value_column,
+              actual.hits[i].candidate.value_column) << i;
+    EXPECT_EQ(expected.hits[i].estimate.mi, actual.hits[i].estimate.mi) << i;
+    EXPECT_EQ(expected.hits[i].estimate.sample_size,
+              actual.hits[i].estimate.sample_size) << i;
+    EXPECT_EQ(expected.hits[i].estimate.estimator,
+              actual.hits[i].estimate.estimator) << i;
+  }
+}
+
+/// A shard deployment: shard files + manifest on disk, one ShardServer
+/// per shard on an ephemeral loopback port, endpoints in shard order.
+struct Deployment {
+  std::string dir;
+  std::string manifest_path;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<ShardEndpoint> endpoints;
+
+  ~Deployment() {
+    for (auto& server : servers) {
+      if (server != nullptr) server->Stop();
+    }
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+  }
+};
+
+void StartDeployment(const SketchIndex& index, size_t num_shards,
+                     ShardPartitionPolicy policy, const std::string& name,
+                     Deployment* deployment) {
+  deployment->dir = ScratchDir(name);
+  auto manifest_path =
+      BuildShards(index, num_shards, policy, deployment->dir);
+  ASSERT_TRUE(manifest_path.ok()) << manifest_path.status();
+  deployment->manifest_path = *manifest_path;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardServerOptions options;
+    options.num_workers = 2;
+    auto server = ShardServer::Create(deployment->manifest_path, s, options);
+    ASSERT_TRUE(server.ok()) << server.status();
+    ASSERT_TRUE((*server)->Start().ok());
+    deployment->endpoints.push_back(
+        ShardEndpoint{"127.0.0.1", (*server)->port()});
+    deployment->servers.push_back(std::move(*server));
+  }
+}
+
+RpcClientOptions FastTimeouts() {
+  RpcClientOptions options;
+  options.connect_timeout_ms = 500;
+  options.io_timeout_ms = 10000;
+  return options;
+}
+
+// ---------------------------------------------------- Rank agreement gate
+
+TEST(RpcShardTest, RpcRankingsBitIdenticalToLocalForEveryKPolicyThreads) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  ASSERT_EQ(index.size(), 4u);
+
+  for (ShardPartitionPolicy policy :
+       {ShardPartitionPolicy::kRoundRobin,
+        ShardPartitionPolicy::kHashByDataset}) {
+    for (size_t num_shards : {1u, 2u, 7u}) {
+      Deployment deployment;
+      StartDeployment(index, num_shards, policy,
+                      std::string("agree_") +
+                          ShardPartitionPolicyToString(policy) + "_" +
+                          std::to_string(num_shards),
+                      &deployment);
+      auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+      ASSERT_TRUE(local.ok()) << local.status();
+      auto remote = ShardedSketchIndex::Load(
+          deployment.manifest_path,
+          RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+      ASSERT_TRUE(remote.ok()) << remote.status();
+      EXPECT_EQ(remote->num_shards(), num_shards);
+      EXPECT_TRUE(remote->config() == index.config());
+
+      for (size_t k : {1u, 2u, 7u}) {
+        auto via_local = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                          *local, k, 1);
+        ASSERT_TRUE(via_local.ok()) << via_local.status();
+        for (size_t num_threads : {1u, 4u, 0u}) {
+          auto via_rpc = TopKJoinMISearch(*universe.base, {"K", "Y"},
+                                          *remote, k, num_threads);
+          ASSERT_TRUE(via_rpc.ok()) << via_rpc.status();
+          ExpectBitIdentical(*via_local, *via_rpc);
+          EXPECT_TRUE(via_rpc->shard_failures.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(RpcShardTest, ConnectionsAreReusedAcrossQueries) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 2, ShardPartitionPolicy::kRoundRobin, "reuse",
+                  &deployment);
+  auto remote = ShardedSketchIndex::Load(
+      deployment.manifest_path,
+      RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  auto query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+  ASSERT_TRUE(query.ok());
+  ShardSearchResult first;
+  for (int q = 0; q < 5; ++q) {
+    auto result = remote->Search(*query, 3, 1);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (q == 0) {
+      first = std::move(*result);
+    } else {
+      ASSERT_EQ(result->hits.size(), first.hits.size());
+      for (size_t i = 0; i < first.hits.size(); ++i) {
+        EXPECT_EQ(result->hits[i].estimate.mi, first.hits[i].estimate.mi);
+        EXPECT_EQ(result->hits[i].global_index, first.hits[i].global_index);
+      }
+    }
+  }
+  // 5 queries x 2 shards, plus 2 handshakes (one per client connection) =
+  // server-side request counters prove the connections were not re-dialed
+  // per query (each re-dial would add a handshake).
+  uint64_t total_requests = 0;
+  for (const auto& server : deployment.servers) {
+    total_requests += server->requests_served();
+  }
+  EXPECT_EQ(total_requests, 5u * 2u + 2u);
+}
+
+// ------------------------------------------------------- Failure handling
+
+TEST(RpcShardTest, KilledShardFailsStrictAndDegradesGracefully) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const size_t num_shards = 3;
+  Deployment deployment;
+  StartDeployment(index, num_shards, ShardPartitionPolicy::kRoundRobin,
+                  "degrade", &deployment);
+
+  // Reference: the full (healthy) local answer, and the per-shard local
+  // answers for computing the expected degraded merge.
+  auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+  ASSERT_TRUE(local.ok());
+  auto query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+  ASSERT_TRUE(query.ok());
+  const size_t k = 4;
+
+  // Kill shard 1's server, then assemble the router — creation must
+  // tolerate the outage (that is the degraded deployment's whole point).
+  const size_t dead_shard = 1;
+  deployment.servers[dead_shard]->Stop();
+  auto remote = ShardedSketchIndex::Load(
+      deployment.manifest_path,
+      RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  // Strict mode: the query fails, naming the dead shard.
+  auto strict = remote->Search(*query, k, 1, ShardQueryMode::kStrict);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsIOError()) << strict.status();
+  EXPECT_NE(strict.status().message().find("shard 1"), std::string::npos)
+      << strict.status();
+
+  // Degraded mode: the surviving shards' merged top-k, outage recorded.
+  auto degraded = remote->Search(*query, k, 1, ShardQueryMode::kDegraded);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  ASSERT_EQ(degraded->shard_failures.size(), 1u);
+  EXPECT_EQ(degraded->shard_failures[0].shard, dead_shard);
+  EXPECT_FALSE(degraded->shard_failures[0].status.ok());
+
+  // Expected: merge the live shards' local per-shard answers with the
+  // canonical comparator — computed independently of the router.
+  std::vector<ShardSearchHit> expected;
+  size_t expected_candidates = 0, expected_evaluated = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (s == dead_shard) continue;
+    const ShardManifestEntry& entry = local->manifest().shards[s];
+    auto shard_index = ReadIndexFile(
+        deployment.dir + "/" + entry.path);
+    ASSERT_TRUE(shard_index.ok());
+    auto client = LocalShardClient::Create(std::move(*shard_index),
+                                           entry.global_indices);
+    ASSERT_TRUE(client.ok());
+    auto result = (*client)->Search(*query, k, 1);
+    ASSERT_TRUE(result.ok());
+    expected_candidates += result->num_candidates;
+    expected_evaluated += result->num_evaluated;
+    for (const ShardSearchHit& hit : result->hits) {
+      expected.push_back(hit);
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const ShardSearchHit& a, const ShardSearchHit& b) {
+              return internal::BetterByMIThenKey(
+                  a.estimate.mi, a.global_index, b.estimate.mi,
+                  b.global_index);
+            });
+  if (expected.size() > k) expected.resize(k);
+
+  EXPECT_EQ(degraded->num_candidates, expected_candidates);
+  EXPECT_EQ(degraded->num_evaluated, expected_evaluated);
+  ASSERT_EQ(degraded->hits.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(degraded->hits[i].global_index, expected[i].global_index) << i;
+    EXPECT_EQ(degraded->hits[i].estimate.mi, expected[i].estimate.mi) << i;
+    EXPECT_EQ(degraded->hits[i].ref.table_name, expected[i].ref.table_name)
+        << i;
+  }
+
+  // The search-overload surface carries the failure report through.
+  auto via_search = TopKJoinMISearch(*universe.base, {"K", "Y"}, *remote, k,
+                                     1, ShardQueryMode::kDegraded);
+  ASSERT_TRUE(via_search.ok()) << via_search.status();
+  ASSERT_EQ(via_search->shard_failures.size(), 1u);
+  EXPECT_EQ(via_search->shard_failures[0].shard, dead_shard);
+  ASSERT_EQ(via_search->hits.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(via_search->hits[i].estimate.mi, expected[i].estimate.mi) << i;
+  }
+
+  // A restarted shard heals the router without reassembly: bring the dead
+  // shard back on the SAME port and the strict query works again.
+  ShardServerOptions revive_options;
+  revive_options.num_workers = 2;
+  revive_options.port = deployment.endpoints[dead_shard].port;
+  auto revived = ShardServer::Create(deployment.manifest_path, dead_shard,
+                                     revive_options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  ASSERT_TRUE((*revived)->Start().ok());
+  deployment.servers[dead_shard] = std::move(*revived);
+  auto healed = remote->Search(*query, k, 1, ShardQueryMode::kStrict);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_TRUE(healed->shard_failures.empty());
+}
+
+TEST(RpcShardTest, RestartedServerHealsCachedConnectionsTransparently) {
+  // Regression: a client that already used its connection, whose server
+  // then cleanly restarts, must answer the very next strict query — the
+  // stale cached connection accepts the send (TCP half-close), so only
+  // the pre-send staleness probe can keep the first post-restart request
+  // from failing spuriously.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 2, ShardPartitionPolicy::kRoundRobin, "restart",
+                  &deployment);
+  auto remote = ShardedSketchIndex::Load(
+      deployment.manifest_path,
+      RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  auto query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+  ASSERT_TRUE(query.ok());
+
+  auto before = remote->Search(*query, 3, 1);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // Restart every server on its old port; the clients' cached
+  // connections all go stale at once.
+  for (size_t s = 0; s < deployment.servers.size(); ++s) {
+    const uint16_t port = deployment.endpoints[s].port;
+    deployment.servers[s]->Stop();
+    ShardServerOptions options;
+    options.num_workers = 2;
+    options.port = port;
+    auto revived =
+        ShardServer::Create(deployment.manifest_path, s, options);
+    ASSERT_TRUE(revived.ok()) << revived.status();
+    ASSERT_TRUE((*revived)->Start().ok());
+    deployment.servers[s] = std::move(*revived);
+  }
+
+  auto after = remote->Search(*query, 3, 1, ShardQueryMode::kStrict);
+  ASSERT_TRUE(after.ok()) << "first strict query after a clean restart "
+                             "must succeed, got: "
+                          << after.status();
+  ASSERT_EQ(after->hits.size(), before->hits.size());
+  for (size_t i = 0; i < before->hits.size(); ++i) {
+    EXPECT_EQ(after->hits[i].estimate.mi, before->hits[i].estimate.mi);
+    EXPECT_EQ(after->hits[i].global_index, before->hits[i].global_index);
+  }
+}
+
+TEST(RpcShardTest, AllShardsDownFailsEvenDegraded) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 2, ShardPartitionPolicy::kRoundRobin, "alldown",
+                  &deployment);
+  auto remote = ShardedSketchIndex::Load(
+      deployment.manifest_path,
+      RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+  ASSERT_TRUE(remote.ok());
+  for (auto& server : deployment.servers) server->Stop();
+  auto query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+  ASSERT_TRUE(query.ok());
+  auto degraded = remote->Search(*query, 3, 1, ShardQueryMode::kDegraded);
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_NE(degraded.status().message().find("every shard failed"),
+            std::string::npos)
+      << degraded.status();
+}
+
+TEST(RpcShardTest, HealthProbeReportsLivenessAndOutage) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 2, ShardPartitionPolicy::kRoundRobin, "health",
+                  &deployment);
+  auto manifest = ReadManifestFile(deployment.manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(manifest->config.has_value());
+
+  auto client = RpcShardClient::Create(
+      deployment.endpoints[0], *manifest->config,
+      manifest->shards[0].candidate_count, FastTimeouts());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->num_candidates, manifest->shards[0].candidate_count);
+  EXPECT_GE(health->requests_served, 1u);
+
+  deployment.servers[0]->Stop();
+  auto down = (*client)->Health();
+  ASSERT_FALSE(down.ok());
+}
+
+// -------------------------------------------------- Config agreement gate
+
+TEST(RpcShardTest, HandshakeRejectsConfigDisagreement) {
+  // Serve shards built under seed 0, but hand the router a manifest whose
+  // embedded config says seed 9 — the handshake's operator== check must
+  // refuse at assembly, not at first wrong answer.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 2, ShardPartitionPolicy::kRoundRobin, "confmis",
+                  &deployment);
+
+  auto manifest = ReadManifestFile(deployment.manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  JoinMIConfig tampered = *manifest->config;
+  tampered.hash_seed = 9;
+  auto client = RpcShardClient::Create(
+      deployment.endpoints[0], tampered,
+      manifest->shards[0].candidate_count, FastTimeouts());
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsInvalidArgument()) << client.status();
+  EXPECT_NE(client.status().message().find("JoinMIConfig"),
+            std::string::npos);
+}
+
+TEST(RpcShardTest, SearchRejectsQueryConfigDrift) {
+  // A query sketched under a different estimator config than the shard's
+  // must be refused client-side: the server would otherwise answer under
+  // its own config and the caller would never know.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 1, ShardPartitionPolicy::kRoundRobin, "drift",
+                  &deployment);
+  auto remote = ShardedSketchIndex::Load(
+      deployment.manifest_path,
+      RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+  ASSERT_TRUE(remote.ok());
+
+  JoinMIConfig drifted = MakeIndexConfig();
+  drifted.estimator = MIEstimatorKind::kMLE;
+  auto query = JoinMIQuery::Create(*universe.base, "K", "Y", drifted);
+  ASSERT_TRUE(query.ok());
+  auto result = remote->Search(*query, 3, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+
+  // min_join_size alone is allowed to differ — it travels per request and
+  // the shard honors it exactly.
+  JoinMIConfig relaxed = MakeIndexConfig();
+  relaxed.min_join_size = 1;
+  auto relaxed_query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", relaxed);
+  ASSERT_TRUE(relaxed_query.ok());
+  auto relaxed_result = remote->Search(*relaxed_query, 3, 1);
+  ASSERT_TRUE(relaxed_result.ok()) << relaxed_result.status();
+}
+
+}  // namespace
+}  // namespace joinmi

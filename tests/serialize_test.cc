@@ -324,5 +324,46 @@ TEST(SerializeTest, RejectsCorruptedInputs) {
   EXPECT_FALSE(DeserializeSketch(bad_count).ok());
 }
 
+// ------------------------------------------------------ wire::Checksum64
+
+TEST(Checksum64Test, MatchesFnv1aReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors (offset basis 14695981039346656037,
+  // prime 1099511628211). The empty input must return the offset basis —
+  // shard manifests rely on "empty file" having a well-defined checksum.
+  EXPECT_EQ(wire::Checksum64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(wire::Checksum64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(wire::Checksum64("b"), 0xaf63df4c8601f1a5ULL);
+  EXPECT_EQ(wire::Checksum64("abc"), 0xe71fa2190541574bULL);
+  EXPECT_EQ(wire::Checksum64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Checksum64Test, SingleByteAvalanche) {
+  // Adjacent single-byte inputs must disagree in many bits — a checksum
+  // that clusters on near-identical inputs would miss the very bit flips
+  // the shard loader exists to catch.
+  const uint64_t diff = wire::Checksum64("a") ^ wire::Checksum64("b");
+  int bits = 0;
+  for (uint64_t d = diff; d != 0; d >>= 1) bits += static_cast<int>(d & 1);
+  EXPECT_GE(bits, 8);
+
+  // A one-bit flip anywhere in a larger buffer changes the checksum.
+  std::string buffer(256, '\0');
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<char>(i * 7 + 1);
+  }
+  const uint64_t baseline = wire::Checksum64(buffer);
+  for (size_t i = 0; i < buffer.size(); i += 41) {
+    std::string flipped = buffer;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x10);
+    EXPECT_NE(wire::Checksum64(flipped), baseline) << i;
+  }
+}
+
+TEST(Checksum64Test, DependsOnByteOrder) {
+  EXPECT_NE(wire::Checksum64("ab"), wire::Checksum64("ba"));
+  EXPECT_NE(wire::Checksum64(std::string("\x00\x01", 2)),
+            wire::Checksum64(std::string("\x01\x00", 2)));
+}
+
 }  // namespace
 }  // namespace joinmi

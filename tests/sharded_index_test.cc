@@ -313,6 +313,69 @@ TEST(ShardManifestTest, RoundTripsByteExactly) {
   EXPECT_EQ(restored->shards[0].global_indices,
             (std::vector<uint64_t>{0, 2, 4}));
   EXPECT_EQ(SerializeManifest(*restored), data);
+  EXPECT_FALSE(restored->config.has_value());
+}
+
+TEST(ShardManifestTest, RoundTripsEmbeddedConfig) {
+  // v2's reason to exist: a router holding only the manifest can recover
+  // the exact JoinMIConfig the shards were built under.
+  ShardManifest manifest;
+  manifest.total_candidates = 1;
+  manifest.shards.push_back(ShardManifestEntry{"a.jmix", 1, 7, {0}});
+  JoinMIConfig config;
+  config.sketch_method = SketchMethod::kPrisk;
+  config.sketch_capacity = 777;
+  config.hash_seed = 13;
+  config.sampling_seed = 99;
+  config.aggregation = AggKind::kFirst;
+  config.estimator = MIEstimatorKind::kDCKSG;
+  config.mi_options.k = 5;
+  config.min_join_size = 64;
+  manifest.config = config;
+  const std::string data = SerializeManifest(manifest);
+  auto restored = DeserializeManifest(data);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_TRUE(restored->config.has_value());
+  EXPECT_TRUE(*restored->config == config);
+  EXPECT_EQ(SerializeManifest(*restored), data);
+}
+
+TEST(ShardManifestTest, ReadsLegacyV1Buffers) {
+  // A hand-encoded v1 manifest (no config block) must still load, with
+  // config absent.
+  std::string data;
+  wire::AppendRaw(&data, "JMIM", 4);
+  wire::AppendPod<uint32_t>(&data, 1);  // legacy version
+  wire::AppendPod<uint8_t>(&data, 0);   // round_robin
+  wire::AppendPod<uint64_t>(&data, 1);  // one shard
+  wire::AppendPod<uint64_t>(&data, 2);  // two candidates
+  wire::AppendLengthPrefixed(&data, "shard_00000.jmix");
+  wire::AppendPod<uint64_t>(&data, 2);       // candidate_count
+  wire::AppendPod<uint64_t>(&data, 0xABCD);  // checksum
+  wire::AppendPod<uint64_t>(&data, 0);
+  wire::AppendPod<uint64_t>(&data, 1);
+  auto restored = DeserializeManifest(data);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_FALSE(restored->config.has_value());
+  EXPECT_EQ(restored->total_candidates, 2u);
+  ASSERT_EQ(restored->shards.size(), 1u);
+  EXPECT_EQ(restored->shards[0].checksum, 0xABCDu);
+}
+
+TEST(ShardManifestTest, BuildShardsEmbedsTheIndexConfig) {
+  Universe universe = MakeUniverse();
+  const JoinMIConfig config = MakeIndexConfig();
+  SketchIndex index(config);
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string dir = ScratchDir("embed_config");
+  auto manifest_path =
+      BuildShards(index, 2, ShardPartitionPolicy::kRoundRobin, dir);
+  ASSERT_TRUE(manifest_path.ok());
+  auto manifest = ReadManifestFile(*manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(manifest->config.has_value());
+  EXPECT_TRUE(*manifest->config == config);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ShardManifestTest, ValidateCatchesStructuralLies) {
@@ -535,6 +598,110 @@ TEST(ShardedSketchIndexTest, QueryWithMismatchedSeedFailsDeterministically) {
     auto result = sharded->Search(query, 10, num_threads);
     ASSERT_FALSE(result.ok());
     EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedSketchIndexTest, ZeroShardManifestsAreRejectedEverywhere) {
+  // Regression: config() dereferences clients_[0], so nothing may ever
+  // assemble a sharded index with zero shards. Every entry point —
+  // Create, Load (via manifest validation), and BuildShards(0) — must
+  // refuse with InvalidArgument.
+  ShardManifest empty_manifest;
+  auto created = ShardedSketchIndex::Create(empty_manifest, {});
+  ASSERT_FALSE(created.ok());
+  EXPECT_TRUE(created.status().IsInvalidArgument());
+
+  // A zero-shard manifest cannot even be written for Load to find.
+  EXPECT_TRUE(WriteManifestFile(empty_manifest, ScratchDir("zeroshard") +
+                                                    "/manifest.jmim")
+                  .IsInvalidArgument());
+
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  auto built = BuildShards(index, 0, ShardPartitionPolicy::kRoundRobin,
+                           ScratchDir("zeroshard_build"));
+  ASSERT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsInvalidArgument());
+}
+
+namespace degraded_local {
+
+/// A ShardClient that always fails Search — the local stand-in for a
+/// crashed shard server, letting the degraded merge be tested without
+/// sockets.
+class FailingShardClient : public ShardClient {
+ public:
+  FailingShardClient(JoinMIConfig config, size_t num_candidates)
+      : config_(std::move(config)), num_candidates_(num_candidates) {}
+  const JoinMIConfig& config() const override { return config_; }
+  size_t num_candidates() const override { return num_candidates_; }
+  Result<ShardSearchResult> Search(const JoinMIQuery&, size_t,
+                                   size_t) const override {
+    return Status::IOError("simulated shard outage");
+  }
+
+ private:
+  JoinMIConfig config_;
+  size_t num_candidates_;
+};
+
+}  // namespace degraded_local
+
+TEST(ShardedSketchIndexTest, DegradedModeMergesHealthyShardsOnly) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string dir = ScratchDir("degraded_local");
+  auto manifest_path =
+      BuildShards(index, 3, ShardPartitionPolicy::kRoundRobin, dir);
+  ASSERT_TRUE(manifest_path.ok());
+  auto manifest = ReadManifestFile(*manifest_path);
+  ASSERT_TRUE(manifest.ok());
+
+  // Assemble a router whose shard 1 always fails, shards 0/2 serve from
+  // the real files.
+  std::vector<std::unique_ptr<ShardClient>> clients;
+  for (size_t s = 0; s < manifest->shards.size(); ++s) {
+    if (s == 1) {
+      clients.push_back(std::make_unique<degraded_local::FailingShardClient>(
+          MakeIndexConfig(), manifest->shards[s].candidate_count));
+    } else {
+      auto client = ShardedSketchIndex::LocalFileFactory()(*manifest, s, dir);
+      ASSERT_TRUE(client.ok()) << client.status();
+      clients.push_back(std::move(*client));
+    }
+  }
+  auto sharded =
+      ShardedSketchIndex::Create(*manifest, std::move(clients));
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  auto query = JoinMIQuery::Create(*universe.base, "K", "Y",
+                                   MakeIndexConfig());
+  ASSERT_TRUE(query.ok());
+
+  for (size_t num_threads : {1u, 4u}) {
+    // Strict: the failure wins, named by shard.
+    auto strict =
+        sharded->Search(*query, 10, num_threads, ShardQueryMode::kStrict);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_NE(strict.status().message().find("shard 1"), std::string::npos);
+
+    // Degraded: hits cover shards 0 and 2 only; every hit's global index
+    // belongs to a healthy shard, and the outage is recorded.
+    auto degraded = sharded->Search(*query, 10, num_threads,
+                                    ShardQueryMode::kDegraded);
+    ASSERT_TRUE(degraded.ok()) << degraded.status();
+    ASSERT_EQ(degraded->shard_failures.size(), 1u);
+    EXPECT_EQ(degraded->shard_failures[0].shard, 1u);
+    EXPECT_TRUE(degraded->shard_failures[0].status.IsIOError());
+    EXPECT_EQ(degraded->num_candidates,
+              index.size() - manifest->shards[1].candidate_count);
+    for (const ShardSearchHit& hit : degraded->hits) {
+      EXPECT_NE(hit.global_index % 3, 1u)
+          << "hit from the dead round-robin shard leaked into the merge";
+    }
+    EXPECT_FALSE(degraded->hits.empty());
   }
   std::filesystem::remove_all(dir);
 }

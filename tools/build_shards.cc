@@ -45,14 +45,22 @@ int main(int argc, char** argv) {
   }
 
   auto index = ReadIndexFile(index_path);
-  index.status().Abort("reading the source index");
+  if (!index.ok()) {
+    std::fprintf(stderr, "failed reading the source index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
   std::printf("source index : %s (%zu candidates, config %s)\n",
               index_path.c_str(), index->size(),
               index->config().ToString().c_str());
 
   auto manifest_path =
       BuildShards(*index, num_shards, *policy, output_dir);
-  manifest_path.status().Abort("partitioning the index");
+  if (!manifest_path.ok()) {
+    std::fprintf(stderr, "failed partitioning the index: %s\n",
+                 manifest_path.status().ToString().c_str());
+    return 1;
+  }
   std::printf("wrote        : %s (%zu shards, policy %s)\n",
               manifest_path->c_str(), num_shards,
               ShardPartitionPolicyToString(*policy));
@@ -60,7 +68,11 @@ int main(int argc, char** argv) {
   // Round trip: loading re-verifies manifest structure, per-shard
   // checksums, and candidate counts against what was just written.
   auto sharded = ShardedSketchIndex::Load(*manifest_path);
-  sharded.status().Abort("reloading the sharded index");
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "failed reloading the sharded index: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
   for (size_t s = 0; s < sharded->manifest().shards.size(); ++s) {
     const ShardManifestEntry& entry = sharded->manifest().shards[s];
     std::printf("  shard %-4zu : %s  %6llu candidates  checksum %016llx\n",

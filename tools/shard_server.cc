@@ -1,0 +1,145 @@
+// shard_server: serve one shard of a partitioned sketch index over JMRP.
+//
+//   shard_server <manifest.jmim> <shard_id> <port> [--host ADDR]
+//                [--workers N] [--eval-threads N] [--port-file PATH]
+//
+// Loads shard <shard_id> named by the manifest (checksum- and
+// count-verified before serving), binds <port> (0 = ephemeral), prints
+// one "listening on HOST:PORT" line, and serves until SIGINT/SIGTERM.
+// --port-file writes the bound port (digits + newline) once the listener
+// is up — the startup barrier scripts wait on, and the way ephemeral
+// ports are discovered.
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/discovery/shard_server.h"
+#include "src/sketch/serialize.h"
+
+using namespace joinmi;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <manifest.jmim> <shard_id> <port> [--host ADDR] "
+               "[--workers N] [--eval-threads N] [--port-file PATH]\n"
+               "  shard_id : 0-based index into the manifest's shard list\n"
+               "  port     : TCP port to bind; 0 picks an ephemeral port\n",
+               argv0);
+  return 2;
+}
+
+// Strict integer parse: whole string, no sign surprises, range-checked.
+bool ParseSizeArg(const char* arg, long min, long max, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || parsed < min ||
+      parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+
+  const std::string manifest_path = argv[1];
+  long shard_id = 0;
+  if (!ParseSizeArg(argv[2], 0, 1000000, &shard_id)) {
+    std::fprintf(stderr, "shard_id '%s' must be a non-negative integer\n",
+                 argv[2]);
+    return Usage(argv[0]);
+  }
+  long port = 0;
+  if (!ParseSizeArg(argv[3], 0, 65535, &port)) {
+    std::fprintf(stderr, "port '%s' must be an integer in [0, 65535]\n",
+                 argv[3]);
+    return Usage(argv[0]);
+  }
+
+  ShardServerOptions options;
+  std::string port_file;
+  for (int arg = 4; arg < argc; ++arg) {
+    const bool has_value = arg + 1 < argc;
+    if (std::strcmp(argv[arg], "--host") == 0 && has_value) {
+      options.host = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--workers") == 0 && has_value) {
+      long workers = 0;
+      if (!ParseSizeArg(argv[++arg], 1, 1024, &workers)) {
+        std::fprintf(stderr, "--workers must be an integer in [1, 1024]\n");
+        return Usage(argv[0]);
+      }
+      options.num_workers = static_cast<size_t>(workers);
+    } else if (std::strcmp(argv[arg], "--eval-threads") == 0 && has_value) {
+      long threads = 0;
+      if (!ParseSizeArg(argv[++arg], 1, 256, &threads)) {
+        std::fprintf(stderr,
+                     "--eval-threads must be an integer in [1, 256]\n");
+        return Usage(argv[0]);
+      }
+      options.eval_threads = static_cast<size_t>(threads);
+    } else if (std::strcmp(argv[arg], "--port-file") == 0 && has_value) {
+      port_file = argv[++arg];
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", argv[arg]);
+      return Usage(argv[0]);
+    }
+  }
+  options.port = static_cast<uint16_t>(port);
+
+  auto server =
+      ShardServer::Create(manifest_path, static_cast<size_t>(shard_id),
+                          options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "failed to load shard %ld from %s: %s\n", shard_id,
+                 manifest_path.c_str(),
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  Status started = (*server)->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start shard server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("shard %ld listening on %s:%u (%zu candidates, %zu workers, "
+              "%zu eval threads)\n",
+              shard_id, (*server)->host().c_str(), (*server)->port(),
+              (*server)->num_candidates(), options.num_workers,
+              options.eval_threads);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    const Status written = wire::WriteFileBytes(
+        std::to_string((*server)->port()) + "\n", port_file);
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write port file: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down after %llu requests\n",
+              static_cast<unsigned long long>((*server)->requests_served()));
+  (*server)->Stop();
+  return 0;
+}
