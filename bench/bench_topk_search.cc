@@ -40,6 +40,14 @@
 // count. Rankings are cross-checked (RPC must be bit-identical to local)
 // before any number is printed.
 //
+// Part 5 is concurrent serving: several router threads hammer the same
+// RPC-backed sharded index at once, and the knobs under test are the
+// client connection pool size (1, 2, 4 connections per shard — how many
+// requests one router can keep in flight against one shard) and the
+// replica count (1 vs 2 interchangeable servers per shard behind the
+// replica-aware factory). Every concurrent ranking is cross-checked
+// against the serial in-process answer before any number is printed.
+//
 // `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
 // batch) so the whole binary runs in well under a second; CI runs that
 // mode as a ctest to keep this harness from rotting.
@@ -55,8 +63,11 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "src/common/random.h"
 #include "src/core/join_mi.h"
+#include "src/discovery/replica_router.h"
 #include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
 #include "src/discovery/shard_server.h"
@@ -423,6 +434,119 @@ void RunRpcServing(const BenchParams& params,
               "with bigger candidate universes per shard)\n");
 }
 
+// Part 5: concurrent router throughput vs connection pool size and vs
+// replica count — the serving-tier concurrency knobs.
+void RunConcurrentServing(const BenchParams& params,
+                          const TableRepository& repository, bool smoke,
+                          Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  SketchIndex index(config);
+  index.IndexRepository(repository).status().Abort("building the index");
+  auto query_table = MakeBaseTable(params, rng);
+  const size_t num_shards = 2;
+  const size_t router_threads = 4;
+  const size_t queries_per_thread = smoke ? 2 : 8;
+  const size_t total_queries = router_threads * queries_per_thread;
+
+  std::printf("\n== concurrent serving: %zu router threads x %zu queries, "
+              "%zu shards — pool size and replica count ==\n",
+              router_threads, queries_per_thread, num_shards);
+  const std::string shard_root =
+      "/tmp/joinmi_bench_pool_shards." + std::to_string(getpid());
+  auto manifest_path = BuildShards(index, num_shards,
+                                   ShardPartitionPolicy::kRoundRobin,
+                                   shard_root);
+  manifest_path.status().Abort("partitioning the index");
+  auto local = ShardedSketchIndex::Load(*manifest_path);
+  local.status().Abort("loading the local sharded index");
+  auto reference = TopKJoinMISearch(*query_table, {"K", "Y"}, *local,
+                                    params.top_k, 1);
+  reference.status().Abort("serial reference search");
+
+  // Drives `total_queries` through the router from `router_threads`
+  // threads, cross-checking every ranking, and returns total wall ms.
+  auto drive = [&](const ShardedSketchIndex& router) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < router_threads; ++t) {
+      threads.emplace_back([&] {
+        for (size_t q = 0; q < queries_per_thread; ++q) {
+          auto result = TopKJoinMISearch(*query_table, {"K", "Y"}, router,
+                                         params.top_k, 1);
+          result.status().Abort("concurrent RPC search");
+          ExpectSameRanking(*reference, *result,
+                            "serial local and concurrent RPC");
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return MillisSince(start);
+  };
+
+  // One row of servers serves every pool size (the knob is client-side).
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardServerOptions options;
+    options.num_workers = 8;
+    auto server = ShardServer::Create(*manifest_path, s, options);
+    server.status().Abort("creating a shard server");
+    (*server)->Start().Abort("starting a shard server");
+    endpoints.push_back(ShardEndpoint{"127.0.0.1", (*server)->port()});
+    servers.push_back(std::move(*server));
+  }
+  for (size_t pool_size : {1u, 2u, 4u}) {
+    RpcClientOptions options;
+    options.pool_size = pool_size;
+    auto remote = ShardedSketchIndex::Load(
+        *manifest_path, RpcShardClient::Factory(endpoints, options));
+    remote.status().Abort("assembling the RPC sharded index");
+    const double ms = drive(*remote);
+    std::printf("pool=%zu conn/shard : %8.2f ms total | %8.2f ms/query | "
+                "%8.0f queries/s\n",
+                pool_size, ms, ms / total_queries,
+                total_queries * 1000.0 / ms);
+  }
+
+  // Replica sweep: a second interchangeable server per shard joins, and
+  // the replica-aware factory round-robins across both.
+  for (size_t replicas : {1u, 2u}) {
+    std::vector<std::vector<ShardEndpoint>> replica_map(num_shards);
+    std::vector<std::unique_ptr<ShardServer>> extra;
+    for (size_t s = 0; s < num_shards; ++s) {
+      replica_map[s].push_back(endpoints[s]);
+      for (size_t r = 1; r < replicas; ++r) {
+        ShardServerOptions options;
+        options.num_workers = 8;
+        auto server = ShardServer::Create(*manifest_path, s, options);
+        server.status().Abort("creating a replica server");
+        (*server)->Start().Abort("starting a replica server");
+        replica_map[s].push_back(
+            ShardEndpoint{"127.0.0.1", (*server)->port()});
+        extra.push_back(std::move(*server));
+      }
+    }
+    ReplicaRouterOptions options;
+    options.rpc.pool_size = 2;
+    auto remote = ShardedSketchIndex::Load(
+        *manifest_path,
+        ReplicaShardClient::Factory(replica_map, options));
+    remote.status().Abort("assembling the replicated sharded index");
+    const double ms = drive(*remote);
+    std::printf("replicas=%zu /shard  : %8.2f ms total | %8.2f ms/query | "
+                "%8.0f queries/s\n",
+                replicas, ms, ms / total_queries,
+                total_queries * 1000.0 / ms);
+    for (auto& server : extra) server->Stop();
+  }
+  for (auto& server : servers) server->Stop();
+  std::filesystem::remove_all(shard_root);
+  std::printf("(pool size bounds one router's in-flight requests per "
+              "shard; replicas add whole servers — on one host both mostly "
+              "buy concurrency headroom, across hosts they buy real "
+              "hardware)\n");
+}
+
 int Run(size_t threads, bool smoke) {
   const BenchParams params = smoke ? SmokeParams() : BenchParams{};
   std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
@@ -453,6 +577,7 @@ int Run(size_t threads, bool smoke) {
   RunIndexAmortization(params, repository, threads, &rng);
   RunShardScaling(params, repository, threads, &rng);
   RunRpcServing(params, repository, threads, &rng);
+  RunConcurrentServing(params, repository, smoke, &rng);
   return 0;
 }
 

@@ -8,15 +8,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "src/common/random.h"
 #include "src/discovery/opendata_sim.h"
 #include "src/discovery/ranking.h"
+#include "src/discovery/replica_router.h"
 #include "src/discovery/repository.h"
 #include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
@@ -37,10 +40,18 @@ int main(int argc, char** argv) {
   // mode must return the surviving shards' correctly merged top-k. This
   // is the CI serving end-to-end (generation is fully deterministic, so a
   // rerun probes the same index the servers loaded).
+  //
+  // --rpc-replica-endpoints E reads a v2 (replicated) endpoints file and
+  // routes through ReplicaShardClient instead; --rpc-loop N issues N
+  // strict drift-checked queries 200ms apart, so a harness can kill a
+  // replica MID-RUN and this process proves failover: every query must
+  // keep matching the unsharded answer with zero shard failures.
   std::string keep_index_path;
   std::string rpc_manifest_path;
   std::string rpc_endpoints_path;
+  std::string rpc_replica_endpoints_path;
   long rpc_expect_down = 0;
+  long rpc_loop = 1;
   for (int arg = 1; arg < argc; ++arg) {
     const bool has_value = arg + 1 < argc;
     if (std::strcmp(argv[arg], "--keep-index") == 0 && has_value) {
@@ -49,6 +60,17 @@ int main(int argc, char** argv) {
       rpc_manifest_path = argv[++arg];
     } else if (std::strcmp(argv[arg], "--rpc-endpoints") == 0 && has_value) {
       rpc_endpoints_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--rpc-replica-endpoints") == 0 &&
+               has_value) {
+      rpc_replica_endpoints_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--rpc-loop") == 0 && has_value) {
+      char* end = nullptr;
+      rpc_loop = std::strtol(argv[++arg], &end, 10);
+      if (end == argv[arg] || *end != '\0' || rpc_loop < 1 ||
+          rpc_loop > 100000) {
+        std::fprintf(stderr, "--rpc-loop must be a positive integer\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[arg], "--rpc-expect-down") == 0 &&
                has_value) {
       char* end = nullptr;
@@ -62,14 +84,30 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--keep-index PATH] [--rpc-manifest PATH "
-                   "--rpc-endpoints PATH [--rpc-expect-down N]]\n",
+                   "(--rpc-endpoints PATH [--rpc-expect-down N] | "
+                   "--rpc-replica-endpoints PATH [--rpc-loop N])]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (rpc_manifest_path.empty() != rpc_endpoints_path.empty()) {
+  const bool have_rpc_target =
+      !rpc_endpoints_path.empty() || !rpc_replica_endpoints_path.empty();
+  if (rpc_manifest_path.empty() != !have_rpc_target) {
     std::fprintf(stderr,
-                 "--rpc-manifest and --rpc-endpoints go together\n");
+                 "--rpc-manifest and exactly one of --rpc-endpoints / "
+                 "--rpc-replica-endpoints go together\n");
+    return 2;
+  }
+  if (!rpc_endpoints_path.empty() && !rpc_replica_endpoints_path.empty()) {
+    std::fprintf(stderr,
+                 "--rpc-endpoints and --rpc-replica-endpoints are "
+                 "mutually exclusive\n");
+    return 2;
+  }
+  if (rpc_expect_down > 0 && rpc_endpoints_path.empty()) {
+    std::fprintf(stderr,
+                 "--rpc-expect-down drills the single-endpoint router "
+                 "(--rpc-endpoints)\n");
     return 2;
   }
   // 1. Build a repository out of simulated open-data tables. Each generated
@@ -212,7 +250,59 @@ int main(int argc, char** argv) {
   //    down deployments must fail strict queries and answer degraded ones
   //    with exactly the surviving shards' merged top-k.
   bool rpc_ok = true;
-  if (!rpc_manifest_path.empty()) {
+  if (!rpc_replica_endpoints_path.empty()) {
+    // 6b. Replicated serving drill: a v2 endpoints file maps every shard
+    //     to its replicas; ReplicaShardClient round-robins across them and
+    //     fails over on outages. Each loop iteration is a STRICT query
+    //     that must match the unsharded answer with zero shard failures —
+    //     run with --rpc-loop under a harness that kills a replica midway
+    //     and this exits nonzero unless failover absorbed the outage.
+    auto replica_map = ReadReplicaEndpointsFile(rpc_replica_endpoints_path);
+    replica_map.status().Abort("reading the replica endpoints file");
+    ReplicaRouterOptions replica_options;
+    replica_options.cooldown_ms = 500;
+    auto rpc_index = ShardedSketchIndex::Load(
+        rpc_manifest_path,
+        ReplicaShardClient::Factory(*replica_map, replica_options));
+    rpc_index.status().Abort("assembling the replicated sharded index");
+    size_t replicas_total = 0;
+    for (const auto& row : *replica_map) replicas_total += row.size();
+    long matched = 0;
+    for (long q = 0; q < rpc_loop; ++q) {
+      if (q > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      auto via_rpc = TopKJoinMISearch(*query_table, {"K", "Y"}, *rpc_index,
+                                      /*k=*/8, /*num_threads=*/0,
+                                      ShardQueryMode::kStrict);
+      if (!via_rpc.ok()) {
+        std::printf("replica drill: strict query %ld/%ld FAILED: %s\n",
+                    q + 1, rpc_loop, via_rpc.status().ToString().c_str());
+        rpc_ok = false;
+        continue;
+      }
+      bool same = via_rpc->hits.size() == unsharded->hits.size() &&
+                  via_rpc->shard_failures.empty();
+      for (size_t i = 0; same && i < unsharded->hits.size(); ++i) {
+        same = via_rpc->hits[i].estimate.mi ==
+                   unsharded->hits[i].estimate.mi &&
+               via_rpc->hits[i].estimate.sample_size ==
+                   unsharded->hits[i].estimate.sample_size &&
+               via_rpc->hits[i].candidate.ToString() ==
+                   unsharded->hits[i].candidate.ToString();
+      }
+      if (same) {
+        ++matched;
+      } else {
+        rpc_ok = false;
+      }
+    }
+    std::printf("replica drill: %ld/%ld strict queries identical to "
+                "unsharded with zero shard failures (%zu shards, %zu "
+                "replica servers) -> %s\n",
+                matched, rpc_loop, rpc_index->num_shards(), replicas_total,
+                matched == rpc_loop ? "ok" : "FAILOVER FAILED (bug!)");
+  } else if (!rpc_manifest_path.empty()) {
     auto endpoints = ReadEndpointsFile(rpc_endpoints_path);
     endpoints.status().Abort("reading the endpoint file");
     auto rpc_index = ShardedSketchIndex::Load(

@@ -18,6 +18,15 @@ Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec) {
     return Status::InvalidArgument("endpoint '" + spec +
                                    "' is not host:port");
   }
+  // A space or comma means several endpoints ran together — most likely a
+  // v2 replica line fed to a single-endpoint parser. Reject instead of
+  // swallowing the junk into the host name (rfind would happily treat
+  // "a:1 b" as the host of ":2").
+  if (spec.find_first_of(" \t,") != std::string::npos) {
+    return Status::InvalidArgument(
+        "endpoint '" + spec +
+        "' contains whitespace or a comma — one host:port expected");
+  }
   const std::string port_str = spec.substr(colon + 1);
   long port = 0;
   for (char c : port_str) {
@@ -58,7 +67,14 @@ Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
     const size_t begin = line.find_first_not_of(" \t\r");
     if (begin == std::string::npos) continue;
     const size_t end = line.find_last_not_of(" \t\r");
-    auto parsed = ParseShardEndpoint(line.substr(begin, end - begin + 1));
+    const std::string trimmed = line.substr(begin, end - begin + 1);
+    if (trimmed.find_first_of(" \t,") != std::string::npos) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": line lists more than one endpoint — that is the v2 replica "
+          "format; read it with ReadReplicaEndpointsFile");
+    }
+    auto parsed = ParseShardEndpoint(trimmed);
     if (!parsed.ok()) {
       return Status::InvalidArgument(
           path + ":" + std::to_string(line_no) + ": " +
@@ -73,7 +89,40 @@ Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
   return endpoints;
 }
 
+Status ValidateServingManifest(const ShardManifest& manifest,
+                               size_t num_entries) {
+  if (!manifest.config.has_value()) {
+    return Status::InvalidArgument(
+        "manifest has no embedded JoinMIConfig (legacy v1 format) — "
+        "remote serving needs it to sketch queries; repartition with "
+        "the current build_shards");
+  }
+  if (num_entries != manifest.shards.size()) {
+    return Status::InvalidArgument(
+        "manifest names " + std::to_string(manifest.shards.size()) +
+        " shards but " + std::to_string(num_entries) +
+        " shard endpoint entries were provided");
+  }
+  return Status::OK();
+}
+
 // --------------------------------------------------------- RpcShardClient
+
+RpcShardClient::RpcShardClient(ShardEndpoint endpoint,
+                               JoinMIConfig expected_config,
+                               uint64_t expected_candidates,
+                               RpcClientOptions options)
+    : endpoint_(std::move(endpoint)),
+      config_(std::move(expected_config)),
+      num_candidates_(expected_candidates),
+      options_(options) {
+  net::ConnPoolOptions pool_options;
+  pool_options.max_connections = options_.pool_size;
+  // The dialer runs the full handshake, so every connection the pool ever
+  // hands out has already proven it serves this manifest entry.
+  pool_ = std::make_unique<net::ConnPool>(
+      [this] { return DialAndHandshake(); }, pool_options);
+}
 
 Result<std::unique_ptr<RpcShardClient>> RpcShardClient::Create(
     ShardEndpoint endpoint, JoinMIConfig expected_config,
@@ -85,24 +134,17 @@ Result<std::unique_ptr<RpcShardClient>> RpcShardClient::Create(
   // Eager dial: a reachable-but-wrong server (handshake mismatch, an
   // InvalidArgument) is a deployment error and fails Create; an
   // unreachable one (IOError) is an outage the router must survive, so
-  // the client is returned disconnected and re-dials per request.
-  std::lock_guard<std::mutex> lock(client->mutex_);
-  const Status status = client->EnsureConnectedLocked();
-  if (!status.ok() && status.IsInvalidArgument()) {
-    return status;
+  // the client is returned disconnected and re-dials per request. On
+  // success the lease's destructor parks the verified connection in the
+  // pool, where the first request reuses it.
+  auto lease = client->pool_->Acquire();
+  if (!lease.ok() && lease.status().IsInvalidArgument()) {
+    return lease.status();
   }
   return client;
 }
 
-Status RpcShardClient::EnsureConnectedLocked() const {
-  if (socket_.valid()) {
-    // A cached connection whose server has since restarted (or died)
-    // accepts writes but can never answer; probe before reuse so the
-    // failure lands here — before any request byte — where re-dialing
-    // is free, instead of at RecvFrame where retry is forbidden.
-    if (!socket_.StaleForReuse()) return Status::OK();
-    socket_.Close();
-  }
+Result<net::Socket> RpcShardClient::DialAndHandshake() const {
   auto connected = net::Socket::Connect(endpoint_.host, endpoint_.port,
                                         options_.connect_timeout_ms);
   if (!connected.ok()) {
@@ -146,8 +188,7 @@ Status RpcShardClient::EnsureConnectedLocked() const {
         " candidates but the manifest records " +
         std::to_string(num_candidates_));
   }
-  socket_ = std::move(socket);
-  return Status::OK();
+  return socket;
 }
 
 Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
@@ -177,21 +218,27 @@ Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
   request.min_join_size = query.config().min_join_size;
   const std::string payload = rpc::EncodeSearchRequest(request);
 
-  std::lock_guard<std::mutex> lock(mutex_);
   Status last = Status::IOError("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
-    Status status = EnsureConnectedLocked();
-    if (!status.ok()) {
-      // Nothing of this request reached the wire; retrying is free.
-      socket_.Close();
-      last = std::move(status);
+    // Each attempt leases its own connection: concurrent Search calls on
+    // this client proceed in parallel on distinct pooled connections, and
+    // the staleness probe inside Acquire keeps a restarted server from
+    // costing a request.
+    auto lease = pool_->Acquire();
+    if (!lease.ok()) {
+      // Dial or handshake failed — nothing of this request reached the
+      // wire, so retrying is free. A handshake *mismatch* is a
+      // deterministic deployment error another attempt cannot fix.
+      if (lease.status().IsInvalidArgument()) return lease.status();
+      last = lease.status();
       continue;
     }
     size_t bytes_written = 0;
-    status = net::SendFrame(&socket_, net::FrameType::kSearchRequest,
-                            payload, &bytes_written);
+    Status status = net::SendFrame(&lease->socket(),
+                                   net::FrameType::kSearchRequest, payload,
+                                   &bytes_written);
     if (!status.ok()) {
-      socket_.Close();
+      lease->Discard();
       if (bytes_written == 0) {
         // A cached connection the server already closed fails exactly
         // here with zero bytes out — the classic reused-connection race.
@@ -204,23 +251,23 @@ Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
                              " failed after a partial write (not retried): " +
                              status.message());
     }
-    auto frame = net::RecvFrame(&socket_);
+    auto frame = net::RecvFrame(&lease->socket());
     if (!frame.ok()) {
       // The request is on the wire; the server may have executed it.
-      socket_.Close();
+      lease->Discard();
       return Status::IOError("no response from shard server " +
                              endpoint_.ToString() + " (not retried): " +
                              frame.status().message());
     }
     if (frame->type == net::FrameType::kError) {
-      // Frame boundaries are intact; the connection stays usable.
+      // Frame boundaries are intact; the connection returns to the pool.
       Status server_error;
       JOINMI_RETURN_NOT_OK(
           rpc::DecodeErrorPayload(frame->payload, &server_error));
       return server_error;
     }
     if (frame->type != net::FrameType::kSearchResponse) {
-      socket_.Close();
+      lease->Discard();
       return Status::IOError(
           "shard server " + endpoint_.ToString() +
           " answered a search with a " +
@@ -228,7 +275,7 @@ Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
     }
     auto response = rpc::DecodeSearchResponse(frame->payload);
     if (!response.ok()) {
-      socket_.Close();
+      lease->Discard();
       return response.status();
     }
     if (!response->status.ok()) {
@@ -240,20 +287,19 @@ Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
 }
 
 Result<rpc::HealthResponse> RpcShardClient::Health() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Status status = EnsureConnectedLocked();
+  auto lease = pool_->Acquire();
+  if (!lease.ok()) {
+    return lease.status();
+  }
+  Status status =
+      net::SendFrame(&lease->socket(), net::FrameType::kHealthRequest, "");
   if (!status.ok()) {
-    socket_.Close();
+    lease->Discard();
     return status;
   }
-  status = net::SendFrame(&socket_, net::FrameType::kHealthRequest, "");
-  if (!status.ok()) {
-    socket_.Close();
-    return status;
-  }
-  auto frame = net::RecvFrame(&socket_);
+  auto frame = net::RecvFrame(&lease->socket());
   if (!frame.ok()) {
-    socket_.Close();
+    lease->Discard();
     return frame.status();
   }
   if (frame->type == net::FrameType::kError) {
@@ -263,7 +309,7 @@ Result<rpc::HealthResponse> RpcShardClient::Health() const {
     return server_error;
   }
   if (frame->type != net::FrameType::kHealthResponse) {
-    socket_.Close();
+    lease->Discard();
     return Status::IOError(
         "shard server " + endpoint_.ToString() +
         " answered a health probe with a " +
@@ -271,7 +317,7 @@ Result<rpc::HealthResponse> RpcShardClient::Health() const {
   }
   auto response = rpc::DecodeHealthResponse(frame->payload);
   if (!response.ok()) {
-    socket_.Close();
+    lease->Discard();
     return response.status();
   }
   return *response;
@@ -284,18 +330,7 @@ ShardClientFactory RpcShardClient::Factory(
              const std::string& manifest_dir)
              -> Result<std::unique_ptr<ShardClient>> {
     (void)manifest_dir;  // remote shards have no local files
-    if (!manifest.config.has_value()) {
-      return Status::InvalidArgument(
-          "manifest has no embedded JoinMIConfig (legacy v1 format) — "
-          "remote serving needs it to sketch queries; repartition with "
-          "the current build_shards");
-    }
-    if (endpoints.size() != manifest.shards.size()) {
-      return Status::InvalidArgument(
-          "manifest names " + std::to_string(manifest.shards.size()) +
-          " shards but " + std::to_string(endpoints.size()) +
-          " endpoints were provided");
-    }
+    JOINMI_RETURN_NOT_OK(ValidateServingManifest(manifest, endpoints.size()));
     JOINMI_ASSIGN_OR_RETURN(
         std::unique_ptr<RpcShardClient> client,
         RpcShardClient::Create(endpoints[shard], *manifest.config,

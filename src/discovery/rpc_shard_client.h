@@ -3,11 +3,17 @@
 // host:port endpoints behave exactly like one assembled from local shard
 // files — same three methods, same merged rankings, byte for byte.
 //
-// Connection model: one lazily-dialed TCP connection per client, reused
-// across requests and re-dialed transparently after failures. Creating a
-// client against a *down* server succeeds (the router must be able to
-// assemble and serve degraded while a shard is being restarted); the
-// outage surfaces per-request from Search/Health, which is what the
+// Connection model: a bounded ConnPool of lazily-dialed TCP connections
+// per client (RpcClientOptions::pool_size), each leased for exactly one
+// request/response exchange — M router threads querying the same shard
+// hold M leases and have M requests in flight at once, where the old
+// single-socket client serialized them behind a mutex. Every dial runs
+// the JMRP handshake before the socket enters the pool, idle connections
+// are staleness-probed before reuse (a restarted server is re-dialed
+// transparently), and connections are re-dialed on demand after failures.
+// Creating a client against a *down* server succeeds (the router must be
+// able to assemble and serve degraded while a shard is being restarted);
+// the outage surfaces per-request from Search/Health, which is what the
 // degraded query mode feeds on. A *reachable* server that fails the
 // handshake — wrong JoinMIConfig or candidate count for the manifest
 // entry — fails Create loudly instead: that is a deployment
@@ -26,12 +32,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/discovery/rpc_messages.h"
 #include "src/discovery/sharded_index.h"
+#include "src/net/conn_pool.h"
 #include "src/net/socket.h"
 
 namespace joinmi {
@@ -51,10 +57,13 @@ struct ShardEndpoint {
 /// IPv4 addresses).
 Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec);
 
-/// \brief Reads an endpoint file: one "host:port" per line, in shard
-/// order; blank lines and '#' comments ignored. The router pairs line i
-/// with manifest shard i, so the file must list exactly one endpoint per
-/// shard.
+/// \brief Reads a v1 endpoint file: one "host:port" per line, in shard
+/// order; blank lines and '#' comments (inline too) ignored. The router
+/// pairs line i with manifest shard i, so the file must list exactly one
+/// endpoint per shard. Malformed lines fail with the offending
+/// `path:line:` position; a line listing several replicas is rejected
+/// here with a pointer to the v2 reader (ReadReplicaEndpointsFile in
+/// replica_router.h), which reads both formats.
 Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
     const std::string& path);
 
@@ -67,7 +76,18 @@ struct RpcClientOptions {
   /// Attempts per request, counting the first; extra attempts are spent
   /// only on failures that provably precede the request reaching the wire.
   int max_attempts = 2;
+  /// Connections this client may hold to its shard server — the bound on
+  /// the router's simultaneously in-flight requests to that shard. Extra
+  /// concurrent requests block for a lease instead of over-dialing.
+  size_t pool_size = 4;
 };
+
+/// \brief Validates that `manifest` can back remote serving with
+/// `num_entries` per-shard endpoint entries: it must embed a JoinMIConfig
+/// (v2) and name exactly `num_entries` shards. Shared by the
+/// single-endpoint and replicated factories so the two stay in lockstep.
+Status ValidateServingManifest(const ShardManifest& manifest,
+                               size_t num_entries);
 
 /// \brief ShardClient over a remote shard server.
 class RpcShardClient : public ShardClient {
@@ -80,6 +100,13 @@ class RpcShardClient : public ShardClient {
   static Result<std::unique_ptr<RpcShardClient>> Create(
       ShardEndpoint endpoint, JoinMIConfig expected_config,
       uint64_t expected_candidates, RpcClientOptions options = {});
+
+  // Pinned in place: the pool's dialer captures `this`, so a moved-from
+  // client would leave the pool dialing through a dangling pointer.
+  // Create hands out unique_ptrs precisely so nobody needs to move the
+  // object itself.
+  RpcShardClient(const RpcShardClient&) = delete;
+  RpcShardClient& operator=(const RpcShardClient&) = delete;
 
   /// \brief The manifest-agreed config (identical to the server's; the
   /// handshake enforces it with JoinMIConfig::operator==).
@@ -103,6 +130,12 @@ class RpcShardClient : public ShardClient {
 
   const ShardEndpoint& endpoint() const { return endpoint_; }
 
+  /// \brief The connection pool, exposed for instrumentation: tests and
+  /// benchmarks read max_in_flight()/total_dials() to prove multiplexing
+  /// (or the absence of over-dialing) rather than inferring it from
+  /// timing.
+  const net::ConnPool& pool() const { return *pool_; }
+
   /// \brief ShardClientFactory dialing `endpoints[shard]` for each shard.
   /// Requires a v2 manifest (embedded config) and exactly one endpoint
   /// per shard.
@@ -111,24 +144,21 @@ class RpcShardClient : public ShardClient {
 
  private:
   RpcShardClient(ShardEndpoint endpoint, JoinMIConfig expected_config,
-                 uint64_t expected_candidates, RpcClientOptions options)
-      : endpoint_(std::move(endpoint)),
-        config_(std::move(expected_config)),
-        num_candidates_(expected_candidates),
-        options_(options) {}
+                 uint64_t expected_candidates, RpcClientOptions options);
 
-  /// \brief Dials + handshakes if not connected. Caller holds mutex_.
-  Status EnsureConnectedLocked() const;
+  /// \brief The pool's dialer: TCP connect + JMRP handshake, verifying the
+  /// server against the manifest-expected config and candidate count.
+  Result<net::Socket> DialAndHandshake() const;
 
   ShardEndpoint endpoint_;
   JoinMIConfig config_;
   uint64_t num_candidates_ = 0;
   RpcClientOptions options_;
 
-  // One connection, serialized: the router issues one request per shard
-  // per query, but nothing stops callers from sharing a client.
-  mutable std::mutex mutex_;
-  mutable net::Socket socket_;
+  // Leases one connection per in-flight request; pool_size bounds the
+  // client's concurrency against this shard. unique_ptr because the pool
+  // captures `this` in its dialer (stable for a heap-allocated client).
+  mutable std::unique_ptr<net::ConnPool> pool_;
 };
 
 }  // namespace joinmi

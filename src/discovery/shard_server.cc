@@ -123,6 +123,7 @@ net::FrameType ShardServer::HandleFrame(const net::Frame& frame,
                                         std::string* reply) {
   switch (frame.type) {
     case net::FrameType::kHandshakeRequest: {
+      handshakes_served_.fetch_add(1);
       rpc::HandshakeResponse response;
       response.config = client_->config();
       response.num_candidates = client_->num_candidates();

@@ -80,6 +80,10 @@ class ShardServer {
   size_t num_candidates() const { return client_->num_candidates(); }
   /// \brief Requests answered (any type) since Start.
   uint64_t requests_served() const { return requests_served_.load(); }
+  /// \brief Handshakes answered since Start — one per client connection
+  /// ever dialed, so this counts distinct connections, not traffic.
+  /// Replica drills read it to prove each replica actually took dials.
+  uint64_t handshakes_served() const { return handshakes_served_.load(); }
 
  private:
   ShardServer(std::unique_ptr<ShardClient> client, size_t shard,
@@ -102,6 +106,7 @@ class ShardServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> handshakes_served_{0};
 
   // Live connection fds, so Stop() can shutdown(2) blocked readers
   // instead of waiting out their io timeout.

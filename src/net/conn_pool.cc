@@ -1,0 +1,87 @@
+#include "src/net/conn_pool.h"
+
+#include <algorithm>
+
+namespace joinmi {
+namespace net {
+
+ConnPool::ConnPool(Dialer dialer, ConnPoolOptions options)
+    : dialer_(std::move(dialer)), options_(options) {
+  options_.max_connections = std::max<size_t>(1, options_.max_connections);
+}
+
+Result<ConnPool::Lease> ConnPool::Acquire() {
+  Socket socket;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_available_.wait(
+        lock, [this] { return in_flight_ < options_.max_connections; });
+    ++in_flight_;
+    max_in_flight_ = std::max(max_in_flight_, in_flight_);
+    if (!idle_.empty()) {
+      socket = std::move(idle_.back());
+      idle_.pop_back();
+    }
+  }
+  // Everything that can block — the staleness probe's syscall and the dial
+  // (connect timeout, application handshake) — happens with the slot
+  // reserved but the lock released, so other slots stay acquirable.
+  if (socket.valid() && socket.StaleForReuse()) {
+    socket.Close();
+  }
+  if (!socket.valid()) {
+    auto dialed = dialer_();
+    if (!dialed.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+      }
+      slot_available_.notify_one();
+      return dialed.status();
+    }
+    socket = std::move(*dialed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_dials_;
+  }
+  return Lease(this, std::move(socket));
+}
+
+void ConnPool::Lease::Release() {
+  if (pool_ == nullptr) return;
+  pool_->Return(std::move(socket_));
+  pool_ = nullptr;
+}
+
+void ConnPool::Return(Socket socket) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (socket.valid()) {
+      idle_.push_back(std::move(socket));
+    }
+  }
+  slot_available_.notify_one();
+}
+
+size_t ConnPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+size_t ConnPool::max_in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_in_flight_;
+}
+
+uint64_t ConnPool::total_dials() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_dials_;
+}
+
+size_t ConnPool::idle_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+}  // namespace net
+}  // namespace joinmi

@@ -1,0 +1,145 @@
+// ConnPool: a bounded pool of connections to one endpoint, the concurrency
+// substrate of the serving router. Each pooled connection is one JMRP
+// conversation; a caller leases a connection for exactly one
+// request/response exchange and returns it, so M leases mean M requests
+// simultaneously in flight to the same server — where a single mutexed
+// socket would serialize them.
+//
+// The pool knows nothing about protocols: connections are created by an
+// injected Dialer (the discovery layer's dialer performs the TCP connect
+// *and* the JMRP handshake, so every socket the pool hands out is already
+// verified against the manifest). Dialing is lazy — a pool against a down
+// server constructs fine and every Acquire surfaces the dial failure —
+// and happens outside the pool lock, so one slow dial never blocks other
+// leases.
+//
+// Reuse discipline: idle connections are probed with Socket::StaleForReuse
+// before being handed out, so a connection whose server restarted is
+// silently re-dialed instead of failing its next request (TCP happily
+// accepts writes on half-closed connections; only the read-side probe can
+// tell). A lease whose request failed mid-exchange must call Discard() —
+// returning a desynced connection would poison a later request — and the
+// pool then re-dials on demand.
+//
+// Capacity semantics: at most max_connections leases exist at once;
+// further Acquire calls BLOCK until a lease is returned or discarded. The
+// pool never over-dials: the number of live sockets (leased + idle) never
+// exceeds max_connections, which is what makes pool size a real back-
+// pressure knob rather than a hint.
+
+#ifndef JOINMI_NET_CONN_POOL_H_
+#define JOINMI_NET_CONN_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/socket.h"
+
+namespace joinmi {
+namespace net {
+
+struct ConnPoolOptions {
+  /// Bound on simultaneously leased connections (and on sockets the pool
+  /// ever holds). Values below 1 are treated as 1.
+  size_t max_connections = 4;
+};
+
+/// \brief Bounded lease/return pool of connections to one endpoint.
+/// Thread-safe; leases must not outlive the pool.
+class ConnPool {
+ public:
+  /// \brief Creates one ready-to-use connection. Runs outside the pool
+  /// lock; a Status error is surfaced verbatim from Acquire.
+  using Dialer = std::function<Result<Socket>()>;
+
+  ConnPool(Dialer dialer, ConnPoolOptions options);
+  ~ConnPool() = default;
+
+  ConnPool(const ConnPool&) = delete;
+  ConnPool& operator=(const ConnPool&) = delete;
+
+  /// \brief One leased connection, RAII-returned to the pool. The
+  /// destructor returns the socket for reuse unless Discard() was called
+  /// (or the socket was invalidated), in which case only the capacity slot
+  /// is released.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), socket_(std::move(other.socket_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        socket_ = std::move(other.socket_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    Socket& socket() { return socket_; }
+
+    /// \brief Marks the connection unusable (request failed mid-exchange,
+    /// framing possibly desynced). The socket is closed now; the capacity
+    /// slot frees when the lease dies.
+    void Discard() { socket_.Close(); }
+
+   private:
+    friend class ConnPool;
+    Lease(ConnPool* pool, Socket socket)
+        : pool_(pool), socket_(std::move(socket)) {}
+    void Release();
+
+    ConnPool* pool_ = nullptr;
+    Socket socket_;
+  };
+
+  /// \brief Leases a connection: reuses a fresh idle one, re-dials a stale
+  /// one, dials lazily when none is cached. Blocks while max_connections
+  /// leases are outstanding. On dial failure the slot is released and the
+  /// dialer's error returned — nothing was sent, so callers may treat the
+  /// failure as retry-safe.
+  Result<Lease> Acquire();
+
+  size_t max_connections() const { return options_.max_connections; }
+
+  // ------------------------------------------------------ Instrumentation
+  /// \brief Leases outstanding right now.
+  size_t in_flight() const;
+  /// \brief High-water mark of simultaneously outstanding leases — the
+  /// proof a router actually multiplexed (>= 2 means two requests were in
+  /// flight to this endpoint at the same instant).
+  size_t max_in_flight() const;
+  /// \brief Successful dials since construction (reuse keeps this flat).
+  uint64_t total_dials() const;
+  /// \brief Idle connections cached for reuse.
+  size_t idle_connections() const;
+
+ private:
+  void Return(Socket socket);
+
+  Dialer dialer_;
+  ConnPoolOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_available_;
+  std::vector<Socket> idle_;
+  size_t in_flight_ = 0;
+  size_t max_in_flight_ = 0;
+  uint64_t total_dials_ = 0;
+};
+
+}  // namespace net
+}  // namespace joinmi
+
+#endif  // JOINMI_NET_CONN_POOL_H_

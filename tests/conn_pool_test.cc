@@ -1,0 +1,237 @@
+// ConnPool unit tests over real loopback sockets: lease/return reuse,
+// lazy dialing, the capacity bound (leases BLOCK instead of over-dialing),
+// stale-connection replacement, and slot accounting around dial failures
+// and discards. The pool is protocol-agnostic, so the "server" here is
+// just a listener that accepts and parks connections.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/conn_pool.h"
+#include "src/net/socket.h"
+
+namespace joinmi {
+namespace net {
+namespace {
+
+/// Accepts every connection on a loopback port and keeps it open (or
+/// closes it on demand) — enough of a peer for pool mechanics.
+class ParkingServer {
+ public:
+  ParkingServer() {
+    auto listener = Listener::Bind("127.0.0.1", 0);
+    listener.status().Abort("binding the parking server");
+    listener_ = std::move(*listener);
+    thread_ = std::thread([this] {
+      while (!stop_.load()) {
+        auto accepted = listener_.AcceptWithTimeout(50);
+        if (!accepted.ok()) continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        connections_.push_back(std::move(*accepted));
+      }
+    });
+  }
+
+  ~ParkingServer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    listener_.Close();
+  }
+
+  uint16_t port() const { return listener_.port(); }
+
+  size_t accepted() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return connections_.size();
+  }
+
+  /// Closes every accepted connection server-side (the peer sees FIN).
+  void CloseAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Socket& socket : connections_) socket.Close();
+    connections_.clear();
+  }
+
+ private:
+  Listener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::vector<Socket> connections_;
+};
+
+ConnPool::Dialer DialerFor(ParkingServer* server,
+                           std::atomic<uint64_t>* dials = nullptr) {
+  const uint16_t port = server->port();
+  return [port, dials]() -> Result<Socket> {
+    if (dials != nullptr) dials->fetch_add(1);
+    return Socket::Connect("127.0.0.1", port, 1000);
+  };
+}
+
+TEST(ConnPoolTest, DialsLazilyAndReusesReturnedConnections) {
+  ParkingServer server;
+  std::atomic<uint64_t> dials{0};
+  ConnPoolOptions options;
+  options.max_connections = 2;
+  ConnPool pool(DialerFor(&server, &dials), options);
+  EXPECT_EQ(dials.load(), 0u);  // construction never dials
+  EXPECT_EQ(pool.idle_connections(), 0u);
+
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok()) << lease.status();
+    ASSERT_TRUE(lease->socket().valid());
+    EXPECT_EQ(pool.in_flight(), 1u);
+  }
+  EXPECT_EQ(dials.load(), 1u);
+  EXPECT_EQ(pool.total_dials(), 1u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.idle_connections(), 1u);
+
+  {
+    auto lease = pool.Acquire();  // must reuse, not re-dial
+    ASSERT_TRUE(lease.ok()) << lease.status();
+  }
+  EXPECT_EQ(dials.load(), 1u);
+  EXPECT_EQ(pool.max_in_flight(), 1u);
+}
+
+TEST(ConnPoolTest, ExhaustedPoolBlocksLeasesInsteadOfOverdialing) {
+  ParkingServer server;
+  std::atomic<uint64_t> dials{0};
+  ConnPoolOptions options;
+  options.max_connections = 1;
+  ConnPool pool(DialerFor(&server, &dials), options);
+
+  std::atomic<int> holding{0};
+  std::atomic<int> max_holding{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto lease = pool.Acquire();
+      ASSERT_TRUE(lease.ok()) << lease.status();
+      const int now = holding.fetch_add(1) + 1;
+      int seen = max_holding.load();
+      while (now > seen && !max_holding.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      holding.fetch_sub(1);
+      completed.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_EQ(max_holding.load(), 1);         // leases serialized...
+  EXPECT_EQ(pool.max_in_flight(), 1u);      // ...per the pool's own gauge
+  EXPECT_EQ(dials.load(), 1u);              // and never a second dial
+  EXPECT_EQ(pool.idle_connections(), 1u);
+}
+
+TEST(ConnPoolTest, ConcurrentLeasesMultiplexUpToTheBound) {
+  ParkingServer server;
+  ConnPoolOptions options;
+  options.max_connections = 4;
+  ConnPool pool(DialerFor(&server), options);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto lease = pool.Acquire();
+      ASSERT_TRUE(lease.ok()) << lease.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // All four threads held 50ms leases inside a <200ms window, so at least
+  // two must have overlapped (pigeonhole even on one core).
+  EXPECT_GE(pool.max_in_flight(), 2u);
+  EXPECT_LE(pool.max_in_flight(), 4u);
+  EXPECT_LE(pool.total_dials(), 4u);
+}
+
+TEST(ConnPoolTest, StaleIdleConnectionIsReplacedNotHandedOut) {
+  ParkingServer server;
+  std::atomic<uint64_t> dials{0};
+  ConnPool pool(DialerFor(&server, &dials), ConnPoolOptions{});
+  { auto lease = pool.Acquire(); ASSERT_TRUE(lease.ok()); }
+  EXPECT_EQ(dials.load(), 1u);
+  // Server restarts: the parked idle connection is now a dead peer.
+  // Wait for the accept thread to have registered it first.
+  for (int i = 0; i < 100 && server.accepted() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.accepted(), 1u);
+  server.CloseAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let FIN land
+
+  auto lease = pool.Acquire();
+  ASSERT_TRUE(lease.ok()) << lease.status();
+  EXPECT_EQ(dials.load(), 2u);  // stale one detected and re-dialed
+  EXPECT_TRUE(lease->socket().valid());
+}
+
+TEST(ConnPoolTest, DiscardDropsTheConnectionButFreesTheSlot) {
+  ParkingServer server;
+  std::atomic<uint64_t> dials{0};
+  ConnPoolOptions options;
+  options.max_connections = 1;
+  ConnPool pool(DialerFor(&server, &dials), options);
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    lease->Discard();
+  }
+  EXPECT_EQ(pool.idle_connections(), 0u);  // nothing reusable was returned
+  EXPECT_EQ(pool.in_flight(), 0u);         // but the slot is free
+  auto lease = pool.Acquire();             // so this dials, not deadlocks
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(dials.load(), 2u);
+}
+
+TEST(ConnPoolTest, DialFailureReleasesTheSlot) {
+  // Dial against a port nothing listens on: Acquire must fail with the
+  // dialer's error and leave the pool reusable, not leak the slot.
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const uint16_t dead_port = listener->port();
+  listener->Close();
+
+  ConnPoolOptions options;
+  options.max_connections = 1;
+  ConnPool pool(
+      [dead_port]() -> Result<Socket> {
+        return Socket::Connect("127.0.0.1", dead_port, 200);
+      },
+      options);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto lease = pool.Acquire();
+    ASSERT_FALSE(lease.ok());
+    EXPECT_EQ(pool.in_flight(), 0u);
+  }
+  EXPECT_EQ(pool.total_dials(), 0u);  // only successful dials count
+}
+
+TEST(ConnPoolTest, DialerErrorStatusPropagatesVerbatim) {
+  ConnPool pool(
+      []() -> Result<Socket> {
+        return Status::InvalidArgument("handshake config mismatch");
+      },
+      ConnPoolOptions{});
+  auto lease = pool.Acquire();
+  ASSERT_FALSE(lease.ok());
+  EXPECT_TRUE(lease.status().IsInvalidArgument());
+  EXPECT_EQ(lease.status().message(), "handshake config mismatch");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace joinmi

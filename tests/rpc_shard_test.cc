@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/random.h"
@@ -133,7 +135,7 @@ struct Deployment {
 
 void StartDeployment(const SketchIndex& index, size_t num_shards,
                      ShardPartitionPolicy policy, const std::string& name,
-                     Deployment* deployment) {
+                     Deployment* deployment, size_t num_workers = 2) {
   deployment->dir = ScratchDir(name);
   auto manifest_path =
       BuildShards(index, num_shards, policy, deployment->dir);
@@ -141,7 +143,7 @@ void StartDeployment(const SketchIndex& index, size_t num_shards,
   deployment->manifest_path = *manifest_path;
   for (size_t s = 0; s < num_shards; ++s) {
     ShardServerOptions options;
-    options.num_workers = 2;
+    options.num_workers = num_workers;
     auto server = ShardServer::Create(deployment->manifest_path, s, options);
     ASSERT_TRUE(server.ok()) << server.status();
     ASSERT_TRUE((*server)->Start().ok());
@@ -156,6 +158,74 @@ RpcClientOptions FastTimeouts() {
   options.connect_timeout_ms = 500;
   options.io_timeout_ms = 10000;
   return options;
+}
+
+// ------------------------------------------------------- Endpoint file v1
+
+std::string WriteEndpointsFixture(const std::string& name,
+                                  const std::string& contents) {
+  const std::string dir = ScratchDir("endpoints_" + name);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/endpoints.txt";
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+TEST(EndpointsFileTest, ToleratesBlankLinesAndComments) {
+  const std::string path = WriteEndpointsFixture(
+      "tolerant",
+      "# serving map for the three shards\n"
+      "\n"
+      "127.0.0.1:7001\n"
+      "   \t\n"
+      "127.0.0.1:7002   # shard 1, note the inline comment\n"
+      "\n"
+      "127.0.0.1:7003\n"
+      "# trailing comment\n");
+  auto endpoints = ReadEndpointsFile(path);
+  ASSERT_TRUE(endpoints.ok()) << endpoints.status();
+  ASSERT_EQ(endpoints->size(), 3u);
+  EXPECT_EQ((*endpoints)[0].port, 7001);
+  EXPECT_EQ((*endpoints)[1].port, 7002);
+  EXPECT_EQ((*endpoints)[2].port, 7003);
+  std::filesystem::remove_all(
+      std::filesystem::path(path).parent_path().string());
+}
+
+TEST(EndpointsFileTest, MalformedLineReportsItsLineNumber) {
+  // Line 5 is the broken one: comment, blank, and valid lines before it
+  // must all count toward the reported position.
+  const std::string path = WriteEndpointsFixture(
+      "badline",
+      "# header\n"
+      "\n"
+      "127.0.0.1:7001\n"
+      "127.0.0.1:7002\n"
+      "127.0.0.1:badport\n");
+  auto endpoints = ReadEndpointsFile(path);
+  ASSERT_FALSE(endpoints.ok());
+  EXPECT_TRUE(endpoints.status().IsInvalidArgument()) << endpoints.status();
+  EXPECT_NE(endpoints.status().message().find(path + ":5:"),
+            std::string::npos)
+      << endpoints.status();
+  std::filesystem::remove_all(
+      std::filesystem::path(path).parent_path().string());
+}
+
+TEST(EndpointsFileTest, ReplicaLineInV1FileIsRejectedWithPointerToV2) {
+  const std::string path = WriteEndpointsFixture(
+      "v2line", "127.0.0.1:7001\n127.0.0.1:7002, 127.0.0.1:7003\n");
+  auto endpoints = ReadEndpointsFile(path);
+  ASSERT_FALSE(endpoints.ok());
+  EXPECT_NE(endpoints.status().message().find(path + ":2:"),
+            std::string::npos)
+      << endpoints.status();
+  EXPECT_NE(endpoints.status().message().find("ReadReplicaEndpointsFile"),
+            std::string::npos)
+      << endpoints.status();
+  std::filesystem::remove_all(
+      std::filesystem::path(path).parent_path().string());
 }
 
 // ---------------------------------------------------- Rank agreement gate
@@ -237,6 +307,145 @@ TEST(RpcShardTest, ConnectionsAreReusedAcrossQueries) {
     total_requests += server->requests_served();
   }
   EXPECT_EQ(total_requests, 5u * 2u + 2u);
+}
+
+// --------------------------------------------- Concurrent multiplexing
+
+// Builds a 1-shard RPC router whose single typed client is observable, so
+// tests can read pool instrumentation after driving traffic through the
+// normal ShardedSketchIndex surface.
+void MakeSingleShardRouter(const Deployment& deployment,
+                           RpcClientOptions options,
+                           std::unique_ptr<ShardedSketchIndex>* router,
+                           const RpcShardClient** client_out) {
+  auto manifest = ReadManifestFile(deployment.manifest_path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+  ASSERT_TRUE(manifest->config.has_value());
+  auto client = RpcShardClient::Create(deployment.endpoints[0],
+                                       *manifest->config,
+                                       manifest->shards[0].candidate_count,
+                                       options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  *client_out = client->get();
+  std::vector<std::unique_ptr<ShardClient>> clients;
+  clients.push_back(std::move(*client));
+  auto assembled =
+      ShardedSketchIndex::Create(std::move(*manifest), std::move(clients));
+  ASSERT_TRUE(assembled.ok()) << assembled.status();
+  *router = std::make_unique<ShardedSketchIndex>(std::move(*assembled));
+}
+
+TEST(RpcShardTest, ConcurrentRouterThreadsMultiplexOneShardViaThePool) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 1, ShardPartitionPolicy::kRoundRobin, "mux",
+                  &deployment, /*num_workers=*/8);
+
+  RpcClientOptions options = FastTimeouts();
+  options.pool_size = 4;
+  std::unique_ptr<ShardedSketchIndex> router;
+  const RpcShardClient* client = nullptr;
+  MakeSingleShardRouter(deployment, options, &router, &client);
+
+  // Serial reference: the local (in-process) path, once.
+  auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+  ASSERT_TRUE(local.ok()) << local.status();
+  const size_t k = 3;
+  auto expected = TopKJoinMISearch(*universe.base, {"K", "Y"}, *local, k, 1);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  // 8 router threads, each issuing several strict queries concurrently
+  // against the same 1-shard index: the pool must multiplex them onto
+  // parallel connections, and every single ranking must stay
+  // bit-identical to the serial local answer.
+  const size_t num_threads = 8;
+  const size_t queries_per_thread = 4;
+  std::vector<TopKSearchResult> results(num_threads * queries_per_thread);
+  std::vector<Status> statuses(num_threads * queries_per_thread,
+                               Status::OK());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t q = 0; q < queries_per_thread; ++q) {
+        auto result =
+            TopKJoinMISearch(*universe.base, {"K", "Y"}, *router, k, 1);
+        const size_t slot = t * queries_per_thread + q;
+        if (result.ok()) {
+          results[slot] = std::move(*result);
+        } else {
+          statuses[slot] = result.status();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << "query " << i << ": " << statuses[i];
+    ExpectBitIdentical(*expected, results[i]);
+    EXPECT_TRUE(results[i].shard_failures.empty());
+  }
+  // The acceptance gate: pool instrumentation proves at least two
+  // requests were in flight to the single shard at the same instant —
+  // the old one-socket client could never exceed 1 here.
+  EXPECT_GE(client->pool().max_in_flight(), 2u)
+      << "8 threads x 4 queries never overlapped on the shard connection "
+         "pool";
+  EXPECT_LE(client->pool().max_in_flight(), options.pool_size);
+  EXPECT_LE(client->pool().total_dials(), options.pool_size);
+}
+
+TEST(RpcShardTest, PoolOfOneBlocksConcurrentQueriesInsteadOfOverdialing) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 1, ShardPartitionPolicy::kRoundRobin, "pool1",
+                  &deployment, /*num_workers=*/4);
+
+  RpcClientOptions options = FastTimeouts();
+  options.pool_size = 1;
+  std::unique_ptr<ShardedSketchIndex> router;
+  const RpcShardClient* client = nullptr;
+  MakeSingleShardRouter(deployment, options, &router, &client);
+
+  auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+  ASSERT_TRUE(local.ok());
+  auto expected = TopKJoinMISearch(*universe.base, {"K", "Y"}, *local, 3, 1);
+  ASSERT_TRUE(expected.ok());
+
+  const size_t num_threads = 4;
+  const size_t queries_per_thread = 4;
+  std::vector<Status> statuses(num_threads, Status::OK());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t q = 0; q < queries_per_thread; ++q) {
+        auto result =
+            TopKJoinMISearch(*universe.base, {"K", "Y"}, *router, 3, 1);
+        if (!result.ok()) {
+          statuses[t] = result.status();
+          return;
+        }
+        ExpectBitIdentical(*expected, *result);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < num_threads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << "thread " << t << ": " << statuses[t];
+  }
+  // Leases blocked rather than over-dialed: never more than one in
+  // flight, exactly one connection ever dialed (Create's eager handshake
+  // connection, reused by all 16 queries)...
+  EXPECT_EQ(client->pool().max_in_flight(), 1u);
+  EXPECT_EQ(client->pool().total_dials(), 1u);
+  // ...which the server confirms independently: one handshake ever, and
+  // every request accounted for on that single connection.
+  EXPECT_EQ(deployment.servers[0]->handshakes_served(), 1u);
+  EXPECT_EQ(deployment.servers[0]->requests_served(),
+            1u + num_threads * queries_per_thread);
 }
 
 // ------------------------------------------------------- Failure handling

@@ -138,8 +138,17 @@ int main(int argc, char** argv) {
   while (g_shutdown == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::printf("shutting down after %llu requests\n",
-              static_cast<unsigned long long>((*server)->requests_served()));
+  // Shutdown stats go to stderr (stdout may be a pipe a supervisor already
+  // stopped reading): total requests plus handshakes, so a failover drill's
+  // logs show whether this replica actually took traffic — handshakes count
+  // distinct client connections, requests count everything answered.
+  std::fprintf(stderr,
+               "shard %ld shutting down: %llu requests served "
+               "(%llu handshakes)\n",
+               shard_id,
+               static_cast<unsigned long long>((*server)->requests_served()),
+               static_cast<unsigned long long>(
+                   (*server)->handshakes_served()));
   (*server)->Stop();
   return 0;
 }
