@@ -48,6 +48,13 @@
 // replica-aware factory). Every concurrent ranking is cross-checked
 // against the serial in-process answer before any number is printed.
 //
+// Part 6 is the JMRP v2 wire: request pipelining (many requests in
+// flight on one connection, demuxed by request_id) against the v1
+// one-request-per-round-trip baseline across concurrency levels and
+// open-connection counts, and batched variant evaluation (one
+// kBatchSearchRequest carrying N (k, min_join_size) variants against a
+// connection-cached sketch) against N single-variant round trips.
+//
 // `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
 // batch) so the whole binary runs in well under a second; CI runs that
 // mode as a ctest to keep this harness from rotting.
@@ -547,6 +554,169 @@ void RunConcurrentServing(const BenchParams& params,
               "hardware)\n");
 }
 
+// Part 6: the JMRP v2 wire upgrades — request pipelining on one
+// connection and batched variant evaluation against a connection-cached
+// sketch — against the v1 one-request-per-round-trip baseline.
+void RunBatchedPipelinedServing(const BenchParams& params,
+                                const TableRepository& repository,
+                                bool smoke, Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  SketchIndex index(config);
+  index.IndexRepository(repository).status().Abort("building the index");
+  auto query_table = MakeBaseTable(params, rng);
+  const size_t num_shards = 2;
+
+  const std::string shard_root =
+      "/tmp/joinmi_bench_pipeline_shards." + std::to_string(getpid());
+  auto manifest_path = BuildShards(index, num_shards,
+                                   ShardPartitionPolicy::kRoundRobin,
+                                   shard_root);
+  manifest_path.status().Abort("partitioning the index");
+  auto local = ShardedSketchIndex::Load(*manifest_path);
+  local.status().Abort("loading the local sharded index");
+  auto reference = TopKJoinMISearch(*query_table, {"K", "Y"}, *local,
+                                    params.top_k, 1);
+  reference.status().Abort("serial reference search");
+
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardServerOptions options;
+    options.num_workers = 8;
+    auto server = ShardServer::Create(*manifest_path, s, options);
+    server.status().Abort("creating a shard server");
+    (*server)->Start().Abort("starting a shard server");
+    endpoints.push_back(ShardEndpoint{"127.0.0.1", (*server)->port()});
+    servers.push_back(std::move(*server));
+  }
+
+  // Drives `concurrency` client threads through the router,
+  // cross-checking every ranking, and returns total wall ms.
+  auto drive = [&](const ShardedSketchIndex& router, size_t concurrency,
+                   size_t queries_each) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < concurrency; ++t) {
+      threads.emplace_back([&] {
+        for (size_t q = 0; q < queries_each; ++q) {
+          auto result = TopKJoinMISearch(*query_table, {"K", "Y"}, router,
+                                         params.top_k, 1);
+          result.status().Abort("pipelined RPC search");
+          ExpectSameRanking(*reference, *result,
+                            "serial local and pipelined RPC");
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return MillisSince(start);
+  };
+
+  const size_t queries_each = smoke ? 2 : 4;
+  std::printf("\n== JMRP v2: pipelining and batching vs the v1 wire "
+              "(%zu shards, 1 connection/shard unless noted) ==\n",
+              num_shards);
+
+  // (a) Queries/sec vs concurrent query count on ONE connection per
+  // shard: the v1 wire serializes whole exchanges on the socket, the v2
+  // wire interleaves requests and demuxes responses by request_id.
+  for (size_t concurrency : {1u, 8u, 16u}) {
+    if (smoke && concurrency > 8) break;
+    double wall_ms[2] = {0.0, 0.0};
+    for (uint32_t max_version : {1u, 2u}) {
+      RpcClientOptions options;
+      options.pool_size = 1;
+      options.max_protocol_version = max_version;
+      auto remote = ShardedSketchIndex::Load(
+          *manifest_path, RpcShardClient::Factory(endpoints, options));
+      remote.status().Abort("assembling the RPC sharded index");
+      wall_ms[max_version - 1] = drive(*remote, concurrency, queries_each);
+    }
+    const double total = static_cast<double>(concurrency * queries_each);
+    std::printf("inflight=%-3zu : v1 %8.0f queries/s | v2 pipelined "
+                "%8.0f queries/s (%.2fx)\n",
+                concurrency, total * 1000.0 / wall_ms[0],
+                total * 1000.0 / wall_ms[1], wall_ms[0] / wall_ms[1]);
+  }
+
+  // (b) Open-connection sweep under fixed concurrency: more sockets vs
+  // deeper pipelines on fewer sockets.
+  const size_t sweep_concurrency = smoke ? 4 : 8;
+  for (size_t pool : {1u, 2u, 4u}) {
+    RpcClientOptions options;
+    options.pool_size = pool;
+    auto remote = ShardedSketchIndex::Load(
+        *manifest_path, RpcShardClient::Factory(endpoints, options));
+    remote.status().Abort("assembling the RPC sharded index");
+    const double ms = drive(*remote, sweep_concurrency, queries_each);
+    std::printf("conns=%zu/shard: v2 %8.0f queries/s at inflight=%zu\n",
+                pool, sweep_concurrency * queries_each * 1000.0 / ms,
+                sweep_concurrency);
+  }
+
+  // (c) Batch size: N (k, min_join_size) variants of one sketched query
+  // as N single-variant frames vs one kBatchSearchRequest per shard. The
+  // sketch is uploaded once per connection either way; the batch saves
+  // the per-variant round trips.
+  {
+    RpcClientOptions options;
+    options.pool_size = 1;
+    auto remote = ShardedSketchIndex::Load(
+        *manifest_path, RpcShardClient::Factory(endpoints, options));
+    remote.status().Abort("assembling the RPC sharded index");
+    auto query = JoinMIQuery::Create(*query_table, "K", "Y", config);
+    query.status().Abort("sketching the bench query");
+    for (size_t batch : {1u, 4u, 16u}) {
+      if (smoke && batch > 4) break;
+      std::vector<ShardSearchVariant> variants;
+      for (size_t v = 0; v < batch; ++v) {
+        variants.push_back(
+            ShardSearchVariant{params.top_k, config.min_join_size + v});
+      }
+      const auto single_start = std::chrono::steady_clock::now();
+      std::vector<ShardSearchResult> singles;
+      for (const auto& variant : variants) {
+        auto result = remote->SearchVariants(*query, {variant}, 1);
+        result.status().Abort("single-variant search");
+        singles.push_back(std::move(result->front()));
+      }
+      const double single_ms = MillisSince(single_start);
+      const auto batch_start = std::chrono::steady_clock::now();
+      auto batched = remote->SearchVariants(*query, variants, 1);
+      batched.status().Abort("batched variant search");
+      const double batch_ms = MillisSince(batch_start);
+      // The batch must answer exactly what the singles answered.
+      if (batched->size() != singles.size()) {
+        Status::UnknownError("batched variant count mismatch").Abort("bench");
+      }
+      for (size_t v = 0; v < singles.size(); ++v) {
+        if ((*batched)[v].hits.size() != singles[v].hits.size()) {
+          Status::UnknownError("batched ranking diverged from singles")
+              .Abort("bench");
+        }
+        for (size_t h = 0; h < singles[v].hits.size(); ++h) {
+          if ((*batched)[v].hits[h].global_index !=
+                  singles[v].hits[h].global_index ||
+              (*batched)[v].hits[h].estimate.mi !=
+                  singles[v].hits[h].estimate.mi) {
+            Status::UnknownError("batched ranking diverged from singles")
+                .Abort("bench");
+          }
+        }
+      }
+      std::printf("batch=%-3zu : %2zu round trips %8.2f ms | one batch "
+                  "%8.2f ms (%.2fx)\n",
+                  batch, batch, single_ms, batch_ms,
+                  batch_ms > 0 ? single_ms / batch_ms : 0.0);
+    }
+  }
+
+  for (auto& server : servers) server->Stop();
+  std::filesystem::remove_all(shard_root);
+  std::printf("(one connection now holds many requests in flight and many "
+              "variants per frame; the sketch crosses the wire once per "
+              "connection, not once per request)\n");
+}
+
 int Run(size_t threads, bool smoke) {
   const BenchParams params = smoke ? SmokeParams() : BenchParams{};
   std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
@@ -578,6 +748,7 @@ int Run(size_t threads, bool smoke) {
   RunShardScaling(params, repository, threads, &rng);
   RunRpcServing(params, repository, threads, &rng);
   RunConcurrentServing(params, repository, smoke, &rng);
+  RunBatchedPipelinedServing(params, repository, smoke, &rng);
   return 0;
 }
 

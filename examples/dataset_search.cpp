@@ -15,6 +15,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/discovery/opendata_sim.h"
@@ -46,12 +47,19 @@ int main(int argc, char** argv) {
   // strict drift-checked queries 200ms apart, so a harness can kill a
   // replica MID-RUN and this process proves failover: every query must
   // keep matching the unsharded answer with zero shard failures.
+  //
+  // --rpc-pipeline-drill N (with --rpc-endpoints) opens ONE connection
+  // per shard and fires N strict queries from N concurrent threads, so
+  // every request shares that connection via JMRP v2 pipelining; each
+  // ranking is diffed against the unsharded answer and the exit code
+  // reflects any divergence.
   std::string keep_index_path;
   std::string rpc_manifest_path;
   std::string rpc_endpoints_path;
   std::string rpc_replica_endpoints_path;
   long rpc_expect_down = 0;
   long rpc_loop = 1;
+  long rpc_pipeline_drill = 0;
   for (int arg = 1; arg < argc; ++arg) {
     const bool has_value = arg + 1 < argc;
     if (std::strcmp(argv[arg], "--keep-index") == 0 && has_value) {
@@ -81,10 +89,21 @@ int main(int argc, char** argv) {
                      "--rpc-expect-down must be a positive integer\n");
         return 2;
       }
+    } else if (std::strcmp(argv[arg], "--rpc-pipeline-drill") == 0 &&
+               has_value) {
+      char* end = nullptr;
+      rpc_pipeline_drill = std::strtol(argv[++arg], &end, 10);
+      if (end == argv[arg] || *end != '\0' || rpc_pipeline_drill < 1 ||
+          rpc_pipeline_drill > 1024) {
+        std::fprintf(stderr,
+                     "--rpc-pipeline-drill must be in [1, 1024]\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--keep-index PATH] [--rpc-manifest PATH "
-                   "(--rpc-endpoints PATH [--rpc-expect-down N] | "
+                   "(--rpc-endpoints PATH [--rpc-expect-down N | "
+                   "--rpc-pipeline-drill N] | "
                    "--rpc-replica-endpoints PATH [--rpc-loop N])]\n",
                    argv[0]);
       return 2;
@@ -108,6 +127,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--rpc-expect-down drills the single-endpoint router "
                  "(--rpc-endpoints)\n");
+    return 2;
+  }
+  if (rpc_pipeline_drill > 0 &&
+      (rpc_endpoints_path.empty() || rpc_expect_down > 0)) {
+    std::fprintf(stderr,
+                 "--rpc-pipeline-drill drills a healthy single-endpoint "
+                 "router (--rpc-endpoints, no --rpc-expect-down)\n");
     return 2;
   }
   // 1. Build a repository out of simulated open-data tables. Each generated
@@ -327,6 +353,50 @@ int main(int argc, char** argv) {
                   rpc_index->num_shards(),
                   same ? "identical to unsharded" : "DRIFT (bug!)");
       if (!same) rpc_ok = false;
+
+      if (rpc_pipeline_drill > 0) {
+        // Pipelining drill: ONE connection per shard, N concurrent strict
+        // queries interleaved on it. Every response is demuxed by
+        // request_id back to its caller, and every ranking must still be
+        // bit-identical to the unsharded answer.
+        RpcClientOptions drill_options;
+        drill_options.pool_size = 1;
+        auto drill_index = ShardedSketchIndex::Load(
+            rpc_manifest_path,
+            RpcShardClient::Factory(*endpoints, drill_options));
+        drill_index.status().Abort("assembling the pipelined drill index");
+        const size_t inflight = static_cast<size_t>(rpc_pipeline_drill);
+        std::vector<int> matched(inflight, 0);
+        std::vector<std::thread> drill_threads;
+        for (size_t t = 0; t < inflight; ++t) {
+          drill_threads.emplace_back([&, t] {
+            auto result =
+                TopKJoinMISearch(*query_table, {"K", "Y"}, *drill_index,
+                                 /*k=*/8, /*num_threads=*/1,
+                                 ShardQueryMode::kStrict);
+            if (!result.ok()) return;
+            bool ok = result->hits.size() == unsharded->hits.size() &&
+                      result->shard_failures.empty();
+            for (size_t i = 0; ok && i < unsharded->hits.size(); ++i) {
+              ok = result->hits[i].estimate.mi ==
+                       unsharded->hits[i].estimate.mi &&
+                   result->hits[i].estimate.sample_size ==
+                       unsharded->hits[i].estimate.sample_size &&
+                   result->hits[i].candidate.ToString() ==
+                       unsharded->hits[i].candidate.ToString();
+            }
+            matched[t] = ok ? 1 : 0;
+          });
+        }
+        for (std::thread& thread : drill_threads) thread.join();
+        size_t ok_count = 0;
+        for (int ok : matched) ok_count += static_cast<size_t>(ok);
+        std::printf("pipeline drill: %zu/%zu interleaved strict queries on "
+                    "1 connection/shard identical to unsharded -> %s\n",
+                    ok_count, inflight,
+                    ok_count == inflight ? "ok" : "PIPELINING BROKE (bug!)");
+        if (ok_count != inflight) rpc_ok = false;
+      }
     } else {
       // Outage drill. Strict must refuse...
       auto rpc_query =

@@ -127,8 +127,9 @@ Result<std::unique_ptr<ReplicaShardClient>> ReplicaShardClient::Create(
       options));
 }
 
-Result<ShardSearchResult> ReplicaShardClient::Search(
-    const JoinMIQuery& query, size_t k, size_t num_threads) const {
+Result<std::vector<ShardSearchResult>> ReplicaShardClient::FailoverLoop(
+    const std::function<Result<std::vector<ShardSearchResult>>(
+        const RpcShardClient&, bool*)>& attempt) const {
   // Cooldown-expired replicas get one cheap liveness probe before the
   // request plans its attempts — a recovered replica rejoins the rotation
   // in time to serve this very query. A failed probe re-arms the cooldown
@@ -145,7 +146,8 @@ Result<ShardSearchResult> ReplicaShardClient::Search(
   }
   Status last = Status::IOError("no replica attempted");
   for (size_t i : set_.PlanAttempts()) {
-    auto result = replicas_[i]->Search(query, k, num_threads);
+    bool reached_wire = false;
+    auto result = attempt(*replicas_[i], &reached_wire);
     if (result.ok()) {
       set_.MarkHealthy(i);
       return result;
@@ -157,6 +159,16 @@ Result<ShardSearchResult> ReplicaShardClient::Search(
       return result.status();
     }
     set_.MarkDown(i);
+    if (reached_wire) {
+      // The replica may be executing the request right now. Re-sending it
+      // to a twin could run it twice; the caller gets the error and
+      // decides (searches are read-only today, but this layer does not
+      // bake that in).
+      return Status::IOError(
+          "request to replica " + replicas_[i]->endpoint().ToString() +
+          " reached the wire and then failed (not failed over): " +
+          result.status().message());
+    }
     last = result.status();
   }
   std::string endpoints;
@@ -167,6 +179,32 @@ Result<ShardSearchResult> ReplicaShardClient::Search(
   return Status::IOError(
       "all " + std::to_string(replicas_.size()) + " replicas failed (" +
       endpoints + "); last error: " + last.message());
+}
+
+Result<ShardSearchResult> ReplicaShardClient::Search(
+    const JoinMIQuery& query, size_t k, size_t num_threads) const {
+  std::vector<ShardSearchVariant> variants(1);
+  variants[0].k = k;
+  variants[0].min_join_size = query.config().min_join_size;
+  JOINMI_ASSIGN_OR_RETURN(
+      std::vector<ShardSearchResult> results,
+      FailoverLoop([&](const RpcShardClient& replica, bool* reached_wire) {
+        return replica.SearchVariants(query, variants, num_threads,
+                                      reached_wire);
+      }));
+  return std::move(results[0]);
+}
+
+Result<std::vector<ShardSearchResult>> ReplicaShardClient::SearchVariants(
+    const JoinMIQuery& query,
+    const std::vector<ShardSearchVariant>& variants,
+    size_t num_threads) const {
+  if (variants.empty()) return std::vector<ShardSearchResult>{};
+  return FailoverLoop(
+      [&](const RpcShardClient& replica, bool* reached_wire) {
+        return replica.SearchVariants(query, variants, num_threads,
+                                      reached_wire);
+      });
 }
 
 Result<rpc::HealthResponse> ReplicaShardClient::Health() const {

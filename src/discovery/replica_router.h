@@ -38,6 +38,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -131,10 +132,22 @@ class ReplicaShardClient : public ShardClient {
   /// \brief Remote search with failover: tries replicas in ReplicaSet
   /// order, marking connect/IO failures down and moving on; returns the
   /// first replica's answer (byte-identical across replicas by the
-  /// handshake guarantee). Fails only when every replica failed, with a
+  /// handshake guarantee). Only requests that provably never reached the
+  /// wire fail over — once any search byte may have left the process the
+  /// request may already be executing, so the replica is marked down but
+  /// the error is returned rather than re-sent to a twin ("maybe executed
+  /// twice" stays impossible across replicas, exactly as it does across
+  /// retries). Fails over-all only when every replica failed, with a
   /// status naming them all.
   Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
                                    size_t num_threads) const override;
+
+  /// \brief Batched search with the same failover policy: un-sent batches
+  /// fail over whole; a batch that reached the wire does not.
+  Result<std::vector<ShardSearchResult>> SearchVariants(
+      const JoinMIQuery& query,
+      const std::vector<ShardSearchVariant>& variants,
+      size_t num_threads) const override;
 
   /// \brief Probes replicas in selection order and returns the first
   /// healthy answer — the shard is "healthy" while any replica is.
@@ -156,6 +169,12 @@ class ReplicaShardClient : public ShardClient {
       ReplicaRouterOptions options = {});
 
  private:
+  /// Probes cooldown-expired replicas, then runs `attempt` against
+  /// replicas in selection order under the reached-wire failover policy.
+  Result<std::vector<ShardSearchResult>> FailoverLoop(
+      const std::function<Result<std::vector<ShardSearchResult>>(
+          const RpcShardClient&, bool*)>& attempt) const;
+
   ReplicaShardClient(std::vector<std::unique_ptr<RpcShardClient>> replicas,
                      JoinMIConfig config, uint64_t num_candidates,
                      ReplicaRouterOptions options)

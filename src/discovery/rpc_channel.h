@@ -1,0 +1,168 @@
+// Channel + ChannelSet: the client half of JMRP v2 pipelining.
+//
+// A Channel wraps one pooled connection for its whole lifetime (the
+// ConnPool lease is held until the channel dies, so pool instrumentation
+// now gauges live channels rather than per-request leases). Against a v2
+// server the channel runs a dedicated reader thread and a demux map:
+// Call() stamps a fresh request_id, registers a waiter slot, sends under
+// a write mutex, and blocks on its slot — many calls from many threads
+// are simultaneously in flight on ONE connection, and the reader pairs
+// whatever response arrives next with its waiter by id. A waiter that
+// times out abandons its slot (a late response is dropped by id — the
+// channel itself stays healthy); a read or write error breaks the channel
+// and fails every pending waiter with the same IOError. Against a v1
+// server there is no request_id, so Call() serializes send+receive under
+// an exclusive mutex — extra concurrent calls queue, which is exactly the
+// old one-request-per-connection discipline.
+//
+// A Channel also tracks which sketch digests this connection has uploaded
+// (EnsureSketchUploaded is once-per-digest, idempotent server-side), so a
+// query's serialized train sketch crosses the wire once per connection
+// instead of once per request.
+//
+// ChannelSet owns up to max_channels channels and routes each request to
+// the live channel with the fewest calls in flight, dialing a new channel
+// (through the injected factory, which leases from the pool and thereby
+// inherits its bound and its handshake) only when every existing channel
+// is busy. Broken channels are pruned on the next Pick; calls already
+// running on one keep their shared_ptr until they finish. Close() poisons
+// the set for shutdown.
+
+#ifndef JOINMI_DISCOVERY_RPC_CHANNEL_H_
+#define JOINMI_DISCOVERY_RPC_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/conn_pool.h"
+#include "src/net/frame.h"
+
+namespace joinmi {
+namespace rpc {
+
+/// \brief One JMRP connection, shared by concurrent requests (protocol
+/// v2) or used one-exchange-at-a-time (protocol v1).
+class Channel {
+ public:
+  /// \brief Takes the pooled connection for the channel's lifetime.
+  /// `protocol_version` is the handshake-negotiated dialect (1 or 2);
+  /// `pipeline_hwm` (optional) receives the high-water mark of calls
+  /// simultaneously in flight on this channel — the owning client's
+  /// proof of pipelining.
+  Channel(net::ConnPool::Lease lease, uint32_t protocol_version,
+          int io_timeout_ms, std::atomic<size_t>* pipeline_hwm);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  uint32_t protocol_version() const { return version_; }
+  bool pipelined() const { return version_ >= 2; }
+  bool broken() const;
+  size_t in_flight() const { return in_flight_.load(); }
+
+  /// \brief One request/response exchange. Thread-safe. On failure,
+  /// `*reached_wire` (optional, must start false) reports whether any
+  /// request byte left this process — the only signal a retry or
+  /// failover policy may act on. IOError failures break the channel
+  /// (pending and future calls fail deterministically), EXCEPT a
+  /// response timeout, which abandons only this call.
+  Result<net::Frame> Call(net::FrameType type, const std::string& payload,
+                          bool* reached_wire = nullptr);
+
+  /// \brief v2 only: caches `bytes` server-side under `digest` once per
+  /// channel; subsequent calls for the same digest are free. Safe to
+  /// retry on a fresh channel after any failure — the upload is
+  /// idempotent by digest.
+  Status EnsureSketchUploaded(uint64_t digest, const std::string& bytes);
+
+ private:
+  struct Pending {
+    bool ready = false;
+    Status status = Status::OK();
+    net::Frame frame;
+  };
+
+  Result<net::Frame> CallV2(net::FrameType type, const std::string& payload,
+                            bool* reached_wire);
+  Result<net::Frame> CallV1(net::FrameType type, const std::string& payload,
+                            bool* reached_wire);
+  void ReaderLoop();
+  /// Fails every pending waiter and poisons the channel.
+  void MarkBroken(const Status& status);
+
+  net::ConnPool::Lease lease_;
+  uint32_t version_ = 1;
+  int io_timeout_ms_ = 30000;
+  std::atomic<size_t>* pipeline_hwm_ = nullptr;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> stop_reader_{false};
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  std::unordered_map<uint64_t, Pending*> pending_;
+  bool broken_ = false;
+  Status broken_status_ = Status::OK();
+
+  std::mutex write_mutex_;  // v2: serializes frame sends, nothing else
+  std::mutex excl_mutex_;   // v1: serializes whole exchanges
+
+  std::mutex upload_mutex_;
+  std::set<uint64_t> uploaded_digests_;
+
+  std::thread reader_;  // v2 only
+};
+
+/// \brief Bounded set of channels to one endpoint with least-loaded
+/// routing. Thread-safe.
+class ChannelSet {
+ public:
+  using ChannelFactory =
+      std::function<Result<std::shared_ptr<Channel>>()>;
+
+  ChannelSet(ChannelFactory factory, size_t max_channels);
+  ~ChannelSet();
+
+  ChannelSet(const ChannelSet&) = delete;
+  ChannelSet& operator=(const ChannelSet&) = delete;
+
+  /// \brief Returns the channel to run one request on: the live channel
+  /// with the fewest in-flight calls, or a freshly dialed one when all
+  /// are busy and capacity remains. Errors from the factory propagate
+  /// verbatim (dial/handshake failures). After Close(), fails with a
+  /// deterministic IOError.
+  Result<std::shared_ptr<Channel>> Pick();
+
+  /// \brief Poisons the set and drops its channel references; in-flight
+  /// calls finish on their own shared_ptrs. Idempotent.
+  void Close();
+
+  size_t live_channels() const;
+
+ private:
+  ChannelFactory factory_;
+  size_t max_channels_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Channel>> channels_;
+  size_t creating_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace rpc
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_RPC_CHANNEL_H_

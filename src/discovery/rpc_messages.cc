@@ -65,10 +65,40 @@ Status ReadStatus(wire::Reader* reader, Status* out) {
 
 // ------------------------------------------------------------- Handshake
 
+std::string EncodeHandshakeRequest(const HandshakeRequest& request) {
+  std::string out;
+  // max_version 1 stays an empty payload so the bytes a v1 server sees
+  // from an upgraded client are identical to what a v1 client sends.
+  if (request.max_version >= 2) {
+    wire::AppendPod<uint32_t>(&out, request.max_version);
+  }
+  return out;
+}
+
+Result<HandshakeRequest> DecodeHandshakeRequest(const std::string& payload) {
+  HandshakeRequest request;
+  if (payload.empty()) return request;
+  wire::Reader reader(payload);
+  JOINMI_RETURN_NOT_OK(reader.Read(&request.max_version));
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "handshake request"));
+  if (request.max_version < 2) {
+    return Status::IOError(
+        "handshake request declares version " +
+        std::to_string(request.max_version) +
+        " explicitly; versions below 2 must use the empty payload");
+  }
+  return request;
+}
+
 std::string EncodeHandshakeResponse(const HandshakeResponse& response) {
   std::string out;
   AppendJoinMIConfig(&out, response.config);
   wire::AppendPod<uint64_t>(&out, response.num_candidates);
+  // Trailing version only in the negotiated shape: a v1 client's decoder
+  // enforces "no trailing bytes", so the legacy shape must stay exact.
+  if (response.protocol_version >= 2) {
+    wire::AppendPod<uint32_t>(&out, response.protocol_version);
+  }
   return out;
 }
 
@@ -78,6 +108,14 @@ Result<HandshakeResponse> DecodeHandshakeResponse(
   HandshakeResponse response;
   JOINMI_ASSIGN_OR_RETURN(response.config, ReadJoinMIConfig(&reader));
   JOINMI_RETURN_NOT_OK(reader.Read(&response.num_candidates));
+  if (!reader.AtEnd()) {
+    JOINMI_RETURN_NOT_OK(reader.Read(&response.protocol_version));
+    if (response.protocol_version < 2) {
+      return Status::IOError("handshake response echoes version " +
+                             std::to_string(response.protocol_version) +
+                             " explicitly; v1 servers omit the field");
+    }
+  }
   JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "handshake response"));
   return response;
 }
@@ -176,6 +214,119 @@ Result<HealthResponse> DecodeHealthResponse(const std::string& payload) {
   JOINMI_RETURN_NOT_OK(reader.Read(&response.num_candidates));
   JOINMI_RETURN_NOT_OK(reader.Read(&response.requests_served));
   JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "health response"));
+  return response;
+}
+
+// ---------------------------------------------------- Sketch upload (v2)
+
+std::string EncodeSketchUploadRequest(const SketchUploadRequest& request) {
+  std::string out;
+  wire::AppendPod<uint64_t>(&out, request.digest);
+  wire::AppendLengthPrefixed(&out, request.train_sketch);
+  return out;
+}
+
+Result<SketchUploadRequest> DecodeSketchUploadRequest(
+    const std::string& payload) {
+  wire::Reader reader(payload);
+  SketchUploadRequest request;
+  JOINMI_RETURN_NOT_OK(reader.Read(&request.digest));
+  JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&request.train_sketch));
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "sketch upload request"));
+  return request;
+}
+
+std::string EncodeSketchUploadResponse(const SketchUploadResponse& response) {
+  std::string out;
+  AppendStatus(&out, response.status);
+  wire::AppendPod<uint64_t>(&out, response.digest);
+  return out;
+}
+
+Result<SketchUploadResponse> DecodeSketchUploadResponse(
+    const std::string& payload) {
+  wire::Reader reader(payload);
+  SketchUploadResponse response;
+  JOINMI_RETURN_NOT_OK(ReadStatus(&reader, &response.status));
+  JOINMI_RETURN_NOT_OK(reader.Read(&response.digest));
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "sketch upload response"));
+  return response;
+}
+
+// ----------------------------------------------------- Batch search (v2)
+
+std::string EncodeBatchSearchRequest(const BatchSearchRequest& request) {
+  std::string out;
+  wire::AppendPod<uint64_t>(&out, request.sketch_digest);
+  wire::AppendPod<uint32_t>(&out, static_cast<uint32_t>(request.variants.size()));
+  for (const BatchSearchVariant& variant : request.variants) {
+    wire::AppendPod<uint64_t>(&out, variant.k);
+    wire::AppendPod<uint64_t>(&out, variant.min_join_size);
+  }
+  return out;
+}
+
+Result<BatchSearchRequest> DecodeBatchSearchRequest(
+    const std::string& payload) {
+  wire::Reader reader(payload);
+  BatchSearchRequest request;
+  uint32_t count = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&request.sketch_digest));
+  JOINMI_RETURN_NOT_OK(reader.Read(&count));
+  // 16 bytes per variant; divide so a crafted count cannot overflow.
+  if (count > reader.remaining() / 16) {
+    return Status::IOError(
+        "batch search request variant count exceeds payload size");
+  }
+  request.variants.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchSearchVariant variant;
+    JOINMI_RETURN_NOT_OK(reader.Read(&variant.k));
+    JOINMI_RETURN_NOT_OK(reader.Read(&variant.min_join_size));
+    request.variants.push_back(variant);
+  }
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "batch search request"));
+  return request;
+}
+
+std::string EncodeBatchSearchResponse(const BatchSearchResponse& response) {
+  std::string out;
+  AppendStatus(&out, response.status);
+  if (!response.status.ok()) return out;
+  wire::AppendPod<uint32_t>(&out,
+                            static_cast<uint32_t>(response.responses.size()));
+  for (const SearchResponse& variant : response.responses) {
+    wire::AppendLengthPrefixed(&out, EncodeSearchResponse(variant));
+  }
+  return out;
+}
+
+Result<BatchSearchResponse> DecodeBatchSearchResponse(
+    const std::string& payload) {
+  wire::Reader reader(payload);
+  BatchSearchResponse response;
+  JOINMI_RETURN_NOT_OK(ReadStatus(&reader, &response.status));
+  if (!response.status.ok()) {
+    JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "batch search response"));
+    return response;
+  }
+  uint32_t count = 0;
+  JOINMI_RETURN_NOT_OK(reader.Read(&count));
+  // Each nested response is length-prefixed (u32) and a SearchResponse is
+  // never smaller than its 5-byte encoded Status.
+  if (count > reader.remaining() / (4 + 5)) {
+    return Status::IOError(
+        "batch search response count exceeds payload size");
+  }
+  response.responses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string nested;
+    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&nested));
+    JOINMI_ASSIGN_OR_RETURN(SearchResponse decoded,
+                            DecodeSearchResponse(nested));
+    response.responses.push_back(std::move(decoded));
+  }
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "batch search response"));
   return response;
 }
 

@@ -1,5 +1,6 @@
 #include "src/discovery/rpc_shard_client.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -122,6 +123,24 @@ RpcShardClient::RpcShardClient(ShardEndpoint endpoint,
   // hands out has already proven it serves this manifest entry.
   pool_ = std::make_unique<net::ConnPool>(
       [this] { return DialAndHandshake(); }, pool_options);
+  channels_ = std::make_unique<rpc::ChannelSet>(
+      [this]() -> Result<std::shared_ptr<rpc::Channel>> {
+        JOINMI_ASSIGN_OR_RETURN(net::ConnPool::Lease lease,
+                                pool_->Acquire());
+        // The Acquire either reused a handshaken connection or dialed a
+        // fresh one — either way server_version_ reflects this server.
+        uint32_t version = server_version_.load();
+        if (version == 0) version = 1;
+        return std::make_shared<rpc::Channel>(std::move(lease), version,
+                                              options_.io_timeout_ms,
+                                              &pipeline_hwm_);
+      },
+      options_.pool_size);
+}
+
+RpcShardClient::~RpcShardClient() {
+  channels_->Close();
+  pool_->Close();
 }
 
 Result<std::unique_ptr<RpcShardClient>> RpcShardClient::Create(
@@ -136,7 +155,7 @@ Result<std::unique_ptr<RpcShardClient>> RpcShardClient::Create(
   // unreachable one (IOError) is an outage the router must survive, so
   // the client is returned disconnected and re-dials per request. On
   // success the lease's destructor parks the verified connection in the
-  // pool, where the first request reuses it.
+  // pool, where the first channel adopts it.
   auto lease = client->pool_->Acquire();
   if (!lease.ok() && lease.status().IsInvalidArgument()) {
     return lease.status();
@@ -155,8 +174,15 @@ Result<net::Socket> RpcShardClient::DialAndHandshake() const {
   net::Socket socket = std::move(*connected);
   JOINMI_RETURN_NOT_OK(
       socket.SetTimeouts(options_.io_timeout_ms, options_.io_timeout_ms));
-  JOINMI_RETURN_NOT_OK(
-      net::SendFrame(&socket, net::FrameType::kHandshakeRequest, ""));
+  rpc::HandshakeRequest hello;
+  hello.max_version = std::min<uint32_t>(
+      std::max<uint32_t>(options_.max_protocol_version, 1),
+      net::kProtocolVersion);
+  // The handshake frame itself is always v1 — it must parse on any
+  // server; the versions only diverge after both sides agree.
+  JOINMI_RETURN_NOT_OK(net::SendFrame(&socket,
+                                      net::FrameType::kHandshakeRequest,
+                                      rpc::EncodeHandshakeRequest(hello)));
   JOINMI_ASSIGN_OR_RETURN(net::Frame frame, net::RecvFrame(&socket));
   if (frame.type == net::FrameType::kError) {
     Status server_error;
@@ -188,19 +214,55 @@ Result<net::Socket> RpcShardClient::DialAndHandshake() const {
         " candidates but the manifest records " +
         std::to_string(num_candidates_));
   }
+  // Belt and braces: never speak above what we offered, whatever the
+  // server claims.
+  server_version_.store(
+      std::min<uint32_t>(handshake.protocol_version, hello.max_version));
   return socket;
 }
 
 Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
                                                  size_t k,
                                                  size_t num_threads) const {
-  (void)num_threads;  // evaluation parallelism belongs to the server
+  return Search(query, k, num_threads, nullptr);
+}
+
+Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
+                                                 size_t k,
+                                                 size_t num_threads,
+                                                 bool* reached_wire) const {
   if (k == 0) {
     return Status::InvalidArgument("shard search requires k >= 1");
   }
+  std::vector<ShardSearchVariant> variants(1);
+  variants[0].k = k;
+  variants[0].min_join_size = query.config().min_join_size;
+  JOINMI_ASSIGN_OR_RETURN(
+      std::vector<ShardSearchResult> results,
+      SearchVariants(query, variants, num_threads, reached_wire));
+  return std::move(results[0]);
+}
+
+Result<std::vector<ShardSearchResult>> RpcShardClient::SearchVariants(
+    const JoinMIQuery& query,
+    const std::vector<ShardSearchVariant>& variants,
+    size_t num_threads) const {
+  return SearchVariants(query, variants, num_threads, nullptr);
+}
+
+Result<std::vector<ShardSearchResult>> RpcShardClient::SearchVariants(
+    const JoinMIQuery& query,
+    const std::vector<ShardSearchVariant>& variants, size_t num_threads,
+    bool* reached_wire) const {
+  (void)num_threads;  // evaluation parallelism belongs to the server
+  for (const ShardSearchVariant& variant : variants) {
+    if (variant.k == 0) {
+      return Status::InvalidArgument("shard search requires k >= 1");
+    }
+  }
   // Everything except min_join_size must match the shard's config: those
-  // fields change estimates, and only min_join_size travels with the
-  // request. Rejecting here keeps "RPC == local, byte for byte" honest.
+  // fields change estimates, and only min_join_size travels per variant.
+  // Rejecting here keeps "RPC == local, byte for byte" honest.
   JoinMIConfig comparable = config_;
   comparable.min_join_size = query.config().min_join_size;
   if (query.config() != comparable) {
@@ -211,95 +273,142 @@ Result<ShardSearchResult> RpcShardClient::Search(const JoinMIQuery& query,
         ") beyond min_join_size — the shard would answer under the wrong "
         "configuration");
   }
-  rpc::SearchRequest request;
-  // Cached on the query: every shard of a fan-out ships the same bytes.
-  request.train_sketch = query.SerializedTrainSketch();
-  request.k = k;
-  request.min_join_size = query.config().min_join_size;
-  const std::string payload = rpc::EncodeSearchRequest(request);
+  if (variants.empty()) return std::vector<ShardSearchResult>{};
 
   Status last = Status::IOError("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
-    // Each attempt leases its own connection: concurrent Search calls on
-    // this client proceed in parallel on distinct pooled connections, and
-    // the staleness probe inside Acquire keeps a restarted server from
-    // costing a request.
-    auto lease = pool_->Acquire();
-    if (!lease.ok()) {
+    auto channel = channels_->Pick();
+    if (!channel.ok()) {
       // Dial or handshake failed — nothing of this request reached the
       // wire, so retrying is free. A handshake *mismatch* is a
       // deterministic deployment error another attempt cannot fix.
-      if (lease.status().IsInvalidArgument()) return lease.status();
-      last = lease.status();
+      if (channel.status().IsInvalidArgument()) return channel.status();
+      last = channel.status();
       continue;
     }
-    size_t bytes_written = 0;
-    Status status = net::SendFrame(&lease->socket(),
-                                   net::FrameType::kSearchRequest, payload,
-                                   &bytes_written);
-    if (!status.ok()) {
-      lease->Discard();
-      if (bytes_written == 0) {
-        // A cached connection the server already closed fails exactly
-        // here with zero bytes out — the classic reused-connection race.
-        // Still provably un-sent, so eligible for another attempt.
-        last = std::move(status);
-        continue;
-      }
-      return Status::IOError("request to shard server " +
-                             endpoint_.ToString() +
-                             " failed after a partial write (not retried): " +
-                             status.message());
+    bool attempt_reached = false;
+    auto result = RunVariants(**channel, query, variants, &attempt_reached);
+    if (attempt_reached && reached_wire != nullptr) *reached_wire = true;
+    if (result.ok()) return result;
+    // Anything non-IO is deterministic (bad request, server-side
+    // validation); anything IO after the request may have reached the
+    // server must not be re-sent — "maybe executed twice" stays
+    // impossible.
+    if (!result.status().IsIOError()) return result.status();
+    if (attempt_reached) return result.status();
+    last = result.status();
+  }
+  return last;
+}
+
+Result<std::vector<ShardSearchResult>> RpcShardClient::RunVariants(
+    rpc::Channel& channel, const JoinMIQuery& query,
+    const std::vector<ShardSearchVariant>& variants,
+    bool* reached_wire) const {
+  std::vector<ShardSearchResult> results;
+  results.reserve(variants.size());
+  if (channel.pipelined()) {
+    // v2: make sure the sketch is cached server-side (uploaded at most
+    // once per connection, idempotent by digest — its reached-ness never
+    // taints the search's retry eligibility), then send the digest-only
+    // batch.
+    const std::string& sketch_bytes = query.SerializedTrainSketch();
+    const uint64_t digest = wire::Checksum64(sketch_bytes);
+    JOINMI_RETURN_NOT_OK(
+        channel.EnsureSketchUploaded(digest, sketch_bytes));
+    rpc::BatchSearchRequest request;
+    request.sketch_digest = digest;
+    request.variants.reserve(variants.size());
+    for (const ShardSearchVariant& variant : variants) {
+      rpc::BatchSearchVariant wire_variant;
+      wire_variant.k = variant.k;
+      wire_variant.min_join_size = variant.min_join_size;
+      request.variants.push_back(wire_variant);
     }
-    auto frame = net::RecvFrame(&lease->socket());
+    auto frame = channel.Call(net::FrameType::kBatchSearchRequest,
+                              rpc::EncodeBatchSearchRequest(request),
+                              reached_wire);
     if (!frame.ok()) {
-      // The request is on the wire; the server may have executed it.
-      lease->Discard();
-      return Status::IOError("no response from shard server " +
-                             endpoint_.ToString() + " (not retried): " +
-                             frame.status().message());
+      if (*reached_wire) {
+        return Status::IOError("no response from shard server " +
+                               endpoint_.ToString() + " (not retried): " +
+                               frame.status().message());
+      }
+      return frame.status();
     }
     if (frame->type == net::FrameType::kError) {
-      // Frame boundaries are intact; the connection returns to the pool.
+      Status server_error;
+      JOINMI_RETURN_NOT_OK(
+          rpc::DecodeErrorPayload(frame->payload, &server_error));
+      return server_error;
+    }
+    if (frame->type != net::FrameType::kBatchSearchResponse) {
+      return Status::IOError(
+          "shard server " + endpoint_.ToString() +
+          " answered a batch search with a " +
+          std::string(net::FrameTypeToString(frame->type)) + " frame");
+    }
+    JOINMI_ASSIGN_OR_RETURN(rpc::BatchSearchResponse response,
+                            rpc::DecodeBatchSearchResponse(frame->payload));
+    JOINMI_RETURN_NOT_OK(response.status);
+    if (response.responses.size() != variants.size()) {
+      return Status::IOError(
+          "shard server " + endpoint_.ToString() + " answered " +
+          std::to_string(response.responses.size()) + " variants for a " +
+          std::to_string(variants.size()) + "-variant batch");
+    }
+    for (rpc::SearchResponse& one : response.responses) {
+      JOINMI_RETURN_NOT_OK(one.status);
+      results.push_back(std::move(one.result));
+    }
+    return results;
+  }
+  // v1: the legacy dialect — one kSearchRequest per variant, sketch bytes
+  // shipped every time, exchanges serialized on the channel.
+  for (const ShardSearchVariant& variant : variants) {
+    rpc::SearchRequest request;
+    request.train_sketch = query.SerializedTrainSketch();
+    request.k = variant.k;
+    request.min_join_size = variant.min_join_size;
+    auto frame = channel.Call(net::FrameType::kSearchRequest,
+                              rpc::EncodeSearchRequest(request),
+                              reached_wire);
+    if (!frame.ok()) {
+      if (*reached_wire) {
+        return Status::IOError("no response from shard server " +
+                               endpoint_.ToString() + " (not retried): " +
+                               frame.status().message());
+      }
+      return frame.status();
+    }
+    if (frame->type == net::FrameType::kError) {
       Status server_error;
       JOINMI_RETURN_NOT_OK(
           rpc::DecodeErrorPayload(frame->payload, &server_error));
       return server_error;
     }
     if (frame->type != net::FrameType::kSearchResponse) {
-      lease->Discard();
       return Status::IOError(
           "shard server " + endpoint_.ToString() +
           " answered a search with a " +
           std::string(net::FrameTypeToString(frame->type)) + " frame");
     }
-    auto response = rpc::DecodeSearchResponse(frame->payload);
-    if (!response.ok()) {
-      lease->Discard();
-      return response.status();
-    }
-    if (!response->status.ok()) {
-      return response->status;
-    }
-    return std::move(response->result);
+    JOINMI_ASSIGN_OR_RETURN(rpc::SearchResponse response,
+                            rpc::DecodeSearchResponse(frame->payload));
+    JOINMI_RETURN_NOT_OK(response.status);
+    results.push_back(std::move(response.result));
   }
-  return last;
+  return results;
 }
 
 Result<rpc::HealthResponse> RpcShardClient::Health() const {
-  auto lease = pool_->Acquire();
-  if (!lease.ok()) {
-    return lease.status();
+  auto channel = channels_->Pick();
+  if (!channel.ok()) {
+    return channel.status();
   }
-  Status status =
-      net::SendFrame(&lease->socket(), net::FrameType::kHealthRequest, "");
-  if (!status.ok()) {
-    lease->Discard();
-    return status;
-  }
-  auto frame = net::RecvFrame(&lease->socket());
+  auto frame =
+      (*channel)->Call(net::FrameType::kHealthRequest, "", nullptr);
   if (!frame.ok()) {
-    lease->Discard();
     return frame.status();
   }
   if (frame->type == net::FrameType::kError) {
@@ -309,18 +418,12 @@ Result<rpc::HealthResponse> RpcShardClient::Health() const {
     return server_error;
   }
   if (frame->type != net::FrameType::kHealthResponse) {
-    lease->Discard();
     return Status::IOError(
         "shard server " + endpoint_.ToString() +
         " answered a health probe with a " +
         std::string(net::FrameTypeToString(frame->type)) + " frame");
   }
-  auto response = rpc::DecodeHealthResponse(frame->payload);
-  if (!response.ok()) {
-    lease->Discard();
-    return response.status();
-  }
-  return *response;
+  return rpc::DecodeHealthResponse(frame->payload);
 }
 
 ShardClientFactory RpcShardClient::Factory(

@@ -1,20 +1,31 @@
 // RpcShardClient: the ShardClient implementation that speaks JMRP to a
 // remote shard server process, making a ShardedSketchIndex assembled from
 // host:port endpoints behave exactly like one assembled from local shard
-// files — same three methods, same merged rankings, byte for byte.
+// files — same methods, same merged rankings, byte for byte.
 //
 // Connection model: a bounded ConnPool of lazily-dialed TCP connections
-// per client (RpcClientOptions::pool_size), each leased for exactly one
-// request/response exchange — M router threads querying the same shard
-// hold M leases and have M requests in flight at once, where the old
-// single-socket client serialized them behind a mutex. Every dial runs
-// the JMRP handshake before the socket enters the pool, idle connections
-// are staleness-probed before reuse (a restarted server is re-dialed
-// transparently), and connections are re-dialed on demand after failures.
+// per client (RpcClientOptions::pool_size); every dial runs the JMRP
+// handshake (negotiating the protocol version) before the socket enters
+// the pool, and idle connections are staleness-probed before reuse. Each
+// pooled connection is wrapped in an rpc::Channel for its lifetime.
+// Against a v2 server a channel PIPELINES: concurrent Search calls stamp
+// distinct request ids, share one connection, and are demultiplexed as
+// responses arrive in any order — pool_size bounds connections, not
+// in-flight requests. Against a v1 server a channel serializes exchanges,
+// reproducing the historical one-request-per-connection discipline.
+// Requests route to the channel with the fewest calls in flight; a new
+// connection is dialed only when every existing channel is busy and
+// capacity remains.
+//
+// Sketch upload: on v2, Search and SearchVariants first ensure the
+// query's serialized train sketch is cached server-side (keyed by its
+// Checksum64 digest, uploaded once per connection) and then send
+// digest-only batch requests — a q-variant batch ships the sketch bytes
+// at most once, not q times.
+//
 // Creating a client against a *down* server succeeds (the router must be
 // able to assemble and serve degraded while a shard is being restarted);
-// the outage surfaces per-request from Search/Health, which is what the
-// degraded query mode feeds on. A *reachable* server that fails the
+// the outage surfaces per-request. A *reachable* server that fails the
 // handshake — wrong JoinMIConfig or candidate count for the manifest
 // entry — fails Create loudly instead: that is a deployment
 // misconfiguration, not an outage.
@@ -25,19 +36,25 @@
 // After a partial write, and after any failure past the send, the request
 // is NOT retried: the server may have executed it, and "maybe executed
 // twice" is a property this layer refuses to introduce even for
-// idempotent searches.
+// idempotent searches. Sketch uploads are the one exception: they are
+// idempotent by digest, so a failed upload may retry on a fresh channel.
+// The reached_wire out-parameters report whether any SEARCH byte left the
+// process — the signal replica failover keys on.
 
 #ifndef JOINMI_DISCOVERY_RPC_SHARD_CLIENT_H_
 #define JOINMI_DISCOVERY_RPC_SHARD_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/discovery/rpc_channel.h"
 #include "src/discovery/rpc_messages.h"
 #include "src/discovery/sharded_index.h"
 #include "src/net/conn_pool.h"
+#include "src/net/frame.h"
 #include "src/net/socket.h"
 
 namespace joinmi {
@@ -76,10 +93,15 @@ struct RpcClientOptions {
   /// Attempts per request, counting the first; extra attempts are spent
   /// only on failures that provably precede the request reaching the wire.
   int max_attempts = 2;
-  /// Connections this client may hold to its shard server — the bound on
-  /// the router's simultaneously in-flight requests to that shard. Extra
-  /// concurrent requests block for a lease instead of over-dialing.
+  /// Connections this client may hold to its shard server. Against a v1
+  /// server this also bounds in-flight requests; against a v2 server each
+  /// connection pipelines, so it bounds sockets, not concurrency.
   size_t pool_size = 4;
+  /// Highest JMRP version to offer in the handshake. The default
+  /// negotiates v2 (pipelining + batch) with servers that speak it and
+  /// falls back to v1 per connection otherwise; set 1 to force the legacy
+  /// dialect (benchmark baselines, drills against old servers).
+  uint32_t max_protocol_version = net::kProtocolVersion;
 };
 
 /// \brief Validates that `manifest` can back remote serving with
@@ -101,6 +123,10 @@ class RpcShardClient : public ShardClient {
       ShardEndpoint endpoint, JoinMIConfig expected_config,
       uint64_t expected_candidates, RpcClientOptions options = {});
 
+  /// Closes the channel set and the pool so any thread blocked on either
+  /// wakes with a deterministic error before members are torn down.
+  ~RpcShardClient() override;
+
   // Pinned in place: the pool's dialer captures `this`, so a moved-from
   // client would leave the pool dialing through a dangling pointer.
   // Create hands out unique_ptrs precisely so nobody needs to move the
@@ -115,15 +141,39 @@ class RpcShardClient : public ShardClient {
     return static_cast<size_t>(num_candidates_);
   }
 
-  /// \brief Remote search. Serializes the query's train sketch, ships it
-  /// with k and the query's min_join_size, and decodes the shard's result
-  /// — byte-identical to LocalShardClient over the same shard.
-  /// `num_threads` is ignored: evaluation parallelism belongs to the
-  /// server. Queries whose config disagrees with the shard's (beyond
-  /// min_join_size, which travels with the request) are rejected here —
-  /// the server would silently answer under *its* config otherwise.
+  /// \brief Remote search — byte-identical to LocalShardClient over the
+  /// same shard. On v2 this is a one-variant batch against the
+  /// connection-cached sketch; on v1 it ships the serialized sketch with
+  /// the request. `num_threads` is ignored: evaluation parallelism
+  /// belongs to the server. Queries whose config disagrees with the
+  /// shard's (beyond min_join_size, which travels per variant) are
+  /// rejected here — the server would silently answer under *its* config
+  /// otherwise.
   Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
                                    size_t num_threads) const override;
+
+  /// \brief Search with failover telemetry: `*reached_wire` (must start
+  /// false) is set as soon as any byte of a search frame may have left
+  /// the process — after that the server may have executed the request,
+  /// so the caller must not re-send it elsewhere.
+  Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
+                                   size_t num_threads,
+                                   bool* reached_wire) const;
+
+  /// \brief Batched remote search: one frame carries every variant
+  /// against the uploaded sketch (v2), or a per-variant loop over plain
+  /// searches on one connection (v1). result[i] answers variants[i].
+  Result<std::vector<ShardSearchResult>> SearchVariants(
+      const JoinMIQuery& query,
+      const std::vector<ShardSearchVariant>& variants,
+      size_t num_threads) const override;
+
+  /// \brief SearchVariants with the reached_wire out-parameter (see
+  /// Search).
+  Result<std::vector<ShardSearchResult>> SearchVariants(
+      const JoinMIQuery& query,
+      const std::vector<ShardSearchVariant>& variants, size_t num_threads,
+      bool* reached_wire) const;
 
   /// \brief Liveness + identity probe: cheap, never retried.
   Result<rpc::HealthResponse> Health() const;
@@ -131,10 +181,21 @@ class RpcShardClient : public ShardClient {
   const ShardEndpoint& endpoint() const { return endpoint_; }
 
   /// \brief The connection pool, exposed for instrumentation: tests and
-  /// benchmarks read max_in_flight()/total_dials() to prove multiplexing
-  /// (or the absence of over-dialing) rather than inferring it from
-  /// timing.
+  /// benchmarks read max_in_flight()/total_dials() to prove connection
+  /// reuse (or the absence of over-dialing) rather than inferring it from
+  /// timing. With channels, in_flight gauges live channels, not requests.
   const net::ConnPool& pool() const { return *pool_; }
+
+  /// \brief Protocol version negotiated with the server by the most
+  /// recent handshake; 0 until any dial succeeded.
+  uint32_t negotiated_version() const { return server_version_.load(); }
+
+  /// \brief High-water mark of requests simultaneously in flight on ONE
+  /// connection — >= 2 proves pipelining actually happened.
+  size_t max_pipelined() const { return pipeline_hwm_.load(); }
+
+  /// \brief Channels currently alive (each holds one pooled connection).
+  size_t live_channels() const { return channels_->live_channels(); }
 
   /// \brief ShardClientFactory dialing `endpoints[shard]` for each shard.
   /// Requires a v2 manifest (embedded config) and exactly one endpoint
@@ -146,19 +207,33 @@ class RpcShardClient : public ShardClient {
   RpcShardClient(ShardEndpoint endpoint, JoinMIConfig expected_config,
                  uint64_t expected_candidates, RpcClientOptions options);
 
-  /// \brief The pool's dialer: TCP connect + JMRP handshake, verifying the
-  /// server against the manifest-expected config and candidate count.
+  /// \brief The pool's dialer: TCP connect + JMRP handshake (version
+  /// negotiation included), verifying the server against the
+  /// manifest-expected config and candidate count.
   Result<net::Socket> DialAndHandshake() const;
+
+  /// \brief One attempt of a variant batch on `channel`; dispatches to
+  /// the batch frame (v2) or a sequential per-variant loop (v1).
+  Result<std::vector<ShardSearchResult>> RunVariants(
+      rpc::Channel& channel, const JoinMIQuery& query,
+      const std::vector<ShardSearchVariant>& variants,
+      bool* reached_wire) const;
 
   ShardEndpoint endpoint_;
   JoinMIConfig config_;
   uint64_t num_candidates_ = 0;
   RpcClientOptions options_;
 
-  // Leases one connection per in-flight request; pool_size bounds the
-  // client's concurrency against this shard. unique_ptr because the pool
-  // captures `this` in its dialer (stable for a heap-allocated client).
+  // Leases one connection per live channel; pool_size bounds the client's
+  // sockets against this shard. unique_ptr because the pool captures
+  // `this` in its dialer (stable for a heap-allocated client).
   mutable std::unique_ptr<net::ConnPool> pool_;
+  mutable std::unique_ptr<rpc::ChannelSet> channels_;
+  // 0 = no dial has succeeded yet; otherwise the latest negotiated
+  // version. All connections of one client negotiate against the same
+  // server, so the latest answer is authoritative.
+  mutable std::atomic<uint32_t> server_version_{0};
+  mutable std::atomic<size_t> pipeline_hwm_{0};
 };
 
 }  // namespace joinmi

@@ -1,10 +1,7 @@
 #include "src/discovery/shard_server.h"
 
-#include <sys/socket.h>
-
-#include <chrono>
+#include <algorithm>
 #include <filesystem>
-#include <thread>
 #include <utility>
 
 #include "src/core/join_mi.h"
@@ -45,135 +42,232 @@ Status ShardServer::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("shard server already started");
   }
-  JOINMI_ASSIGN_OR_RETURN(listener_,
+  JOINMI_ASSIGN_OR_RETURN(net::Listener listener,
                           net::Listener::Bind(options_.host, options_.port));
+  port_ = listener.port();
   workers_ = std::make_unique<ThreadPool>(options_.num_workers);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
+  net::EventLoopOptions loop_options;
+  loop_options.idle_timeout_ms = options_.io_timeout_ms;
+  JOINMI_ASSIGN_OR_RETURN(
+      loop_,
+      net::EventLoop::Create(
+          std::move(listener),
+          [this](net::EventLoop::ConnId conn, net::Frame frame) {
+            // Loop thread: never evaluate here. Hand the frame to the
+            // worker pool and return to the epoll wait.
+            auto shared = std::make_shared<net::Frame>(std::move(frame));
+            workers_->Submit([this, conn, shared] {
+              HandleFrame(conn, std::move(*shared));
+            });
+          },
+          [this](net::EventLoop::ConnId conn) {
+            std::lock_guard<std::mutex> lock(cache_mutex_);
+            sketch_cache_.erase(conn);
+          },
+          loop_options));
+  return loop_->Start();
 }
 
 void ShardServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Unblock workers parked in recv on idle connections; their loops then
-  // observe stopping_ (or EOF) and wind down.
-  {
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    for (int fd : active_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-    }
-  }
-  workers_.reset();  // drains and joins
-  listener_.Close();
+  // call_once serializes concurrent Stop() calls: one thread tears down,
+  // the rest block until it finished — never a double-join.
+  std::call_once(stop_once_, [this] {
+    if (loop_ == nullptr) return;  // never started
+    // Phase 1: stop accepting and reading, so no new frames arrive.
+    loop_->Quiesce();
+    // Phase 2: drain the workers (their replies queue into the loop).
+    workers_->Wait();
+    // Phase 3: flush queued responses, then join the loop thread. After
+    // this no frame callback can run, so no new worker task can appear.
+    loop_->Stop(/*flush_timeout_ms=*/1000);
+    // Phase 4: a frame read just before quiesce took effect may have
+    // slipped a task past phase 2; the pool destructor drains it (its
+    // reply is dropped by the stopped loop — indistinguishable from a
+    // crash mid-send, which clients already handle).
+    workers_.reset();
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    sketch_cache_.clear();
+  });
 }
 
-void ShardServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    // Short poll so Stop() is honored promptly even with no traffic.
-    auto accepted = listener_.AcceptWithTimeout(100);
-    if (!accepted.ok()) {
-      // OutOfRange is the poll timeout (and EINTR) — just look again.
-      if (accepted.status().IsOutOfRange()) continue;
-      if (stopping_.load()) break;
-      // A real accept failure (e.g. EMFILE under fd exhaustion) leaves
-      // the pending connection in the backlog, so poll() stays ready and
-      // a bare continue would spin a core; back off before looking again.
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      continue;
-    }
-    auto socket = std::make_shared<net::Socket>(std::move(*accepted));
-    workers_->Submit([this, socket] {
-      ServeConnection(std::move(*socket));
-    });
-  }
+void ShardServer::Reply(net::EventLoop::ConnId conn,
+                        const net::Frame& request, net::FrameType type,
+                        const std::string& payload) {
+  loop_->Send(conn, net::EncodeFrameAs(request.version, type,
+                                       request.request_id, payload));
 }
 
-void ShardServer::ServeConnection(net::Socket socket) {
-  if (!socket.SetTimeouts(options_.io_timeout_ms, options_.io_timeout_ms)
-           .ok()) {
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    if (stopping_.load()) return;
-    active_fds_.insert(socket.fd());
-  }
-  while (!stopping_.load()) {
-    auto frame = net::RecvFrame(&socket);
-    if (!frame.ok()) {
-      // EOF, timeout, a mismatched protocol version, or garbage: the
-      // stream is unusable (or gone), so there is nothing to answer.
-      break;
-    }
-    std::string reply;
-    const net::FrameType reply_type = HandleFrame(*frame, &reply);
-    requests_served_.fetch_add(1);
-    if (!net::SendFrame(&socket, reply_type, reply).ok()) break;
-  }
-  {
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    active_fds_.erase(socket.fd());
-  }
-}
-
-net::FrameType ShardServer::HandleFrame(const net::Frame& frame,
-                                        std::string* reply) {
+void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
+                              net::Frame frame) {
   switch (frame.type) {
     case net::FrameType::kHandshakeRequest: {
       handshakes_served_.fetch_add(1);
+      auto decoded = rpc::DecodeHandshakeRequest(frame.payload);
+      if (!decoded.ok()) {
+        Reply(conn, frame, net::FrameType::kError,
+              rpc::EncodeErrorPayload(decoded.status()));
+        return;
+      }
       rpc::HandshakeResponse response;
       response.config = client_->config();
       response.num_candidates = client_->num_candidates();
-      *reply = rpc::EncodeHandshakeResponse(response);
-      return net::FrameType::kHandshakeResponse;
+      // Negotiate down to what both sides speak; an undeclared (v1)
+      // request keeps protocol_version 1 and the legacy payload shape.
+      response.protocol_version =
+          std::min<uint32_t>(decoded->max_version, net::kProtocolVersion);
+      Reply(conn, frame, net::FrameType::kHandshakeResponse,
+            rpc::EncodeHandshakeResponse(response));
+      return;
     }
     case net::FrameType::kHealthRequest: {
+      health_served_.fetch_add(1);
       rpc::HealthResponse response;
       response.num_candidates = client_->num_candidates();
-      response.requests_served = requests_served_.load();
-      *reply = rpc::EncodeHealthResponse(response);
-      return net::FrameType::kHealthResponse;
+      response.requests_served = searches_served_.load();
+      Reply(conn, frame, net::FrameType::kHealthResponse,
+            rpc::EncodeHealthResponse(response));
+      return;
     }
     case net::FrameType::kSearchRequest: {
-      rpc::SearchResponse response;
-      auto run = [&]() -> Result<ShardSearchResult> {
-        JOINMI_ASSIGN_OR_RETURN(rpc::SearchRequest request,
-                                rpc::DecodeSearchRequest(frame.payload));
-        JOINMI_ASSIGN_OR_RETURN(Sketch train_sketch,
-                                DeserializeSketch(request.train_sketch));
-        // The shard's own config governs the evaluation, with only the
-        // caller's min_join_size substituted — the one knob that travels
-        // per request (see rpc_messages.h).
-        JoinMIConfig query_config = client_->config();
-        query_config.min_join_size =
-            static_cast<size_t>(request.min_join_size);
-        JOINMI_ASSIGN_OR_RETURN(
-            JoinMIQuery query,
-            JoinMIQuery::FromTrainSketch(std::move(train_sketch),
-                                         query_config));
-        return client_->Search(query, static_cast<size_t>(request.k),
-                               options_.eval_threads);
-      };
-      auto result = run();
-      if (result.ok()) {
-        response.status = Status::OK();
-        response.result = std::move(*result);
-      } else {
-        response.status = result.status();
-      }
-      *reply = rpc::EncodeSearchResponse(response);
-      return net::FrameType::kSearchResponse;
+      searches_served_.fetch_add(1);
+      Reply(conn, frame, net::FrameType::kSearchResponse,
+            HandleSearch(frame));
+      return;
+    }
+    case net::FrameType::kSketchUploadRequest: {
+      uploads_served_.fetch_add(1);
+      Reply(conn, frame, net::FrameType::kSketchUploadResponse,
+            HandleSketchUpload(conn, frame));
+      return;
+    }
+    case net::FrameType::kBatchSearchRequest: {
+      searches_served_.fetch_add(1);
+      Reply(conn, frame, net::FrameType::kBatchSearchResponse,
+            HandleBatchSearch(conn, frame));
+      return;
     }
     default: {
-      *reply = rpc::EncodeErrorPayload(Status::InvalidArgument(
-          std::string("shard server cannot handle a ") +
-          net::FrameTypeToString(frame.type) + " frame"));
-      return net::FrameType::kError;
+      Reply(conn, frame, net::FrameType::kError,
+            rpc::EncodeErrorPayload(Status::InvalidArgument(
+                std::string("shard server cannot handle a ") +
+                net::FrameTypeToString(frame.type) + " frame")));
+      return;
     }
   }
+}
+
+std::string ShardServer::HandleSearch(const net::Frame& frame) {
+  rpc::SearchResponse response;
+  auto run = [&]() -> Result<ShardSearchResult> {
+    JOINMI_ASSIGN_OR_RETURN(rpc::SearchRequest request,
+                            rpc::DecodeSearchRequest(frame.payload));
+    JOINMI_ASSIGN_OR_RETURN(Sketch train_sketch,
+                            DeserializeSketch(request.train_sketch));
+    // The shard's own config governs the evaluation, with only the
+    // caller's min_join_size substituted — the one knob that travels
+    // per request (see rpc_messages.h).
+    JoinMIConfig query_config = client_->config();
+    query_config.min_join_size = static_cast<size_t>(request.min_join_size);
+    JOINMI_ASSIGN_OR_RETURN(
+        JoinMIQuery query,
+        JoinMIQuery::FromTrainSketch(std::move(train_sketch), query_config));
+    return client_->Search(query, static_cast<size_t>(request.k),
+                           options_.eval_threads);
+  };
+  auto result = run();
+  if (result.ok()) {
+    response.status = Status::OK();
+    response.result = std::move(*result);
+  } else {
+    response.status = result.status();
+  }
+  return rpc::EncodeSearchResponse(response);
+}
+
+std::string ShardServer::HandleSketchUpload(net::EventLoop::ConnId conn,
+                                            const net::Frame& frame) {
+  rpc::SketchUploadResponse response;
+  auto run = [&]() -> Status {
+    JOINMI_ASSIGN_OR_RETURN(rpc::SketchUploadRequest request,
+                            rpc::DecodeSketchUploadRequest(frame.payload));
+    response.digest = request.digest;
+    const uint64_t computed = wire::Checksum64(request.train_sketch);
+    if (computed != request.digest) {
+      return Status::InvalidArgument(
+          "sketch upload digest mismatch: declared " +
+          std::to_string(request.digest) + ", bytes hash to " +
+          std::to_string(computed));
+    }
+    // Deserialize now so a corrupt sketch is rejected at upload time, not
+    // on every batch, and cache the parsed form — batch variants copy it
+    // instead of re-parsing.
+    JOINMI_ASSIGN_OR_RETURN(Sketch sketch,
+                            DeserializeSketch(request.train_sketch));
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto& cache = sketch_cache_[conn];
+    if (cache.count(request.digest) > 0) return Status::OK();  // idempotent
+    if (cache.size() >= kMaxCachedSketches) {
+      return Status::InvalidArgument(
+          "connection sketch cache is full (" +
+          std::to_string(kMaxCachedSketches) +
+          " sketches); open a new connection for new queries");
+    }
+    cache.emplace(request.digest,
+                  std::make_shared<const Sketch>(std::move(sketch)));
+    return Status::OK();
+  };
+  response.status = run();
+  return rpc::EncodeSketchUploadResponse(response);
+}
+
+std::string ShardServer::HandleBatchSearch(net::EventLoop::ConnId conn,
+                                           const net::Frame& frame) {
+  rpc::BatchSearchResponse response;
+  auto run = [&]() -> Status {
+    JOINMI_ASSIGN_OR_RETURN(rpc::BatchSearchRequest request,
+                            rpc::DecodeBatchSearchRequest(frame.payload));
+    std::shared_ptr<const Sketch> sketch;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto conn_cache = sketch_cache_.find(conn);
+      if (conn_cache != sketch_cache_.end()) {
+        auto entry = conn_cache->second.find(request.sketch_digest);
+        if (entry != conn_cache->second.end()) sketch = entry->second;
+      }
+    }
+    if (sketch == nullptr) {
+      return Status::InvalidArgument(
+          "batch search names sketch digest " +
+          std::to_string(request.sketch_digest) +
+          " which was never uploaded on this connection");
+    }
+    response.responses.reserve(request.variants.size());
+    for (const rpc::BatchSearchVariant& variant : request.variants) {
+      rpc::SearchResponse one;
+      auto evaluate = [&]() -> Result<ShardSearchResult> {
+        JoinMIConfig query_config = client_->config();
+        query_config.min_join_size =
+            static_cast<size_t>(variant.min_join_size);
+        JOINMI_ASSIGN_OR_RETURN(
+            JoinMIQuery query,
+            JoinMIQuery::FromTrainSketch(*sketch, query_config));
+        return client_->Search(query, static_cast<size_t>(variant.k),
+                               options_.eval_threads);
+      };
+      auto result = evaluate();
+      if (result.ok()) {
+        one.status = Status::OK();
+        one.result = std::move(*result);
+      } else {
+        one.status = result.status();
+      }
+      response.responses.push_back(std::move(one));
+    }
+    return Status::OK();
+  };
+  response.status = run();
+  if (!response.status.ok()) response.responses.clear();
+  return rpc::EncodeBatchSearchResponse(response);
 }
 
 }  // namespace joinmi

@@ -2,15 +2,27 @@
 // index. Loads a single shard file named by a manifest (checksum- and
 // count-verified against the manifest entry, exactly like the local
 // loader — a server can no more serve a corrupt shard than a router can
-// load one), binds a TCP port, and answers JMRP requests: handshake,
-// serialized-train-sketch searches, and health probes.
+// load one), binds a TCP port, and answers JMRP requests: handshakes (v1
+// and v2), serialized-train-sketch searches, once-per-connection sketch
+// uploads, batched multi-variant searches, and health probes.
 //
-// Concurrency: a dedicated accept thread hands each connection to a
-// bounded ThreadPool of connection workers; each connection is served
-// sequentially (one frame in, one frame out) and every search evaluates
-// with a fixed per-request thread count, so total parallelism is
+// Concurrency: a single epoll event loop (net::EventLoop) owns every
+// connection's reads and writes; each decoded frame becomes one task on a
+// bounded ThreadPool of request workers, and the worker's reply is queued
+// back through the loop. Responses therefore complete out of order and
+// are paired by the v2 request_id — one connection can have num_workers
+// requests in flight, where the old thread-per-connection design served
+// each connection strictly sequentially. Every search evaluates with a
+// fixed per-request thread count, so total parallelism is bounded by
 // num_workers x eval_threads regardless of how many routers connect.
 // Rankings do not depend on either knob.
+//
+// Sketch cache: a v2 client uploads its serialized train sketch once
+// (keyed by wire::Checksum64 digest, recomputed server-side) and then
+// sends digest-only batch requests. The cache is strictly per-connection
+// — entries die with the connection, at most kMaxCachedSketches live per
+// connection — so one router can never read or evict another's sketch and
+// a dead client leaks nothing.
 //
 // This class is the in-process embedding (tests, benchmarks host real
 // socket servers without fork/exec); tools/shard_server.cc is the
@@ -21,16 +33,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
-#include <thread>
+#include <unordered_map>
 
 #include "src/common/thread_pool.h"
 #include "src/discovery/sharded_index.h"
+#include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/sketch/sketch.h"
 
 namespace joinmi {
 
@@ -40,19 +54,24 @@ struct ShardServerOptions {
   std::string host = "127.0.0.1";
   /// Port to bind; 0 binds an ephemeral port reported by port().
   uint16_t port = 0;
-  /// Connection-handler pool size — the bound on concurrent connections
-  /// being served (further connections queue in the listener backlog).
+  /// Request-worker pool size — the bound on frames being evaluated
+  /// simultaneously (across all connections; further frames queue).
   size_t num_workers = 4;
   /// Threads per search evaluation (1 = inline; results never depend on
   /// this).
   size_t eval_threads = 1;
-  /// Per-connection read/write bound; an idle or wedged peer is dropped
-  /// after this long.
+  /// Idle-connection bound: a connection with no bytes either direction
+  /// for this long is dropped.
   int io_timeout_ms = 30000;
 };
 
 class ShardServer {
  public:
+  /// Per-connection bound on cached sketches; an upload past the bound is
+  /// rejected (deterministically — eviction could invalidate a pipelined
+  /// batch already in flight).
+  static constexpr size_t kMaxCachedSketches = 8;
+
   /// \brief Loads shard `shard` of the manifest at `manifest_path`
   /// (checksum-verified) and prepares a server; call Start() to bind and
   /// serve.
@@ -65,25 +84,37 @@ class ShardServer {
   ShardServer(const ShardServer&) = delete;
   ShardServer& operator=(const ShardServer&) = delete;
 
-  /// \brief Binds the listener and spawns the accept thread.
+  /// \brief Binds the listener and starts the event loop.
   Status Start();
 
-  /// \brief Stops accepting, shuts down in-flight connections, and joins
-  /// every worker. Idempotent.
+  /// \brief Graceful teardown: quiesce (stop accepting/reading), drain
+  /// the worker pool, flush pending responses, join the loop. Idempotent
+  /// and safe to call from multiple threads concurrently — teardown runs
+  /// exactly once and every caller blocks until it finished.
   void Stop();
 
   /// \brief The bound port (meaningful after Start; resolves port 0).
-  uint16_t port() const { return listener_.port(); }
+  uint16_t port() const { return port_; }
   const std::string& host() const { return options_.host; }
   size_t shard() const { return shard_; }
   const JoinMIConfig& config() const { return client_->config(); }
   size_t num_candidates() const { return client_->num_candidates(); }
-  /// \brief Requests answered (any type) since Start.
-  uint64_t requests_served() const { return requests_served_.load(); }
+  /// \brief Search frames answered (single and batch) since Start —
+  /// query traffic only; handshakes and health probes have their own
+  /// counters below and no longer inflate this.
+  uint64_t requests_served() const { return searches_served_.load(); }
   /// \brief Handshakes answered since Start — one per client connection
   /// ever dialed, so this counts distinct connections, not traffic.
   /// Replica drills read it to prove each replica actually took dials.
   uint64_t handshakes_served() const { return handshakes_served_.load(); }
+  /// \brief Health probes answered since Start.
+  uint64_t health_served() const { return health_served_.load(); }
+  /// \brief Sketch uploads accepted or rejected since Start.
+  uint64_t sketch_uploads_served() const { return uploads_served_.load(); }
+  /// \brief Currently open serving connections.
+  size_t open_connections() const {
+    return loop_ ? loop_->open_connections() : 0;
+  }
 
  private:
   ShardServer(std::unique_ptr<ShardClient> client, size_t shard,
@@ -91,27 +122,38 @@ class ShardServer {
       : client_(std::move(client)), shard_(shard),
         options_(std::move(options)) {}
 
-  void AcceptLoop();
-  void ServeConnection(net::Socket socket);
-  /// Builds the reply frame for one request frame.
-  net::FrameType HandleFrame(const net::Frame& frame, std::string* reply);
+  /// Runs on a worker thread: decode, evaluate, queue the reply.
+  void HandleFrame(net::EventLoop::ConnId conn, net::Frame frame);
+  /// Echoes the request's header dialect (version + request id).
+  void Reply(net::EventLoop::ConnId conn, const net::Frame& request,
+             net::FrameType type, const std::string& payload);
+  std::string HandleSearch(const net::Frame& frame);
+  std::string HandleSketchUpload(net::EventLoop::ConnId conn,
+                                 const net::Frame& frame);
+  std::string HandleBatchSearch(net::EventLoop::ConnId conn,
+                                const net::Frame& frame);
 
   std::unique_ptr<ShardClient> client_;
   size_t shard_ = 0;
   ShardServerOptions options_;
 
-  net::Listener listener_;
+  std::unique_ptr<net::EventLoop> loop_;
   std::unique_ptr<ThreadPool> workers_;
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
+  uint16_t port_ = 0;
   std::atomic<bool> started_{false};
-  std::atomic<uint64_t> requests_served_{0};
+  std::once_flag stop_once_;
+  std::atomic<uint64_t> searches_served_{0};
   std::atomic<uint64_t> handshakes_served_{0};
+  std::atomic<uint64_t> health_served_{0};
+  std::atomic<uint64_t> uploads_served_{0};
 
-  // Live connection fds, so Stop() can shutdown(2) blocked readers
-  // instead of waiting out their io timeout.
-  std::mutex active_mutex_;
-  std::set<int> active_fds_;
+  // Per-connection uploaded-sketch cache, digest-keyed. shared_ptr lets a
+  // batch evaluation hold its sketch outside the lock while the loop
+  // thread erases the connection's entry.
+  std::mutex cache_mutex_;
+  std::unordered_map<net::EventLoop::ConnId,
+                     std::map<uint64_t, std::shared_ptr<const Sketch>>>
+      sketch_cache_;
 };
 
 }  // namespace joinmi

@@ -89,9 +89,19 @@ struct ShardSearchResult {
   std::vector<ShardFailure> shard_failures;
 };
 
-/// \brief Serving boundary of one shard — the future RPC seam. The query
-/// arrives pre-sketched (over the wire this is the serialized train
-/// sketch), so shards never see the base table's rows.
+/// \brief One (k, min_join_size) variant of a batched search — many
+/// variants share one sketched query, which over RPC shares one uploaded
+/// sketch.
+struct ShardSearchVariant {
+  size_t k = 0;
+  /// Evaluated with this min_join_size substituted into the shard config,
+  /// exactly as a single Search under a query configured the same way.
+  size_t min_join_size = 0;
+};
+
+/// \brief Serving boundary of one shard — the RPC seam. The query arrives
+/// pre-sketched (over the wire this is the serialized train sketch), so
+/// shards never see the base table's rows.
 class ShardClient {
  public:
   virtual ~ShardClient() = default;
@@ -107,6 +117,17 @@ class ShardClient {
   virtual Result<ShardSearchResult> Search(const JoinMIQuery& query,
                                            size_t k,
                                            size_t num_threads) const = 0;
+
+  /// \brief Evaluates every variant against one query; result[i] answers
+  /// variants[i] and equals what Search would return for a query rebuilt
+  /// with that variant's min_join_size. All-or-nothing: the first variant
+  /// failure fails the batch. The default implementation loops over
+  /// Search; RpcShardClient overrides it with one batched frame against
+  /// the connection-cached sketch.
+  virtual Result<std::vector<ShardSearchResult>> SearchVariants(
+      const JoinMIQuery& query,
+      const std::vector<ShardSearchVariant>& variants,
+      size_t num_threads) const;
 };
 
 /// \brief In-process ShardClient over a loaded SketchIndex.
@@ -187,6 +208,17 @@ class ShardedSketchIndex {
   /// See ShardQueryMode for how shard failures are handled.
   Result<ShardSearchResult> Search(
       const JoinMIQuery& query, size_t k, size_t num_threads = 0,
+      ShardQueryMode mode = ShardQueryMode::kStrict) const;
+
+  /// \brief Batched fan-out: every variant against every shard, merged
+  /// per variant with the same comparator as Search. result[i] is
+  /// bit-identical to Search over a query rebuilt with variants[i]'s
+  /// min_join_size — over RPC the sketch crosses the wire once per
+  /// connection instead of once per (variant, shard). Mode semantics
+  /// match Search, applied per variant.
+  Result<std::vector<ShardSearchResult>> SearchVariants(
+      const JoinMIQuery& query,
+      const std::vector<ShardSearchVariant>& variants, size_t num_threads = 0,
       ShardQueryMode mode = ShardQueryMode::kStrict) const;
 
  private:

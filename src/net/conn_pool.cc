@@ -10,12 +10,18 @@ ConnPool::ConnPool(Dialer dialer, ConnPoolOptions options)
   options_.max_connections = std::max<size_t>(1, options_.max_connections);
 }
 
+ConnPool::~ConnPool() { Close(); }
+
 Result<ConnPool::Lease> ConnPool::Acquire() {
   Socket socket;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    slot_available_.wait(
-        lock, [this] { return in_flight_ < options_.max_connections; });
+    slot_available_.wait(lock, [this] {
+      return closed_ || in_flight_ < options_.max_connections;
+    });
+    if (closed_) {
+      return Status::IOError("connection pool is closed");
+    }
     ++in_flight_;
     max_in_flight_ = std::max(max_in_flight_, in_flight_);
     if (!idle_.empty()) {
@@ -30,6 +36,16 @@ Result<ConnPool::Lease> ConnPool::Acquire() {
     socket.Close();
   }
   if (!socket.valid()) {
+    // The pool may have closed while the lock was dropped; fail before
+    // dialing a connection nobody will ever reuse.
+    if (closed()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+      }
+      slot_available_.notify_one();
+      return Status::IOError("connection pool is closed");
+    }
     auto dialed = dialer_();
     if (!dialed.ok()) {
       {
@@ -56,11 +72,30 @@ void ConnPool::Return(Socket socket) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     --in_flight_;
-    if (socket.valid()) {
+    if (socket.valid() && !closed_) {
       idle_.push_back(std::move(socket));
     }
   }
+  // Closed pools drop the socket here (end of scope) instead of caching.
   slot_available_.notify_one();
+}
+
+void ConnPool::Close() {
+  std::vector<Socket> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    doomed.swap(idle_);
+  }
+  // Wake every blocked acquirer; each observes closed_ and returns the
+  // deterministic error. Sockets close outside the lock.
+  slot_available_.notify_all();
+}
+
+bool ConnPool::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
 }
 
 size_t ConnPool::in_flight() const {

@@ -59,7 +59,9 @@ class ConnPool {
   using Dialer = std::function<Result<Socket>()>;
 
   ConnPool(Dialer dialer, ConnPoolOptions options);
-  ~ConnPool() = default;
+  /// The destructor closes the pool first (see Close), so a blocked
+  /// acquirer is woken with an error instead of waiting on freed memory.
+  ~ConnPool();
 
   ConnPool(const ConnPool&) = delete;
   ConnPool& operator=(const ConnPool&) = delete;
@@ -111,6 +113,17 @@ class ConnPool {
   /// failure as retry-safe.
   Result<Lease> Acquire();
 
+  /// \brief Poisons the pool: every thread blocked in Acquire wakes with a
+  /// deterministic IOError, future Acquires fail the same way, idle
+  /// connections are dropped, and returned sockets are closed instead of
+  /// cached. Outstanding leases stay usable (their slot release is still
+  /// accounted); Close only stops new work. Idempotent and thread-safe —
+  /// the shutdown path owners call before destruction so no acquirer can
+  /// hang on a pool that is going away.
+  void Close();
+
+  bool closed() const;
+
   size_t max_connections() const { return options_.max_connections; }
 
   // ------------------------------------------------------ Instrumentation
@@ -134,6 +147,7 @@ class ConnPool {
   mutable std::mutex mutex_;
   std::condition_variable slot_available_;
   std::vector<Socket> idle_;
+  bool closed_ = false;
   size_t in_flight_ = 0;
   size_t max_in_flight_ = 0;
   uint64_t total_dials_ = 0;

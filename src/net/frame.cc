@@ -11,30 +11,39 @@ namespace {
 
 struct FrameHeader {
   FrameType type;
+  uint32_t version;
   uint32_t payload_len;
 };
 
-// Validates everything knowable from the fixed header alone — magic,
-// version, type tag, payload bound — shared by the buffer and socket
-// decode paths so they cannot drift.
+// Validates everything knowable from the fixed header prefix alone —
+// magic, version, type tag (against that version), payload bound — shared
+// by the buffer, socket, and incremental decode paths so they cannot
+// drift. The v2 request id rides after this prefix and carries no
+// validity constraints of its own.
 Result<FrameHeader> ParseHeader(const char (&raw)[kFrameHeaderSize]) {
   if (std::memcmp(raw, kFrameMagic, sizeof(kFrameMagic)) != 0) {
     return Status::IOError("bad JMRP frame magic");
   }
   uint32_t version = 0;
   std::memcpy(&version, raw + 4, sizeof(version));
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Status::IOError("unsupported JMRP protocol version " +
                            std::to_string(version) + " (this build speaks " +
+                           std::to_string(kMinProtocolVersion) + ".." +
                            std::to_string(kProtocolVersion) + ")");
   }
   const uint8_t type = static_cast<uint8_t>(raw[8]);
+  const uint8_t max_type =
+      version >= 2 ? static_cast<uint8_t>(FrameType::kBatchSearchResponse)
+                   : static_cast<uint8_t>(FrameType::kError);
   if (type < static_cast<uint8_t>(FrameType::kHandshakeRequest) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
-    return Status::IOError("unknown JMRP frame type " + std::to_string(type));
+      type > max_type) {
+    return Status::IOError("unknown JMRP frame type " + std::to_string(type) +
+                           " for protocol version " + std::to_string(version));
   }
   FrameHeader header;
   header.type = static_cast<FrameType>(type);
+  header.version = version;
   std::memcpy(&header.payload_len, raw + 9, sizeof(header.payload_len));
   if (header.payload_len > kMaxFramePayload) {
     return Status::IOError(
@@ -42,6 +51,10 @@ Result<FrameHeader> ParseHeader(const char (&raw)[kFrameHeaderSize]) {
         " exceeds the " + std::to_string(kMaxFramePayload) + "-byte bound");
   }
   return header;
+}
+
+size_t HeaderSizeFor(uint32_t version) {
+  return version >= 2 ? kFrameV2HeaderSize : kFrameHeaderSize;
 }
 
 }  // namespace
@@ -62,19 +75,38 @@ const char* FrameTypeToString(FrameType type) {
       return "health_response";
     case FrameType::kError:
       return "error";
+    case FrameType::kSketchUploadRequest:
+      return "sketch_upload_request";
+    case FrameType::kSketchUploadResponse:
+      return "sketch_upload_response";
+    case FrameType::kBatchSearchRequest:
+      return "batch_search_request";
+    case FrameType::kBatchSearchResponse:
+      return "batch_search_response";
   }
   return "unknown";
 }
 
-std::string EncodeFrame(FrameType type, const std::string& payload) {
+std::string EncodeFrameAs(uint32_t version, FrameType type,
+                          uint64_t request_id, const std::string& payload) {
   std::string out;
-  out.reserve(kFrameHeaderSize + payload.size());
+  out.reserve(HeaderSizeFor(version) + payload.size());
   wire::AppendRaw(&out, kFrameMagic, sizeof(kFrameMagic));
-  wire::AppendPod<uint32_t>(&out, kProtocolVersion);
+  wire::AppendPod<uint32_t>(&out, version);
   wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(type));
   wire::AppendPod<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  if (version >= 2) wire::AppendPod<uint64_t>(&out, request_id);
   wire::AppendRaw(&out, payload.data(), payload.size());
   return out;
+}
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  return EncodeFrameAs(1, type, 0, payload);
+}
+
+std::string EncodeFrameV2(FrameType type, uint64_t request_id,
+                          const std::string& payload) {
+  return EncodeFrameAs(2, type, request_id, payload);
 }
 
 Result<Frame> DecodeFrame(const std::string& buffer) {
@@ -84,15 +116,24 @@ Result<Frame> DecodeFrame(const std::string& buffer) {
   char raw[kFrameHeaderSize];
   std::memcpy(raw, buffer.data(), kFrameHeaderSize);
   JOINMI_ASSIGN_OR_RETURN(FrameHeader header, ParseHeader(raw));
-  if (buffer.size() - kFrameHeaderSize < header.payload_len) {
-    return Status::IOError("truncated JMRP frame payload");
-  }
-  if (buffer.size() - kFrameHeaderSize > header.payload_len) {
-    return Status::IOError("trailing bytes after JMRP frame payload");
+  const size_t header_size = HeaderSizeFor(header.version);
+  if (buffer.size() < header_size) {
+    return Status::IOError("truncated JMRP v2 frame header (request id)");
   }
   Frame frame;
   frame.type = header.type;
-  frame.payload = buffer.substr(kFrameHeaderSize);
+  frame.version = header.version;
+  if (header.version >= 2) {
+    std::memcpy(&frame.request_id, buffer.data() + kFrameHeaderSize,
+                sizeof(frame.request_id));
+  }
+  if (buffer.size() - header_size < header.payload_len) {
+    return Status::IOError("truncated JMRP frame payload");
+  }
+  if (buffer.size() - header_size > header.payload_len) {
+    return Status::IOError("trailing bytes after JMRP frame payload");
+  }
+  frame.payload = buffer.substr(header_size);
   return frame;
 }
 
@@ -108,18 +149,73 @@ Status SendFrame(Socket* socket, FrameType type, const std::string& payload,
   return socket->WriteAll(encoded.data(), encoded.size(), bytes_written);
 }
 
+Status SendFrameV2(Socket* socket, FrameType type, uint64_t request_id,
+                   const std::string& payload, size_t* bytes_written) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "refusing to send a JMRP frame with a " +
+        std::to_string(payload.size()) + "-byte payload (bound " +
+        std::to_string(kMaxFramePayload) + ")");
+  }
+  const std::string encoded = EncodeFrameV2(type, request_id, payload);
+  return socket->WriteAll(encoded.data(), encoded.size(), bytes_written);
+}
+
 Result<Frame> RecvFrame(Socket* socket) {
   char raw[kFrameHeaderSize];
   JOINMI_RETURN_NOT_OK(socket->ReadExact(raw, sizeof(raw)));
   JOINMI_ASSIGN_OR_RETURN(FrameHeader header, ParseHeader(raw));
   Frame frame;
   frame.type = header.type;
+  frame.version = header.version;
+  if (header.version >= 2) {
+    JOINMI_RETURN_NOT_OK(socket->ReadExact(
+        reinterpret_cast<char*>(&frame.request_id), sizeof(frame.request_id)));
+  }
   frame.payload.resize(header.payload_len);
   if (header.payload_len > 0) {
     JOINMI_RETURN_NOT_OK(
         socket->ReadExact(&frame.payload[0], header.payload_len));
   }
   return frame;
+}
+
+void FrameAssembler::Feed(const char* data, size_t len) {
+  // Reclaim consumed prefix before growing; keeps the buffer bounded by
+  // one partial frame plus whatever the last read returned.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, len);
+}
+
+Result<bool> FrameAssembler::Next(Frame* out) {
+  if (!poisoned_.ok()) return poisoned_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return false;
+  char raw[kFrameHeaderSize];
+  std::memcpy(raw, buffer_.data() + consumed_, kFrameHeaderSize);
+  auto header = ParseHeader(raw);
+  if (!header.ok()) {
+    poisoned_ = header.status();
+    return poisoned_;
+  }
+  const size_t header_size = HeaderSizeFor(header->version);
+  if (available < header_size + header->payload_len) return false;
+  out->type = header->type;
+  out->version = header->version;
+  out->request_id = 0;
+  if (header->version >= 2) {
+    std::memcpy(&out->request_id, buffer_.data() + consumed_ + kFrameHeaderSize,
+                sizeof(out->request_id));
+  }
+  out->payload.assign(buffer_, consumed_ + header_size, header->payload_len);
+  consumed_ += header_size + header->payload_len;
+  return true;
 }
 
 }  // namespace net

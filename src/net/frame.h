@@ -1,8 +1,10 @@
 // JMRP ("JoinMI RPC") framing: every message on a shard-serving connection
-// is one length-prefixed, version-tagged frame
+// is one length-prefixed, version-tagged frame.
 //
-//   magic "JMRP" | u32 protocol_version | u8 frame_type | u32 payload_len
-//   | payload_len bytes of payload
+//   v1: magic "JMRP" | u32 version=1 | u8 frame_type | u32 payload_len
+//       | payload_len bytes of payload
+//   v2: magic "JMRP" | u32 version=2 | u8 frame_type | u32 payload_len
+//       | u64 request_id | payload_len bytes of payload
 //
 // little-endian, built on the same wire:: primitives as the sketch and
 // index formats. The frame layer knows nothing about payload contents —
@@ -11,10 +13,18 @@
 //
 // Versioning: the protocol version rides in every frame header (not just a
 // hello) so a mismatched peer is rejected on the first frame either side
-// reads, whichever direction speaks first. Payloads are bounded by
-// kMaxFramePayload; a length prefix past the bound is rejected before any
-// allocation, so a corrupt or hostile peer cannot make a server reserve
-// gigabytes.
+// reads, whichever direction speaks first. A v2-aware peer accepts both
+// versions on the same connection — rolling upgrades interleave them — but
+// v2-only frame types (sketch upload, batch search) are rejected inside a
+// v1 header, so a v1 peer can never be tricked into half-speaking v2.
+// Payloads are bounded by kMaxFramePayload; a length prefix past the bound
+// is rejected before any allocation, so a corrupt or hostile peer cannot
+// make a server reserve gigabytes.
+//
+// request_id: v2 responses may complete out of order (the server hands
+// frames to a worker pool and replies as results land), so every v2 frame
+// carries the caller-chosen id that pairs a response with its request.
+// v1 frames decode with request_id 0.
 
 #ifndef JOINMI_NET_FRAME_H_
 #define JOINMI_NET_FRAME_H_
@@ -30,14 +40,21 @@ namespace joinmi {
 namespace net {
 
 inline constexpr char kFrameMagic[4] = {'J', 'M', 'R', 'P'};
-inline constexpr uint32_t kProtocolVersion = 1;
-/// Wire size of the fixed frame header (magic + version + type + length).
+/// Highest protocol version this build speaks (and the one EncodeFrameV2
+/// stamps). Decoding accepts [kMinProtocolVersion, kProtocolVersion].
+inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr uint32_t kMinProtocolVersion = 1;
+/// Wire size of the fixed header prefix shared by both versions
+/// (magic + version + type + length).
 inline constexpr size_t kFrameHeaderSize = 4 + 4 + 1 + 4;
+/// Wire size of a complete v2 header (prefix + u64 request_id).
+inline constexpr size_t kFrameV2HeaderSize = kFrameHeaderSize + 8;
 /// Hard payload bound: a serialized train sketch plus headroom; far above
 /// any legitimate message, far below an allocation attack.
 inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
 
-/// \brief Message kinds carried over a serving connection.
+/// \brief Message kinds carried over a serving connection. Types 1–7 are
+/// valid in v1 and v2 frames; types 8+ require a v2 header.
 enum class FrameType : uint8_t {
   kHandshakeRequest = 1,
   kHandshakeResponse = 2,
@@ -48,6 +65,12 @@ enum class FrameType : uint8_t {
   /// Server-side failure to even parse/dispatch a request (a well-formed
   /// response frame carries its own Status instead).
   kError = 7,
+  /// v2 only: upload + cache the train sketch once per connection.
+  kSketchUploadRequest = 8,
+  kSketchUploadResponse = 9,
+  /// v2 only: many (k, min_join_size) variants against one cached sketch.
+  kBatchSearchRequest = 10,
+  kBatchSearchResponse = 11,
 };
 
 const char* FrameTypeToString(FrameType type);
@@ -55,30 +78,77 @@ const char* FrameTypeToString(FrameType type);
 /// \brief One decoded frame.
 struct Frame {
   FrameType type = FrameType::kError;
+  /// Header version this frame was encoded with (1 or 2).
+  uint32_t version = kMinProtocolVersion;
+  /// Caller-chosen response-pairing id; always 0 for v1 frames.
+  uint64_t request_id = 0;
   std::string payload;
 };
 
-/// \brief Encodes a complete frame (header + payload) at the current
-/// protocol version. The payload bound is enforced at the send/decode
-/// layer, not here, so tests can craft oversized frames.
+/// \brief Encodes a complete v1 frame (header + payload). The payload
+/// bound is enforced at the send/decode layer, not here, so tests can
+/// craft oversized frames.
 std::string EncodeFrame(FrameType type, const std::string& payload);
 
-/// \brief Decodes a buffer holding exactly one frame. Validates magic,
-/// protocol version, frame type tag, the payload bound, and that the
-/// buffer length matches the declared payload length (no trailing bytes).
+/// \brief Encodes a complete v2 frame carrying `request_id`.
+std::string EncodeFrameV2(FrameType type, uint64_t request_id,
+                          const std::string& payload);
+
+/// \brief Encodes with the given header version: version 1 drops the
+/// request id (callers must only do this for v1-legal types), version 2
+/// carries it. The echo path servers use to answer in the caller's dialect.
+std::string EncodeFrameAs(uint32_t version, FrameType type,
+                          uint64_t request_id, const std::string& payload);
+
+/// \brief Decodes a buffer holding exactly one frame (either version).
+/// Validates magic, protocol version, frame type tag (against that
+/// version), the payload bound, and that the buffer length matches the
+/// declared payload length (no trailing bytes).
 Result<Frame> DecodeFrame(const std::string& buffer);
 
-/// \brief Writes one frame to the socket. On failure `*bytes_written`
+/// \brief Writes one v1 frame to the socket. On failure `*bytes_written`
 /// (optional) reports how many frame bytes reached the wire — zero means
 /// the request never left this process, which is the only case a retrying
 /// caller may treat as safe to resend unconditionally.
 Status SendFrame(Socket* socket, FrameType type, const std::string& payload,
                  size_t* bytes_written = nullptr);
 
-/// \brief Reads one frame from the socket, applying the same validation as
-/// DecodeFrame before the payload is read (so an oversized length prefix
-/// is rejected without allocating or draining it).
+/// \brief Writes one v2 frame to the socket; same `*bytes_written`
+/// contract as SendFrame.
+Status SendFrameV2(Socket* socket, FrameType type, uint64_t request_id,
+                   const std::string& payload,
+                   size_t* bytes_written = nullptr);
+
+/// \brief Reads one frame (either version) from the socket, applying the
+/// same validation as DecodeFrame before the payload is read (so an
+/// oversized length prefix is rejected without allocating or draining it).
 Result<Frame> RecvFrame(Socket* socket);
+
+/// \brief Incremental frame decoder for nonblocking readers: feed whatever
+/// bytes the socket produced, pop complete frames as they materialize.
+/// The header is validated as soon as its bytes are available, so a bad
+/// magic / version / type / oversized length poisons the stream before the
+/// payload arrives; after any error the assembler stays poisoned and the
+/// connection must be dropped (resynchronizing inside a byte stream is not
+/// possible).
+class FrameAssembler {
+ public:
+  /// Appends raw bytes from the wire. Cheap; all parsing happens in Next().
+  void Feed(const char* data, size_t len);
+
+  /// Pops the next complete frame into `*out`. Returns true when a frame
+  /// was produced, false when more bytes are needed, an error when the
+  /// stream is corrupt (sticky).
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed (tests + backpressure gauges).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status poisoned_ = Status::OK();
+};
 
 }  // namespace net
 }  // namespace joinmi

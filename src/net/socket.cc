@@ -63,6 +63,11 @@ void Socket::Close() {
   }
 }
 
+Status Socket::SetNonBlocking(bool nonblocking) {
+  if (!valid()) return Status::IOError("socket is not open");
+  return SetBlocking(fd_, !nonblocking);
+}
+
 Status Socket::SetTimeouts(int recv_timeout_ms, int send_timeout_ms) {
   if (!valid()) return Status::IOError("socket is not open");
   JOINMI_RETURN_NOT_OK(SetOneTimeout(fd_, SO_RCVTIMEO, recv_timeout_ms));

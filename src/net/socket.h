@@ -46,6 +46,11 @@ class Socket {
   /// \brief Sets per-call receive/send timeouts (0 disables the bound).
   Status SetTimeouts(int recv_timeout_ms, int send_timeout_ms);
 
+  /// \brief Toggles O_NONBLOCK — the event-loop registration path. The
+  /// blocking read/write helpers above assume blocking mode; a nonblocking
+  /// socket belongs to a reactor that does its own recv/send.
+  Status SetNonBlocking(bool nonblocking);
+
   /// \brief Writes the whole buffer, retrying short writes. Never raises
   /// SIGPIPE. If `bytes_written` is non-null it receives the count actually
   /// put on the wire even on failure — retry policies need to distinguish
@@ -96,6 +101,7 @@ class Listener {
                                int backlog = 64);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   uint16_t port() const { return port_; }
   void Close();
 

@@ -232,6 +232,92 @@ TEST(ConnPoolTest, DialerErrorStatusPropagatesVerbatim) {
   EXPECT_EQ(lease.status().message(), "handshake config mismatch");
 }
 
+// ------------------------------------------------------------- Close()
+
+TEST(ConnPoolTest, CloseWakesBlockedAcquirerWithDeterministicError) {
+  ParkingServer server;
+  ConnPoolOptions options;
+  options.max_connections = 1;
+  ConnPool pool(DialerFor(&server), options);
+  auto held = pool.Acquire();  // take the only slot
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> woke{false};
+  Status blocked_status = Status::OK();
+  std::thread blocked([&] {
+    auto lease = pool.Acquire();  // blocks: no slot free
+    blocked_status = lease.status();
+    woke.store(true);
+  });
+  // Give the acquirer time to actually block on the slot condition.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load());
+
+  pool.Close();
+  blocked.join();
+  ASSERT_FALSE(blocked_status.ok());
+  EXPECT_TRUE(blocked_status.IsIOError());
+  EXPECT_NE(blocked_status.message().find("closed"), std::string::npos)
+      << blocked_status;
+  // The outstanding lease stays usable and its release still accounts.
+  EXPECT_TRUE(held->socket().valid());
+  held = Status::IOError("drop");  // release the lease into a closed pool
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.idle_connections(), 0u);  // closed pools cache nothing
+}
+
+TEST(ConnPoolTest, AcquireAfterCloseFailsWithoutDialing) {
+  std::atomic<uint64_t> dials{0};
+  ParkingServer server;
+  ConnPool pool(DialerFor(&server, &dials), ConnPoolOptions{});
+  pool.Close();
+  auto lease = pool.Acquire();
+  ASSERT_FALSE(lease.ok());
+  EXPECT_TRUE(lease.status().IsIOError());
+  EXPECT_EQ(dials.load(), 0u);
+  pool.Close();  // idempotent
+}
+
+TEST(ConnPoolTest, CloseDropsIdleConnections) {
+  ParkingServer server;
+  ConnPool pool(DialerFor(&server), ConnPoolOptions{});
+  { auto lease = pool.Acquire(); ASSERT_TRUE(lease.ok()); }
+  EXPECT_EQ(pool.idle_connections(), 1u);
+  pool.Close();
+  EXPECT_EQ(pool.idle_connections(), 0u);
+}
+
+TEST(ConnPoolTest, DestructionWithBlockedAcquirerDoesNotHang) {
+  // The satellite regression: destroying a pool while a thread is parked
+  // in Acquire must wake it with an error, not leave it waiting on freed
+  // memory. The destructor runs Close() first.
+  ParkingServer server;
+  std::atomic<bool> woke{false};
+  Status blocked_status = Status::OK();
+  std::thread blocked;
+  {
+    ConnPoolOptions options;
+    options.max_connections = 1;
+    auto pool = std::make_unique<ConnPool>(DialerFor(&server), options);
+    auto held = pool->Acquire();
+    ASSERT_TRUE(held.ok());
+    blocked = std::thread([&, pool = pool.get()] {
+      auto lease = pool->Acquire();
+      blocked_status = lease.status();
+      woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_FALSE(woke.load());
+    // Destroy the pool while one lease is out and one acquirer blocks.
+    // Close() poisons first, so the blocked thread wakes and exits before
+    // the lease's own release touches the (still-alive) pool object.
+    pool->Close();
+    blocked.join();
+  }
+  ASSERT_TRUE(woke.load());
+  EXPECT_TRUE(blocked_status.IsIOError());
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace joinmi

@@ -324,5 +324,298 @@ TEST(RpcMessageTest, HealthAndErrorRoundTrip) {
   EXPECT_EQ(decoded_error.message(), "shard on fire");
 }
 
+// --------------------------------------------------------- v2 frame codec
+
+TEST(FrameV2CodecTest, RoundTripsRequestIdOnEveryType) {
+  for (FrameType type :
+       {FrameType::kHandshakeRequest, FrameType::kSearchRequest,
+        FrameType::kSketchUploadRequest, FrameType::kSketchUploadResponse,
+        FrameType::kBatchSearchRequest, FrameType::kBatchSearchResponse,
+        FrameType::kError}) {
+    const uint64_t id = 0x1122334455667788ULL;
+    const std::string encoded = net::EncodeFrameV2(type, id, "abc");
+    EXPECT_EQ(encoded.size(), net::kFrameV2HeaderSize + 3);
+    auto decoded = DecodeFrame(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->type, type);
+    EXPECT_EQ(decoded->version, 2u);
+    EXPECT_EQ(decoded->request_id, id);
+    EXPECT_EQ(decoded->payload, "abc");
+  }
+}
+
+TEST(FrameV2CodecTest, V1FrameDecodesAsVersion1WithZeroRequestId) {
+  auto decoded = DecodeFrame(EncodeFrame(FrameType::kSearchRequest, "x"));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, 1u);
+  EXPECT_EQ(decoded->request_id, 0u);
+}
+
+TEST(FrameV2CodecTest, V2OnlyTypesRejectedInV1Header) {
+  // A v1 header has no request_id to demux by, so the batched/upload
+  // types must not parse under it.
+  for (FrameType type :
+       {FrameType::kSketchUploadRequest, FrameType::kSketchUploadResponse,
+        FrameType::kBatchSearchRequest, FrameType::kBatchSearchResponse}) {
+    const std::string encoded =
+        net::EncodeFrameAs(1, type, /*request_id=*/0, "p");
+    EXPECT_FALSE(DecodeFrame(encoded).ok())
+        << net::FrameTypeToString(type);
+  }
+}
+
+TEST(FrameV2CodecTest, RejectsTruncationAtEveryLength) {
+  // Covers every new field boundary: bytes 13..20 are the request_id.
+  const std::string encoded =
+      net::EncodeFrameV2(FrameType::kBatchSearchRequest, 77, "payload");
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodeFrame(encoded.substr(0, len)).ok()) << len;
+  }
+  ASSERT_TRUE(DecodeFrame(encoded).ok());
+}
+
+TEST(FrameV2CodecTest, RejectsVersion3) {
+  std::string encoded = net::EncodeFrameV2(FrameType::kSearchRequest, 1, "");
+  const uint32_t bogus = 3;
+  std::memcpy(&encoded[4], &bogus, sizeof(bogus));
+  EXPECT_FALSE(DecodeFrame(encoded).ok());
+}
+
+TEST(FrameV2CodecTest, EncodeFrameAsMatchesBothEncoders) {
+  EXPECT_EQ(net::EncodeFrameAs(1, FrameType::kError, 99, "e"),
+            EncodeFrame(FrameType::kError, "e"));  // id dropped in v1
+  EXPECT_EQ(net::EncodeFrameAs(2, FrameType::kError, 99, "e"),
+            net::EncodeFrameV2(FrameType::kError, 99, "e"));
+}
+
+TEST(FrameTransportTest, SendFrameV2RoundTripsOverSocketPair) {
+  SocketPair pair = MakeSocketPair();
+  const std::string payload(50000, 'v');
+  std::thread sender([&pair, &payload] {
+    ASSERT_TRUE(net::SendFrameV2(&pair.a, FrameType::kBatchSearchResponse,
+                                 31337, payload)
+                    .ok());
+  });
+  auto frame = net::RecvFrame(&pair.b);
+  sender.join();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kBatchSearchResponse);
+  EXPECT_EQ(frame->version, 2u);
+  EXPECT_EQ(frame->request_id, 31337u);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+// --------------------------------------------------------- FrameAssembler
+
+TEST(FrameAssemblerTest, AssemblesMixedVersionsFedByteAtATime) {
+  const std::string stream =
+      EncodeFrame(FrameType::kSearchRequest, "first") +
+      net::EncodeFrameV2(FrameType::kBatchSearchRequest, 5, "second") +
+      EncodeFrame(FrameType::kHealthRequest, "");
+  net::FrameAssembler assembler;
+  std::vector<Frame> frames;
+  for (char byte : stream) {
+    assembler.Feed(&byte, 1);
+    Frame frame;
+    auto ready = assembler.Next(&frame);
+    ASSERT_TRUE(ready.ok()) << ready.status();
+    if (*ready) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kSearchRequest);
+  EXPECT_EQ(frames[0].payload, "first");
+  EXPECT_EQ(frames[1].type, FrameType::kBatchSearchRequest);
+  EXPECT_EQ(frames[1].request_id, 5u);
+  EXPECT_EQ(frames[1].payload, "second");
+  EXPECT_EQ(frames[2].type, FrameType::kHealthRequest);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameAssemblerTest, DrainsManyFramesFromOneFeed) {
+  std::string stream;
+  for (uint64_t id = 0; id < 20; ++id) {
+    stream += net::EncodeFrameV2(FrameType::kSearchRequest, id,
+                                 std::string(id, 'x'));
+  }
+  net::FrameAssembler assembler;
+  assembler.Feed(stream.data(), stream.size());
+  for (uint64_t id = 0; id < 20; ++id) {
+    Frame frame;
+    auto ready = assembler.Next(&frame);
+    ASSERT_TRUE(ready.ok());
+    ASSERT_TRUE(*ready) << id;
+    EXPECT_EQ(frame.request_id, id);
+    EXPECT_EQ(frame.payload.size(), id);
+  }
+  Frame frame;
+  auto ready = assembler.Next(&frame);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_FALSE(*ready);
+}
+
+TEST(FrameAssemblerTest, PoisonsOnCorruptHeaderAndStaysPoisoned) {
+  net::FrameAssembler assembler;
+  std::string bad = EncodeFrame(FrameType::kSearchRequest, "x");
+  bad[0] = 'Z';
+  assembler.Feed(bad.data(), bad.size());
+  Frame frame;
+  EXPECT_FALSE(assembler.Next(&frame).ok());
+  // A later valid frame cannot resynchronize a corrupt byte stream.
+  const std::string good = EncodeFrame(FrameType::kHealthRequest, "");
+  assembler.Feed(good.data(), good.size());
+  EXPECT_FALSE(assembler.Next(&frame).ok());
+}
+
+// ------------------------------------------------------ v2 message codecs
+
+TEST(RpcMessageTest, HandshakeRequestV1ShapeIsEmptyAndDecodesAsV1) {
+  rpc::HandshakeRequest legacy;
+  legacy.max_version = 1;
+  EXPECT_TRUE(rpc::EncodeHandshakeRequest(legacy).empty());
+  // The empty payload — exactly what a v1 client sends — reads back as
+  // max_version 1.
+  auto decoded = rpc::DecodeHandshakeRequest("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->max_version, 1u);
+}
+
+TEST(RpcMessageTest, HandshakeRequestV2RoundTripsAndRejectsCorruption) {
+  rpc::HandshakeRequest hello;
+  hello.max_version = 2;
+  const std::string payload = rpc::EncodeHandshakeRequest(hello);
+  ASSERT_FALSE(payload.empty());
+  auto decoded = rpc::DecodeHandshakeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->max_version, 2u);
+  for (size_t len = 1; len < payload.size(); ++len) {
+    EXPECT_FALSE(rpc::DecodeHandshakeRequest(payload.substr(0, len)).ok())
+        << len;
+  }
+  EXPECT_FALSE(rpc::DecodeHandshakeRequest(payload + "x").ok());
+}
+
+TEST(RpcMessageTest, HandshakeResponseCarriesProtocolVersionWhenV2) {
+  rpc::HandshakeResponse response;
+  response.config.sketch_capacity = 64;
+  response.num_candidates = 5;
+  response.protocol_version = 2;
+  auto decoded =
+      rpc::DecodeHandshakeResponse(rpc::EncodeHandshakeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->protocol_version, 2u);
+  // The v1 shape (no trailing version field) decodes as version 1 — that
+  // is how a new client detects an old server.
+  response.protocol_version = 1;
+  auto legacy =
+      rpc::DecodeHandshakeResponse(rpc::EncodeHandshakeResponse(response));
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(legacy->protocol_version, 1u);
+}
+
+TEST(RpcMessageTest, SketchUploadRoundTripsAndRejectsCorruption) {
+  rpc::SketchUploadRequest request;
+  request.train_sketch = std::string("\x00\x01rawsketch", 11);
+  request.digest = wire::Checksum64(request.train_sketch);
+  const std::string payload = rpc::EncodeSketchUploadRequest(request);
+  auto decoded = rpc::DecodeSketchUploadRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->digest, request.digest);
+  EXPECT_EQ(decoded->train_sketch, request.train_sketch);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(rpc::DecodeSketchUploadRequest(payload.substr(0, len)).ok())
+        << len;
+  }
+  EXPECT_FALSE(rpc::DecodeSketchUploadRequest(payload + "x").ok());
+
+  rpc::SketchUploadResponse ack;
+  ack.status = Status::InvalidArgument("cache full");
+  ack.digest = 42;
+  auto decoded_ack =
+      rpc::DecodeSketchUploadResponse(rpc::EncodeSketchUploadResponse(ack));
+  ASSERT_TRUE(decoded_ack.ok());
+  EXPECT_TRUE(decoded_ack->status.IsInvalidArgument());
+  EXPECT_EQ(decoded_ack->digest, 42u);
+}
+
+TEST(RpcMessageTest, BatchSearchRequestRoundTripsZeroOneAndDuplicates) {
+  for (size_t count : {0u, 1u, 3u}) {
+    rpc::BatchSearchRequest request;
+    request.sketch_digest = 0xfeedbeef;
+    for (size_t i = 0; i < count; ++i) {
+      rpc::BatchSearchVariant variant;
+      variant.k = 4;             // duplicates on purpose when count == 3
+      variant.min_join_size = 16;
+      request.variants.push_back(variant);
+    }
+    const std::string payload = rpc::EncodeBatchSearchRequest(request);
+    auto decoded = rpc::DecodeBatchSearchRequest(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->sketch_digest, 0xfeedbeefu);
+    ASSERT_EQ(decoded->variants.size(), count);
+    for (const auto& variant : decoded->variants) {
+      EXPECT_EQ(variant.k, 4u);
+      EXPECT_EQ(variant.min_join_size, 16u);
+    }
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(
+          rpc::DecodeBatchSearchRequest(payload.substr(0, len)).ok())
+          << count << ":" << len;
+    }
+    EXPECT_FALSE(rpc::DecodeBatchSearchRequest(payload + "x").ok());
+  }
+}
+
+TEST(RpcMessageTest, BatchSearchRequestRejectsLyingVariantCount) {
+  rpc::BatchSearchRequest request;
+  request.sketch_digest = 1;
+  const std::string payload = rpc::EncodeBatchSearchRequest(request);
+  std::string lying = payload;
+  const uint32_t huge = ~0u;
+  std::memcpy(&lying[lying.size() - 4], &huge, sizeof(huge));
+  EXPECT_FALSE(rpc::DecodeBatchSearchRequest(lying).ok());
+}
+
+TEST(RpcMessageTest, BatchSearchResponseRoundTripsNestedResponses) {
+  rpc::BatchSearchResponse response;
+  response.status = Status::OK();
+  rpc::SearchResponse one;
+  one.status = Status::OK();
+  one.result.num_candidates = 3;
+  ShardSearchHit hit;
+  hit.global_index = 9;
+  hit.ref = ColumnPairRef{"t", "k", "v"};
+  hit.estimate.mi = 2.5;
+  one.result.hits.push_back(hit);
+  response.responses.push_back(one);
+  rpc::SearchResponse two;
+  two.status = Status::OutOfRange("small join");
+  response.responses.push_back(two);
+
+  const std::string payload = rpc::EncodeBatchSearchResponse(response);
+  auto decoded = rpc::DecodeBatchSearchResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(decoded->status.ok());
+  ASSERT_EQ(decoded->responses.size(), 2u);
+  ASSERT_EQ(decoded->responses[0].result.hits.size(), 1u);
+  EXPECT_EQ(decoded->responses[0].result.hits[0].global_index, 9u);
+  EXPECT_EQ(decoded->responses[0].result.hits[0].estimate.mi, 2.5);
+  EXPECT_TRUE(decoded->responses[1].status.IsOutOfRange());
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        rpc::DecodeBatchSearchResponse(payload.substr(0, len)).ok())
+        << len;
+  }
+
+  // A batch-level error carries no nested responses.
+  rpc::BatchSearchResponse failed;
+  failed.status = Status::InvalidArgument("unknown digest");
+  auto decoded_failed =
+      rpc::DecodeBatchSearchResponse(rpc::EncodeBatchSearchResponse(failed));
+  ASSERT_TRUE(decoded_failed.ok());
+  EXPECT_TRUE(decoded_failed->status.IsInvalidArgument());
+  EXPECT_TRUE(decoded_failed->responses.empty());
+}
+
 }  // namespace
 }  // namespace joinmi

@@ -474,8 +474,10 @@ TEST(ReplicaRouterTest, CooldownReprobeReturnsARevivedReplicaToRotation) {
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   ASSERT_TRUE(client->Search(*query, 3, 1).ok());
   EXPECT_FALSE(client->replica_down(0));
-  // The revived server saw at least the probe (handshake + health).
-  EXPECT_GE(deployment.servers[0][0]->requests_served(), 2u);
+  // The revived server saw the probe on the dedicated counters — probes
+  // and handshakes no longer masquerade as served requests.
+  EXPECT_GE(deployment.servers[0][0]->handshakes_served(), 1u);
+  EXPECT_GE(deployment.servers[0][0]->health_served(), 1u);
   // And with both replicas healthy again, traffic spreads once more.
   const uint64_t revived_before =
       deployment.servers[0][0]->requests_served();

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/discovery/rpc_messages.h"
 #include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
 #include "src/discovery/shard_server.h"
@@ -299,14 +301,18 @@ TEST(RpcShardTest, ConnectionsAreReusedAcrossQueries) {
       }
     }
   }
-  // 5 queries x 2 shards, plus 2 handshakes (one per client connection) =
-  // server-side request counters prove the connections were not re-dialed
-  // per query (each re-dial would add a handshake).
+  // 5 queries x 2 shards = 10 search frames, and exactly 2 handshakes (one
+  // per client connection) prove the connections were not re-dialed per
+  // query — each re-dial would add a handshake. The search counter counts
+  // query traffic only; handshakes no longer inflate it.
   uint64_t total_requests = 0;
+  uint64_t total_handshakes = 0;
   for (const auto& server : deployment.servers) {
     total_requests += server->requests_served();
+    total_handshakes += server->handshakes_served();
   }
-  EXPECT_EQ(total_requests, 5u * 2u + 2u);
+  EXPECT_EQ(total_requests, 5u * 2u);
+  EXPECT_EQ(total_handshakes, 2u);
 }
 
 // --------------------------------------------- Concurrent multiplexing
@@ -442,10 +448,11 @@ TEST(RpcShardTest, PoolOfOneBlocksConcurrentQueriesInsteadOfOverdialing) {
   EXPECT_EQ(client->pool().max_in_flight(), 1u);
   EXPECT_EQ(client->pool().total_dials(), 1u);
   // ...which the server confirms independently: one handshake ever, and
-  // every request accounted for on that single connection.
+  // every search accounted for on that single connection (the handshake
+  // itself no longer counts as a request).
   EXPECT_EQ(deployment.servers[0]->handshakes_served(), 1u);
   EXPECT_EQ(deployment.servers[0]->requests_served(),
-            1u + num_threads * queries_per_thread);
+            num_threads * queries_per_thread);
 }
 
 // ------------------------------------------------------- Failure handling
@@ -645,7 +652,11 @@ TEST(RpcShardTest, HealthProbeReportsLivenessAndOutage) {
   auto health = (*client)->Health();
   ASSERT_TRUE(health.ok()) << health.status();
   EXPECT_EQ(health->num_candidates, manifest->shards[0].candidate_count);
-  EXPECT_GE(health->requests_served, 1u);
+  // No search has run: the reported counter is 0 because handshakes and
+  // health probes no longer inflate it — they land on their own counters.
+  EXPECT_EQ(health->requests_served, 0u);
+  EXPECT_GE(deployment.servers[0]->handshakes_served(), 1u);
+  EXPECT_GE(deployment.servers[0]->health_served(), 1u);
 
   deployment.servers[0]->Stop();
   auto down = (*client)->Health();
@@ -710,6 +721,381 @@ TEST(RpcShardTest, SearchRejectsQueryConfigDrift) {
   ASSERT_TRUE(relaxed_query.ok());
   auto relaxed_result = remote->Search(*relaxed_query, 3, 1);
   ASSERT_TRUE(relaxed_result.ok()) << relaxed_result.status();
+}
+
+// ---------------------------------------------- JMRP v2: pipelining
+
+void ExpectShardBitIdentical(const ShardSearchResult& expected,
+                             const ShardSearchResult& actual) {
+  EXPECT_EQ(expected.num_candidates, actual.num_candidates);
+  EXPECT_EQ(expected.num_evaluated, actual.num_evaluated);
+  EXPECT_EQ(expected.num_skipped, actual.num_skipped);
+  EXPECT_EQ(expected.num_errors, actual.num_errors);
+  ASSERT_EQ(expected.hits.size(), actual.hits.size());
+  for (size_t i = 0; i < expected.hits.size(); ++i) {
+    EXPECT_EQ(expected.hits[i].global_index, actual.hits[i].global_index)
+        << i;
+    EXPECT_EQ(expected.hits[i].ref.table_name, actual.hits[i].ref.table_name)
+        << i;
+    EXPECT_EQ(expected.hits[i].estimate.mi, actual.hits[i].estimate.mi) << i;
+    EXPECT_EQ(expected.hits[i].estimate.sample_size,
+              actual.hits[i].estimate.sample_size) << i;
+  }
+}
+
+TEST(RpcShardTest, PipelinedChannelOverlapsQueriesOnOneConnection) {
+  // pool_size 1: a single TCP connection, shared by 8 concurrent router
+  // threads. The v1 client would serialize them whole-exchange; the v2
+  // channel interleaves requests and demuxes responses by request_id, so
+  // the in-flight high-water mark must exceed 1 while the dial count
+  // stays at exactly one connection.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 1, ShardPartitionPolicy::kRoundRobin, "pipeline",
+                  &deployment, /*num_workers=*/4);
+
+  RpcClientOptions options = FastTimeouts();
+  options.pool_size = 1;
+  std::unique_ptr<ShardedSketchIndex> router;
+  const RpcShardClient* client = nullptr;
+  MakeSingleShardRouter(deployment, options, &router, &client);
+  ASSERT_EQ(client->negotiated_version(), net::kProtocolVersion);
+
+  auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+  ASSERT_TRUE(local.ok());
+  auto expected = TopKJoinMISearch(*universe.base, {"K", "Y"}, *local, 3, 1);
+  ASSERT_TRUE(expected.ok());
+
+  const size_t num_threads = 8;
+  const size_t queries_per_thread = 4;
+  std::vector<Status> statuses(num_threads, Status::OK());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t q = 0; q < queries_per_thread; ++q) {
+        auto result =
+            TopKJoinMISearch(*universe.base, {"K", "Y"}, *router, 3, 1);
+        if (!result.ok()) {
+          statuses[t] = result.status();
+          return;
+        }
+        ExpectBitIdentical(*expected, *result);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < num_threads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << "thread " << t << ": " << statuses[t];
+  }
+  // The pigeonhole: 32 queries from 8 threads funneled through one
+  // connection must have overlapped — pipelining is what lets them.
+  EXPECT_GE(client->max_pipelined(), 2u)
+      << "8 threads never had two requests in flight on the one connection";
+  EXPECT_EQ(client->live_channels(), 1u);
+  EXPECT_EQ(client->pool().total_dials(), 1u);
+  // The sketch crossed the wire once; every query after the first reused
+  // the connection-cached copy by digest.
+  EXPECT_EQ(deployment.servers[0]->sketch_uploads_served(), 1u);
+  EXPECT_EQ(deployment.servers[0]->requests_served(),
+            num_threads * queries_per_thread);
+}
+
+TEST(RpcShardTest, BatchedVariantsBitIdenticalAcrossShardsAndPolicies) {
+  // One sketch upload, one batch frame per shard, many (k, min_join_size)
+  // variants — each element must equal both the local batched answer and
+  // an individual remote Search under that variant's parameters.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+
+  const std::vector<ShardSearchVariant> variants = {
+      {1, 16}, {3, 16}, {3, 1}, {7, 16}, {3, 16} /* duplicate on purpose */};
+
+  for (ShardPartitionPolicy policy :
+       {ShardPartitionPolicy::kRoundRobin,
+        ShardPartitionPolicy::kHashByDataset}) {
+    for (size_t num_shards : {1u, 3u}) {
+      Deployment deployment;
+      StartDeployment(index, num_shards, policy,
+                      std::string("batch_") +
+                          ShardPartitionPolicyToString(policy) + "_" +
+                          std::to_string(num_shards),
+                      &deployment);
+      auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+      ASSERT_TRUE(local.ok()) << local.status();
+      auto remote = ShardedSketchIndex::Load(
+          deployment.manifest_path,
+          RpcShardClient::Factory(deployment.endpoints, FastTimeouts()));
+      ASSERT_TRUE(remote.ok()) << remote.status();
+
+      auto query =
+          JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+      ASSERT_TRUE(query.ok());
+      auto local_batch = local->SearchVariants(*query, variants, 1);
+      ASSERT_TRUE(local_batch.ok()) << local_batch.status();
+      auto remote_batch = remote->SearchVariants(*query, variants, 1);
+      ASSERT_TRUE(remote_batch.ok()) << remote_batch.status();
+      ASSERT_EQ(remote_batch->size(), variants.size());
+      for (size_t i = 0; i < variants.size(); ++i) {
+        ExpectShardBitIdentical((*local_batch)[i], (*remote_batch)[i]);
+      }
+      // The duplicate variant answers identically to its twin.
+      ExpectShardBitIdentical((*remote_batch)[1], (*remote_batch)[4]);
+      // Cross-check one variant against the single-search path under a
+      // query rebuilt with that variant's min_join_size.
+      JoinMIConfig relaxed = index.config();
+      relaxed.min_join_size = 1;
+      auto relaxed_query =
+          JoinMIQuery::Create(*universe.base, "K", "Y", relaxed);
+      ASSERT_TRUE(relaxed_query.ok());
+      auto single = remote->Search(*relaxed_query, 3, 1);
+      ASSERT_TRUE(single.ok()) << single.status();
+      ExpectShardBitIdentical(*single, (*remote_batch)[2]);
+
+      // Empty batch short-circuits without a frame.
+      auto empty = remote->SearchVariants(*query, {}, 1);
+      ASSERT_TRUE(empty.ok());
+      EXPECT_TRUE(empty->empty());
+    }
+  }
+}
+
+// --------------------------------------- Cross-version interoperability
+
+TEST(RpcShardTest, V1ClientAgainstV2ServerStaysBitIdentical) {
+  // A not-yet-upgraded client capped at protocol v1 talks to today's
+  // server: handshake negotiates down to 1, searches travel as legacy
+  // one-per-round-trip frames (no uploads), rankings stay bit-identical.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 2, ShardPartitionPolicy::kRoundRobin, "v1client",
+                  &deployment);
+
+  RpcClientOptions options = FastTimeouts();
+  options.max_protocol_version = 1;
+  auto local = ShardedSketchIndex::Load(deployment.manifest_path);
+  ASSERT_TRUE(local.ok());
+  auto remote = ShardedSketchIndex::Load(
+      deployment.manifest_path,
+      RpcShardClient::Factory(deployment.endpoints, options));
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  auto query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+  ASSERT_TRUE(query.ok());
+  for (size_t k : {1u, 3u, 7u}) {
+    auto expected = local->Search(*query, k, 1);
+    ASSERT_TRUE(expected.ok());
+    auto actual = remote->Search(*query, k, 1);
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    ExpectShardBitIdentical(*expected, *actual);
+  }
+  // Batched variants still answer correctly — the v1 fallback loops one
+  // legacy frame per variant instead of sending a batch.
+  const std::vector<ShardSearchVariant> variants = {{1, 16}, {3, 1}};
+  auto local_batch = local->SearchVariants(*query, variants, 1);
+  ASSERT_TRUE(local_batch.ok());
+  auto remote_batch = remote->SearchVariants(*query, variants, 1);
+  ASSERT_TRUE(remote_batch.ok()) << remote_batch.status();
+  ASSERT_EQ(remote_batch->size(), variants.size());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    ExpectShardBitIdentical((*local_batch)[i], (*remote_batch)[i]);
+  }
+  // Nothing v2 ever crossed the wire.
+  for (const auto& server : deployment.servers) {
+    EXPECT_EQ(server->sketch_uploads_served(), 0u);
+  }
+}
+
+/// A frozen v1 binary in miniature: blocking accept loop, a thread per
+/// connection, only the legacy frames — the handshake answered in the
+/// legacy shape (no protocol_version field), searches served one frame
+/// per round trip, anything newer answered with an error and a hangup.
+/// This is what a not-yet-upgraded shard looks like to a v2 client
+/// mid-rolling-upgrade.
+class LegacyServer {
+ public:
+  static std::unique_ptr<LegacyServer> Start(const ShardManifest& manifest,
+                                             const std::string& dir) {
+    auto client = ShardedSketchIndex::LocalFileFactory()(manifest, 0, dir);
+    EXPECT_TRUE(client.ok()) << client.status();
+    auto listener = net::Listener::Bind("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok()) << listener.status();
+    std::unique_ptr<LegacyServer> server(new LegacyServer);
+    server->client_ = std::move(*client);
+    server->listener_ = std::move(*listener);
+    server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+    return server;
+  }
+
+  ~LegacyServer() {
+    stop_.store(true);
+    if (acceptor_.joinable()) acceptor_.join();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  LegacyServer() = default;
+
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      auto socket = listener_.AcceptWithTimeout(50);
+      if (!socket.ok()) continue;
+      auto shared = std::make_shared<net::Socket>(std::move(*socket));
+      workers_.emplace_back([this, shared] { Serve(shared.get()); });
+    }
+  }
+
+  void Serve(net::Socket* socket) {
+    (void)socket->SetTimeouts(2000, 2000);
+    while (!stop_.load()) {
+      auto frame = net::RecvFrame(socket);
+      if (!frame.ok()) return;
+      switch (frame->type) {
+        case net::FrameType::kHandshakeRequest: {
+          rpc::HandshakeResponse response;
+          response.config = client_->config();
+          response.num_candidates = client_->num_candidates();
+          response.protocol_version = 1;  // encodes the legacy shape
+          if (!net::SendFrame(socket, net::FrameType::kHandshakeResponse,
+                              rpc::EncodeHandshakeResponse(response))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        case net::FrameType::kSearchRequest: {
+          rpc::SearchResponse response;
+          auto run = [&]() -> Result<ShardSearchResult> {
+            JOINMI_ASSIGN_OR_RETURN(
+                rpc::SearchRequest request,
+                rpc::DecodeSearchRequest(frame->payload));
+            JOINMI_ASSIGN_OR_RETURN(Sketch train,
+                                    DeserializeSketch(request.train_sketch));
+            JoinMIConfig config = client_->config();
+            config.min_join_size =
+                static_cast<size_t>(request.min_join_size);
+            JOINMI_ASSIGN_OR_RETURN(
+                JoinMIQuery query,
+                JoinMIQuery::FromTrainSketch(std::move(train), config));
+            return client_->Search(query, static_cast<size_t>(request.k),
+                                   1);
+          };
+          auto result = run();
+          if (result.ok()) {
+            response.status = Status::OK();
+            response.result = std::move(*result);
+          } else {
+            response.status = result.status();
+          }
+          if (!net::SendFrame(socket, net::FrameType::kSearchResponse,
+                              rpc::EncodeSearchResponse(response))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        default: {
+          // A v1 binary has never heard of uploads or batches.
+          (void)net::SendFrame(
+              socket, net::FrameType::kError,
+              rpc::EncodeErrorPayload(Status::InvalidArgument(
+                  "unknown frame type")));
+          return;
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<ShardClient> client_;
+  net::Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+TEST(RpcShardTest, V2ClientAgainstLegacyV1ServerNegotiatesDown) {
+  // Today's client dials a frozen v1 server. The legacy-shaped handshake
+  // response is how it learns the server can't speak v2: it must fall
+  // back to one-search-per-round-trip frames and still answer
+  // bit-identically.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string dir = ScratchDir("legacy");
+  auto manifest_path =
+      BuildShards(index, 1, ShardPartitionPolicy::kRoundRobin, dir);
+  ASSERT_TRUE(manifest_path.ok()) << manifest_path.status();
+  auto manifest = ReadManifestFile(*manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  auto legacy = LegacyServer::Start(*manifest, dir);
+
+  ASSERT_TRUE(manifest->config.has_value());
+  auto client = RpcShardClient::Create(
+      ShardEndpoint{"127.0.0.1", legacy->port()}, *manifest->config,
+      manifest->shards[0].candidate_count, FastTimeouts());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_EQ((*client)->negotiated_version(), 1u);
+
+  auto local = ShardedSketchIndex::Load(*manifest_path);
+  ASSERT_TRUE(local.ok());
+  auto query =
+      JoinMIQuery::Create(*universe.base, "K", "Y", index.config());
+  ASSERT_TRUE(query.ok());
+  auto expected = local->Search(*query, 3, 1);
+  ASSERT_TRUE(expected.ok());
+  auto actual = (*client)->Search(*query, 3, 1);
+  ASSERT_TRUE(actual.ok()) << actual.status();
+  ExpectShardBitIdentical(*expected, *actual);
+
+  // Variants fall back to the per-variant loop a v1 server understands.
+  const std::vector<ShardSearchVariant> variants = {{1, 16}, {3, 16}};
+  auto batch = (*client)->SearchVariants(*query, variants, 1);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), variants.size());
+  auto expected_one = local->Search(*query, 1, 1);
+  ASSERT_TRUE(expected_one.ok());
+  ExpectShardBitIdentical(*expected_one, (*batch)[0]);
+  ExpectShardBitIdentical(*expected, (*batch)[1]);
+
+  client->reset();  // hang up before the server object unwinds
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- Shutdown safety
+
+TEST(RpcShardTest, ConcurrentStopCallsAreSerializedAndIdempotent) {
+  // Two threads race Stop() on the same server: exactly one performs the
+  // teardown, the other blocks until it finishes, nobody double-joins.
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  Deployment deployment;
+  StartDeployment(index, 1, ShardPartitionPolicy::kRoundRobin, "stoprace",
+                  &deployment);
+  ShardServer* server = deployment.servers[0].get();
+  const uint16_t port = server->port();
+
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 2; ++t) {
+    stoppers.emplace_back([server] { server->Stop(); });
+  }
+  for (std::thread& thread : stoppers) thread.join();
+  server->Stop();  // and again after the fact — a no-op
+  // The port actually stopped answering.
+  auto probe = net::Socket::Connect("127.0.0.1", port, 250);
+  if (probe.ok()) {
+    (void)probe->SetTimeouts(250, 250);
+    EXPECT_FALSE(net::SendFrame(&*probe, net::FrameType::kHealthRequest, "")
+                     .ok() &&
+                 net::RecvFrame(&*probe).ok());
+  }
 }
 
 }  // namespace

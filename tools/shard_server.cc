@@ -139,16 +139,20 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   // Shutdown stats go to stderr (stdout may be a pipe a supervisor already
-  // stopped reading): total requests plus handshakes, so a failover drill's
-  // logs show whether this replica actually took traffic — handshakes count
-  // distinct client connections, requests count everything answered.
+  // stopped reading): searches are query traffic only (single and batch
+  // frames — handshakes and health probes no longer inflate the count),
+  // handshakes count distinct client connections, so a failover drill's
+  // logs show whether this replica actually took traffic.
   std::fprintf(stderr,
-               "shard %ld shutting down: %llu requests served "
-               "(%llu handshakes)\n",
+               "shard %ld shutting down: %llu searches served "
+               "(%llu handshakes, %llu health probes, %llu uploads)\n",
                shard_id,
                static_cast<unsigned long long>((*server)->requests_served()),
                static_cast<unsigned long long>(
-                   (*server)->handshakes_served()));
+                   (*server)->handshakes_served()),
+               static_cast<unsigned long long>((*server)->health_served()),
+               static_cast<unsigned long long>(
+                   (*server)->sketch_uploads_served()));
   (*server)->Stop();
   return 0;
 }
