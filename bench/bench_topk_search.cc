@@ -55,13 +55,28 @@
 // kBatchSearchRequest carrying N (k, min_join_size) variants against a
 // connection-cached sketch) against N single-variant round trips.
 //
+// Part 7 is paged shard storage: the same shard layout built as "JMPS"
+// paged files and served through PagedShardClient buffer pools of several
+// sizes (starving, comfortable, everything-resident) against the
+// whole-file in-memory baseline. Two costs are on trial: cold start
+// (whole-file load deserializes every candidate, paged open reads header
+// + directory only) and steady-state query latency as a function of the
+// pool budget. Pool counters prove the starving configuration really
+// evicted mid-query; rankings are cross-checked against the in-memory
+// path before any number is printed.
+//
 // `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
 // batch) so the whole binary runs in well under a second; CI runs that
 // mode as a ctest to keep this harness from rotting.
+//
+// `--json PATH` additionally writes the headline numbers as a flat JSON
+// object — the machine-readable sibling of the printed report, for
+// checked-in baselines and regression tracking.
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +89,7 @@
 
 #include "src/common/random.h"
 #include "src/core/join_mi.h"
+#include "src/discovery/paged_shard_index.h"
 #include "src/discovery/replica_router.h"
 #include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
@@ -109,6 +125,38 @@ BenchParams SmokeParams() {
   params.query_counts = {2};
   params.shard_counts = {2};
   return params;
+}
+
+// Headline numbers for the optional --json report: insertion-ordered
+// (name, value) pairs, written as one flat JSON object. Names are plain
+// identifiers, so no escaping is needed.
+std::vector<std::pair<std::string, double>>* g_metrics = nullptr;
+
+void RecordMetric(const std::string& name, double value) {
+  if (g_metrics != nullptr) g_metrics->emplace_back(name, value);
+}
+
+int WriteJsonReport(const std::string& path, size_t threads, bool smoke) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    return 1;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"topk_search\",\n");
+  std::fprintf(file, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(file, "  \"threads\": %zu,\n", threads);
+  std::fprintf(file, "  \"metrics\": {\n");
+  for (size_t i = 0; i < g_metrics->size(); ++i) {
+    std::fprintf(file, "    \"%s\": %.4f%s\n", (*g_metrics)[i].first.c_str(),
+                 (*g_metrics)[i].second,
+                 i + 1 < g_metrics->size() ? "," : "");
+  }
+  std::fprintf(file, "  }\n}\n");
+  std::fclose(file);
+  std::printf("\nwrote JSON report: %s (%zu metrics)\n", path.c_str(),
+              g_metrics->size());
+  return 0;
 }
 
 std::string KeyName(uint64_t i) { return "key" + std::to_string(i); }
@@ -717,6 +765,150 @@ void RunBatchedPipelinedServing(const BenchParams& params,
               "connection, not once per request)\n");
 }
 
+// Part 7: paged shard storage vs whole-file in-memory shards — cold
+// start and query latency across buffer-pool budgets.
+void RunPagedStorage(const BenchParams& params,
+                     const TableRepository& repository, size_t threads,
+                     bool smoke, Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  SketchIndex index(config);
+  index.IndexRepository(repository).status().Abort("building the index");
+  auto query_table = MakeBaseTable(params, rng);
+  const size_t queries = 4;
+  const size_t num_shards = 2;
+  // Small pages in smoke mode so even its tiny shards span enough pages
+  // for the starving pool to actually evict.
+  const uint32_t page_size = smoke ? 1024 : 4096;
+  const std::vector<size_t> pool_sizes = smoke
+                                             ? std::vector<size_t>{2, 64, 65536}
+                                             : std::vector<size_t>{4, 64, 65536};
+
+  std::printf("\n== paged shard storage: JMPS + buffer pool vs whole-file "
+              "in-memory shards (%zu shards, %u-byte pages, engine x%zu) "
+              "==\n",
+              num_shards, page_size, threads);
+  const std::string shard_root =
+      "/tmp/joinmi_bench_paged_shards." + std::to_string(getpid());
+
+  auto whole_manifest =
+      BuildShards(index, num_shards, ShardPartitionPolicy::kRoundRobin,
+                  shard_root + "/whole");
+  whole_manifest.status().Abort("partitioning (whole-file)");
+  ShardBuildOptions paged_build;
+  paged_build.format = ShardFileFormat::kPaged;
+  paged_build.page_size = page_size;
+  auto paged_manifest =
+      BuildShards(index, num_shards, ShardPartitionPolicy::kRoundRobin,
+                  shard_root + "/paged", paged_build);
+  paged_manifest.status().Abort("partitioning (paged)");
+
+  // Whole-file baseline: cold start deserializes every candidate; queries
+  // probe fully materialized in-memory indices.
+  auto whole_start = std::chrono::steady_clock::now();
+  auto whole = ShardedSketchIndex::Load(*whole_manifest);
+  whole.status().Abort("loading whole-file shards");
+  const double whole_load_ms = MillisSince(whole_start);
+  TopKSearchResult reference;
+  {
+    auto result = TopKJoinMISearch(*query_table, {"K", "Y"}, *whole,
+                                   params.top_k, threads);
+    result.status().Abort("whole-file sharded search");
+    reference = std::move(*result);
+  }
+  auto whole_query_start = std::chrono::steady_clock::now();
+  for (size_t q = 0; q < queries; ++q) {
+    TopKJoinMISearch(*query_table, {"K", "Y"}, *whole, params.top_k, threads)
+        .status()
+        .Abort("whole-file sharded search");
+  }
+  const double whole_query_ms = MillisSince(whole_query_start) / queries;
+  std::printf("whole-file   : cold start %8.2f ms | %8.2f ms/query "
+              "(everything deserialized up front)\n",
+              whole_load_ms, whole_query_ms);
+  RecordMetric("paged_bench_whole_load_ms", whole_load_ms);
+  RecordMetric("paged_bench_whole_query_ms", whole_query_ms);
+
+  auto manifest = ReadManifestFile(*paged_manifest);
+  manifest.status().Abort("reading the paged manifest");
+  const std::string paged_dir = shard_root + "/paged";
+  for (size_t pool_pages : pool_sizes) {
+    // Open the typed clients directly so the pool counters stay
+    // observable behind the ShardedSketchIndex surface.
+    PagedShardClient::Options options;
+    options.pool_pages = pool_pages;
+    options.prepared_cache_entries = 0;  // measure the pool, not the cache
+    std::vector<const PagedShardClient*> typed;
+    std::vector<std::unique_ptr<ShardClient>> clients;
+    uint64_t startup_bytes = 0;
+    uint64_t file_bytes = 0;
+    auto open_start = std::chrono::steady_clock::now();
+    for (const ShardManifestEntry& entry : manifest->shards) {
+      auto client = PagedShardClient::Open(paged_dir + "/" + entry.path,
+                                           entry.global_indices, options);
+      client.status().Abort("opening a paged shard");
+      typed.push_back(client->get());
+      startup_bytes += (*client)->open_stats().startup_bytes_read;
+      file_bytes += (*client)->open_stats().file_size;
+      clients.push_back(std::move(*client));
+    }
+    ShardManifest manifest_copy = *manifest;
+    auto paged = ShardedSketchIndex::Create(std::move(manifest_copy),
+                                            std::move(clients));
+    paged.status().Abort("assembling the paged sharded index");
+    const double open_ms = MillisSince(open_start);
+
+    // Correctness gate: identical rankings even when the pool starves.
+    {
+      auto result = TopKJoinMISearch(*query_table, {"K", "Y"}, *paged,
+                                     params.top_k, threads);
+      result.status().Abort("paged sharded search");
+      ExpectSameRanking(reference, *result, "whole-file and paged");
+    }
+    auto query_start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < queries; ++q) {
+      TopKJoinMISearch(*query_table, {"K", "Y"}, *paged, params.top_k,
+                       threads)
+          .status()
+          .Abort("paged sharded search");
+    }
+    const double query_ms = MillisSince(query_start) / queries;
+
+    storage::BufferPoolStats stats;
+    for (const PagedShardClient* client : typed) {
+      const storage::BufferPoolStats shard_stats = client->pool_stats();
+      stats.hits += shard_stats.hits;
+      stats.misses += shard_stats.misses;
+      stats.evictions += shard_stats.evictions;
+    }
+    if (pool_pages == pool_sizes.front() && stats.evictions == 0) {
+      std::fprintf(stderr, "FATAL: the starving pool (%zu pages) never "
+                   "evicted — the bench is not exercising eviction\n",
+                   pool_pages);
+      std::abort();
+    }
+    std::printf("pool=%-6zu  : cold start %8.2f ms (read %llu of %llu "
+                "bytes) | %8.2f ms/query | %llu hits %llu misses %llu "
+                "evictions\n",
+                pool_pages, open_ms,
+                static_cast<unsigned long long>(startup_bytes),
+                static_cast<unsigned long long>(file_bytes), query_ms,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions));
+    const std::string suffix = std::to_string(pool_pages);
+    RecordMetric("paged_bench_open_ms_pool_" + suffix, open_ms);
+    RecordMetric("paged_bench_query_ms_pool_" + suffix, query_ms);
+    RecordMetric("paged_bench_evictions_pool_" + suffix,
+                 static_cast<double>(stats.evictions));
+  }
+  RecordMetric("paged_bench_queries", static_cast<double>(queries));
+  std::filesystem::remove_all(shard_root);
+  std::printf("(paged cold start is header + directory per shard no matter "
+              "the shard size; the starving pool trades latency for a hard "
+              "memory ceiling, the big pool converges on in-memory speed "
+              "after first touch)\n");
+}
+
 int Run(size_t threads, bool smoke) {
   const BenchParams params = smoke ? SmokeParams() : BenchParams{};
   std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
@@ -743,12 +935,16 @@ int Run(size_t threads, bool smoke) {
               naive_ms / engine1_ms, threads, naive_ms / engineN_ms);
   std::printf("thread scaling (engine x%zu vs x1): %.2fx\n", threads,
               engine1_ms / engineN_ms);
+  RecordMetric("naive_serial_ms", naive_ms);
+  RecordMetric("engine_x1_ms", engine1_ms);
+  RecordMetric("engine_xT_ms", engineN_ms);
 
   RunIndexAmortization(params, repository, threads, &rng);
   RunShardScaling(params, repository, threads, &rng);
   RunRpcServing(params, repository, threads, &rng);
   RunConcurrentServing(params, repository, smoke, &rng);
   RunBatchedPipelinedServing(params, repository, smoke, &rng);
+  RunPagedStorage(params, repository, threads, smoke, &rng);
   return 0;
 }
 
@@ -761,9 +957,15 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool have_threads = false;
   bool usage_error = false;
+  std::string json_path;
   for (int arg = 1; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--smoke") == 0 && !smoke) {
       smoke = true;
+      continue;
+    }
+    if (std::strcmp(argv[arg], "--json") == 0 && arg + 1 < argc &&
+        json_path.empty()) {
+      json_path = argv[++arg];
       continue;
     }
     char* end = nullptr;
@@ -777,8 +979,18 @@ int main(int argc, char** argv) {
     have_threads = true;
   }
   if (usage_error) {
-    std::fprintf(stderr, "usage: %s [--smoke] [threads 1..256]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--json out.json] [threads 1..256]\n",
+                 argv[0]);
     return 2;
   }
-  return joinmi::bench::Run(static_cast<size_t>(threads), smoke);
+  std::vector<std::pair<std::string, double>> metrics;
+  if (!json_path.empty()) joinmi::bench::g_metrics = &metrics;
+  const int rc = joinmi::bench::Run(static_cast<size_t>(threads), smoke);
+  if (rc == 0 && !json_path.empty()) {
+    return joinmi::bench::WriteJsonReport(json_path,
+                                          static_cast<size_t>(threads),
+                                          smoke);
+  }
+  return rc;
 }

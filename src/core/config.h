@@ -70,6 +70,11 @@ struct JoinMIConfig {
   }
 };
 
+/// \brief Size in bytes of the config wire layout below. The layout is
+/// fixed-width, so formats with fixed-size headers (e.g. the "JMPS" paged
+/// shard file) can embed a config block at a known offset.
+constexpr size_t kJoinMIConfigWireSize = 60;
+
 /// \brief Appends the config in its shared binary wire layout — the one
 /// layout used by the "JMIX" index format, the "JMIM" v2 shard manifest,
 /// and the "JMRP" serving handshake, so a config written by any of them is

@@ -1,0 +1,167 @@
+#include "src/discovery/paged_shard_index.h"
+
+#include <utility>
+
+#include "src/common/thread_pool.h"
+#include "src/discovery/topk_merge.h"
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+
+std::string EncodeCandidateRecord(const ColumnPairRef& ref,
+                                  const Sketch& sketch) {
+  std::string out;
+  wire::AppendLengthPrefixed(&out, ref.table_name);
+  wire::AppendLengthPrefixed(&out, ref.key_column);
+  wire::AppendLengthPrefixed(&out, ref.value_column);
+  wire::AppendLengthPrefixed(&out, SerializeSketch(sketch));
+  return out;
+}
+
+Result<CandidateRecord> DecodeCandidateRecord(const std::string& record) {
+  wire::Reader reader(record);
+  CandidateRecord out;
+  JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&out.ref.table_name));
+  JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&out.ref.key_column));
+  JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&out.ref.value_column));
+  std::string blob;
+  JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&blob));
+  JOINMI_ASSIGN_OR_RETURN(out.sketch, DeserializeSketch(blob));
+  if (!reader.AtEnd()) {
+    return Status::IOError("trailing bytes after candidate record");
+  }
+  return out;
+}
+
+Result<std::unique_ptr<PagedShardClient>> PagedShardClient::Open(
+    const std::string& path, std::vector<uint64_t> global_indices) {
+  return Open(path, std::move(global_indices), Options());
+}
+
+Result<std::unique_ptr<PagedShardClient>> PagedShardClient::Open(
+    const std::string& path, std::vector<uint64_t> global_indices,
+    const Options& options) {
+  JOINMI_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::PagedShardFile> file,
+      storage::PagedShardFile::Open(path, options.pool_pages));
+  if (global_indices.size() != file->num_records()) {
+    return Status::InvalidArgument(
+        "shard holds " + std::to_string(file->num_records()) +
+        " candidates but the global index mapping lists " +
+        std::to_string(global_indices.size()));
+  }
+  for (size_t i = 1; i < global_indices.size(); ++i) {
+    if (global_indices[i - 1] >= global_indices[i]) {
+      return Status::InvalidArgument(
+          "shard global indices are not strictly increasing");
+    }
+  }
+  return std::unique_ptr<PagedShardClient>(
+      new PagedShardClient(std::move(file), std::move(global_indices),
+                           options.prepared_cache_entries));
+}
+
+Result<std::shared_ptr<const PagedShardClient::Materialized>>
+PagedShardClient::Materialize(size_t index) const {
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = prepared_cache_.find(index);
+    if (it != prepared_cache_.end()) return it->second;
+  }
+  JOINMI_ASSIGN_OR_RETURN(std::string bytes, file_->ReadRecord(index));
+  JOINMI_ASSIGN_OR_RETURN(CandidateRecord record,
+                          DecodeCandidateRecord(bytes));
+  JOINMI_ASSIGN_OR_RETURN(
+      PreparedCandidateSketch prepared,
+      PreparedCandidateSketch::Create(std::move(record.sketch)));
+  auto materialized = std::make_shared<const Materialized>(
+      Materialized{std::move(record.ref), std::move(prepared)});
+  if (cache_capacity_ > 0) {
+    // First admitted stays: a bounded set of hot candidates keeps its
+    // probe maps across queries with zero eviction churn; everything else
+    // rematerializes per probe, bounded by the buffer pool.
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (prepared_cache_.size() < cache_capacity_) {
+      auto inserted = prepared_cache_.emplace(index, materialized);
+      return inserted.first->second;
+    }
+  }
+  return materialized;
+}
+
+Result<ShardSearchResult> PagedShardClient::Search(const JoinMIQuery& query,
+                                                   size_t k,
+                                                   size_t num_threads) const {
+  if (k == 0) {
+    return Status::InvalidArgument("shard search requires k >= 1");
+  }
+  // Same whole-shard fail-fast as SketchIndex::EvaluateAll: a seed
+  // mismatch is one configuration error, not num_records() hard errors.
+  if (query.train_sketch().hash_seed != config().hash_seed) {
+    return Status::InvalidArgument(
+        "query sketch hash seed " +
+        std::to_string(query.train_sketch().hash_seed) +
+        " does not match index hash seed " +
+        std::to_string(config().hash_seed));
+  }
+
+  // Per-candidate outcome, written by exactly one worker. The taxonomy
+  // matches the in-memory path, with one paged-only case folded into
+  // "hard error": a record whose page fails checksum on fault-in. That
+  // keeps a single corrupt page from failing the whole query — only the
+  // probes that touch it.
+  struct Outcome {
+    std::optional<JoinMIEstimate> estimate;
+    bool skipped = false;
+    ColumnPairRef ref;
+  };
+  const size_t count = num_candidates();
+  std::vector<Outcome> outcomes(count);
+  auto evaluate_one = [this, &query, &outcomes](size_t i) {
+    auto materialized = Materialize(i);
+    if (!materialized.ok()) return;  // hard error
+    auto estimate = query.Estimate((*materialized)->prepared);
+    if (estimate.ok()) {
+      outcomes[i].estimate = *estimate;
+      outcomes[i].ref = (*materialized)->ref;
+    } else if (estimate.status().IsOutOfRange()) {
+      outcomes[i].skipped = true;
+    }
+  };
+  const size_t threads = num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                          : num_threads;
+  if (threads <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) evaluate_one(i);
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < count; ++i) {
+      pool.Submit([&evaluate_one, i] { evaluate_one(i); });
+    }
+    pool.Wait();
+  }
+
+  ShardSearchResult result;
+  result.num_candidates = count;
+  std::vector<std::optional<JoinMIEstimate>> estimates;
+  estimates.reserve(count);
+  for (Outcome& outcome : outcomes) {
+    if (outcome.estimate.has_value()) {
+      ++result.num_evaluated;
+    } else if (outcome.skipped) {
+      ++result.num_skipped;
+    } else {
+      ++result.num_errors;
+    }
+    estimates.push_back(outcome.estimate);
+  }
+  internal::TopKSelection selection = internal::SelectTopKByMI(
+      estimates, k, [this](size_t i) { return global_indices_[i]; });
+  result.hits.reserve(selection.indices.size());
+  for (size_t i : selection.indices) {
+    result.hits.push_back(ShardSearchHit{global_indices_[i], outcomes[i].ref,
+                                         *estimates[i]});
+  }
+  return result;
+}
+
+}  // namespace joinmi

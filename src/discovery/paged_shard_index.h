@@ -1,0 +1,121 @@
+// PagedShardClient: the ShardClient over a "JMPS" paged shard file. Where
+// LocalShardClient deserializes a whole "JMIX" file into a SketchIndex at
+// load, this client opens the paged file by header + directory only and
+// materializes candidates lazily: a probe faults the candidate's record
+// bytes through the file's buffer pool, decodes the sketch, and builds
+// its PreparedCandidateSketch on the spot. Capacity is bounded by the
+// pool's page budget, not by shard size, and startup cost is O(directory)
+// — the properties that let one server hold shards bigger than RAM and
+// restart near-instantly.
+//
+// Determinism: Search mirrors LocalShardClient exactly — same fail-fast
+// hash-seed check, same per-candidate outcome taxonomy (estimate /
+// OutOfRange-skipped / hard error), same (MI desc, global index asc)
+// selection over the manifest's global indices — so rankings are
+// bit-identical to the in-memory path for every k/policy/thread count,
+// including under pools small enough to evict mid-query. One deliberate
+// divergence in failure granularity: a page whose checksum fails on
+// fault-in errors only the candidates whose records touch that page
+// (counted in num_errors); the rest of the shard keeps answering.
+//
+// A small pinned prepared-probe cache (first-admitted, never evicted)
+// keeps the hottest candidates' probe maps built across queries without
+// growing with the shard.
+
+#ifndef JOINMI_DISCOVERY_PAGED_SHARD_INDEX_H_
+#define JOINMI_DISCOVERY_PAGED_SHARD_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/discovery/sharded_index.h"
+#include "src/storage/paged_shard_file.h"
+
+namespace joinmi {
+
+/// \brief One candidate as stored in a paged shard's record: provenance
+/// plus the raw (unprepared) sketch.
+struct CandidateRecord {
+  ColumnPairRef ref;
+  Sketch sketch;
+};
+
+/// \brief Encodes a candidate into the paged-shard record layout — the
+/// same field sequence a "JMIX" candidate uses (three length-prefixed ref
+/// strings, then the length-prefixed serialized sketch), so the two
+/// formats stay field-compatible.
+std::string EncodeCandidateRecord(const ColumnPairRef& ref,
+                                  const Sketch& sketch);
+
+/// \brief Parses a paged-shard candidate record; validates the embedded
+/// sketch and rejects trailing bytes.
+Result<CandidateRecord> DecodeCandidateRecord(const std::string& record);
+
+/// \brief ShardClient over a paged shard file.
+class PagedShardClient : public ShardClient {
+ public:
+  struct Options {
+    /// Buffer-pool budget in pages.
+    size_t pool_pages = 64;
+    /// Candidates whose PreparedCandidateSketch stays pinned in memory
+    /// across queries (first admitted, never evicted). 0 disables.
+    size_t prepared_cache_entries = 8;
+  };
+
+  /// \brief Opens `path` (header + directory only; no candidate record is
+  /// read) and validates `global_indices` the same way LocalShardClient
+  /// does: one per record, strictly increasing.
+  static Result<std::unique_ptr<PagedShardClient>> Open(
+      const std::string& path, std::vector<uint64_t> global_indices);
+  static Result<std::unique_ptr<PagedShardClient>> Open(
+      const std::string& path, std::vector<uint64_t> global_indices,
+      const Options& options);
+
+  const JoinMIConfig& config() const override { return file_->config(); }
+  size_t num_candidates() const override { return file_->num_records(); }
+  Result<ShardSearchResult> Search(const JoinMIQuery& query, size_t k,
+                                   size_t num_threads) const override;
+
+  /// \brief Buffer-pool counters — the proof eviction did (or did not)
+  /// happen under a given pool size.
+  storage::BufferPoolStats pool_stats() const { return file_->pool_stats(); }
+  /// \brief Bytes read at open vs file size — the no-full-materialization
+  /// receipt.
+  const storage::PagedOpenStats& open_stats() const {
+    return file_->open_stats();
+  }
+  size_t pool_capacity() const { return file_->pool_capacity(); }
+
+ private:
+  /// A lazily materialized candidate held by the prepared cache.
+  struct Materialized {
+    ColumnPairRef ref;
+    PreparedCandidateSketch prepared;
+  };
+
+  PagedShardClient(std::unique_ptr<storage::PagedShardFile> file,
+                   std::vector<uint64_t> global_indices, size_t cache_entries)
+      : file_(std::move(file)),
+        global_indices_(std::move(global_indices)),
+        cache_capacity_(cache_entries) {}
+
+  /// Faults candidate `index` in: cache hit, or record read + sketch
+  /// decode + probe-map build (admitted to the cache while it has room).
+  Result<std::shared_ptr<const Materialized>> Materialize(size_t index) const;
+
+  std::unique_ptr<storage::PagedShardFile> file_;
+  std::vector<uint64_t> global_indices_;
+
+  const size_t cache_capacity_;
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<size_t, std::shared_ptr<const Materialized>>
+      prepared_cache_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_DISCOVERY_PAGED_SHARD_INDEX_H_

@@ -9,10 +9,21 @@ namespace joinmi {
 namespace {
 
 constexpr char kManifestMagic[4] = {'J', 'M', 'I', 'M'};
-// v1 had no embedded config; v2 (current) carries the JoinMIConfig so a
-// router can serve from the manifest alone. v1 still reads.
+// v1 had no embedded config; v2 carries the JoinMIConfig so a router can
+// serve from the manifest alone; v3 adds a per-shard format tag for paged
+// shard files. All three read. A manifest whose shards are all whole-file
+// writes as v2 so repartitioning an all-JMIX index never breaks an older
+// reader.
 constexpr uint32_t kLegacyManifestVersion = 1;
-constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kConfigManifestVersion = 2;
+constexpr uint32_t kManifestVersion = 3;
+
+bool AnyPagedShard(const ShardManifest& manifest) {
+  for (const ShardManifestEntry& entry : manifest.shards) {
+    if (entry.format != ShardFileFormat::kWholeFile) return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -33,6 +44,23 @@ Result<ShardPartitionPolicy> ParseShardPartitionPolicy(
   return Status::InvalidArgument(
       "unknown partition policy '" + name +
       "' (expected round_robin or hash_dataset)");
+}
+
+const char* ShardFileFormatToString(ShardFileFormat format) {
+  switch (format) {
+    case ShardFileFormat::kWholeFile:
+      return "whole";
+    case ShardFileFormat::kPaged:
+      return "paged";
+  }
+  return "unknown";
+}
+
+Result<ShardFileFormat> ParseShardFileFormat(const std::string& name) {
+  if (name == "whole") return ShardFileFormat::kWholeFile;
+  if (name == "paged") return ShardFileFormat::kPaged;
+  return Status::InvalidArgument("unknown shard file format '" + name +
+                                 "' (expected whole or paged)");
 }
 
 Status ShardManifest::Validate() const {
@@ -95,9 +123,14 @@ Status ShardManifest::Validate() const {
 }
 
 std::string SerializeManifest(const ShardManifest& manifest) {
+  // All-whole-file manifests keep writing v2 — byte-identical to what
+  // pre-paged builds wrote and readable by them. The format tag only
+  // appears (v3) once some shard actually needs it.
+  const uint32_t version =
+      AnyPagedShard(manifest) ? kManifestVersion : kConfigManifestVersion;
   std::string out;
   wire::AppendRaw(&out, kManifestMagic, sizeof(kManifestMagic));
-  wire::AppendPod<uint32_t>(&out, kManifestVersion);
+  wire::AppendPod<uint32_t>(&out, version);
   wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(manifest.policy));
   wire::AppendPod<uint8_t>(&out, manifest.config.has_value() ? 1 : 0);
   if (manifest.config.has_value()) {
@@ -109,6 +142,9 @@ std::string SerializeManifest(const ShardManifest& manifest) {
     wire::AppendLengthPrefixed(&out, entry.path);
     wire::AppendPod<uint64_t>(&out, entry.candidate_count);
     wire::AppendPod<uint64_t>(&out, entry.checksum);
+    if (version >= 3) {
+      wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(entry.format));
+    }
     for (uint64_t g : entry.global_indices) {
       wire::AppendPod<uint64_t>(&out, g);
     }
@@ -125,7 +161,7 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
   }
   uint32_t version = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&version));
-  if (version != kManifestVersion && version != kLegacyManifestVersion) {
+  if (version < kLegacyManifestVersion || version > kManifestVersion) {
     return Status::IOError("unsupported shard manifest version " +
                            std::to_string(version));
   }
@@ -163,6 +199,16 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
     JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&entry.path));
     JOINMI_RETURN_NOT_OK(reader.Read(&entry.candidate_count));
     JOINMI_RETURN_NOT_OK(reader.Read(&entry.checksum));
+    if (version >= 3) {
+      uint8_t format = 0;
+      JOINMI_RETURN_NOT_OK(reader.Read(&format));
+      if (format > static_cast<uint8_t>(ShardFileFormat::kPaged)) {
+        return Status::IOError("unknown shard file format tag " +
+                               std::to_string(format) +
+                               " in shard manifest");
+      }
+      entry.format = static_cast<ShardFileFormat>(format);
+    }
     if (entry.candidate_count > reader.remaining() / sizeof(uint64_t)) {
       return Status::IOError("manifest shard candidate count exceeds buffer");
     }

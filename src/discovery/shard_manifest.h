@@ -24,12 +24,16 @@
 //     directory), u64 candidate_count, u64 checksum,
 //     candidate_count x u64 global index
 //
-// Version history: v1 had no config block. v2 (current) embeds the
-// JoinMIConfig the shards were built under, so a query router that only
-// holds the manifest — shard files live on remote servers — can still
-// sketch queries and verify config agreement at the serving handshake.
-// v1 manifests still load, with config absent; remote serving requires a
-// v2 manifest (repartition with the current build_shards to upgrade).
+// Version history: v1 had no config block. v2 embeds the JoinMIConfig the
+// shards were built under, so a query router that only holds the manifest
+// — shard files live on remote servers — can still sketch queries and
+// verify config agreement at the serving handshake. v1 manifests still
+// load, with config absent; remote serving requires a v2+ manifest
+// (repartition with the current build_shards to upgrade). v3 (current)
+// adds a per-shard u8 format tag after the checksum, recording whether
+// the shard file is a whole-file "JMIX" index or a paged "JMPS" file, so
+// loaders dispatch transparently; a manifest whose shards are all
+// whole-file still serializes as v2, byte-identical to older builds.
 
 #ifndef JOINMI_DISCOVERY_SHARD_MANIFEST_H_
 #define JOINMI_DISCOVERY_SHARD_MANIFEST_H_
@@ -61,6 +65,20 @@ const char* ShardPartitionPolicyToString(ShardPartitionPolicy policy);
 Result<ShardPartitionPolicy> ParseShardPartitionPolicy(
     const std::string& name);
 
+/// \brief On-disk representation of one shard file.
+enum class ShardFileFormat : uint8_t {
+  /// A "JMIX" index file, deserialized whole into memory at load.
+  kWholeFile = 0,
+  /// A "JMPS" paged file (src/storage/paged_shard_file.h), opened by
+  /// header + directory and served through a buffer pool.
+  kPaged = 1,
+};
+
+const char* ShardFileFormatToString(ShardFileFormat format);
+
+/// \brief Parses the CLI spellings "whole" / "paged".
+Result<ShardFileFormat> ParseShardFileFormat(const std::string& name);
+
 /// \brief One shard's entry in the manifest.
 struct ShardManifestEntry {
   /// Shard index file, relative to the directory holding the manifest
@@ -73,9 +91,13 @@ struct ShardManifestEntry {
   /// For each local candidate (in shard insertion order) its index in the
   /// original unsharded enumeration; strictly increasing within a shard.
   std::vector<uint64_t> global_indices;
+  /// How the shard file is laid out on disk (last member so pre-paged
+  /// aggregate initializers keep compiling). Manifests read from v1/v2
+  /// formats always report kWholeFile.
+  ShardFileFormat format = ShardFileFormat::kWholeFile;
 };
 
-/// \brief The full partitioning record ("JMIM" v2).
+/// \brief The full partitioning record ("JMIM" v2/v3).
 struct ShardManifest {
   ShardPartitionPolicy policy = ShardPartitionPolicy::kRoundRobin;
   /// The JoinMIConfig every shard of this partition was built under —

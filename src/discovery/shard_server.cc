@@ -25,15 +25,42 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Create(
         " is out of range: the manifest names " +
         std::to_string(manifest.shards.size()) + " shards");
   }
-  // The same verified load path the local router uses: checksum and
-  // candidate count against the manifest entry before anything parses.
+  if (options.require_paged &&
+      manifest.shards[shard].format != ShardFileFormat::kPaged) {
+    return Status::InvalidArgument(
+        "paged serving was required but the manifest records shard " +
+        std::to_string(shard) + " ('" + manifest.shards[shard].path +
+        "') as a " +
+        std::string(ShardFileFormatToString(manifest.shards[shard].format)) +
+        "-format file — rebuild with --format paged");
+  }
+  // The same verified load path the local router uses: whole-file shards
+  // are checksum- and count-verified against the manifest entry before
+  // anything parses; paged shards open by header + directory and verify
+  // page checksums on fault-in.
   const std::string manifest_dir =
       std::filesystem::path(manifest_path).parent_path().string();
-  JOINMI_ASSIGN_OR_RETURN(
-      std::unique_ptr<ShardClient> client,
-      ShardedSketchIndex::LocalFileFactory()(manifest, shard, manifest_dir));
-  return std::unique_ptr<ShardServer>(
+  ShardedSketchIndex::LocalShardLoadOptions load_options;
+  if (options.pool_pages > 0) load_options.pool_pages = options.pool_pages;
+  JOINMI_ASSIGN_OR_RETURN(std::unique_ptr<ShardClient> client,
+                          ShardedSketchIndex::LocalFileFactory(load_options)(
+                              manifest, shard, manifest_dir));
+  auto server = std::unique_ptr<ShardServer>(
       new ShardServer(std::move(client), shard, std::move(options)));
+  server->paged_ = dynamic_cast<const PagedShardClient*>(server->client_.get());
+  return server;
+}
+
+storage::PagedOpenStats ShardServer::paged_open_stats() const {
+  return paged_ != nullptr ? paged_->open_stats() : storage::PagedOpenStats{};
+}
+
+storage::BufferPoolStats ShardServer::pool_stats() const {
+  return paged_ != nullptr ? paged_->pool_stats() : storage::BufferPoolStats{};
+}
+
+size_t ShardServer::pool_capacity() const {
+  return paged_ != nullptr ? paged_->pool_capacity() : 0;
 }
 
 ShardServer::~ShardServer() { Stop(); }

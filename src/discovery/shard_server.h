@@ -40,6 +40,7 @@
 #include <unordered_map>
 
 #include "src/common/thread_pool.h"
+#include "src/discovery/paged_shard_index.h"
 #include "src/discovery/sharded_index.h"
 #include "src/net/event_loop.h"
 #include "src/net/frame.h"
@@ -63,6 +64,13 @@ struct ShardServerOptions {
   /// Idle-connection bound: a connection with no bytes either direction
   /// for this long is dropped.
   int io_timeout_ms = 30000;
+  /// Buffer-pool budget when serving a paged ("JMPS") shard; 0 keeps the
+  /// loader default. Ignored for whole-file shards.
+  size_t pool_pages = 0;
+  /// Refuse to serve unless the manifest records the shard as paged —
+  /// the operator asked for bounded-memory serving, so silently falling
+  /// back to full materialization would defeat the point.
+  bool require_paged = false;
 };
 
 class ShardServer {
@@ -116,6 +124,17 @@ class ShardServer {
     return loop_ ? loop_->open_connections() : 0;
   }
 
+  /// \brief True iff this server answers from a paged shard file (buffer
+  /// pool + lazy materialization) rather than an in-memory index.
+  bool serving_paged() const { return paged_ != nullptr; }
+  /// \brief Bytes read at startup vs shard file size; meaningful only
+  /// when serving_paged(). The operational proof the server did not
+  /// materialize the shard.
+  storage::PagedOpenStats paged_open_stats() const;
+  /// \brief Buffer-pool counters; meaningful only when serving_paged().
+  storage::BufferPoolStats pool_stats() const;
+  size_t pool_capacity() const;
+
  private:
   ShardServer(std::unique_ptr<ShardClient> client, size_t shard,
               ShardServerOptions options)
@@ -134,6 +153,9 @@ class ShardServer {
                                 const net::Frame& frame);
 
   std::unique_ptr<ShardClient> client_;
+  /// Non-owning view of client_ when it is a PagedShardClient; null when
+  /// serving a whole-file shard.
+  const PagedShardClient* paged_ = nullptr;
   size_t shard_ = 0;
   ShardServerOptions options_;
 

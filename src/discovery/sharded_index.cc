@@ -7,8 +7,10 @@
 
 #include "src/common/hashing.h"
 #include "src/common/thread_pool.h"
+#include "src/discovery/paged_shard_index.h"
 #include "src/discovery/topk_merge.h"
 #include "src/sketch/serialize.h"
+#include "src/storage/paged_shard_file.h"
 
 namespace joinmi {
 
@@ -26,10 +28,21 @@ bool BetterHit(const ShardSearchHit& a, const ShardSearchHit& b) {
                                      b.estimate.mi, b.global_index);
 }
 
-std::string ShardFileName(size_t shard) {
+std::string ShardFileName(size_t shard, ShardFileFormat format) {
   char name[32];
-  std::snprintf(name, sizeof(name), "shard_%05zu.jmix", shard);
+  std::snprintf(name, sizeof(name),
+                format == ShardFileFormat::kPaged ? "shard_%05zu.jmps"
+                                                  : "shard_%05zu.jmix",
+                shard);
   return name;
+}
+
+std::string ResolveShardPath(const ShardManifestEntry& entry,
+                             const std::string& manifest_dir) {
+  const std::filesystem::path entry_path(entry.path);
+  return entry_path.is_absolute()
+             ? entry.path
+             : (std::filesystem::path(manifest_dir) / entry_path).string();
 }
 
 }  // namespace
@@ -144,15 +157,32 @@ Result<ShardedSketchIndex> ShardedSketchIndex::Load(
 }
 
 ShardClientFactory ShardedSketchIndex::LocalFileFactory() {
-  return [](const ShardManifest& manifest, size_t shard,
-            const std::string& manifest_dir)
+  return LocalFileFactory(LocalShardLoadOptions());
+}
+
+ShardClientFactory ShardedSketchIndex::LocalFileFactory(
+    const LocalShardLoadOptions& options) {
+  return [options](const ShardManifest& manifest, size_t shard,
+                   const std::string& manifest_dir)
              -> Result<std::unique_ptr<ShardClient>> {
     const ShardManifestEntry& entry = manifest.shards[shard];
-    const std::filesystem::path entry_path(entry.path);
-    const std::string resolved =
-        entry_path.is_absolute()
-            ? entry.path
-            : (std::filesystem::path(manifest_dir) / entry_path).string();
+    const std::string resolved = ResolveShardPath(entry, manifest_dir);
+    if (entry.format == ShardFileFormat::kPaged) {
+      // Open is header + directory only; the manifest's whole-file
+      // checksum is deliberately not recomputed here — that read would
+      // be O(shard) and defeat lazy loading. The JMPS header and
+      // directory carry their own checksums (verified now) and every
+      // page carries one verified on fault-in, covering all bytes the
+      // queries touch.
+      PagedShardClient::Options paged_options;
+      paged_options.pool_pages = options.pool_pages;
+      paged_options.prepared_cache_entries = options.prepared_cache_entries;
+      JOINMI_ASSIGN_OR_RETURN(
+          std::unique_ptr<PagedShardClient> client,
+          PagedShardClient::Open(resolved, entry.global_indices,
+                                 paged_options));
+      return std::unique_ptr<ShardClient>(std::move(client));
+    }
     JOINMI_ASSIGN_OR_RETURN(std::string bytes,
                             wire::ReadFileBytes(resolved));
     // Verify against the manifest before parsing: a corrupt or swapped
@@ -400,7 +430,8 @@ size_t AssignShard(ShardPartitionPolicy policy, size_t index,
 
 Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
                                 ShardPartitionPolicy policy,
-                                const std::string& output_dir) {
+                                const std::string& output_dir,
+                                const ShardBuildOptions& options) {
   if (num_shards == 0) {
     return Status::InvalidArgument("cannot partition into 0 shards");
   }
@@ -435,9 +466,26 @@ Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
   const std::filesystem::path dir(output_dir);
   for (size_t s = 0; s < num_shards; ++s) {
     ShardManifestEntry& entry = manifest.shards[s];
-    entry.path = ShardFileName(s);
+    entry.path = ShardFileName(s, options.format);
     entry.candidate_count = shards[s].size();
-    const std::string bytes = SerializeIndex(shards[s]);
+    entry.format = options.format;
+    std::string bytes;
+    if (options.format == ShardFileFormat::kPaged) {
+      std::vector<std::string> records;
+      records.reserve(shards[s].size());
+      for (const IndexedCandidate& candidate : shards[s].candidates()) {
+        records.push_back(
+            EncodeCandidateRecord(candidate.ref, candidate.sketch()));
+      }
+      JOINMI_ASSIGN_OR_RETURN(
+          bytes, storage::BuildPagedShardBytes(index.config(), records,
+                                               options.page_size));
+    } else {
+      bytes = SerializeIndex(shards[s]);
+    }
+    // The checksum covers the full file bytes for both formats; paged
+    // loads skip re-reading it (the JMPS internal checksums take over)
+    // but verify tooling and whole-file readers still have it.
     entry.checksum = wire::Checksum64(bytes);
     JOINMI_RETURN_NOT_OK(
         wire::WriteFileBytes(bytes, (dir / entry.path).string()));
@@ -445,6 +493,13 @@ Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
   const std::string manifest_path = (dir / "manifest.jmim").string();
   JOINMI_RETURN_NOT_OK(WriteManifestFile(manifest, manifest_path));
   return manifest_path;
+}
+
+Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
+                                ShardPartitionPolicy policy,
+                                const std::string& output_dir) {
+  return BuildShards(index, num_shards, policy, output_dir,
+                     ShardBuildOptions{});
 }
 
 }  // namespace joinmi

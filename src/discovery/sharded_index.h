@@ -186,13 +186,29 @@ class ShardedSketchIndex {
   /// relative to the manifest's directory) — Load with LocalFileFactory().
   static Result<ShardedSketchIndex> Load(const std::string& manifest_path);
 
+  /// \brief Knobs for loading paged shards; ignored for whole-file ones.
+  struct LocalShardLoadOptions {
+    /// Buffer-pool budget per paged shard, in pages.
+    size_t pool_pages = 64;
+    /// Per-shard pinned prepared-probe cache entries (0 disables).
+    size_t prepared_cache_entries = 8;
+  };
+
   /// \brief The factory behind single-argument Load: opens each shard
-  /// index file named by the manifest. The file's bytes are checked
+  /// file named by the manifest, dispatching on the entry's recorded
+  /// format. A whole-file "JMIX" shard is read whole, its bytes checked
   /// against the manifest checksum and its candidate count against the
   /// manifest entry *before* use, so a truncated, bit-flipped, or swapped
   /// shard file fails with a clear InvalidArgument instead of surfacing
-  /// as blob-level corruption or — worse — wrong rankings.
+  /// as blob-level corruption or — worse — wrong rankings. A paged "JMPS"
+  /// shard opens by header + directory only — the whole-file checksum is
+  /// deliberately NOT computed (that would read the entire file and
+  /// defeat lazy loading); its internal header/directory checksums are
+  /// verified at open and each page's checksum on fault-in, which covers
+  /// every byte the queries will actually touch.
   static ShardClientFactory LocalFileFactory();
+  static ShardClientFactory LocalFileFactory(
+      const LocalShardLoadOptions& options);
 
   const ShardManifest& manifest() const { return manifest_; }
   /// \brief The shards' agreed JoinMIConfig. Create guarantees at least
@@ -235,11 +251,27 @@ class ShardedSketchIndex {
 size_t AssignShard(ShardPartitionPolicy policy, size_t index,
                    const ColumnPairRef& ref, size_t num_shards);
 
-/// \brief Partitions `index` into `num_shards` shard index files inside
-/// `output_dir` (created if missing) named shard_NNNNN.jmix, writes
-/// `manifest.jmim` next to them, and returns the manifest path. The split
-/// is a pure function of (index contents, policy, num_shards); rebuilding
-/// produces byte-identical shard files and manifest.
+/// \brief How BuildShards lays shard files out on disk.
+struct ShardBuildOptions {
+  /// kWholeFile writes "JMIX" index files (shard_NNNNN.jmix); kPaged
+  /// writes "JMPS" paged files (shard_NNNNN.jmps) servable without full
+  /// materialization.
+  ShardFileFormat format = ShardFileFormat::kWholeFile;
+  /// Page size for paged shards; ignored for whole-file ones.
+  uint32_t page_size = 4096;
+};
+
+/// \brief Partitions `index` into `num_shards` shard files inside
+/// `output_dir` (created if missing), writes `manifest.jmim` next to
+/// them, and returns the manifest path. The split is a pure function of
+/// (index contents, policy, num_shards, options); rebuilding produces
+/// byte-identical shard files and manifest.
+Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
+                                ShardPartitionPolicy policy,
+                                const std::string& output_dir,
+                                const ShardBuildOptions& options);
+
+/// \brief BuildShards with default options (whole-file shards).
 Result<std::string> BuildShards(const SketchIndex& index, size_t num_shards,
                                 ShardPartitionPolicy policy,
                                 const std::string& output_dir);

@@ -164,6 +164,12 @@ namespace {
 constexpr char kIndexMagic[4] = {'J', 'M', 'I', 'X'};
 constexpr uint32_t kIndexVersion = 1;
 
+// Bytes before the first candidate record: magic + version + the fixed
+// config layout + the u64 candidate count. Anything shorter cannot even
+// be an empty index, and saying so (with both sizes) beats the generic
+// "truncated buffer" a field-by-field parse would surface.
+constexpr size_t kIndexHeaderSize = 4 + 4 + kJoinMIConfigWireSize + 8;
+
 }  // namespace
 
 std::string SerializeIndex(const SketchIndex& index) {
@@ -184,6 +190,16 @@ std::string SerializeIndex(const SketchIndex& index) {
 }
 
 Result<SketchIndex> DeserializeIndex(const std::string& data) {
+  if (data.size() < kIndexHeaderSize) {
+    return Status::IOError(
+        data.empty()
+            ? "index buffer is empty; a valid index is at least " +
+                  std::to_string(kIndexHeaderSize) + " bytes (header alone)"
+            : "index buffer is " + std::to_string(data.size()) +
+                  " bytes but the index header alone is " +
+                  std::to_string(kIndexHeaderSize) +
+                  " — file truncated or not an index");
+  }
   wire::Reader reader(data);
   char magic[4];
   JOINMI_RETURN_NOT_OK(reader.Read(&magic));
@@ -203,20 +219,35 @@ Result<SketchIndex> DeserializeIndex(const std::string& data) {
   // wire; divide rather than multiply so a crafted count cannot overflow
   // past the check.
   if (count > reader.remaining() / 16) {
-    return Status::IOError("index candidate count exceeds buffer size");
+    return Status::IOError(
+        "index header promises " + std::to_string(count) +
+        " candidates but only " + std::to_string(reader.remaining()) +
+        " bytes follow the header (at least " + std::to_string(count * 16) +
+        " required) — file truncated after the header");
   }
   SketchIndex index(std::move(config));
   for (uint64_t i = 0; i < count; ++i) {
+    // Attribute any parse failure to the candidate it happened in — "the
+    // file ended inside candidate 37 of 100" localizes a truncation where
+    // a bare "truncated buffer" cannot.
+    const auto where = [&](const Status& st) {
+      return Status(st.code(), "candidate " + std::to_string(i) + " of " +
+                                   std::to_string(count) + ": " +
+                                   st.message());
+    };
     ColumnPairRef ref;
-    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&ref.table_name));
-    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&ref.key_column));
-    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&ref.value_column));
+    Status st = reader.ReadLengthPrefixed(&ref.table_name);
+    if (st.ok()) st = reader.ReadLengthPrefixed(&ref.key_column);
+    if (st.ok()) st = reader.ReadLengthPrefixed(&ref.value_column);
     std::string blob;
-    JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&blob));
-    JOINMI_ASSIGN_OR_RETURN(Sketch sketch, DeserializeSketch(blob));
+    if (st.ok()) st = reader.ReadLengthPrefixed(&blob);
+    if (!st.ok()) return where(st);
+    auto sketch = DeserializeSketch(blob);
+    if (!sketch.ok()) return where(sketch.status());
     // AddSketch re-validates seed agreement and candidate-side invariants,
     // so a tampered or mismatched payload cannot produce a poisoned index.
-    JOINMI_RETURN_NOT_OK(index.AddSketch(std::move(ref), std::move(sketch)));
+    st = index.AddSketch(std::move(ref), std::move(*sketch));
+    if (!st.ok()) return where(st);
   }
   if (!reader.AtEnd()) {
     return Status::IOError("trailing bytes after index payload");
@@ -230,7 +261,17 @@ Status WriteIndexFile(const SketchIndex& index, const std::string& path) {
 
 Result<SketchIndex> ReadIndexFile(const std::string& path) {
   JOINMI_ASSIGN_OR_RETURN(std::string data, wire::ReadFileBytes(path));
-  return DeserializeIndex(data);
+  auto index = DeserializeIndex(data);
+  if (!index.ok()) {
+    // Provenance for operators: which file, and how big it actually was —
+    // a 0-byte file from a failed copy and a half-written 40 MB file get
+    // tellingly different messages.
+    const Status& st = index.status();
+    return Status(st.code(), "index file '" + path + "' (" +
+                                 std::to_string(data.size()) +
+                                 " bytes): " + st.message());
+  }
+  return index;
 }
 
 }  // namespace joinmi

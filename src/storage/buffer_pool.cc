@@ -1,0 +1,136 @@
+#include "src/storage/buffer_pool.h"
+
+#include <utility>
+
+namespace joinmi {
+namespace storage {
+
+BufferPool::BufferPool(size_t capacity, Fetcher fetcher)
+    : frames_(capacity == 0 ? 1 : capacity), fetcher_(std::move(fetcher)) {
+  resident_.reserve(frames_.size());
+}
+
+const std::string& BufferPool::PageRef::data() const {
+  // Safe without the pool lock: `data` is immutable while pinned — the
+  // fault that filled it completed before the pin was handed out, and
+  // eviction cannot touch a pinned frame.
+  return pool_->frames_[frame_].data;
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+void BufferPool::Unpin(size_t frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --frames_[frame].pins;
+  }
+  cv_.notify_all();
+}
+
+bool BufferPool::FindVictim(size_t* frame) {
+  // Clock sweep: two full passes — the first clears reference bits, so
+  // any unpinned frame is claimable by the second at the latest.
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& f = frames_[clock_hand_];
+    const size_t at = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pins > 0 || f.loading) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    *frame = at;
+    return true;
+  }
+  return false;
+}
+
+Result<BufferPool::PageRef> BufferPool::Pin(PageId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = resident_.find(id);
+    if (it != resident_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.loading) {
+        // Another thread is faulting this page in; wait for it and
+        // re-examine (the fault may fail and vacate the frame).
+        cv_.wait(lock);
+        continue;
+      }
+      ++f.pins;
+      f.referenced = true;
+      ++stats_.hits;
+      return PageRef(this, it->second);
+    }
+
+    size_t victim;
+    if (!FindVictim(&victim)) {
+      // Every frame is pinned or mid-fault: wait for a release. Callers
+      // pin one page at a time, so some pin always drops eventually.
+      cv_.wait(lock);
+      continue;
+    }
+    Frame& f = frames_[victim];
+    if (f.valid) {
+      resident_.erase(f.id);
+      ++stats_.evictions;
+    }
+    f.id = id;
+    f.pins = 1;
+    f.referenced = true;
+    f.loading = true;
+    f.valid = false;
+    f.data.clear();
+    resident_[id] = victim;
+    ++stats_.misses;
+
+    // Fault in outside the lock so concurrent misses on other pages
+    // overlap their I/O. The `loading` flag keeps the frame off-limits.
+    lock.unlock();
+    std::string data;
+    Status st = fetcher_(id, &data);
+    lock.lock();
+
+    f.loading = false;
+    if (!st.ok()) {
+      // Vacate fully so a later Pin retries the fetch; waiters on this
+      // page re-check and fault it themselves.
+      f.pins = 0;
+      f.valid = false;
+      resident_.erase(id);
+      lock.unlock();
+      cv_.notify_all();
+      return st;
+    }
+    f.data = std::move(data);
+    f.valid = true;
+    lock.unlock();
+    cv_.notify_all();
+    return PageRef(this, victim);
+  }
+}
+
+size_t BufferPool::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_.size();
+}
+
+size_t BufferPool::pinned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const Frame& f : frames_) total += f.pins;
+  return total;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace storage
+}  // namespace joinmi

@@ -1,0 +1,132 @@
+// Bounded buffer pool: at most `capacity` page payloads resident at once,
+// faulted in on demand through an injected fetcher and recycled by clock
+// eviction. The pool is what turns a paged shard file into a
+// serve-bigger-than-RAM index: probes pin the page they are reading,
+// unpinned pages are eviction candidates, and the page budget is a hard
+// invariant — the pool never holds more than `capacity` payloads no
+// matter how many threads fault concurrently.
+//
+// Pin/unpin contract:
+//   - Pin(id) returns an RAII PageRef; the page cannot be evicted while
+//     any PageRef to it lives.
+//   - A miss faults the page in through the fetcher *outside* the pool
+//     lock (concurrent faults of different pages proceed in parallel);
+//     concurrent pins of the same page wait for the in-flight fault and
+//     share its result — the fetcher runs once per residency.
+//   - When every frame is pinned, Pin blocks until some PageRef drops.
+//     Callers that hold many pins concurrently must size the pool at
+//     least as large as their worst-case simultaneous pin count, or they
+//     deadlock themselves (the paged index pins one page per thread).
+//   - A fetch failure is returned to every waiter of that fault and
+//     leaves no residue: the frame is freed and a later Pin of the same
+//     id retries the fetch.
+//
+// Eviction is clock (second chance): every pin sets the frame's
+// reference bit; the sweep clears bits until it finds an unpinned,
+// unreferenced frame. Hits, misses, and evictions are counted — the
+// observability hook tests and benchmarks use to prove eviction really
+// happened (or really didn't).
+
+#ifndef JOINMI_STORAGE_BUFFER_POOL_H_
+#define JOINMI_STORAGE_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+namespace storage {
+
+/// \brief Monotonic counters since construction.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class BufferPool {
+ public:
+  using PageId = uint64_t;
+  /// Fetches page `id`'s payload into `data`. Runs outside the pool lock;
+  /// must be safe to call from several threads for different ids.
+  using Fetcher = std::function<Status(PageId id, std::string* data)>;
+
+  /// \brief A pool of `capacity` frames (>= 1 enforced by clamping).
+  BufferPool(size_t capacity, Fetcher fetcher);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// \brief RAII pin: keeps the page resident while alive. Move-only.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      other.pool_ = nullptr;
+      return *this;
+    }
+    ~PageRef() { Release(); }
+
+    /// \brief The pinned page's payload. Valid while the ref lives.
+    const std::string& data() const;
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+    void Release();
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+  };
+
+  /// \brief Pins page `id`, faulting it in on a miss. Blocks while every
+  /// frame is pinned by other refs; fails only if the fetcher fails.
+  Result<PageRef> Pin(PageId id);
+
+  size_t capacity() const { return frames_.size(); }
+  /// \brief Pages currently resident (never exceeds capacity()).
+  size_t resident() const;
+  /// \brief Pins currently outstanding across all frames.
+  size_t pinned() const;
+  BufferPoolStats stats() const;
+
+ private:
+  struct Frame {
+    PageId id = 0;
+    std::string data;
+    size_t pins = 0;
+    bool referenced = false;
+    /// A fault is in flight: `data` is being written outside the lock.
+    bool loading = false;
+    /// Frame holds a valid resident page (id is meaningful).
+    bool valid = false;
+  };
+
+  void Unpin(size_t frame);
+  /// Picks an evictable frame (clock sweep) or returns false if every
+  /// frame is pinned or loading. Caller holds the lock.
+  bool FindVictim(size_t* frame);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> resident_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+  Fetcher fetcher_;
+};
+
+}  // namespace storage
+}  // namespace joinmi
+
+#endif  // JOINMI_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,65 @@
+#include "src/storage/page.h"
+
+#include "src/sketch/serialize.h"
+
+namespace joinmi {
+namespace storage {
+
+bool ValidPageSize(uint32_t page_size) {
+  return page_size >= kMinPageSize && page_size <= kMaxPageSize;
+}
+
+std::string EncodePage(uint32_t page_index, const std::string& payload,
+                       uint32_t page_size) {
+  std::string out;
+  out.reserve(page_size);
+  wire::AppendPod<uint32_t>(&out, page_index);
+  wire::AppendPod<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  wire::AppendPod<uint64_t>(&out, wire::Checksum64(payload));
+  out.append(payload);
+  out.resize(page_size, '\0');
+  return out;
+}
+
+Status DecodePage(const std::string& page_bytes, uint32_t expected_index,
+                  uint32_t page_size, std::string* payload) {
+  if (page_bytes.size() != page_size) {
+    return Status::IOError(
+        "page " + std::to_string(expected_index) + " read " +
+        std::to_string(page_bytes.size()) + " bytes instead of the " +
+        std::to_string(page_size) + "-byte page size — file truncated "
+        "mid-page");
+  }
+  wire::Reader reader(page_bytes);
+  PageHeader header;
+  JOINMI_RETURN_NOT_OK(reader.Read(&header.page_index));
+  JOINMI_RETURN_NOT_OK(reader.Read(&header.payload_size));
+  JOINMI_RETURN_NOT_OK(reader.Read(&header.checksum));
+  if (header.page_index != expected_index) {
+    return Status::IOError(
+        "page read from slot " + std::to_string(expected_index) +
+        " carries index " + std::to_string(header.page_index) +
+        " — pages are misdirected or the file was rearranged");
+  }
+  if (header.payload_size > PagePayloadCapacity(page_size)) {
+    return Status::IOError(
+        "page " + std::to_string(expected_index) + " declares " +
+        std::to_string(header.payload_size) +
+        " payload bytes but the payload area holds only " +
+        std::to_string(PagePayloadCapacity(page_size)));
+  }
+  std::string bytes;
+  JOINMI_RETURN_NOT_OK(reader.ReadBytes(header.payload_size, &bytes));
+  const uint64_t computed = wire::Checksum64(bytes);
+  if (computed != header.checksum) {
+    return Status::IOError(
+        "page " + std::to_string(expected_index) + " checksum " +
+        std::to_string(computed) + " disagrees with its header (" +
+        std::to_string(header.checksum) + ") — the page is corrupt");
+  }
+  *payload = std::move(bytes);
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace joinmi

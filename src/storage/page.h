@@ -1,0 +1,77 @@
+// Fixed-size checksummed pages: the unit of disk I/O for paged shard
+// storage. A page is `page_size` raw bytes on disk — a 16-byte header
+// (page index, used payload bytes, FNV-1a checksum over the payload)
+// followed by the payload area, zero-padded to the page boundary. The
+// checksum is verified when a page faults into the buffer pool, not when
+// the file is opened, so corruption is caught exactly when (and only
+// when) the corrupt bytes would be read — the classic DBMS page
+// discipline that lets a file be served without ever being scanned
+// whole.
+//
+// The page index lives in the header so a page read from offset k must
+// agree it *is* page k — a misdirected read (seek bug, swapped pages,
+// hand-truncated file) fails loudly even when both pages carry
+// internally consistent checksums.
+//
+// On-disk page layout (little-endian):
+//   u32 page_index | u32 payload_size | u64 checksum(payload)
+//   | payload_size payload bytes | zero padding to page_size
+
+#ifndef JOINMI_STORAGE_PAGE_H_
+#define JOINMI_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+namespace storage {
+
+/// \brief Bytes of the on-page header preceding the payload.
+constexpr uint32_t kPageHeaderSize = 16;
+
+/// \brief Default page size for paged shard files (whole page, header
+/// included). 4 KiB matches the common filesystem block size.
+constexpr uint32_t kDefaultPageSize = 4096;
+
+/// \brief Allowed page-size range. The floor keeps the payload area
+/// non-trivial; the ceiling keeps one page fault from becoming a bulk
+/// read.
+constexpr uint32_t kMinPageSize = 64;
+constexpr uint32_t kMaxPageSize = 1u << 24;
+
+/// \brief Parsed page header.
+struct PageHeader {
+  uint32_t page_index = 0;
+  /// Payload bytes actually used; the rest of the payload area is zero
+  /// padding. Full for every page except possibly the file's last.
+  uint32_t payload_size = 0;
+  /// wire::Checksum64 over the used payload bytes.
+  uint64_t checksum = 0;
+};
+
+/// \brief True iff `page_size` is within bounds and leaves payload room.
+bool ValidPageSize(uint32_t page_size);
+
+/// \brief Usable payload bytes of a page of `page_size` total bytes.
+inline uint32_t PagePayloadCapacity(uint32_t page_size) {
+  return page_size - kPageHeaderSize;
+}
+
+/// \brief Encodes one page: header + payload + zero padding, exactly
+/// `page_size` bytes. `payload` must fit the payload area.
+std::string EncodePage(uint32_t page_index, const std::string& payload,
+                       uint32_t page_size);
+
+/// \brief Parses and validates the header of a raw page, verifying the
+/// stored index against `expected_index`, the payload bound against
+/// `page_size`, and the checksum against the payload bytes. On success
+/// `payload` receives the used payload bytes.
+Status DecodePage(const std::string& page_bytes, uint32_t expected_index,
+                  uint32_t page_size, std::string* payload);
+
+}  // namespace storage
+}  // namespace joinmi
+
+#endif  // JOINMI_STORAGE_PAGE_H_

@@ -12,6 +12,7 @@
 #include "src/common/random.h"
 #include "src/discovery/search.h"
 #include "src/discovery/sketch_index.h"
+#include "src/sketch/serialize.h"
 #include "src/table/table.h"
 
 namespace joinmi {
@@ -299,6 +300,78 @@ TEST(SketchIndexPersistenceTest, RejectsCorruptedInputs) {
   }
   EXPECT_FALSE(DeserializeIndex(data.substr(0, data.size() - 1)).ok());
   EXPECT_FALSE(DeserializeIndex(data + "x").ok());
+}
+
+TEST(SketchIndexPersistenceTest, TruncationErrorsSayWhereAndHowMuch) {
+  // The error-reporting contract: a truncated or empty index must name
+  // actual vs expected sizes (empty / header-only cases) or the candidate
+  // the parse died inside (mid-candidate truncation) — not a bare
+  // "truncated buffer".
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  ASSERT_EQ(index.size(), 3u);
+  const std::string data = SerializeIndex(index);
+  // magic + version + config + count — the minimum parseable index.
+  const size_t header_size = 4 + 4 + kJoinMIConfigWireSize + 8;
+
+  auto empty = DeserializeIndex("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("empty"), std::string::npos)
+      << empty.status();
+  EXPECT_NE(empty.status().message().find(std::to_string(header_size)),
+            std::string::npos)
+      << empty.status();
+
+  auto short_file = DeserializeIndex(data.substr(0, 40));
+  ASSERT_FALSE(short_file.ok());
+  EXPECT_NE(short_file.status().message().find("40 bytes"),
+            std::string::npos)
+      << short_file.status();
+  EXPECT_NE(short_file.status().message().find(std::to_string(header_size)),
+            std::string::npos)
+      << short_file.status();
+
+  // Header-only: the count promises 3 candidates, zero bytes follow.
+  auto header_only = DeserializeIndex(data.substr(0, header_size));
+  ASSERT_FALSE(header_only.ok());
+  EXPECT_NE(header_only.status().message().find(
+                "promises 3 candidates but only 0 bytes"),
+            std::string::npos)
+      << header_only.status();
+
+  // Mid-candidate: the file ends one byte inside the last candidate.
+  auto mid = DeserializeIndex(data.substr(0, data.size() - 1));
+  ASSERT_FALSE(mid.ok());
+  EXPECT_NE(mid.status().message().find("candidate 2 of 3"),
+            std::string::npos)
+      << mid.status();
+}
+
+TEST(SketchIndexPersistenceTest, ReadIndexFileReportsPathAndFileSize) {
+  Universe universe = MakeUniverse();
+  SketchIndex index(MakeIndexConfig());
+  ASSERT_TRUE(index.IndexRepository(universe.repository).ok());
+  const std::string data = SerializeIndex(index);
+
+  const std::string path = testing::TempDir() + "/joinmi_truncated_index.bin";
+  const std::string truncated = data.substr(0, 40);
+  ASSERT_TRUE(wire::WriteFileBytes(truncated, path).ok());
+  auto loaded = ReadIndexFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find("40 bytes"), std::string::npos)
+      << loaded.status();
+
+  const std::string empty_path = testing::TempDir() + "/joinmi_empty_index.bin";
+  ASSERT_TRUE(wire::WriteFileBytes("", empty_path).ok());
+  auto empty = ReadIndexFile(empty_path);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find(empty_path), std::string::npos)
+      << empty.status();
+  EXPECT_NE(empty.status().message().find("empty"), std::string::npos)
+      << empty.status();
 }
 
 // ------------------------------------------- Index-backed search overload

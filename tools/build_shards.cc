@@ -1,14 +1,24 @@
-// build_shards: partition a persisted sketch index into shard index files
-// plus a versioned shard manifest — the offline half of the sharded
-// discovery deployment (shard files go to shard servers, the manifest to
-// the query router).
+// build_shards: partition a persisted sketch index into shard files plus
+// a versioned shard manifest — the offline half of the sharded discovery
+// deployment (shard files go to shard servers, the manifest to the query
+// router) — and verify paged shard files page by page.
 //
-//   build_shards <index.jmix> <output_dir> <num_shards> <round_robin|hash_dataset>
+//   build_shards <index.jmix> <output_dir> <num_shards>
+//                <round_robin|hash_dataset> [--format whole|paged]
+//                [--page-size N]
+//   build_shards verify <shard.jmps> [<shard.jmps> ...]
 //
-// After writing, the tool reloads everything through the manifest
-// (ShardedSketchIndex::Load), which re-verifies every shard file's checksum
-// and candidate count, and prints the per-shard layout. Exits nonzero if
-// any step fails or the reloaded totals disagree with the source index.
+// Build: after writing, the tool reloads everything through the manifest
+// (ShardedSketchIndex::Load), which re-verifies whole-file shards'
+// checksums and candidate counts (paged shards re-open by header +
+// directory), and prints the per-shard layout. Exits nonzero if any step
+// fails or the reloaded totals disagree with the source index.
+//
+// Verify: walks every page of each paged shard file checking the page
+// index and payload checksum, then replays the record directory against
+// the pages' packing. Exits nonzero on the first bad file, printing the
+// first bad page's index (the file's page count for directory-level
+// faults not attributable to one page).
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,23 +27,72 @@
 
 #include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
+#include "src/storage/paged_shard_file.h"
 
 using namespace joinmi;
 
-int main(int argc, char** argv) {
-  if (argc != 5) {
-    std::fprintf(stderr,
-                 "usage: %s <index.jmix> <output_dir> <num_shards> "
-                 "<round_robin|hash_dataset>\n",
-                 argv[0]);
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <index.jmix> <output_dir> <num_shards> "
+               "<round_robin|hash_dataset> [--format whole|paged] "
+               "[--page-size N]\n"
+               "       %s verify <shard.jmps> [<shard.jmps> ...]\n"
+               "  --format    : shard file layout (default whole); paged\n"
+               "                shards serve through a buffer pool without\n"
+               "                full materialization\n"
+               "  --page-size : page size in bytes for paged shards "
+               "(default 4096)\n",
+               argv0, argv0);
+  return 2;
+}
+
+// Strict integer parse: whole string, no sign surprises, range-checked.
+bool ParseSizeArg(const char* arg, long min, long max, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || parsed < min ||
+      parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+int RunVerify(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "verify needs at least one paged shard file\n");
     return 2;
   }
+  for (int arg = 2; arg < argc; ++arg) {
+    const std::string path = argv[arg];
+    uint64_t bad_page = 0;
+    const Status status = storage::VerifyPagedShardFile(path, &bad_page);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: FAILED at page %llu: %s\n", path.c_str(),
+                   static_cast<unsigned long long>(bad_page),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: OK\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+    return RunVerify(argc, argv);
+  }
+  if (argc < 5) return Usage(argv[0]);
+
   const std::string index_path = argv[1];
   const std::string output_dir = argv[2];
-  char* end = nullptr;
-  const long shards_arg = std::strtol(argv[3], &end, 10);
-  if (end == argv[3] || *end != '\0' || shards_arg < 1 ||
-      shards_arg > 100000) {
+  long shards_arg = 0;
+  if (!ParseSizeArg(argv[3], 1, 100000, &shards_arg)) {
     std::fprintf(stderr, "num_shards must be an integer in [1, 100000]\n");
     return 2;
   }
@@ -42,6 +101,31 @@ int main(int argc, char** argv) {
   if (!policy.ok()) {
     std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
     return 2;
+  }
+
+  ShardBuildOptions build_options;
+  for (int arg = 5; arg < argc; ++arg) {
+    const bool has_value = arg + 1 < argc;
+    if (std::strcmp(argv[arg], "--format") == 0 && has_value) {
+      auto format = ParseShardFileFormat(argv[++arg]);
+      if (!format.ok()) {
+        std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
+        return 2;
+      }
+      build_options.format = *format;
+    } else if (std::strcmp(argv[arg], "--page-size") == 0 && has_value) {
+      long page_size = 0;
+      if (!ParseSizeArg(argv[++arg], storage::kMinPageSize,
+                        storage::kMaxPageSize, &page_size)) {
+        std::fprintf(stderr, "--page-size must be an integer in [%u, %u]\n",
+                     storage::kMinPageSize, storage::kMaxPageSize);
+        return 2;
+      }
+      build_options.page_size = static_cast<uint32_t>(page_size);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", argv[arg]);
+      return Usage(argv[0]);
+    }
   }
 
   auto index = ReadIndexFile(index_path);
@@ -55,18 +139,20 @@ int main(int argc, char** argv) {
               index->config().ToString().c_str());
 
   auto manifest_path =
-      BuildShards(*index, num_shards, *policy, output_dir);
+      BuildShards(*index, num_shards, *policy, output_dir, build_options);
   if (!manifest_path.ok()) {
     std::fprintf(stderr, "failed partitioning the index: %s\n",
                  manifest_path.status().ToString().c_str());
     return 1;
   }
-  std::printf("wrote        : %s (%zu shards, policy %s)\n",
+  std::printf("wrote        : %s (%zu shards, policy %s, format %s)\n",
               manifest_path->c_str(), num_shards,
-              ShardPartitionPolicyToString(*policy));
+              ShardPartitionPolicyToString(*policy),
+              ShardFileFormatToString(build_options.format));
 
-  // Round trip: loading re-verifies manifest structure, per-shard
-  // checksums, and candidate counts against what was just written.
+  // Round trip: loading re-verifies manifest structure and, per format,
+  // whole-file checksums + counts or paged header/directory integrity
+  // against what was just written.
   auto sharded = ShardedSketchIndex::Load(*manifest_path);
   if (!sharded.ok()) {
     std::fprintf(stderr, "failed reloading the sharded index: %s\n",
@@ -75,10 +161,12 @@ int main(int argc, char** argv) {
   }
   for (size_t s = 0; s < sharded->manifest().shards.size(); ++s) {
     const ShardManifestEntry& entry = sharded->manifest().shards[s];
-    std::printf("  shard %-4zu : %s  %6llu candidates  checksum %016llx\n",
-                s, entry.path.c_str(),
-                static_cast<unsigned long long>(entry.candidate_count),
-                static_cast<unsigned long long>(entry.checksum));
+    std::printf(
+        "  shard %-4zu : %s  %6llu candidates  checksum %016llx  %s\n", s,
+        entry.path.c_str(),
+        static_cast<unsigned long long>(entry.candidate_count),
+        static_cast<unsigned long long>(entry.checksum),
+        ShardFileFormatToString(entry.format));
   }
   if (sharded->size() != index->size() ||
       sharded->num_shards() != num_shards) {
