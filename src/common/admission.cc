@@ -1,0 +1,36 @@
+#include "src/common/admission.h"
+
+#include <cstdlib>
+
+namespace joinmi {
+
+// The hint travels inside the message rather than a new Status field so it
+// survives the existing wire encoding (rpc::AppendStatus round-trips code +
+// message exactly) and every intermediate layer that copies statuses.
+constexpr char kRetryAfterToken[] = "retry_after_ms=";
+
+Status MakeOverloadedStatus(size_t depth, size_t limit,
+                            int retry_after_ms) {
+  if (retry_after_ms < 0) retry_after_ms = 0;
+  return Status::Overloaded(
+      "pending-query limit reached (" + std::to_string(depth) + " >= " +
+      std::to_string(limit) + " pending); " + kRetryAfterToken +
+      std::to_string(retry_after_ms));
+}
+
+int RetryAfterHintMs(const Status& status) {
+  if (!status.IsOverloaded()) return -1;
+  const std::string& message = status.message();
+  const size_t pos = message.rfind(kRetryAfterToken);
+  if (pos == std::string::npos) return -1;
+  const char* digits = message.c_str() + pos + sizeof(kRetryAfterToken) - 1;
+  if (*digits < '0' || *digits > '9') return -1;
+  long value = 0;
+  for (const char* c = digits; *c >= '0' && *c <= '9'; ++c) {
+    value = value * 10 + (*c - '0');
+    if (value > 86400000) return 86400000;  // clamp: a day is plenty
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace joinmi

@@ -1,0 +1,142 @@
+#include "src/common/metrics.h"
+
+#include <cstdio>
+
+namespace joinmi {
+namespace metrics {
+
+size_t Histogram::BucketFor(uint64_t micros) {
+  size_t bucket = 0;
+  while (bucket + 1 < kNumBuckets && BucketUpperMicros(bucket) < micros) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+uint64_t Histogram::QuantileUpperMicros(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; walk buckets until the
+  // cumulative count reaches it.
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= rank) return BucketUpperMicros(i);
+  }
+  return BucketUpperMicros(kNumBuckets - 1);
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    values.emplace_back(entry.first, entry.second->value());
+  }
+  return values;
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = counters_.find(name);
+  return entry == counters_.end() ? 0 : entry->second->value();
+}
+
+namespace {
+
+// Minimal JSON string escaping: metric names are code-chosen identifiers,
+// but a snapshot must never emit invalid JSON whatever a caller names.
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& entry : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, entry.first);
+    out.push_back(':');
+    out += std::to_string(entry.second->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& entry : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    const Histogram& hist = *entry.second;
+    AppendJsonString(&out, entry.first);
+    out += ":{\"count\":" + std::to_string(hist.count());
+    out += ",\"sum_us\":" + std::to_string(hist.sum_micros());
+    out += ",\"p50_us\":" + std::to_string(hist.QuantileUpperMicros(0.5));
+    out += ",\"p99_us\":" + std::to_string(hist.QuantileUpperMicros(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t count = hist.bucket(i);
+      if (count == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out += "[" + std::to_string(Histogram::BucketUpperMicros(i)) + "," +
+             std::to_string(count) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace joinmi

@@ -1,0 +1,146 @@
+// Metrics registry: named counters and bounded latency histograms for the
+// serving tier. This is the one observability surface — the router, the
+// shard server, and the CLI tools all register their counters here and
+// export one JSON snapshot, replacing the ad-hoc atomic counters (and the
+// stderr lines CI used to scrape) that accumulated per layer.
+//
+// Design constraints:
+//   - Lock-cheap on the hot path: Counter::Add and Histogram::Observe are
+//     single relaxed atomic RMWs; the registry mutex is taken only on
+//     first registration of a name and on snapshot.
+//   - Bounded: a histogram is a fixed array of power-of-two microsecond
+//     buckets (no per-observation allocation, no unbounded growth), so a
+//     server can record billions of latencies in a few hundred bytes.
+//   - Stable pointers: GetCounter/GetHistogram return pointers that stay
+//     valid for the registry's lifetime, so callers hoist the lookup out
+//     of their hot loops.
+//
+// Snapshot format (SnapshotJson): one flat JSON object,
+//   {"counters":{"name":value,...},
+//    "histograms":{"name":{"count":n,"sum_us":s,"p50_us":x,"p99_us":y,
+//                          "buckets":[[upper_us,count],...]},...}}
+// with histogram buckets listing only non-empty cells as
+// [inclusive upper bound in us, count]; the last bucket's bound prints as
+// the bucket floor (anything slower lands there). Keys are emitted in
+// sorted order so snapshots diff cleanly.
+
+#ifndef JOINMI_COMMON_METRICS_H_
+#define JOINMI_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace joinmi {
+namespace metrics {
+
+/// \brief Monotonic (or operator-set) unsigned counter. All operations are
+/// relaxed atomics: counters are telemetry, not synchronization.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// \brief Overwrites the value — for absorbing a gauge maintained
+  /// elsewhere (pool occupancy, buffer-pool counters) into a snapshot.
+  void Set(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Bounded latency histogram over power-of-two microsecond buckets:
+/// bucket i counts observations with value <= 2^i us (the last bucket is
+/// open-ended). 28 buckets span 1 us .. ~134 s, far past any timeout in
+/// the system.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 28;
+
+  void Observe(uint64_t micros) {
+    buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// \brief Inclusive upper bound of bucket i in microseconds (2^i); the
+  /// last bucket is open-ended and reports its floor.
+  static uint64_t BucketUpperMicros(size_t i) { return uint64_t{1} << i; }
+  static size_t BucketFor(uint64_t micros);
+
+  /// \brief Upper bound of the bucket holding quantile `q` (0..1) — a
+  /// conservative estimate, exact to bucket resolution. 0 when empty.
+  uint64_t QuantileUpperMicros(double q) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Name -> metric registry with a JSON snapshot. Thread-safe; see
+/// the header comment for the locking discipline.
+class Registry {
+ public:
+  /// \brief Returns the counter registered under `name`, creating it on
+  /// first use. The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// \brief All counter name/value pairs, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  /// \brief The counter's current value, or 0 if never registered.
+  uint64_t CounterValue(const std::string& name) const;
+
+  std::string SnapshotJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Records the scope's wall-clock duration into a histogram on
+/// destruction. A null histogram disables recording (the zero-cost path
+/// for metrics-free configurations).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(ElapsedMicros());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace metrics
+}  // namespace joinmi
+
+#endif  // JOINMI_COMMON_METRICS_H_

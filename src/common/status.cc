@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Already exists";
     case StatusCode::kUnknownError:
       return "Unknown error";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown code";
 }

@@ -27,6 +27,10 @@ enum class StatusCode : char {
   kIOError,
   kAlreadyExists,
   kUnknownError,
+  /// The serving tier is at capacity and rejected the request instead of
+  /// queueing it unboundedly. The message may carry a machine-readable
+  /// "retry_after_ms=N" hint (see common/admission.h).
+  kOverloaded,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid argument",
@@ -77,6 +81,9 @@ class Status {
   static Status UnknownError(std::string msg) {
     return Status(StatusCode::kUnknownError, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   /// \brief True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -105,6 +112,7 @@ class Status {
   bool IsAlreadyExists() const {
     return code() == StatusCode::kAlreadyExists;
   }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// \brief "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -60,14 +60,21 @@ struct ReplicaRouterOptions {
   int cooldown_ms = 1000;
 };
 
-/// \brief Reads an endpoints file in v2 (replicated) or v1 form: line i
-/// lists the replicas of shard i as host:port specs separated by commas
-/// and/or whitespace. A v1 file — exactly one endpoint per line — is a
-/// valid v2 file with one replica per shard, so both formats read here.
+/// \brief THE endpoints-file reader: line i lists the replicas of shard i
+/// as host:port specs separated by commas and/or whitespace. A v1 file —
+/// exactly one endpoint per line — is a valid file with one replica per
+/// shard, so both historical formats read here; the v1/v2 split is gone.
 /// Blank lines and '#' comments (inline too) are ignored; malformed specs
 /// fail with the offending `path:line:` position.
-Result<std::vector<std::vector<ShardEndpoint>>> ReadReplicaEndpointsFile(
+Result<std::vector<std::vector<ShardEndpoint>>> ReadShardEndpoints(
     const std::string& path);
+
+/// \brief Deprecated: the pre-unification name for ReadShardEndpoints,
+/// kept one release as a thin wrapper.
+inline Result<std::vector<std::vector<ShardEndpoint>>>
+ReadReplicaEndpointsFile(const std::string& path) {
+  return ReadShardEndpoints(path);
+}
 
 /// \brief Health-tracked round-robin selection over one shard's replicas.
 /// Thread-safe; pure bookkeeping (never touches the network) so it is
@@ -96,6 +103,10 @@ class ReplicaSet {
   /// not clear the mark; only MarkHealthy does).
   bool IsDown(size_t replica) const;
   size_t size() const { return states_.size(); }
+  /// \brief Healthy->down transitions since construction (re-arming an
+  /// already-down replica does not count) — the mark-down telemetry the
+  /// metrics surface exports.
+  uint64_t total_mark_downs() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -109,6 +120,7 @@ class ReplicaSet {
   mutable std::mutex mutex_;
   std::vector<ReplicaState> states_;
   uint64_t cursor_ = 0;
+  uint64_t mark_downs_ = 0;
 };
 
 /// \brief ShardClient over N interchangeable replicas of one shard.
@@ -158,6 +170,9 @@ class ReplicaShardClient : public ShardClient {
   const RpcShardClient& replica(size_t i) const { return *replicas_[i]; }
   /// \brief Selection-state introspection for tests and drills.
   bool replica_down(size_t i) const { return set_.IsDown(i); }
+  /// \brief Healthy->down transitions across this shard's replicas — the
+  /// counter the Router's metrics snapshot absorbs.
+  uint64_t total_mark_downs() const { return set_.total_mark_downs(); }
 
   /// \brief ShardClientFactory over a v2 endpoints map: shard i is served
   /// by `replica_endpoints[i]` (>= 1 endpoints each). Requires a v2

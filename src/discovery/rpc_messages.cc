@@ -56,7 +56,7 @@ Status ReadStatus(wire::Reader* reader, Status* out) {
   std::string message;
   JOINMI_RETURN_NOT_OK(reader->Read(&code));
   JOINMI_RETURN_NOT_OK(reader->ReadLengthPrefixed(&message));
-  if (code > static_cast<uint8_t>(StatusCode::kUnknownError)) {
+  if (code > static_cast<uint8_t>(StatusCode::kOverloaded)) {
     return Status::IOError("unknown status code tag " + std::to_string(code));
   }
   *out = Status(static_cast<StatusCode>(code), std::move(message));
@@ -327,6 +327,29 @@ Result<BatchSearchResponse> DecodeBatchSearchResponse(
     response.responses.push_back(std::move(decoded));
   }
   JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "batch search response"));
+  return response;
+}
+
+// ------------------------------------------------------------ Stats (v2)
+
+std::string EncodeStatsResponse(const StatsResponse& response) {
+  std::string out;
+  AppendStatus(&out, response.status);
+  if (!response.status.ok()) return out;
+  wire::AppendLengthPrefixed(&out, response.json);
+  return out;
+}
+
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload) {
+  wire::Reader reader(payload);
+  StatsResponse response;
+  JOINMI_RETURN_NOT_OK(ReadStatus(&reader, &response.status));
+  if (!response.status.ok()) {
+    JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "stats response"));
+    return response;
+  }
+  JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&response.json));
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "stats response"));
   return response;
 }
 

@@ -171,6 +171,21 @@ std::string EncodeBatchSearchResponse(const BatchSearchResponse& response);
 Result<BatchSearchResponse> DecodeBatchSearchResponse(
     const std::string& payload);
 
+// ---------------------------------------------------------- Stats (v2)
+
+/// \brief Answer to kStatsRequest (whose payload is empty): the server's
+/// metrics snapshot. The JSON is opaque to the wire layer — its schema is
+/// whatever metrics::Registry::SnapshotJson emits — so servers can add
+/// metrics without a protocol bump.
+struct StatsResponse {
+  Status status;
+  /// Meaningful only when `status` is OK.
+  std::string json;
+};
+
+std::string EncodeStatsResponse(const StatsResponse& response);
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
+
 // --------------------------------------------------------------- Error
 
 std::string EncodeErrorPayload(const Status& status);

@@ -1,7 +1,6 @@
 #include "src/discovery/rpc_shard_client.h"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -51,44 +50,8 @@ Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec) {
   return endpoint;
 }
 
-Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
-    const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IOError("cannot open endpoint file '" + path + "'");
-  }
-  std::vector<ShardEndpoint> endpoints;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    // Trim whitespace and drop comments.
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    const size_t begin = line.find_first_not_of(" \t\r");
-    if (begin == std::string::npos) continue;
-    const size_t end = line.find_last_not_of(" \t\r");
-    const std::string trimmed = line.substr(begin, end - begin + 1);
-    if (trimmed.find_first_of(" \t,") != std::string::npos) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_no) +
-          ": line lists more than one endpoint — that is the v2 replica "
-          "format; read it with ReadReplicaEndpointsFile");
-    }
-    auto parsed = ParseShardEndpoint(trimmed);
-    if (!parsed.ok()) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_no) + ": " +
-          parsed.status().message());
-    }
-    endpoints.push_back(std::move(*parsed));
-  }
-  if (endpoints.empty()) {
-    return Status::InvalidArgument("endpoint file '" + path +
-                                   "' lists no endpoints");
-  }
-  return endpoints;
-}
+// ReadEndpointsFile is now a deprecated projection of ReadShardEndpoints;
+// both live in replica_router.cc so the parse loop exists exactly once.
 
 Status ValidateServingManifest(const ShardManifest& manifest,
                                size_t num_entries) {
@@ -424,6 +387,38 @@ Result<rpc::HealthResponse> RpcShardClient::Health() const {
         std::string(net::FrameTypeToString(frame->type)) + " frame");
   }
   return rpc::DecodeHealthResponse(frame->payload);
+}
+
+Result<std::string> RpcShardClient::Stats() const {
+  auto channel = channels_->Pick();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  if (!(*channel)->pipelined()) {
+    return Status::NotImplemented(
+        "shard server " + endpoint_.ToString() +
+        " negotiated JMRP v1, which has no stats frame");
+  }
+  auto frame = (*channel)->Call(net::FrameType::kStatsRequest, "", nullptr);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (frame->type == net::FrameType::kError) {
+    Status server_error;
+    JOINMI_RETURN_NOT_OK(
+        rpc::DecodeErrorPayload(frame->payload, &server_error));
+    return server_error;
+  }
+  if (frame->type != net::FrameType::kStatsResponse) {
+    return Status::IOError(
+        "shard server " + endpoint_.ToString() +
+        " answered a stats request with a " +
+        std::string(net::FrameTypeToString(frame->type)) + " frame");
+  }
+  JOINMI_ASSIGN_OR_RETURN(rpc::StatsResponse response,
+                          rpc::DecodeStatsResponse(frame->payload));
+  JOINMI_RETURN_NOT_OK(response.status);
+  return std::move(response.json);
 }
 
 ShardClientFactory RpcShardClient::Factory(

@@ -74,13 +74,11 @@ struct ShardEndpoint {
 /// IPv4 addresses).
 Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec);
 
-/// \brief Reads a v1 endpoint file: one "host:port" per line, in shard
-/// order; blank lines and '#' comments (inline too) ignored. The router
-/// pairs line i with manifest shard i, so the file must list exactly one
-/// endpoint per shard. Malformed lines fail with the offending
-/// `path:line:` position; a line listing several replicas is rejected
-/// here with a pointer to the v2 reader (ReadReplicaEndpointsFile in
-/// replica_router.h), which reads both formats.
+/// \brief Deprecated: the single-endpoint-per-shard projection of
+/// ReadShardEndpoints (replica_router.h), kept one release. It reads the
+/// same file format but rejects any line listing several replicas — new
+/// code should read replica sets with ReadShardEndpoints and treat a
+/// one-endpoint line as a one-replica set.
 Result<std::vector<ShardEndpoint>> ReadEndpointsFile(
     const std::string& path);
 
@@ -177,6 +175,12 @@ class RpcShardClient : public ShardClient {
 
   /// \brief Liveness + identity probe: cheap, never retried.
   Result<rpc::HealthResponse> Health() const;
+
+  /// \brief The server's metrics snapshot as a JSON document (v2 only —
+  /// a v1 server has no stats frame, so this returns NotImplemented
+  /// instead of poisoning the connection with a type it must reject).
+  /// Never retried: stats are advisory telemetry.
+  Result<std::string> Stats() const;
 
   const ShardEndpoint& endpoint() const { return endpoint_; }
 

@@ -111,46 +111,55 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
 
 Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
                                           const SearchSpec& spec,
-                                          const SketchIndex& index, size_t k,
-                                          size_t num_threads) {
-  if (k == 0) {
-    return Status::InvalidArgument("top-k search requires k >= 1");
-  }
-  // The index's config (not a caller-supplied one) drives the query sketch:
-  // candidate sketches were built under it, and only same-config sketches
-  // coordinate. This is what makes the ranking match the repository path.
-  JOINMI_ASSIGN_OR_RETURN(
-      JoinMIQuery query,
-      JoinMIQuery::Create(base_table, spec.base_key, spec.base_target,
-                          index.config()));
-  JOINMI_ASSIGN_OR_RETURN(IndexEvaluation evaluation,
-                          index.EvaluateAll(query, num_threads));
-  TopKSearchResult result;
-  result.num_candidates = index.size();
-  result.num_skipped = evaluation.num_skipped;
-  result.num_errors = evaluation.num_errors;
-  MergeTopKByEnumeration(
-      evaluation.estimates, k,
-      [&index](size_t i) { return index.candidates()[i].ref; }, &result);
-  return result;
-}
-
-Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
-                                          const SearchSpec& spec,
-                                          const ShardedSketchIndex& index,
-                                          size_t k, size_t num_threads,
+                                          const Searchable& target, size_t k,
+                                          size_t num_threads,
                                           ShardQueryMode mode) {
   if (k == 0) {
     return Status::InvalidArgument("top-k search requires k >= 1");
   }
-  // As in the unsharded index overload, the index's config drives the query
-  // sketch; Create validated that every shard agrees with it.
+  // The target's config (not a caller-supplied one) drives the query
+  // sketch: candidate sketches were built under it, and only same-config
+  // sketches coordinate. This is what makes every indexed ranking match
+  // the repository path.
   JOINMI_ASSIGN_OR_RETURN(
       JoinMIQuery query,
       JoinMIQuery::Create(base_table, spec.base_key, spec.base_target,
-                          index.config()));
+                          target.search_config()));
+  return target.SearchQuery(query, k, num_threads, mode);
+}
+
+// SketchIndex's Searchable implementation lives here (not in
+// sketch_index.cc) so it shares MergeTopKByEnumeration with the
+// repository-scan path — the shared merge is what keeps the two rankings
+// provably identical.
+Result<TopKSearchResult> SketchIndex::SearchQuery(const JoinMIQuery& query,
+                                                  size_t k,
+                                                  size_t num_threads,
+                                                  ShardQueryMode mode) const {
+  (void)mode;  // no shard to lose
+  if (k == 0) {
+    return Status::InvalidArgument("top-k search requires k >= 1");
+  }
+  JOINMI_ASSIGN_OR_RETURN(IndexEvaluation evaluation,
+                          EvaluateAll(query, num_threads));
+  TopKSearchResult result;
+  result.num_candidates = size();
+  result.num_skipped = evaluation.num_skipped;
+  result.num_errors = evaluation.num_errors;
+  MergeTopKByEnumeration(
+      evaluation.estimates, k,
+      [this](size_t i) { return candidates()[i].ref; }, &result);
+  return result;
+}
+
+Result<TopKSearchResult> ShardedSketchIndex::SearchQuery(
+    const JoinMIQuery& query, size_t k, size_t num_threads,
+    ShardQueryMode mode) const {
+  if (k == 0) {
+    return Status::InvalidArgument("top-k search requires k >= 1");
+  }
   JOINMI_ASSIGN_OR_RETURN(ShardSearchResult merged,
-                          index.Search(query, k, num_threads, mode));
+                          Search(query, k, num_threads, mode));
   TopKSearchResult result;
   result.num_candidates = merged.num_candidates;
   result.num_evaluated = merged.num_evaluated;

@@ -4,6 +4,14 @@
 // for scale: the base sketch is built once and shared (read-only) by all
 // worker threads, and results are merged in candidate-enumeration order so
 // rankings are identical for any thread count.
+//
+// Entry points (the result/spec types live in searchable.h):
+//   - the repository-scan overload, which sketches every candidate per
+//     query (no index needed);
+//   - the Searchable overload, which drives ANY indexed target —
+//     SketchIndex, ShardedSketchIndex, or discovery::Router — through one
+//     interface. The historical per-type overloads forward here inline and
+//     are deprecated.
 
 #ifndef JOINMI_DISCOVERY_SEARCH_H_
 #define JOINMI_DISCOVERY_SEARCH_H_
@@ -15,54 +23,20 @@
 #include "src/common/status.h"
 #include "src/core/join_mi.h"
 #include "src/discovery/repository.h"
+#include "src/discovery/searchable.h"
 #include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
 #include "src/table/table.h"
 
 namespace joinmi {
 
-/// \brief Base-table column bindings for one discovery search.
-struct SearchSpec {
-  std::string base_key;     ///< K_Y: join key in the base table
-  std::string base_target;  ///< Y: target attribute in the base table
-};
-
-/// \brief Execution knobs for TopKJoinMISearch.
+/// \brief Execution knobs for the repository-scan TopKJoinMISearch.
 struct SearchConfig {
   /// Worker threads; 0 means hardware concurrency, 1 runs inline without a
   /// pool. Rankings do not depend on this value.
   size_t num_threads = 0;
   /// Per-query sketching/estimation configuration.
   JoinMIConfig join_config;
-};
-
-/// \brief One ranked search answer.
-struct SearchHit {
-  ColumnPairRef candidate;
-  JoinMIEstimate estimate;
-};
-
-/// \brief Outcome of one top-k discovery search.
-struct TopKSearchResult {
-  /// Hits sorted by MI descending; ties break on candidate enumeration
-  /// order (table name, then key/value column), so the ranking is stable
-  /// and reproducible.
-  std::vector<SearchHit> hits;
-  /// Column pairs enumerated from the repository (or indexed candidates).
-  size_t num_candidates = 0;
-  /// Candidates that produced an estimate.
-  size_t num_evaluated = 0;
-  /// Candidates skipped because the sketch-join overlap fell below
-  /// config.min_join_size — expected in healthy repositories.
-  size_t num_skipped = 0;
-  /// Candidates that failed hard (missing tables, unsketchable columns,
-  /// estimator errors). Kept separate from num_skipped so "overlap too
-  /// small" is distinguishable from "repository is broken".
-  size_t num_errors = 0;
-  /// Shards that did not answer (sharded overload in degraded mode only;
-  /// always empty otherwise). When non-empty, hits and counters cover the
-  /// answering shards only.
-  std::vector<ShardFailure> shard_failures;
 };
 
 /// \brief Searches the repository for the k candidate column pairs whose
@@ -81,34 +55,44 @@ Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
                                           size_t k,
                                           const SearchConfig& config = {});
 
-/// \brief Index-backed search: probes a persisted SketchIndex instead of
-/// re-sketching every candidate per query — the paper's sketch-once /
-/// query-many deployment. The base table is sketched once with the
-/// *index's* JoinMIConfig (so query and index sketches are guaranteed to
-/// coordinate), then joined against every pre-built candidate sketch via
-/// its prepared probe map. At matched config and seed the ranking is
-/// identical to the repository overload's; only the per-query candidate
-/// sketching cost disappears. `num_threads` 0 means hardware concurrency.
-Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
-                                          const SearchSpec& spec,
-                                          const SketchIndex& index,
-                                          size_t k, size_t num_threads = 0);
-
-/// \brief Sharded search: sketches the base table once with the sharded
-/// index's config, fans the query out to every shard through its
-/// ShardClient, and merges the per-shard top-k lists on
-/// (MI desc, global insertion index asc). Because that is the same total
-/// order the unsharded index overload ranks by, the result is bit-identical
-/// to searching the unsharded index — for any shard count, either
-/// partitioning policy, any thread count, and whether shards are local
-/// files or remote servers. In ShardQueryMode::kDegraded a failed shard
-/// lands in result.shard_failures instead of failing the query (see
-/// sharded_index.h); the bit-identical guarantee then covers the shards
-/// that answered.
+/// \brief Index-backed search over any Searchable target: sketches the
+/// base table once with the *target's* JoinMIConfig (so query and
+/// candidate sketches are guaranteed to coordinate) and delegates ranking
+/// to the target. For a SketchIndex this probes prepared candidate
+/// sketches in-process; for a ShardedSketchIndex it fans out across
+/// shards and merges on (MI desc, global insertion index asc) —
+/// bit-identical to the unsharded index for any shard count, partitioning
+/// policy, thread count, and local-vs-remote deployment; for a Router it
+/// additionally consults the result cache and admission gate. `mode`
+/// governs shard-failure handling (see searchable.h) and is ignored by
+/// unsharded targets.
 Result<TopKSearchResult> TopKJoinMISearch(
+    const Table& base_table, const SearchSpec& spec, const Searchable& target,
+    size_t k, size_t num_threads = 0,
+    ShardQueryMode mode = ShardQueryMode::kStrict);
+
+/// \brief Deprecated: the SketchIndex-specific overload, kept one release
+/// as an inline forwarder. Use the Searchable overload above.
+inline Result<TopKSearchResult> TopKJoinMISearch(const Table& base_table,
+                                                 const SearchSpec& spec,
+                                                 const SketchIndex& index,
+                                                 size_t k,
+                                                 size_t num_threads = 0) {
+  return TopKJoinMISearch(base_table, spec,
+                          static_cast<const Searchable&>(index), k,
+                          num_threads, ShardQueryMode::kStrict);
+}
+
+/// \brief Deprecated: the ShardedSketchIndex-specific overload, kept one
+/// release as an inline forwarder. Use the Searchable overload above.
+inline Result<TopKSearchResult> TopKJoinMISearch(
     const Table& base_table, const SearchSpec& spec,
     const ShardedSketchIndex& index, size_t k, size_t num_threads = 0,
-    ShardQueryMode mode = ShardQueryMode::kStrict);
+    ShardQueryMode mode = ShardQueryMode::kStrict) {
+  return TopKJoinMISearch(base_table, spec,
+                          static_cast<const Searchable&>(index), k,
+                          num_threads, mode);
+}
 
 }  // namespace joinmi
 

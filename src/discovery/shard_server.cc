@@ -63,6 +63,32 @@ size_t ShardServer::pool_capacity() const {
   return paged_ != nullptr ? paged_->pool_capacity() : 0;
 }
 
+std::string ShardServer::StatsJson() const {
+  // Mirror live gauges into the registry (Set, not Add) so the snapshot
+  // is one flat document; the hot-path counters are already in it.
+  registry_.GetCounter("server.shard")->Set(shard_);
+  registry_.GetCounter("server.candidates")->Set(client_->num_candidates());
+  registry_.GetCounter("server.connections.open")->Set(open_connections());
+  registry_.GetCounter("server.admission.pending")->Set(gate_.pending());
+  registry_.GetCounter("server.admission.max_pending")
+      ->Set(gate_.max_pending());
+  registry_.GetCounter("server.admission.admitted")->Set(gate_.admitted());
+  registry_.GetCounter("server.admission.rejected")->Set(gate_.rejected());
+  registry_.GetCounter("server.paged")->Set(serving_paged() ? 1 : 0);
+  if (serving_paged()) {
+    const storage::PagedOpenStats open = paged_open_stats();
+    registry_.GetCounter("server.paged.startup_bytes_read")
+        ->Set(open.startup_bytes_read);
+    registry_.GetCounter("server.paged.file_size")->Set(open.file_size);
+    const storage::BufferPoolStats pool = pool_stats();
+    registry_.GetCounter("server.pool.hits")->Set(pool.hits);
+    registry_.GetCounter("server.pool.misses")->Set(pool.misses);
+    registry_.GetCounter("server.pool.evictions")->Set(pool.evictions);
+    registry_.GetCounter("server.pool.capacity")->Set(pool_capacity());
+  }
+  return registry_.SnapshotJson();
+}
+
 ShardServer::~ShardServer() { Stop(); }
 
 Status ShardServer::Start() {
@@ -80,11 +106,37 @@ Status ShardServer::Start() {
       net::EventLoop::Create(
           std::move(listener),
           [this](net::EventLoop::ConnId conn, net::Frame frame) {
-            // Loop thread: never evaluate here. Hand the frame to the
-            // worker pool and return to the epoll wait.
+            // Loop thread: never evaluate here. Search frames pass the
+            // admission gate FIRST — a rejection is answered directly
+            // from the loop (one EncodeErrorPayload, no worker slot), so
+            // an overloaded server keeps shedding load at wire speed
+            // instead of queueing the rejections themselves. Everything
+            // else (handshake, health, upload, stats) bypasses the gate:
+            // it is exactly what a backing-off client needs.
+            AdmissionGate::Ticket ticket;
+            const bool gated =
+                frame.type == net::FrameType::kSearchRequest ||
+                frame.type == net::FrameType::kBatchSearchRequest;
+            if (gated) {
+              auto admitted = gate_.TryEnter();
+              if (!admitted.ok()) {
+                loop_->Send(conn,
+                            net::EncodeFrameAs(
+                                frame.version, net::FrameType::kError,
+                                frame.request_id,
+                                rpc::EncodeErrorPayload(admitted.status())));
+                return;
+              }
+              ticket = std::move(*admitted);
+            }
+            // The ticket rides to the worker and releases when the frame
+            // is fully handled — pending counts queued AND executing.
             auto shared = std::make_shared<net::Frame>(std::move(frame));
-            workers_->Submit([this, conn, shared] {
+            auto held =
+                std::make_shared<AdmissionGate::Ticket>(std::move(ticket));
+            workers_->Submit([this, conn, shared, held] {
               HandleFrame(conn, std::move(*shared));
+              held->Release();
             });
           },
           [this](net::EventLoop::ConnId conn) {
@@ -128,7 +180,7 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
                               net::Frame frame) {
   switch (frame.type) {
     case net::FrameType::kHandshakeRequest: {
-      handshakes_served_.fetch_add(1);
+      handshakes_served_->Add();
       auto decoded = rpc::DecodeHandshakeRequest(frame.payload);
       if (!decoded.ok()) {
         Reply(conn, frame, net::FrameType::kError,
@@ -147,30 +199,41 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
       return;
     }
     case net::FrameType::kHealthRequest: {
-      health_served_.fetch_add(1);
+      health_served_->Add();
       rpc::HealthResponse response;
       response.num_candidates = client_->num_candidates();
-      response.requests_served = searches_served_.load();
+      response.requests_served = searches_served_->value();
       Reply(conn, frame, net::FrameType::kHealthResponse,
             rpc::EncodeHealthResponse(response));
       return;
     }
     case net::FrameType::kSearchRequest: {
-      searches_served_.fetch_add(1);
+      searches_served_->Add();
+      metrics::ScopedTimer timer(search_latency_);
       Reply(conn, frame, net::FrameType::kSearchResponse,
             HandleSearch(frame));
       return;
     }
     case net::FrameType::kSketchUploadRequest: {
-      uploads_served_.fetch_add(1);
+      uploads_served_->Add();
       Reply(conn, frame, net::FrameType::kSketchUploadResponse,
             HandleSketchUpload(conn, frame));
       return;
     }
     case net::FrameType::kBatchSearchRequest: {
-      searches_served_.fetch_add(1);
+      searches_served_->Add();
+      metrics::ScopedTimer timer(search_latency_);
       Reply(conn, frame, net::FrameType::kBatchSearchResponse,
             HandleBatchSearch(conn, frame));
+      return;
+    }
+    case net::FrameType::kStatsRequest: {
+      stats_served_->Add();
+      rpc::StatsResponse response;
+      response.status = Status::OK();
+      response.json = StatsJson();
+      Reply(conn, frame, net::FrameType::kStatsResponse,
+            rpc::EncodeStatsResponse(response));
       return;
     }
     default: {

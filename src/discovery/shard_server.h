@@ -39,6 +39,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/admission.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/discovery/paged_shard_index.h"
 #include "src/discovery/sharded_index.h"
@@ -71,6 +73,14 @@ struct ShardServerOptions {
   /// the operator asked for bounded-memory serving, so silently falling
   /// back to full materialization would defeat the point.
   bool require_paged = false;
+  /// Search frames (single and batch) concurrently queued or executing
+  /// before new ones are rejected with kOverloaded + a retry-after hint;
+  /// 0 = unbounded (the historical queue-forever behavior). Handshakes,
+  /// health probes, sketch uploads, and stats requests always bypass the
+  /// gate — they are what a backing-off client needs to keep working.
+  size_t max_pending = 0;
+  /// The "retry_after_ms=N" hint stamped into overload rejections.
+  int retry_after_hint_ms = 50;
 };
 
 class ShardServer {
@@ -110,15 +120,18 @@ class ShardServer {
   /// \brief Search frames answered (single and batch) since Start —
   /// query traffic only; handshakes and health probes have their own
   /// counters below and no longer inflate this.
-  uint64_t requests_served() const { return searches_served_.load(); }
+  uint64_t requests_served() const { return searches_served_->value(); }
   /// \brief Handshakes answered since Start — one per client connection
   /// ever dialed, so this counts distinct connections, not traffic.
   /// Replica drills read it to prove each replica actually took dials.
-  uint64_t handshakes_served() const { return handshakes_served_.load(); }
+  uint64_t handshakes_served() const { return handshakes_served_->value(); }
   /// \brief Health probes answered since Start.
-  uint64_t health_served() const { return health_served_.load(); }
+  uint64_t health_served() const { return health_served_->value(); }
   /// \brief Sketch uploads accepted or rejected since Start.
-  uint64_t sketch_uploads_served() const { return uploads_served_.load(); }
+  uint64_t sketch_uploads_served() const { return uploads_served_->value(); }
+  /// \brief Search frames rejected by the admission gate since Start.
+  uint64_t overload_rejections() const { return gate_.rejected(); }
+  const AdmissionGate& admission() const { return gate_; }
   /// \brief Currently open serving connections.
   size_t open_connections() const {
     return loop_ ? loop_->open_connections() : 0;
@@ -135,11 +148,27 @@ class ShardServer {
   storage::BufferPoolStats pool_stats() const;
   size_t pool_capacity() const;
 
+  /// \brief This server's registry (served over kStatsRequest too).
+  metrics::Registry& metrics() const { return registry_; }
+  /// \brief One JSON document of every server counter: request counts,
+  /// admission gate state, search latency histogram, and — when serving
+  /// paged — buffer-pool and startup-read gauges. This is what CI parses
+  /// instead of scraping stderr.
+  std::string StatsJson() const;
+
  private:
   ShardServer(std::unique_ptr<ShardClient> client, size_t shard,
               ShardServerOptions options)
       : client_(std::move(client)), shard_(shard),
-        options_(std::move(options)) {}
+        options_(std::move(options)),
+        gate_(options_.max_pending, options_.retry_after_hint_ms) {
+    searches_served_ = registry_.GetCounter("server.searches");
+    handshakes_served_ = registry_.GetCounter("server.handshakes");
+    health_served_ = registry_.GetCounter("server.health_probes");
+    uploads_served_ = registry_.GetCounter("server.sketch_uploads");
+    stats_served_ = registry_.GetCounter("server.stats_requests");
+    search_latency_ = registry_.GetHistogram("server.search.latency_us");
+  }
 
   /// Runs on a worker thread: decode, evaluate, queue the reply.
   void HandleFrame(net::EventLoop::ConnId conn, net::Frame frame);
@@ -159,15 +188,25 @@ class ShardServer {
   size_t shard_ = 0;
   ShardServerOptions options_;
 
+  /// Bounds search frames queued + executing; declared after options_
+  /// (its limits come from there).
+  AdmissionGate gate_;
+  mutable metrics::Registry registry_;
+  // The per-request counters, absorbed into the registry (the ad-hoc
+  // atomics they replaced lived here); pointers are stable for the
+  // registry's lifetime.
+  metrics::Counter* searches_served_ = nullptr;
+  metrics::Counter* handshakes_served_ = nullptr;
+  metrics::Counter* health_served_ = nullptr;
+  metrics::Counter* uploads_served_ = nullptr;
+  metrics::Counter* stats_served_ = nullptr;
+  metrics::Histogram* search_latency_ = nullptr;
+
   std::unique_ptr<net::EventLoop> loop_;
   std::unique_ptr<ThreadPool> workers_;
   uint16_t port_ = 0;
   std::atomic<bool> started_{false};
   std::once_flag stop_once_;
-  std::atomic<uint64_t> searches_served_{0};
-  std::atomic<uint64_t> handshakes_served_{0};
-  std::atomic<uint64_t> health_served_{0};
-  std::atomic<uint64_t> uploads_served_{0};
 
   // Per-connection uploaded-sketch cache, digest-keyed. shared_ptr lets a
   // batch evaluation hold its sketch outside the lock while the loop

@@ -41,10 +41,14 @@
 #include <vector>
 
 #include "src/core/join_mi.h"
+#include "src/discovery/searchable.h"
 #include "src/discovery/shard_manifest.h"
 #include "src/discovery/sketch_index.h"
 
 namespace joinmi {
+
+// ShardFailure and ShardQueryMode moved to searchable.h (the whole search
+// surface shares them); this header re-exports both transitively.
 
 /// \brief One per-shard search answer, annotated with the candidate's
 /// global insertion index — the tie-break key of the cross-shard merge.
@@ -52,26 +56,6 @@ struct ShardSearchHit {
   uint64_t global_index = 0;
   ColumnPairRef ref;
   JoinMIEstimate estimate;
-};
-
-/// \brief One shard that failed to answer a degraded-mode query.
-struct ShardFailure {
-  /// Index of the shard in the manifest.
-  size_t shard = 0;
-  /// Why it failed (connection refused, timeout, shard-side error, ...).
-  Status status;
-};
-
-/// \brief How a fan-out search treats shard failures.
-enum class ShardQueryMode : uint8_t {
-  /// Any shard failure fails the whole query (first failure in shard
-  /// order, so errors are deterministic). The historical behavior and the
-  /// default — bit-identical guarantees hold only over complete answers.
-  kStrict = 0,
-  /// Failed shards are recorded in ShardSearchResult::shard_failures and
-  /// the merged top-k covers the healthy shards only. Fails only when no
-  /// shard answered.
-  kDegraded = 1,
 };
 
 /// \brief Outcome of one shard-level (or merged) top-k search. Hits are
@@ -165,7 +149,7 @@ using ShardClientFactory =
         const std::string& manifest_dir)>;
 
 /// \brief A partitioned index: the manifest plus one client per shard.
-class ShardedSketchIndex {
+class ShardedSketchIndex : public Searchable {
  public:
   /// \brief Assembles a sharded index from an already-validated manifest
   /// and matching clients (the seam for remote shards). Rejects
@@ -215,6 +199,9 @@ class ShardedSketchIndex {
   /// one client exists and that all clients agree.
   const JoinMIConfig& config() const { return clients_[0]->config(); }
   size_t num_shards() const { return clients_.size(); }
+  /// \brief The client serving shard `shard` — instrumentation seam: the
+  /// Router's stats snapshot downcasts to read pool/replica counters.
+  const ShardClient& client(size_t shard) const { return *clients_[shard]; }
   /// \brief Total candidates across all shards.
   size_t size() const { return static_cast<size_t>(manifest_.total_candidates); }
 
@@ -236,6 +223,13 @@ class ShardedSketchIndex {
       const JoinMIQuery& query,
       const std::vector<ShardSearchVariant>& variants, size_t num_threads = 0,
       ShardQueryMode mode = ShardQueryMode::kStrict) const;
+
+  // Searchable: Search() plus the ShardSearchResult -> TopKSearchResult
+  // projection (drops per-hit global indices, which are merge-internal).
+  const JoinMIConfig& search_config() const override { return config(); }
+  Result<TopKSearchResult> SearchQuery(const JoinMIQuery& query, size_t k,
+                                       size_t num_threads,
+                                       ShardQueryMode mode) const override;
 
  private:
   ShardedSketchIndex(ShardManifest manifest,

@@ -28,6 +28,7 @@
 
 #include "src/core/join_mi.h"
 #include "src/discovery/repository.h"
+#include "src/discovery/searchable.h"
 
 namespace joinmi {
 
@@ -65,7 +66,7 @@ struct IndexEvaluation {
 };
 
 /// \brief Sketch-per-candidate index over a repository.
-class SketchIndex {
+class SketchIndex : public Searchable {
  public:
   explicit SketchIndex(JoinMIConfig config) : config_(std::move(config)) {}
 
@@ -104,6 +105,13 @@ class SketchIndex {
   Result<std::vector<DiscoveryHit>> Query(const JoinMIQuery& query,
                                           size_t top_k,
                                           size_t num_threads = 0) const;
+
+  // Searchable: the single-interface search path (search.h drives it).
+  // `mode` is ignored — an unsharded index has no shard to lose.
+  const JoinMIConfig& search_config() const override { return config_; }
+  Result<TopKSearchResult> SearchQuery(const JoinMIQuery& query, size_t k,
+                                       size_t num_threads,
+                                       ShardQueryMode mode) const override;
 
  private:
   JoinMIConfig config_;

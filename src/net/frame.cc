@@ -34,7 +34,7 @@ Result<FrameHeader> ParseHeader(const char (&raw)[kFrameHeaderSize]) {
   }
   const uint8_t type = static_cast<uint8_t>(raw[8]);
   const uint8_t max_type =
-      version >= 2 ? static_cast<uint8_t>(FrameType::kBatchSearchResponse)
+      version >= 2 ? static_cast<uint8_t>(FrameType::kStatsResponse)
                    : static_cast<uint8_t>(FrameType::kError);
   if (type < static_cast<uint8_t>(FrameType::kHandshakeRequest) ||
       type > max_type) {
@@ -83,6 +83,10 @@ const char* FrameTypeToString(FrameType type) {
       return "batch_search_request";
     case FrameType::kBatchSearchResponse:
       return "batch_search_response";
+    case FrameType::kStatsRequest:
+      return "stats_request";
+    case FrameType::kStatsResponse:
+      return "stats_response";
   }
   return "unknown";
 }

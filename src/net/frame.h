@@ -71,6 +71,10 @@ enum class FrameType : uint8_t {
   /// v2 only: many (k, min_join_size) variants against one cached sketch.
   kBatchSearchRequest = 10,
   kBatchSearchResponse = 11,
+  /// v2 only: ask the server for its metrics snapshot (empty payload ->
+  /// a Status + JSON document; see rpc::StatsResponse).
+  kStatsRequest = 12,
+  kStatsResponse = 13,
 };
 
 const char* FrameTypeToString(FrameType type);

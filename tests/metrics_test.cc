@@ -1,0 +1,232 @@
+// Unit tests for the serving tier's observability primitives: the metrics
+// registry (counters, power-of-two latency histograms, the JSON snapshot
+// schema CI parses), the admission gate (depth semantics, RAII tickets),
+// and the structured kOverloaded status with its retry_after_ms hint.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/admission.h"
+#include "src/common/metrics.h"
+
+namespace joinmi {
+namespace {
+
+// --------------------------------------------------------------- Counters
+
+TEST(MetricsCounterTest, AddSetValue) {
+  metrics::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Set(7);  // gauge absorption overwrites
+  EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(MetricsCounterTest, ConcurrentAddsAllLand) {
+  metrics::Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 4000u);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(MetricsHistogramTest, BucketBoundsArePowersOfTwo) {
+  // Bucket i holds values <= 2^i us; the boundary value stays in its
+  // bucket and boundary+1 spills into the next.
+  EXPECT_EQ(metrics::Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(metrics::Histogram::BucketFor(1), 0u);
+  EXPECT_EQ(metrics::Histogram::BucketFor(2), 1u);
+  EXPECT_EQ(metrics::Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(metrics::Histogram::BucketFor(4), 2u);
+  EXPECT_EQ(metrics::Histogram::BucketFor(1024), 10u);
+  EXPECT_EQ(metrics::Histogram::BucketFor(1025), 11u);
+  // Far past the last bound: clamped into the open-ended final bucket.
+  EXPECT_EQ(metrics::Histogram::BucketFor(~uint64_t{0}),
+            metrics::Histogram::kNumBuckets - 1);
+  EXPECT_EQ(metrics::Histogram::BucketUpperMicros(10), 1024u);
+}
+
+TEST(MetricsHistogramTest, ObserveAccumulatesCountSumAndBuckets) {
+  metrics::Histogram histogram;
+  histogram.Observe(1);     // bucket 0
+  histogram.Observe(1000);  // bucket 10
+  histogram.Observe(1000);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.sum_micros(), 2001u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(10), 2u);
+}
+
+TEST(MetricsHistogramTest, QuantileUpperIsBucketResolution) {
+  metrics::Histogram histogram;
+  EXPECT_EQ(histogram.QuantileUpperMicros(0.5), 0u);  // empty -> 0
+  for (int i = 0; i < 99; ++i) histogram.Observe(100);  // bucket 7 (<=128)
+  histogram.Observe(100000);                            // bucket 17
+  EXPECT_EQ(histogram.QuantileUpperMicros(0.5), 128u);
+  // p99 over 100 observations still lands in the fast bucket; p100
+  // catches the straggler.
+  EXPECT_EQ(histogram.QuantileUpperMicros(0.99), 128u);
+  EXPECT_EQ(histogram.QuantileUpperMicros(1.0),
+            metrics::Histogram::BucketUpperMicros(17));
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(MetricsRegistryTest, StablePointersAndIdempotentLookup) {
+  metrics::Registry registry;
+  metrics::Counter* a = registry.GetCounter("x");
+  metrics::Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(registry.CounterValue("x"), 3u);
+  EXPECT_EQ(registry.CounterValue("never_registered"), 0u);
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(MetricsRegistryTest, CounterValuesSortedByName) {
+  metrics::Registry registry;
+  registry.GetCounter("b.two")->Add(2);
+  registry.GetCounter("a.one")->Add(1);
+  const auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "a.one");
+  EXPECT_EQ(values[0].second, 1u);
+  EXPECT_EQ(values[1].first, "b.two");
+  EXPECT_EQ(values[1].second, 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonSchema) {
+  metrics::Registry registry;
+  registry.GetCounter("requests")->Add(5);
+  registry.GetHistogram("latency_us")->Observe(100);
+  const std::string json = registry.SnapshotJson();
+  // The flat schema CI's python parser consumes: counters as plain
+  // integers, histograms with count/sum/quantiles/sparse buckets.
+  EXPECT_NE(json.find("\"counters\":{\"requests\":5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"histograms\":{\"latency_us\":{"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum_us\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_us\":128"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":[[128,1]]"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, EmptySnapshotIsStillValidJson) {
+  metrics::Registry registry;
+  EXPECT_EQ(registry.SnapshotJson(),
+            "{\"counters\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsScopedTimerTest, ObservesOnDestructionAndNullIsNoOp) {
+  metrics::Histogram histogram;
+  { metrics::ScopedTimer timer(&histogram); }
+  EXPECT_EQ(histogram.count(), 1u);
+  { metrics::ScopedTimer timer(nullptr); }  // must not crash
+}
+
+// -------------------------------------------------- Overloaded status hint
+
+TEST(OverloadedStatusTest, HintRoundTrips) {
+  const Status status = MakeOverloadedStatus(8, 4, 75);
+  EXPECT_TRUE(status.IsOverloaded());
+  EXPECT_EQ(RetryAfterHintMs(status), 75);
+}
+
+TEST(OverloadedStatusTest, ForeignStatusesCarryNoHint) {
+  EXPECT_EQ(RetryAfterHintMs(Status::OK()), -1);
+  EXPECT_EQ(RetryAfterHintMs(Status::IOError("retry_after_ms=10")), -1);
+}
+
+// ---------------------------------------------------------- AdmissionGate
+
+TEST(AdmissionGateTest, UnboundedGateAlwaysAdmits) {
+  AdmissionGate gate(0);
+  std::vector<AdmissionGate::Ticket> tickets;
+  for (int i = 0; i < 100; ++i) {
+    auto ticket = gate.TryEnter();
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  EXPECT_EQ(gate.pending(), 100u);
+  EXPECT_EQ(gate.admitted(), 100u);
+  EXPECT_EQ(gate.rejected(), 0u);
+}
+
+TEST(AdmissionGateTest, LimitPlusOneIsRejectedWithTheHint) {
+  AdmissionGate gate(2, 33);
+  auto first = gate.TryEnter();
+  auto second = gate.TryEnter();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  auto third = gate.TryEnter();
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsOverloaded()) << third.status();
+  EXPECT_EQ(RetryAfterHintMs(third.status()), 33);
+  EXPECT_EQ(gate.pending(), 2u);
+  EXPECT_EQ(gate.admitted(), 2u);
+  EXPECT_EQ(gate.rejected(), 1u);
+}
+
+TEST(AdmissionGateTest, TicketReleaseReopensTheSlot) {
+  AdmissionGate gate(1);
+  {
+    auto ticket = gate.TryEnter();
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_FALSE(gate.TryEnter().ok());
+  }  // RAII release
+  EXPECT_EQ(gate.pending(), 0u);
+  auto reopened = gate.TryEnter();
+  EXPECT_TRUE(reopened.ok());
+}
+
+TEST(AdmissionGateTest, MovedTicketReleasesExactlyOnce) {
+  AdmissionGate gate(1);
+  auto ticket = gate.TryEnter();
+  ASSERT_TRUE(ticket.ok());
+  AdmissionGate::Ticket moved = std::move(*ticket);
+  ticket->Release();  // moved-from: must be a no-op
+  EXPECT_EQ(gate.pending(), 1u);
+  moved.Release();
+  EXPECT_EQ(gate.pending(), 0u);
+  moved.Release();  // double release: also a no-op
+  EXPECT_EQ(gate.pending(), 0u);
+}
+
+TEST(AdmissionGateTest, ConcurrentEntriesNeverExceedTheLimit) {
+  AdmissionGate gate(4);
+  std::atomic<size_t> peak{0};
+  std::atomic<size_t> live{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto ticket = gate.TryEnter();
+        if (!ticket.ok()) continue;
+        const size_t now = live.fetch_add(1) + 1;
+        size_t seen = peak.load();
+        while (seen < now && !peak.compare_exchange_weak(seen, now)) {
+        }
+        live.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(peak.load(), 4u);
+  EXPECT_EQ(gate.pending(), 0u);
+  EXPECT_EQ(gate.admitted() + gate.rejected(), 1600u);
+}
+
+}  // namespace
+}  // namespace joinmi

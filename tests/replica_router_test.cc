@@ -207,7 +207,7 @@ TEST(ReplicaEndpointsFileTest, ReadsV2WithCommentsBlanksAndBothSeparators) {
                  "10.0.0.1:7002 10.0.0.2:7002 10.0.0.3:7002\n"
                  "   \t \n"
                  "10.0.0.1:7003\n");
-  auto shards = ReadReplicaEndpointsFile(path);
+  auto shards = ReadShardEndpoints(path);
   ASSERT_TRUE(shards.ok()) << shards.status();
   ASSERT_EQ(shards->size(), 3u);
   ASSERT_EQ((*shards)[0].size(), 2u);
@@ -223,7 +223,7 @@ TEST(ReplicaEndpointsFileTest, V1SingleEndpointFilesStayReadable) {
   const std::string dir = ScratchDir("v1_compat");
   const std::string path = dir + "/endpoints.txt";
   WriteFileOrDie(path, "127.0.0.1:7001\n127.0.0.1:7002\n");
-  auto shards = ReadReplicaEndpointsFile(path);
+  auto shards = ReadShardEndpoints(path);
   ASSERT_TRUE(shards.ok()) << shards.status();
   ASSERT_EQ(shards->size(), 2u);
   EXPECT_EQ((*shards)[0].size(), 1u);
@@ -239,7 +239,7 @@ TEST(ReplicaEndpointsFileTest, MalformedReplicaReportsLineNumber) {
                  "# header\n"
                  "127.0.0.1:7001\n"
                  "127.0.0.1:7002, 127.0.0.1:not_a_port\n");
-  auto shards = ReadReplicaEndpointsFile(path);
+  auto shards = ReadShardEndpoints(path);
   ASSERT_FALSE(shards.ok());
   EXPECT_TRUE(shards.status().IsInvalidArgument());
   EXPECT_NE(shards.status().message().find(path + ":3:"), std::string::npos)
@@ -251,7 +251,7 @@ TEST(ReplicaEndpointsFileTest, EmptyFileIsRejected) {
   const std::string dir = ScratchDir("v2_empty");
   const std::string path = dir + "/endpoints.txt";
   WriteFileOrDie(path, "# only comments\n\n");
-  auto shards = ReadReplicaEndpointsFile(path);
+  auto shards = ReadShardEndpoints(path);
   ASSERT_FALSE(shards.ok());
   EXPECT_TRUE(shards.status().IsInvalidArgument());
   std::filesystem::remove_all(dir);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/discovery/replica_router.h"
 #include "src/discovery/rpc_messages.h"
 #include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
@@ -185,12 +186,12 @@ TEST(EndpointsFileTest, ToleratesBlankLinesAndComments) {
       "\n"
       "127.0.0.1:7003\n"
       "# trailing comment\n");
-  auto endpoints = ReadEndpointsFile(path);
+  auto endpoints = ReadShardEndpoints(path);
   ASSERT_TRUE(endpoints.ok()) << endpoints.status();
   ASSERT_EQ(endpoints->size(), 3u);
-  EXPECT_EQ((*endpoints)[0].port, 7001);
-  EXPECT_EQ((*endpoints)[1].port, 7002);
-  EXPECT_EQ((*endpoints)[2].port, 7003);
+  EXPECT_EQ((*endpoints)[0][0].port, 7001);
+  EXPECT_EQ((*endpoints)[1][0].port, 7002);
+  EXPECT_EQ((*endpoints)[2][0].port, 7003);
   std::filesystem::remove_all(
       std::filesystem::path(path).parent_path().string());
 }
@@ -205,7 +206,7 @@ TEST(EndpointsFileTest, MalformedLineReportsItsLineNumber) {
       "127.0.0.1:7001\n"
       "127.0.0.1:7002\n"
       "127.0.0.1:badport\n");
-  auto endpoints = ReadEndpointsFile(path);
+  auto endpoints = ReadShardEndpoints(path);
   ASSERT_FALSE(endpoints.ok());
   EXPECT_TRUE(endpoints.status().IsInvalidArgument()) << endpoints.status();
   EXPECT_NE(endpoints.status().message().find(path + ":5:"),
@@ -215,15 +216,15 @@ TEST(EndpointsFileTest, MalformedLineReportsItsLineNumber) {
       std::filesystem::path(path).parent_path().string());
 }
 
-TEST(EndpointsFileTest, ReplicaLineInV1FileIsRejectedWithPointerToV2) {
+TEST(EndpointsFileTest, DeprecatedFlatReaderRejectsReplicaLines) {
+  // The deprecated single-endpoint projection must refuse a replicated
+  // file and point callers at the unified reader by name.
   const std::string path = WriteEndpointsFixture(
       "v2line", "127.0.0.1:7001\n127.0.0.1:7002, 127.0.0.1:7003\n");
   auto endpoints = ReadEndpointsFile(path);
   ASSERT_FALSE(endpoints.ok());
-  EXPECT_NE(endpoints.status().message().find(path + ":2:"),
-            std::string::npos)
-      << endpoints.status();
-  EXPECT_NE(endpoints.status().message().find("ReadReplicaEndpointsFile"),
+  EXPECT_TRUE(endpoints.status().IsInvalidArgument()) << endpoints.status();
+  EXPECT_NE(endpoints.status().message().find("ReadShardEndpoints"),
             std::string::npos)
       << endpoints.status();
   std::filesystem::remove_all(

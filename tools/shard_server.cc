@@ -2,7 +2,8 @@
 //
 //   shard_server <manifest.jmim> <shard_id> <port> [--host ADDR]
 //                [--workers N] [--eval-threads N] [--port-file PATH]
-//                [--paged] [--pool-pages N]
+//                [--paged] [--pool-pages N] [--max-pending N]
+//                [--stats-json PATH]
 //
 // Loads shard <shard_id> named by the manifest (checksum- and
 // count-verified before serving), binds <port> (0 = ephemeral), prints
@@ -19,6 +20,13 @@
 // pool's hit/miss/eviction counters. A paged shard also serves fine
 // without --paged — the flag is the operator's assertion, not a mode
 // switch.
+//
+// --max-pending N bounds search frames concurrently queued or executing;
+// excess frames are rejected with a structured kOverloaded status carrying
+// a retry_after_ms hint (see src/common/admission.h). --stats-json PATH
+// writes the server's full metrics snapshot (the same JSON served over the
+// JMRP stats frame) to PATH at shutdown — the machine-readable replacement
+// for scraping the stderr stats lines, which still print.
 
 #include <cerrno>
 #include <chrono>
@@ -44,13 +52,19 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <manifest.jmim> <shard_id> <port> [--host ADDR] "
                "[--workers N] [--eval-threads N] [--port-file PATH] "
-               "[--paged] [--pool-pages N]\n"
+               "[--paged] [--pool-pages N] [--max-pending N] "
+               "[--stats-json PATH]\n"
                "  shard_id    : 0-based index into the manifest's shard list\n"
                "  port        : TCP port to bind; 0 picks an ephemeral port\n"
                "  --paged     : require a paged (JMPS) shard; startup reads\n"
                "                header + directory only\n"
                "  --pool-pages: buffer-pool budget in pages for paged "
-               "shards\n",
+               "shards\n"
+               "  --max-pending: search frames queued+executing before new\n"
+               "                ones are rejected kOverloaded (0 = "
+               "unbounded)\n"
+               "  --stats-json: write the metrics snapshot JSON here at "
+               "shutdown\n",
                argv0);
   return 2;
 }
@@ -89,6 +103,7 @@ int main(int argc, char** argv) {
 
   ShardServerOptions options;
   std::string port_file;
+  std::string stats_json_path;
   for (int arg = 4; arg < argc; ++arg) {
     const bool has_value = arg + 1 < argc;
     if (std::strcmp(argv[arg], "--host") == 0 && has_value) {
@@ -119,6 +134,16 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       options.pool_pages = static_cast<size_t>(pool_pages);
+    } else if (std::strcmp(argv[arg], "--max-pending") == 0 && has_value) {
+      long max_pending = 0;
+      if (!ParseSizeArg(argv[++arg], 0, 1L << 30, &max_pending)) {
+        std::fprintf(stderr,
+                     "--max-pending must be a non-negative integer\n");
+        return Usage(argv[0]);
+      }
+      options.max_pending = static_cast<size_t>(max_pending);
+    } else if (std::strcmp(argv[arg], "--stats-json") == 0 && has_value) {
+      stats_json_path = argv[++arg];
     } else {
       std::fprintf(stderr, "unknown or incomplete flag '%s'\n", argv[arg]);
       return Usage(argv[0]);
@@ -195,6 +220,16 @@ int main(int argc, char** argv) {
                  shard_id, static_cast<unsigned long long>(pool.hits),
                  static_cast<unsigned long long>(pool.misses),
                  static_cast<unsigned long long>(pool.evictions));
+  }
+  if (!stats_json_path.empty()) {
+    // The machine-readable shutdown receipt: everything the stderr lines
+    // say and more, in the registry's snapshot schema.
+    const Status written =
+        wire::WriteFileBytes((*server)->StatsJson() + "\n", stats_json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write stats JSON: %s\n",
+                   written.ToString().c_str());
+    }
   }
   (*server)->Stop();
   return 0;
