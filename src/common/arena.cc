@@ -1,0 +1,102 @@
+#include "src/common/arena.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace joinmi {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+Arena::~Arena() {
+  for (Block& block : blocks_) {
+    ::operator delete(block.data);
+  }
+}
+
+Arena::Arena(Arena&& other) noexcept
+    : block_bytes_(other.block_bytes_),
+      blocks_(std::move(other.blocks_)),
+      current_(other.current_),
+      offset_(other.offset_),
+      bytes_allocated_(other.bytes_allocated_),
+      bytes_reserved_(other.bytes_reserved_) {
+  other.blocks_.clear();
+  other.current_ = 0;
+  other.offset_ = 0;
+  other.bytes_allocated_ = 0;
+  other.bytes_reserved_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+  for (Block& block : blocks_) {
+    ::operator delete(block.data);
+  }
+  block_bytes_ = other.block_bytes_;
+  blocks_ = std::move(other.blocks_);
+  current_ = other.current_;
+  offset_ = other.offset_;
+  bytes_allocated_ = other.bytes_allocated_;
+  bytes_reserved_ = other.bytes_reserved_;
+  other.blocks_.clear();
+  other.current_ = 0;
+  other.offset_ = 0;
+  other.bytes_allocated_ = 0;
+  other.bytes_reserved_ = 0;
+  return *this;
+}
+
+void* Arena::AllocateBytes(size_t size, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 &&
+         align <= alignof(std::max_align_t));
+  if (blocks_.empty()) {
+    NextBlock(size > block_bytes_ ? size : block_bytes_);
+  }
+  Block& block = blocks_[current_];
+  size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+  if (aligned + size > block.size || aligned + size < aligned) {
+    // No headroom here: move to (or allocate) a block that fits. Oversized
+    // requests get a dedicated block of exactly their size so one huge
+    // query doesn't permanently inflate the standard block chain.
+    NextBlock(size > block_bytes_ ? size : block_bytes_);
+    Block& fresh = blocks_[current_];
+    aligned = (offset_ + (align - 1)) & ~(align - 1);
+    offset_ = aligned + size;
+    bytes_allocated_ += size;
+    return fresh.data + aligned;
+  }
+  offset_ = aligned + size;
+  bytes_allocated_ += size;
+  return block.data + aligned;
+}
+
+void Arena::NextBlock(size_t min_bytes) {
+  // Reuse a retained block first (Reset keeps them); allocate only when no
+  // retained block is big enough.
+  size_t start = blocks_.empty() ? 0 : current_ + 1;
+  for (size_t i = start; i < blocks_.size(); ++i) {
+    if (blocks_[i].size >= min_bytes) {
+      std::swap(blocks_[start], blocks_[i]);
+      current_ = start;
+      offset_ = 0;
+      return;
+    }
+  }
+  char* data = static_cast<char*>(::operator new(min_bytes));
+  blocks_.insert(blocks_.begin() + static_cast<ptrdiff_t>(start),
+                 Block{data, min_bytes});
+  bytes_reserved_ += min_bytes;
+  current_ = start;
+  offset_ = 0;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace joinmi

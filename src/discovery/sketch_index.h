@@ -29,6 +29,7 @@
 #include "src/core/join_mi.h"
 #include "src/discovery/repository.h"
 #include "src/discovery/searchable.h"
+#include "src/sketch/flat_index.h"
 
 namespace joinmi {
 
@@ -93,6 +94,13 @@ class SketchIndex : public Searchable {
   /// thread pool (`num_threads` 0 = hardware concurrency, 1 = inline).
   /// Outcomes land in enumeration order, so results never depend on the
   /// thread count. Fails fast on a query/index hash-seed mismatch.
+  ///
+  /// Hot path: candidates are scored in strips against the flat SoA arena
+  /// (one pass over the train sketch's key runs per strip, matches
+  /// collected in a per-thread bump arena) instead of one prepared-sketch
+  /// join per candidate. The join sample each candidate sees is
+  /// byte-identical to `query.Estimate(prepared)` — same train-entry
+  /// order, same values, same scoring tail — so rankings cannot differ.
   Result<IndexEvaluation> EvaluateAll(const JoinMIQuery& query,
                                       size_t num_threads = 0) const;
 
@@ -113,9 +121,16 @@ class SketchIndex : public Searchable {
                                        size_t num_threads,
                                        ShardQueryMode mode) const override;
 
+  /// \brief The SoA probe arena backing the batched EvaluateAll path.
+  const FlatSketchIndex& flat() const { return flat_; }
+
  private:
   JoinMIConfig config_;
   std::vector<IndexedCandidate> candidates_;
+  // Mirror of candidates_ in structure-of-arrays form: all key hashes,
+  // values, and probe regions packed contiguously. Built once per
+  // AddSketch (never per query) and read-only afterwards.
+  FlatSketchIndex flat_;
 };
 
 /// \brief Serializes the index (config, refs, sketches) to a binary string.

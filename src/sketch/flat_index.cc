@@ -1,0 +1,74 @@
+#include "src/sketch/flat_index.h"
+
+#include <limits>
+
+namespace joinmi {
+
+namespace {
+
+// Region slot count for `len` keys: smallest power of two keeping load
+// under 0.75, never smaller than 4 (keeps probe_shift <= 63, so the
+// bucket computation's shift is always defined).
+size_t ProbeRegionSlots(size_t len) {
+  size_t needed = len + len / 3 + 1;
+  size_t slots = 4;
+  while (slots < needed) slots <<= 1;
+  return slots;
+}
+
+uint32_t ShiftForSlots(size_t slots) {
+  uint32_t log2 = 0;
+  while ((size_t{1} << log2) < slots) ++log2;
+  return 64 - log2;
+}
+
+}  // namespace
+
+Result<size_t> FlatSketchIndex::AddCandidate(const Sketch& candidate) {
+  if (candidate.side != SketchSide::kCandidate) {
+    return Status::InvalidArgument(
+        "FlatSketchIndex requires candidate-side sketches");
+  }
+  const size_t len = candidate.entries.size();
+  if (len > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "candidate sketch exceeds the flat index entry limit");
+  }
+  Extent extent;
+  extent.offset = key_hashes_.size();
+  extent.len = static_cast<uint32_t>(len);
+  if (len > 0) {
+    const size_t slots = ProbeRegionSlots(len);
+    extent.probe_offset = probe_slots_.size();
+    extent.probe_mask = static_cast<uint32_t>(slots - 1);
+    extent.probe_shift = ShiftForSlots(slots);
+    probe_slots_.resize(probe_slots_.size() + slots, 0);
+    uint32_t* region = probe_slots_.data() + extent.probe_offset;
+    for (size_t i = 0; i < len; ++i) {
+      const uint64_t key = candidate.entries[i].key_hash;
+      size_t bucket = FlatProbeBucket(key, extent.probe_shift);
+      while (region[bucket] != 0) {
+        if (candidate.entries[region[bucket] - 1].key_hash == key) {
+          // Roll back the region before failing so the arena never holds a
+          // half-built candidate.
+          probe_slots_.resize(extent.probe_offset);
+          return Status::InvalidArgument(
+              "candidate sketch has duplicate keys; was it built as a train "
+              "sketch?");
+        }
+        bucket = (bucket + 1) & extent.probe_mask;
+      }
+      region[bucket] = static_cast<uint32_t>(i) + 1;
+    }
+  }
+  key_hashes_.reserve(key_hashes_.size() + len);
+  values_.reserve(values_.size() + len);
+  for (const SketchEntry& entry : candidate.entries) {
+    key_hashes_.push_back(entry.key_hash);
+    values_.push_back(entry.value);
+  }
+  extents_.push_back(extent);
+  return extents_.size() - 1;
+}
+
+}  // namespace joinmi

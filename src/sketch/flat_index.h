@@ -1,0 +1,95 @@
+// Structure-of-arrays arena for candidate sketches. A SketchIndex holding
+// one heap Sketch object per candidate scatters the probe working set
+// across the heap: each candidate's entry vector is its own allocation,
+// and its probe map is a node-per-key unordered_map. FlatSketchIndex packs
+// every candidate's key hashes and values into two shared flat arrays with
+// per-candidate (offset, len) extents, plus one shared open-addressing
+// slot array holding every candidate's probe region — so a query strip
+// walks contiguous memory and probing a candidate touches exactly its
+// extent.
+//
+// Layout (candidate c owns extents_[c] = {offset, len, probe_*}):
+//
+//   key_hashes_: [ c0 keys ........ | c1 keys .... | c2 keys ...... ]
+//   values_:     [ c0 values ...... | c1 values .. | c2 values .... ]
+//   probe_slots_:[ c0 region ..0.s. | c1 region .. | c2 region .... ]
+//                  ^offset,len        ^probe_offset, probe_mask+1 slots
+//
+// A probe slot stores local_index + 1 (0 = empty) — key hash 0 and ~0 are
+// both legal keys, so the sentinel lives in the slot value, not the key.
+
+#ifndef JOINMI_SKETCH_FLAT_INDEX_H_
+#define JOINMI_SKETCH_FLAT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sketch/flat_probe_table.h"
+#include "src/sketch/sketch.h"
+
+namespace joinmi {
+
+/// \brief Contiguous SoA storage for many candidate sketches' probe state.
+class FlatSketchIndex {
+ public:
+  /// \brief One candidate's slice of the shared arrays.
+  struct Extent {
+    uint64_t offset = 0;        ///< first key/value index in the flat arrays
+    uint32_t len = 0;           ///< number of entries
+    uint32_t probe_shift = 64;  ///< FlatProbeBucket shift for this region
+    uint64_t probe_offset = 0;  ///< first slot of the probe region
+    uint32_t probe_mask = 0;    ///< region slot count - 1 (power of two - 1)
+  };
+
+  /// \brief Appends a candidate sketch's entries and builds its probe
+  /// region. Returns the candidate's index. Fails on duplicate keys (the
+  /// candidate-side uniqueness invariant) without mutating the arena.
+  Result<size_t> AddCandidate(const Sketch& candidate);
+
+  size_t num_candidates() const { return extents_.size(); }
+  const Extent& extent(size_t candidate) const { return extents_[candidate]; }
+
+  /// \brief This candidate's key hashes (extent(c).len of them).
+  const uint64_t* keys(size_t candidate) const {
+    return key_hashes_.data() + extents_[candidate].offset;
+  }
+  /// \brief This candidate's values, parallel to keys().
+  const Value* values(size_t candidate) const {
+    return values_.data() + extents_[candidate].offset;
+  }
+
+  /// \brief Looks up `key` in candidate `c`'s probe region. Returns the
+  /// local entry index (< extent(c).len) or -1 if absent. Thread-safe once
+  /// building is done.
+  int64_t Find(size_t candidate, uint64_t key) const {
+    const Extent& e = extents_[candidate];
+    if (e.len == 0) return -1;
+    const uint32_t* slots = probe_slots_.data() + e.probe_offset;
+    const uint64_t* region_keys = key_hashes_.data() + e.offset;
+    size_t bucket = FlatProbeBucket(key, e.probe_shift);
+    while (uint32_t slot = slots[bucket]) {
+      if (region_keys[slot - 1] == key) {
+        return static_cast<int64_t>(slot) - 1;
+      }
+      bucket = (bucket + 1) & e.probe_mask;
+    }
+    return -1;
+  }
+
+  /// \brief Total entries across all candidates.
+  size_t total_entries() const { return key_hashes_.size(); }
+  /// \brief Total probe slots across all regions (for tests/introspection).
+  size_t total_probe_slots() const { return probe_slots_.size(); }
+
+ private:
+  std::vector<uint64_t> key_hashes_;
+  std::vector<Value> values_;
+  std::vector<uint32_t> probe_slots_;  // local_index + 1; 0 = empty
+  std::vector<Extent> extents_;
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SKETCH_FLAT_INDEX_H_

@@ -1,0 +1,61 @@
+#include "src/sketch/flat_probe_table.h"
+
+namespace joinmi {
+
+namespace {
+
+// Smallest power of two >= n (and >= kMinBuckets handled by callers).
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+unsigned ShiftForBuckets(size_t buckets) {
+  unsigned log2 = 0;
+  while ((size_t{1} << log2) < buckets) ++log2;
+  return 64 - log2;
+}
+
+}  // namespace
+
+void FlatProbeTable::Reserve(size_t expected) {
+  // Size so `expected` keys stay under the 0.75 load ceiling.
+  size_t needed = expected + expected / 3 + 1;
+  if (needed < kMinBuckets) needed = kMinBuckets;
+  needed = NextPowerOfTwo(needed);
+  if (needed > slots_.size()) Rehash(needed);
+}
+
+bool FlatProbeTable::Insert(uint64_t key, uint64_t value) {
+  if (slots_.empty()) Rehash(kMinBuckets);
+  const size_t mask = slots_.size() - 1;
+  size_t bucket = FlatProbeBucket(key, shift_);
+  while (used_[bucket]) {
+    if (slots_[bucket].key == key) return false;
+    bucket = (bucket + 1) & mask;
+  }
+  slots_[bucket] = Slot{key, value};
+  used_[bucket] = 1;
+  ++size_;
+  if (size_ * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+  return true;
+}
+
+void FlatProbeTable::Rehash(size_t new_buckets) {
+  std::vector<Slot> old_slots = std::move(slots_);
+  std::vector<uint8_t> old_used = std::move(used_);
+  slots_.assign(new_buckets, Slot{0, 0});
+  used_.assign(new_buckets, 0);
+  shift_ = ShiftForBuckets(new_buckets);
+  const size_t mask = new_buckets - 1;
+  for (size_t i = 0; i < old_slots.size(); ++i) {
+    if (!old_used[i]) continue;
+    size_t bucket = FlatProbeBucket(old_slots[i].key, shift_);
+    while (used_[bucket]) bucket = (bucket + 1) & mask;
+    slots_[bucket] = old_slots[i];
+    used_[bucket] = 1;
+  }
+}
+
+}  // namespace joinmi

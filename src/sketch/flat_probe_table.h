@@ -1,0 +1,82 @@
+// Open-addressing hash table specialized for the sketch probe path:
+// uint64 key hash -> uint64 payload, power-of-two capacity, linear
+// probing. Replaces std::unordered_map in the prepared-sketch join hot
+// loop, where the node-per-entry layout of unordered_map costs one cache
+// miss per probe on the bucket array and another chasing the node pointer.
+// Here a probe is one multiply, one shift, and a short scan of a
+// contiguous slot array — usually a single cache line.
+//
+// Every uint64 is a legal key (0 and ~0 included), so emptiness is
+// tracked in a separate byte array rather than a sentinel key.
+
+#ifndef JOINMI_SKETCH_FLAT_PROBE_TABLE_H_
+#define JOINMI_SKETCH_FLAT_PROBE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace joinmi {
+
+/// \brief Mixes a key hash into a bucket index for a table of 2^(64-shift)
+/// buckets. Fibonacci hashing: the multiplier spreads consecutive and
+/// low-entropy keys across the high bits, which the shift then selects.
+inline size_t FlatProbeBucket(uint64_t key, unsigned shift) {
+  return static_cast<size_t>((key * UINT64_C(0x9E3779B97F4A7C15)) >> shift);
+}
+
+/// \brief Insert-then-probe hash table for uint64 keys. Not thread-safe
+/// for writes; concurrent Find calls are safe once building is done.
+class FlatProbeTable {
+ public:
+  FlatProbeTable() = default;
+
+  /// \brief Pre-sizes the table for `expected` keys so the build loop
+  /// never rehashes.
+  explicit FlatProbeTable(size_t expected) { Reserve(expected); }
+
+  /// \brief Ensures capacity for `expected` keys without rehash.
+  void Reserve(size_t expected);
+
+  /// \brief Inserts key -> value. Returns false (table unchanged) if the
+  /// key is already present — the caller's duplicate detection.
+  bool Insert(uint64_t key, uint64_t value);
+
+  /// \brief Returns a pointer to the value for `key`, or nullptr if
+  /// absent. Valid until the next Insert.
+  const uint64_t* Find(uint64_t key) const {
+    if (size_ == 0) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    size_t bucket = FlatProbeBucket(key, shift_);
+    while (used_[bucket]) {
+      if (slots_[bucket].key == key) return &slots_[bucket].value;
+      bucket = (bucket + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// \brief Current slot count (a power of two, or 0 before first use).
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  /// Max load factor 0.75: grow when size_ would exceed 3/4 of slots.
+  static constexpr size_t kMinBuckets = 4;  // keeps shift_ <= 63 (no UB)
+
+  void Rehash(size_t new_buckets);
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> used_;  // 1 = slot occupied
+  size_t size_ = 0;
+  unsigned shift_ = 64;  // 64 - log2(slots_.size()); unused while empty
+};
+
+}  // namespace joinmi
+
+#endif  // JOINMI_SKETCH_FLAT_PROBE_TABLE_H_

@@ -10,24 +10,6 @@ namespace joinmi {
 
 namespace {
 
-// Shared tail of EstimateSketchMI*: size guard + estimator dispatch.
-Result<SketchMIResult> EstimateOnJoin(SketchJoinResult joined,
-                                      MIEstimatorKind estimator,
-                                      const MIOptions& options,
-                                      size_t min_join_size) {
-  if (joined.join_size < min_join_size) {
-    return Status::OutOfRange(
-        "sketch join produced " + std::to_string(joined.join_size) +
-        " samples, fewer than the required " + std::to_string(min_join_size));
-  }
-  SketchMIResult result;
-  result.estimator = estimator;
-  result.join_size = joined.join_size;
-  JOINMI_ASSIGN_OR_RETURN(result.mi,
-                          EstimateMI(estimator, joined.sample, options));
-  return result;
-}
-
 // Preconditions shared by every join entry point: correct sides and equal
 // hash seeds. Seeds must match because key hashes drawn from different
 // seeds are incomparable — joining them "works" mechanically but returns a
@@ -69,6 +51,31 @@ Result<MIEstimatorKind> ChooseEstimatorForSample(const PairedSample& sample) {
 
 }  // namespace
 
+Result<SketchMIResult> ScoreSketchJoinSample(
+    const PairedSample& sample, size_t join_size,
+    const std::optional<MIEstimatorKind>& estimator, const MIOptions& options,
+    size_t min_join_size) {
+  // Guard before estimator dispatch: a too-small join is OutOfRange no
+  // matter which estimator would have run, and skipping first keeps the
+  // common below-cutoff case free of any scoring work.
+  if (join_size < min_join_size) {
+    return Status::OutOfRange(
+        "sketch join produced " + std::to_string(join_size) +
+        " samples, fewer than the required " + std::to_string(min_join_size));
+  }
+  SketchMIResult result;
+  result.join_size = join_size;
+  if (estimator.has_value()) {
+    result.estimator = *estimator;
+  } else {
+    JOINMI_ASSIGN_OR_RETURN(result.estimator,
+                            ChooseEstimatorForSample(sample));
+  }
+  JOINMI_ASSIGN_OR_RETURN(result.mi,
+                          EstimateMI(result.estimator, sample, options));
+  return result;
+}
+
 Result<SketchJoinResult> JoinSketches(const Sketch& train,
                                       const Sketch& candidate) {
   JOINMI_RETURN_NOT_OK(CheckJoinable(train, candidate));
@@ -103,8 +110,7 @@ Result<SketchJoinResult> JoinSketches(const Sketch& train,
 }
 
 Result<PreparedTrainSketch> PreparedTrainSketch::Create(Sketch train) {
-  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups;
-  groups.reserve(train.entries.size());
+  FlatProbeTable groups(train.entries.size());
   for (uint32_t i = 0; i < train.entries.size();) {
     const uint64_t hash = train.entries[i].key_hash;
     uint32_t end = i + 1;
@@ -112,7 +118,9 @@ Result<PreparedTrainSketch> PreparedTrainSketch::Create(Sketch train) {
            train.entries[end].key_hash == hash) {
       ++end;
     }
-    if (!groups.emplace(hash, std::make_pair(i, end)).second) {
+    // The [begin, end) range packs into one probe payload; a non-adjacent
+    // repeat of `hash` means the entries were not sorted.
+    if (!groups.Insert(hash, (uint64_t{i} << 32) | end)) {
       return Status::InvalidArgument(
           "train sketch entries are not sorted by key_hash");
     }
@@ -137,29 +145,33 @@ Result<SketchJoinResult> PreparedTrainSketch::Join(
   size_t join_size = 0;
   const SketchEntry* prev = nullptr;
   for (const SketchEntry& entry : candidate.entries) {
-    // Candidate entries are sorted by key_hash (builder invariant), so
-    // duplicate keys are adjacent; this keeps the duplicate rejection of
-    // JoinSketches without a per-join probe set.
-    if (prev != nullptr && prev->key_hash == entry.key_hash) {
+    // Validate the probe contract — entries strictly ascending by
+    // key_hash — as we go. An unsorted candidate would still *probe*
+    // correctly here, but it violates the builder invariant every other
+    // consumer relies on, so it gets a structured error rather than a
+    // result that other paths would disagree with; a duplicated key would
+    // silently double-count its train group.
+    if (prev != nullptr && entry.key_hash <= prev->key_hash) {
+      if (entry.key_hash == prev->key_hash) {
+        return Status::InvalidArgument(
+            "candidate sketch has duplicate keys; was it built as a train "
+            "sketch?");
+      }
       return Status::InvalidArgument(
-          "candidate sketch has duplicate keys; was it built as a train "
-          "sketch?");
+          "candidate sketch entries are not sorted by key_hash; prepared "
+          "joins require builder-sorted candidates");
     }
     prev = &entry;
-    const auto it = groups_.find(entry.key_hash);
-    if (it == groups_.end()) continue;
-    matches.push_back(Match{it->second.first, it->second.second, &entry.value});
-    join_size += it->second.second - it->second.first;
+    const uint64_t* packed = groups_.Find(entry.key_hash);
+    if (packed == nullptr) continue;
+    const uint32_t begin = static_cast<uint32_t>(*packed >> 32);
+    const uint32_t end = static_cast<uint32_t>(*packed);
+    matches.push_back(Match{begin, end, &entry.value});
+    join_size += end - begin;
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const Match& a, const Match& b) { return a.begin < b.begin; });
-  for (size_t i = 1; i < matches.size(); ++i) {
-    if (matches[i].begin == matches[i - 1].begin) {
-      return Status::InvalidArgument(
-          "candidate sketch has duplicate keys; was it built as a train "
-          "sketch?");
-    }
-  }
+  // Candidate keys ascend (checked above) and train entries are sorted, so
+  // group begins were discovered in ascending order already — no sort, and
+  // duplicates were rejected before they could collide here.
   SketchJoinResult result;
   result.sample.x.reserve(join_size);
   result.sample.y.reserve(join_size);
@@ -180,10 +192,9 @@ Result<PreparedCandidateSketch> PreparedCandidateSketch::Create(
     return Status::InvalidArgument(
         "PreparedCandidateSketch requires a candidate-side sketch");
   }
-  std::unordered_map<uint64_t, uint32_t> probe;
-  probe.reserve(candidate.entries.size());
+  FlatProbeTable probe(candidate.entries.size());
   for (uint32_t i = 0; i < candidate.entries.size(); ++i) {
-    if (!probe.emplace(candidate.entries[i].key_hash, i).second) {
+    if (!probe.Insert(candidate.entries[i].key_hash, i)) {
       return Status::InvalidArgument(
           "candidate sketch has duplicate keys; was it built as a train "
           "sketch?");
@@ -204,9 +215,9 @@ Result<SketchJoinResult> PreparedCandidateSketch::Join(
   std::unordered_set<uint64_t> matched;
   matched.reserve(train.entries.size());
   for (const SketchEntry& entry : train.entries) {
-    const auto it = probe_.find(entry.key_hash);
-    if (it == probe_.end()) continue;
-    result.sample.x.push_back(candidate_.entries[it->second].value);
+    const uint64_t* index = probe_.Find(entry.key_hash);
+    if (index == nullptr) continue;
+    result.sample.x.push_back(candidate_.entries[*index].value);
     result.sample.y.push_back(entry.value);
     matched.insert(entry.key_hash);
   }
@@ -222,7 +233,8 @@ Result<SketchMIResult> EstimateSketchMI(const Sketch& train,
                                         size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined,
                           JoinSketches(train, candidate));
-  return EstimateOnJoin(std::move(joined), estimator, options, min_join_size);
+  return ScoreSketchJoinSample(joined.sample, joined.join_size, estimator,
+                               options, min_join_size);
 }
 
 Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
@@ -231,9 +243,8 @@ Result<SketchMIResult> EstimateSketchMIAuto(const Sketch& train,
                                             size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined,
                           JoinSketches(train, candidate));
-  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
-                          ChooseEstimatorForSample(joined.sample));
-  return EstimateOnJoin(std::move(joined), kind, options, min_join_size);
+  return ScoreSketchJoinSample(joined.sample, joined.join_size, std::nullopt,
+                               options, min_join_size);
 }
 
 Result<SketchMIResult> EstimateSketchMI(const PreparedTrainSketch& train,
@@ -242,7 +253,8 @@ Result<SketchMIResult> EstimateSketchMI(const PreparedTrainSketch& train,
                                         const MIOptions& options,
                                         size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, train.Join(candidate));
-  return EstimateOnJoin(std::move(joined), estimator, options, min_join_size);
+  return ScoreSketchJoinSample(joined.sample, joined.join_size, estimator,
+                               options, min_join_size);
 }
 
 Result<SketchMIResult> EstimateSketchMIAuto(const PreparedTrainSketch& train,
@@ -250,9 +262,8 @@ Result<SketchMIResult> EstimateSketchMIAuto(const PreparedTrainSketch& train,
                                             const MIOptions& options,
                                             size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, train.Join(candidate));
-  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
-                          ChooseEstimatorForSample(joined.sample));
-  return EstimateOnJoin(std::move(joined), kind, options, min_join_size);
+  return ScoreSketchJoinSample(joined.sample, joined.join_size, std::nullopt,
+                               options, min_join_size);
 }
 
 Result<SketchMIResult> EstimateSketchMI(
@@ -260,16 +271,16 @@ Result<SketchMIResult> EstimateSketchMI(
     MIEstimatorKind estimator, const MIOptions& options,
     size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, candidate.Join(train));
-  return EstimateOnJoin(std::move(joined), estimator, options, min_join_size);
+  return ScoreSketchJoinSample(joined.sample, joined.join_size, estimator,
+                               options, min_join_size);
 }
 
 Result<SketchMIResult> EstimateSketchMIAuto(
     const Sketch& train, const PreparedCandidateSketch& candidate,
     const MIOptions& options, size_t min_join_size) {
   JOINMI_ASSIGN_OR_RETURN(SketchJoinResult joined, candidate.Join(train));
-  JOINMI_ASSIGN_OR_RETURN(MIEstimatorKind kind,
-                          ChooseEstimatorForSample(joined.sample));
-  return EstimateOnJoin(std::move(joined), kind, options, min_join_size);
+  return ScoreSketchJoinSample(joined.sample, joined.join_size, std::nullopt,
+                               options, min_join_size);
 }
 
 }  // namespace joinmi

@@ -6,11 +6,12 @@
 #define JOINMI_SKETCH_SKETCH_JOIN_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
 #include <utility>
 
 #include "src/common/status.h"
 #include "src/mi/estimator.h"
+#include "src/sketch/flat_probe_table.h"
 #include "src/sketch/sketch.h"
 
 namespace joinmi {
@@ -53,18 +54,22 @@ class PreparedTrainSketch {
   const Sketch& sketch() const { return train_; }
 
   /// \brief Joins against a candidate sketch using the prebuilt index.
+  /// The candidate must honor the probe contract — entries sorted by
+  /// key_hash with no duplicates (the builder invariant). Violations
+  /// return InvalidArgument rather than a silently wrong (reordered or
+  /// double-counted) join sample.
   Result<SketchJoinResult> Join(const Sketch& candidate) const;
 
  private:
-  PreparedTrainSketch(
-      Sketch train,
-      std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups)
+  PreparedTrainSketch(Sketch train, FlatProbeTable groups)
       : train_(std::move(train)), groups_(std::move(groups)) {}
 
   Sketch train_;
-  /// key_hash -> [begin, end) index range into train_.entries (entries with
-  /// equal key_hash are contiguous because the builder sorts them).
-  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> groups_;
+  /// key_hash -> packed (begin << 32 | end) index range into
+  /// train_.entries (entries with equal key_hash are contiguous because
+  /// the builder sorts them). Open addressing: a probe is one contiguous
+  /// scan instead of unordered_map's bucket + node chase.
+  FlatProbeTable groups_;
 };
 
 /// \brief A candidate sketch pre-indexed for repeated probing — the
@@ -87,13 +92,12 @@ class PreparedCandidateSketch {
   Result<SketchJoinResult> Join(const Sketch& train) const;
 
  private:
-  PreparedCandidateSketch(Sketch candidate,
-                          std::unordered_map<uint64_t, uint32_t> probe)
+  PreparedCandidateSketch(Sketch candidate, FlatProbeTable probe)
       : candidate_(std::move(candidate)), probe_(std::move(probe)) {}
 
   Sketch candidate_;
   /// key_hash -> index into candidate_.entries (keys unique post-agg).
-  std::unordered_map<uint64_t, uint32_t> probe_;
+  FlatProbeTable probe_;
 };
 
 /// \brief End-to-end sketch-based MI estimate.
@@ -102,6 +106,18 @@ struct SketchMIResult {
   MIEstimatorKind estimator = MIEstimatorKind::kMLE;
   size_t join_size = 0;
 };
+
+/// \brief Scores an already-recovered join sample exactly as the
+/// EstimateSketchMI* entry points do: the min_join_size guard first
+/// (OutOfRange — the paper's meaningless-estimate cutoff), then estimator
+/// dispatch (`estimator` if set, otherwise the auto policy inferred from
+/// the sample's value types), then EstimateMI. This is the single scoring
+/// tail shared by the per-candidate and batched-index paths — sharing it
+/// is what keeps their rankings bit-identical.
+Result<SketchMIResult> ScoreSketchJoinSample(
+    const PairedSample& sample, size_t join_size,
+    const std::optional<MIEstimatorKind>& estimator, const MIOptions& options,
+    size_t min_join_size);
 
 /// \brief Joins sketches and runs the given estimator on the recovered
 /// sample. `min_join_size` guards against meaningless estimates from tiny

@@ -1,0 +1,461 @@
+// Tests for the flattened probe hot path: FlatProbeTable edge cases and
+// randomized parity against std::unordered_map, Arena alignment / reset /
+// oversized-allocation behavior, the FlatSketchIndex SoA arena, the
+// prepared-join probe contract (unsorted/duplicated candidates fail with a
+// structured error instead of a silently wrong join), and bit-identity of
+// the batched SketchIndex::EvaluateAll against the per-candidate
+// prepared-sketch path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/random.h"
+#include "src/discovery/sketch_index.h"
+#include "src/sketch/flat_index.h"
+#include "src/sketch/flat_probe_table.h"
+#include "src/sketch/sketch_join.h"
+#include "src/table/table.h"
+
+namespace joinmi {
+namespace {
+
+// ---------------------------------------------------------- FlatProbeTable
+
+TEST(FlatProbeTableTest, EmptyTableFindsNothing) {
+  FlatProbeTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(0), nullptr);
+  EXPECT_EQ(table.Find(~uint64_t{0}), nullptr);
+  EXPECT_EQ(table.Find(42), nullptr);
+}
+
+TEST(FlatProbeTableTest, SingleKeyRoundTrip) {
+  FlatProbeTable table;
+  ASSERT_TRUE(table.Insert(12345, 99));
+  EXPECT_EQ(table.size(), 1u);
+  const uint64_t* value = table.Find(12345);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 99u);
+  EXPECT_EQ(table.Find(12346), nullptr);
+}
+
+TEST(FlatProbeTableTest, ZeroAndAllOnesAreLegalKeys) {
+  // No sentinel key: 0 and ~0 must behave like any other key.
+  FlatProbeTable table;
+  ASSERT_TRUE(table.Insert(0, 1));
+  ASSERT_TRUE(table.Insert(~uint64_t{0}, 2));
+  ASSERT_NE(table.Find(0), nullptr);
+  EXPECT_EQ(*table.Find(0), 1u);
+  ASSERT_NE(table.Find(~uint64_t{0}), nullptr);
+  EXPECT_EQ(*table.Find(~uint64_t{0}), 2u);
+}
+
+TEST(FlatProbeTableTest, DuplicateInsertReturnsFalseAndKeepsFirstValue) {
+  FlatProbeTable table;
+  ASSERT_TRUE(table.Insert(7, 100));
+  EXPECT_FALSE(table.Insert(7, 200));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.Find(7), 100u);
+}
+
+// Finds `count` distinct keys that all hash to the same bucket of a
+// `buckets`-slot table, forcing the linear-probe chain.
+std::vector<uint64_t> CollidingKeys(size_t buckets, size_t count) {
+  unsigned shift = 64;
+  for (size_t b = buckets; b > 1; b >>= 1) --shift;
+  const size_t target = FlatProbeBucket(1, shift);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; keys.size() < count; ++k) {
+    if (FlatProbeBucket(k, shift) == target) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(FlatProbeTableTest, AllKeysCollidingInOneBucketStillResolve) {
+  // Reserve enough that the 3 colliding keys never trigger growth, so the
+  // probe chain is exercised rather than rehashed away.
+  FlatProbeTable table(8);
+  const size_t buckets = table.capacity();
+  const std::vector<uint64_t> keys = CollidingKeys(buckets, 3);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(table.Insert(keys[i], i));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint64_t* value = table.Find(keys[i]);
+    ASSERT_NE(value, nullptr) << "key " << keys[i];
+    EXPECT_EQ(*value, i);
+  }
+  // A key landing in the same (now full) bucket but never inserted must
+  // walk the whole chain and still miss.
+  const std::vector<uint64_t> more = CollidingKeys(buckets, 4);
+  EXPECT_EQ(table.Find(more[3]), nullptr);
+  // Duplicate rejection must survive the collision chain too.
+  EXPECT_FALSE(table.Insert(keys[2], 777));
+}
+
+TEST(FlatProbeTableTest, RandomizedParityWithUnorderedMap) {
+  Rng rng(40412);
+  for (size_t trial = 0; trial < 8; ++trial) {
+    FlatProbeTable table;  // default-sized: growth/rehash exercised
+    std::unordered_map<uint64_t, uint64_t> reference;
+    const size_t n = 1 + rng.NextBounded(2000);
+    for (size_t i = 0; i < n; ++i) {
+      // Narrow key range so duplicate inserts actually occur.
+      const uint64_t key = rng.NextBounded(n * 2);
+      const bool inserted = table.Insert(key, i);
+      const bool ref_inserted = reference.emplace(key, i).second;
+      ASSERT_EQ(inserted, ref_inserted) << "key " << key;
+    }
+    ASSERT_EQ(table.size(), reference.size());
+    for (const auto& [key, value] : reference) {
+      const uint64_t* found = table.Find(key);
+      ASSERT_NE(found, nullptr) << "key " << key;
+      EXPECT_EQ(*found, value);
+    }
+    for (size_t i = 0; i < 200; ++i) {
+      const uint64_t probe = rng.Next64();
+      const uint64_t* found = table.Find(probe);
+      const auto it = reference.find(probe);
+      if (it == reference.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+}
+
+TEST(FlatProbeTableTest, CapacityStaysPowerOfTwoAcrossGrowth) {
+  FlatProbeTable table;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.Insert(i * 2654435761u, i));
+    const size_t cap = table.capacity();
+    ASSERT_NE(cap, 0u);
+    ASSERT_EQ(cap & (cap - 1), 0u) << "not a power of two: " << cap;
+    // Load factor invariant: size never exceeds 3/4 of the slots.
+    ASSERT_LE(table.size() * 4, cap * 3);
+  }
+}
+
+// ------------------------------------------------------------------ Arena
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  // Interleave odd-sized and aligned requests so alignment padding is
+  // actually needed.
+  for (size_t i = 0; i < 64; ++i) {
+    char* bytes = static_cast<char*>(arena.AllocateBytes(3, 1));
+    bytes[0] = 'x';
+    double* d = arena.AllocateArray<double>(2);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+    d[0] = 1.0;
+    d[1] = 2.0;
+    uint64_t* u = arena.AllocateArray<uint64_t>(1);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(u) % alignof(uint64_t), 0u);
+    *u = i;
+  }
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(256);  // small blocks: force several block transitions
+  std::vector<uint64_t*> slots;
+  for (uint64_t i = 0; i < 500; ++i) {
+    uint64_t* p = arena.AllocateArray<uint64_t>(1);
+    *p = i;
+    slots.push_back(p);
+  }
+  for (uint64_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(*slots[i], i);
+  }
+}
+
+TEST(ArenaTest, ResetRetainsBlocksForSteadyStateReuse) {
+  Arena arena(1024);
+  for (size_t i = 0; i < 10; ++i) {
+    arena.AllocateBytes(3000, 8);
+    arena.AllocateBytes(512, 8);
+  }
+  const size_t reserved = arena.bytes_reserved();
+  const size_t blocks = arena.num_blocks();
+  ASSERT_GT(reserved, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_blocks(), blocks);
+  // The same allocation pattern after Reset must be served entirely from
+  // retained blocks: no growth.
+  for (size_t i = 0; i < 10; ++i) {
+    arena.AllocateBytes(3000, 8);
+    arena.AllocateBytes(512, 8);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_blocks(), blocks);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena(1024);
+  const size_t huge = 1024 * 1024;
+  char* p = static_cast<char*>(arena.AllocateBytes(huge, 8));
+  ASSERT_NE(p, nullptr);
+  p[0] = 'a';
+  p[huge - 1] = 'z';
+  EXPECT_GE(arena.bytes_reserved(), huge);
+  // Small allocations still work after the oversized one, and the
+  // oversized block is reusable after Reset.
+  arena.AllocateBytes(64, 8);
+  arena.Reset();
+  char* again = static_cast<char*>(arena.AllocateBytes(huge, 8));
+  ASSERT_NE(again, nullptr);
+  again[huge - 1] = 'y';
+  EXPECT_EQ(arena.num_blocks(), 2u);  // one standard + one dedicated
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValid) {
+  Arena arena;
+  void* p = arena.AllocateBytes(0, 1);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a(512);
+  uint64_t* p = a.AllocateArray<uint64_t>(4);
+  p[0] = 77;
+  Arena b(std::move(a));
+  EXPECT_EQ(p[0], 77u);  // block now owned by b, still alive
+  EXPECT_GT(b.bytes_reserved(), 0u);
+  Arena c(128);
+  c = std::move(b);
+  EXPECT_EQ(p[0], 77u);
+}
+
+// -------------------------------------------------------- FlatSketchIndex
+
+Sketch MakeCandidateSketch(std::vector<std::pair<uint64_t, int64_t>> entries,
+                           uint32_t seed = 0) {
+  Sketch sketch;
+  sketch.side = SketchSide::kCandidate;
+  sketch.capacity = entries.size();
+  sketch.hash_seed = seed;
+  for (const auto& [key, value] : entries) {
+    SketchEntry entry;
+    entry.key_hash = key;
+    entry.value = Value(value);
+    sketch.entries.push_back(std::move(entry));
+  }
+  return sketch;
+}
+
+TEST(FlatSketchIndexTest, FindParityWithLinearScan) {
+  Rng rng(90901);
+  FlatSketchIndex flat;
+  std::vector<Sketch> sketches;
+  for (size_t c = 0; c < 20; ++c) {
+    std::vector<std::pair<uint64_t, int64_t>> entries;
+    uint64_t key = rng.NextBounded(50);
+    const size_t len = rng.NextBounded(60);  // sometimes empty
+    for (size_t i = 0; i < len; ++i) {
+      key += 1 + rng.NextBounded(40);  // strictly ascending, gappy
+      entries.push_back({key, static_cast<int64_t>(i)});
+    }
+    Sketch sketch = MakeCandidateSketch(std::move(entries));
+    auto added = flat.AddCandidate(sketch);
+    ASSERT_TRUE(added.ok());
+    ASSERT_EQ(*added, c);
+    sketches.push_back(std::move(sketch));
+  }
+  ASSERT_EQ(flat.num_candidates(), sketches.size());
+  for (size_t c = 0; c < sketches.size(); ++c) {
+    const Sketch& sketch = sketches[c];
+    ASSERT_EQ(flat.extent(c).len, sketch.entries.size());
+    for (size_t i = 0; i < sketch.entries.size(); ++i) {
+      EXPECT_EQ(flat.Find(c, sketch.entries[i].key_hash),
+                static_cast<int64_t>(i));
+      EXPECT_EQ(flat.keys(c)[i], sketch.entries[i].key_hash);
+      EXPECT_EQ(flat.values(c)[i], sketch.entries[i].value);
+    }
+    for (size_t probe = 0; probe < 100; ++probe) {
+      const uint64_t key = rng.Next64();
+      int64_t expected = -1;
+      for (size_t i = 0; i < sketch.entries.size(); ++i) {
+        if (sketch.entries[i].key_hash == key) {
+          expected = static_cast<int64_t>(i);
+          break;
+        }
+      }
+      EXPECT_EQ(flat.Find(c, key), expected);
+    }
+  }
+}
+
+TEST(FlatSketchIndexTest, EmptyCandidateIsSafeToProbe) {
+  FlatSketchIndex flat;
+  auto added = flat.AddCandidate(MakeCandidateSketch({}));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(flat.extent(0).len, 0u);
+  EXPECT_EQ(flat.Find(0, 0), -1);
+  EXPECT_EQ(flat.Find(0, 12345), -1);
+}
+
+TEST(FlatSketchIndexTest, RejectsDuplicateKeysWithoutMutation) {
+  FlatSketchIndex flat;
+  ASSERT_TRUE(flat.AddCandidate(MakeCandidateSketch({{1, 10}, {2, 20}})).ok());
+  const size_t entries_before = flat.total_entries();
+  const size_t slots_before = flat.total_probe_slots();
+  auto bad = flat.AddCandidate(MakeCandidateSketch({{5, 1}, {5, 2}}));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(flat.num_candidates(), 1u);
+  EXPECT_EQ(flat.total_entries(), entries_before);
+  EXPECT_EQ(flat.total_probe_slots(), slots_before);
+}
+
+TEST(FlatSketchIndexTest, RejectsTrainSideSketches) {
+  FlatSketchIndex flat;
+  Sketch train = MakeCandidateSketch({{1, 10}});
+  train.side = SketchSide::kTrain;
+  EXPECT_FALSE(flat.AddCandidate(train).ok());
+}
+
+// ------------------------------------------- prepared-join probe contract
+
+Sketch MakeTrainSketch(std::vector<std::pair<uint64_t, int64_t>> entries,
+                       uint32_t seed = 0) {
+  Sketch sketch = MakeCandidateSketch(std::move(entries), seed);
+  sketch.side = SketchSide::kTrain;
+  return sketch;
+}
+
+TEST(ProbeContractTest, UnsortedCandidateEntriesFailStructurally) {
+  auto prepared =
+      PreparedTrainSketch::Create(MakeTrainSketch({{1, 1}, {2, 2}, {3, 3}}));
+  ASSERT_TRUE(prepared.ok());
+  // Keys present in the train sketch but out of order: previously this
+  // produced a join whose outcome silently depended on probe order; now it
+  // is a structured contract violation.
+  Sketch unsorted = MakeCandidateSketch({{3, 30}, {1, 10}});
+  auto joined = prepared->Join(unsorted);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsInvalidArgument());
+  EXPECT_NE(joined.status().message().find("not sorted"), std::string::npos)
+      << joined.status().ToString();
+}
+
+TEST(ProbeContractTest, DuplicateCandidateKeysStillRejected) {
+  auto prepared =
+      PreparedTrainSketch::Create(MakeTrainSketch({{1, 1}, {2, 2}}));
+  ASSERT_TRUE(prepared.ok());
+  Sketch duplicated = MakeCandidateSketch({{2, 20}, {2, 21}});
+  auto joined = prepared->Join(duplicated);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsInvalidArgument());
+  EXPECT_NE(joined.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ProbeContractTest, SortedCandidateStillJoinsIdenticallyToJoinSketches) {
+  Sketch train = MakeTrainSketch({{1, 5}, {1, 6}, {4, 7}, {9, 8}});
+  Sketch candidate = MakeCandidateSketch({{1, 100}, {9, 900}, {12, 1200}});
+  auto prepared = PreparedTrainSketch::Create(train);
+  ASSERT_TRUE(prepared.ok());
+  auto reference = JoinSketches(train, candidate);
+  ASSERT_TRUE(reference.ok());
+  auto fast = prepared->Join(candidate);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_EQ(fast->join_size, reference->join_size);
+  ASSERT_EQ(fast->matched_keys, reference->matched_keys);
+  ASSERT_EQ(fast->sample.x.size(), reference->sample.x.size());
+  for (size_t i = 0; i < fast->sample.size(); ++i) {
+    EXPECT_EQ(fast->sample.x[i], reference->sample.x[i]) << i;
+    EXPECT_EQ(fast->sample.y[i], reference->sample.y[i]) << i;
+  }
+}
+
+// ------------------------------------- batched EvaluateAll bit-identity
+
+std::shared_ptr<Table> MakeTwoColumnTable(const std::string& key_name,
+                                          std::vector<std::string> keys,
+                                          const std::string& value_name,
+                                          std::vector<int64_t> values) {
+  return *Table::FromColumns(
+      {{key_name, Column::MakeString(std::move(keys))},
+       {value_name, Column::MakeInt64(std::move(values))}});
+}
+
+TEST(BatchedEvaluateAllTest, MatchesPerCandidatePreparedPathBitExactly) {
+  Rng rng(5150);
+  const size_t num_keys = 200;
+  std::vector<std::string> keys;
+  std::vector<int64_t> targets;
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    targets.push_back(static_cast<int64_t>(i % 9));
+  }
+  auto base = MakeTwoColumnTable("K", keys, "Y", targets);
+
+  JoinMIConfig config;
+  config.sketch_capacity = 128;
+  config.min_join_size = 16;
+  SketchIndex index(config);
+  TableRepository repository;
+  for (size_t t = 0; t < 12; ++t) {
+    // Graded relevance plus partial key overlap so the index mixes real
+    // hits, noise, and below-cutoff candidates.
+    std::vector<std::string> cand_keys;
+    std::vector<int64_t> cand_values;
+    const size_t start = t * 10;
+    for (size_t i = start; i < num_keys; ++i) {
+      cand_keys.push_back("k" + std::to_string(i));
+      cand_values.push_back(t % 3 == 0
+                                ? static_cast<int64_t>(i % 9)
+                                : static_cast<int64_t>(rng.NextBounded(9)));
+    }
+    repository
+        .AddTable("t" + std::to_string(t),
+                  MakeTwoColumnTable("K", std::move(cand_keys), "V",
+                                     std::move(cand_values)))
+        .Abort();
+  }
+  ASSERT_TRUE(index.IndexRepository(repository).ok());
+  ASSERT_EQ(index.size(), 12u);
+
+  auto query = *JoinMIQuery::Create(*base, "K", "Y", config);
+  for (size_t num_threads : {1u, 2u, 4u}) {
+    auto evaluation = index.EvaluateAll(query, num_threads);
+    ASSERT_TRUE(evaluation.ok());
+    ASSERT_EQ(evaluation->estimates.size(), index.size());
+    size_t evaluated = 0;
+    size_t skipped = 0;
+    for (size_t c = 0; c < index.size(); ++c) {
+      // Ground truth: the per-candidate prepared path the batched strip
+      // replaced. Estimates must agree bit-for-bit, not approximately.
+      auto reference = query.Estimate(index.candidates()[c].prepared);
+      if (reference.ok()) {
+        ++evaluated;
+        ASSERT_TRUE(evaluation->estimates[c].has_value()) << c;
+        EXPECT_EQ(evaluation->estimates[c]->mi, reference->mi) << c;
+        EXPECT_EQ(evaluation->estimates[c]->sample_size,
+                  reference->sample_size)
+            << c;
+        EXPECT_EQ(evaluation->estimates[c]->estimator, reference->estimator)
+            << c;
+        EXPECT_TRUE(evaluation->estimates[c]->sketched) << c;
+      } else {
+        ASSERT_TRUE(reference.status().IsOutOfRange()) << c;
+        ++skipped;
+        EXPECT_FALSE(evaluation->estimates[c].has_value()) << c;
+      }
+    }
+    EXPECT_EQ(evaluation->num_evaluated, evaluated);
+    EXPECT_EQ(evaluation->num_skipped, skipped);
+    EXPECT_EQ(evaluation->num_errors, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace joinmi

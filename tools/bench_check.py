@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench_topk_search --json run
+against the checked-in baseline (BENCH_topk_search.json) and fail on
+meaningful regressions of the named metrics.
+
+Raw millisecond timings on shared CI runners are too noisy to gate
+directly, so the gate watches *ratio and count* metrics — speedups, hit
+rates, allocation counts — which are stable across machines. Each check
+carries a relative tolerance (default 25%) plus a small absolute slack so
+near-zero baselines don't turn measurement jitter into failures.
+
+Usage:
+    bench_check.py BASELINE.json CURRENT.json
+
+Exit status: 0 when every check passes, 1 on any regression or missing
+metric, 2 on unreadable input.
+"""
+
+import json
+import sys
+
+# (metric, direction, relative_tolerance, absolute_slack)
+#   direction "higher": regression when current < baseline*(1-tol) - slack
+#   direction "lower":  regression when current > baseline*(1+tol) + slack
+CHECKS = [
+    # Front tier: the result cache must keep repaying repeated queries.
+    ("part8_cache_hit_rate", "higher", 0.25, 0.02),
+    ("part8_repeat_speedup", "higher", 0.25, 0.50),
+    # Flat hot path: the flattening's measured wins must not erode.
+    ("part9_flat_speedup", "higher", 0.25, 0.20),
+    ("part9_batched_speedup", "higher", 0.25, 0.20),
+    # Allocation counts are deterministic, not timings: a jump means the
+    # hot path started allocating again.
+    ("part9_probe_allocs_per_query", "lower", 0.25, 1.00),
+    ("part9_batched_allocs_per_query", "lower", 0.25, 16.00),
+]
+
+
+def load_metrics(path):
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"bench_check: cannot read '{path}': {error}", file=sys.stderr)
+        sys.exit(2)
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        print(f"bench_check: '{path}' has no metrics object", file=sys.stderr)
+        sys.exit(2)
+    return metrics
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load_metrics(argv[1])
+    current = load_metrics(argv[2])
+    failures = 0
+    for name, direction, tolerance, slack in CHECKS:
+        if name not in baseline:
+            print(f"FAIL {name}: missing from baseline '{argv[1]}' — "
+                  f"regenerate the baseline with the current bench")
+            failures += 1
+            continue
+        if name not in current:
+            print(f"FAIL {name}: missing from current run '{argv[2]}'")
+            failures += 1
+            continue
+        base, cur = baseline[name], current[name]
+        if direction == "higher":
+            bound = base * (1.0 - tolerance) - slack
+            ok = cur >= bound
+            detail = f"{cur:.4f} vs baseline {base:.4f} (floor {bound:.4f})"
+        else:
+            bound = base * (1.0 + tolerance) + slack
+            ok = cur <= bound
+            detail = f"{cur:.4f} vs baseline {base:.4f} (ceiling {bound:.4f})"
+        print(f"{'ok  ' if ok else 'FAIL'} {name}: {detail}")
+        failures += 0 if ok else 1
+    if failures:
+        print(f"bench_check: {failures} regression(s) vs {argv[1]}")
+        return 1
+    print(f"bench_check: all {len(CHECKS)} checks passed vs {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
