@@ -81,6 +81,15 @@
 // retry-after rejections. The repeat-query speedup is a hard gate: the
 // bench aborts unless cached repeats run at least 5x faster.
 //
+// Part 10 is the mutable index: a router serves a deployment while an
+// ingest coordinator appends delta batches, publishes a new manifest
+// generation, and the router reloads mid-stream — per-query latency during
+// that window is compared against steady state, and the post-reload
+// ranking is cross-checked bit-identical to the full index before any
+// number prints. A second drill measures the delta-overlay read cost as a
+// function of delta size (0%, 25%, 50% of candidates living in JMDS
+// sidecars instead of the base files).
+//
 // `--smoke` shrinks every dimension (tiny tables, capacity 64, one query
 // batch) so the whole binary runs in well under a second; CI runs that
 // mode as a ctest to keep this harness from rotting.
@@ -123,6 +132,8 @@
 #include "src/discovery/shard_server.h"
 #include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
+#include "src/ingest/coordinator.h"
+#include "src/ingest/generation.h"
 #include "src/table/table.h"
 
 // Global-new interposition for part 9's allocations-per-query counter:
@@ -1466,6 +1477,200 @@ void RunFlatHotPath(const BenchParams& params, bool smoke, Rng* rng) {
   }
 }
 
+// Part 10: the mutable index under live traffic. Phase A serves a base
+// deployment through a Router (cache off — the fan-out is on trial, not
+// the cache) and measures per-query latency in steady state, then again
+// while an IngestCoordinator interleaves delta appends, a publish, and a
+// router reload between the timed queries. Phase B loads the same final
+// candidate set with 0%, 25%, and 50% of candidates living in delta
+// sidecars and measures the overlay's per-query read cost. Every serving
+// path is cross-checked bit-identical to the full unsharded index before
+// any number prints; the gates in bench_check.py watch the slowdown and
+// overlay ratios, never raw milliseconds.
+void RunOnlineIngest(const BenchParams& params,
+                     const TableRepository& repository, size_t threads,
+                     bool smoke, Rng* rng) {
+  const JoinMIConfig config = MakeJoinConfig(params);
+  SketchIndex full(config);
+  full.IndexRepository(repository).status().Abort("building the index");
+  auto query_table = MakeBaseTable(params, rng);
+  const size_t queries = smoke ? 6 : 18;
+  const size_t num_shards = 2;
+
+  auto reference = TopKJoinMISearch(*query_table, {"K", "Y"}, full,
+                                    params.top_k, threads);
+  reference.status().Abort("unsharded reference search");
+
+  const std::string root =
+      "/tmp/joinmi_bench_ingest." + std::to_string(getpid());
+
+  // The first `count` candidates as their own index — the state of the
+  // world when the base shards were built.
+  auto prefix_index = [&](size_t count) {
+    SketchIndex index(config);
+    for (size_t i = 0; i < count; ++i) {
+      const IndexedCandidate& candidate = full.candidates()[i];
+      index.AddSketch(candidate.ref, candidate.sketch())
+          .Abort("copying a candidate sketch");
+    }
+    return index;
+  };
+  auto tail_records = [&](size_t from, size_t to) {
+    std::vector<CandidateRecord> records;
+    for (size_t i = from; i < to; ++i) {
+      const IndexedCandidate& candidate = full.candidates()[i];
+      records.push_back(CandidateRecord{candidate.ref, candidate.sketch()});
+    }
+    return records;
+  };
+
+  std::printf("\n== online ingest: serving while appending (engine x%zu, "
+              "%zu shards, %zu candidates) ==\n",
+              threads, num_shards, full.size());
+
+  // ---------------- Phase A: steady state vs ingest+reload in progress.
+  const size_t base_count = full.size() - full.size() / 4;
+  const std::string live_dir = root + "/live";
+  BuildShards(prefix_index(base_count), num_shards,
+              ShardPartitionPolicy::kRoundRobin, live_dir)
+      .status()
+      .Abort("building the base deployment");
+  RouterOptions options;
+  options.manifest_path = live_dir;
+  options.cache_entries = 0;  // measure the fan-out, not the cache
+  options.num_threads = threads;
+  auto router = Router::Open(std::move(options));
+  router.status().Abort("opening the router");
+
+  auto timed_query = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    (*router)
+        ->Search(*query_table, {"K", "Y"}, params.top_k)
+        .status()
+        .Abort("router search");
+    return MillisSince(start);
+  };
+
+  double steady_total = 0;
+  for (size_t q = 0; q < queries; ++q) steady_total += timed_query();
+  const double steady_ms = steady_total / queries;
+
+  auto coordinator = ingest::IngestCoordinator::Open(live_dir);
+  coordinator.status().Abort("opening the ingest coordinator");
+  // One ingest step between every few timed queries, so the "during"
+  // number genuinely overlaps appends, the publish, and the reload.
+  const size_t delta_count = full.size() - base_count;
+  const size_t append_batches = 3;
+  const size_t total_steps = append_batches + 2;  // appends, publish, reload
+  const size_t queries_per_step = (queries + total_steps - 1) / total_steps;
+  double during_total = 0;
+  size_t during_queries = 0;
+  double reload_ms = 0;
+  for (size_t step = 0; step < total_steps; ++step) {
+    if (step < append_batches) {
+      const size_t from = base_count + (delta_count * step) / append_batches;
+      const size_t to =
+          base_count + (delta_count * (step + 1)) / append_batches;
+      if (to > from) {
+        (*coordinator)
+            ->Append(tail_records(from, to))
+            .Abort("appending a delta batch");
+      }
+    } else if (step == append_batches) {
+      (*coordinator)->Publish().status().Abort("publishing the generation");
+    } else {
+      const auto reload_start = std::chrono::steady_clock::now();
+      (*router)->Reload().Abort("reloading the router");
+      reload_ms = MillisSince(reload_start);
+    }
+    for (size_t q = 0; q < queries_per_step; ++q) {
+      during_total += timed_query();
+      ++during_queries;
+    }
+  }
+  const double during_ms = during_total / during_queries;
+  const double slowdown = during_ms / steady_ms;
+
+  // Correctness gate: the post-reload overlay must rank exactly like the
+  // full index rebuilt from scratch.
+  auto post_reload =
+      (*router)->Search(*query_table, {"K", "Y"}, params.top_k);
+  post_reload.status().Abort("post-reload search");
+  ExpectSameRanking(*reference, *post_reload,
+                    "post-reload overlay and full-index");
+
+  std::printf("steady state : %8.3f ms/query (epoch 0, %zu candidates)\n",
+              steady_ms, base_count);
+  std::printf("during ingest: %8.3f ms/query (%.2fx steady; %zu appended, "
+              "reload %.2f ms, epoch %llu)\n",
+              during_ms, slowdown, delta_count, reload_ms,
+              static_cast<unsigned long long>((*router)->epoch()));
+
+  // ------------------- Phase B: delta-overlay cost vs delta size.
+  const std::vector<std::pair<const char*, size_t>> fractions = {
+      {"00", 0},
+      {"25", full.size() / 4},
+      {"50", full.size() / 2},
+  };
+  std::vector<double> overlay_ms;
+  for (const auto& [label, dcount] : fractions) {
+    const std::string dir = root + "/overlay" + label;
+    BuildShards(prefix_index(full.size() - dcount), num_shards,
+                ShardPartitionPolicy::kRoundRobin, dir)
+        .status()
+        .Abort("building an overlay deployment");
+    if (dcount > 0) {
+      auto overlay_coordinator = ingest::IngestCoordinator::Open(dir);
+      overlay_coordinator.status().Abort("opening an overlay coordinator");
+      (*overlay_coordinator)
+          ->Append(tail_records(full.size() - dcount, full.size()))
+          .Abort("appending the overlay delta");
+      (*overlay_coordinator)
+          ->Publish()
+          .status()
+          .Abort("publishing the overlay");
+    }
+    auto manifest_path = ingest::ResolveManifestPath(dir);
+    manifest_path.status().Abort("resolving the overlay deployment");
+    auto sharded = ShardedSketchIndex::Load(*manifest_path);
+    sharded.status().Abort("loading the overlay deployment");
+    auto check = TopKJoinMISearch(*query_table, {"K", "Y"}, *sharded,
+                                  params.top_k, threads);
+    check.status().Abort("overlay search");
+    ExpectSameRanking(*reference, *check, "delta-overlay and full-index");
+
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < queries; ++q) {
+      TopKJoinMISearch(*query_table, {"K", "Y"}, *sharded, params.top_k,
+                       threads)
+          .status()
+          .Abort("overlay search");
+    }
+    const double ms = MillisSince(start) / queries;
+    overlay_ms.push_back(ms);
+    std::printf("delta %s%%    : %8.3f ms/query (%zu of %zu candidates in "
+                "JMDS sidecars)\n",
+                label, ms, dcount, full.size());
+  }
+  const double overlay_ratio = overlay_ms[2] / overlay_ms[0];
+  std::printf("overlay cost : 50%%-delta runs %.2fx the compacted "
+              "deployment\n",
+              overlay_ratio);
+
+  RecordMetric("part10_candidates", static_cast<double>(full.size()));
+  RecordMetric("part10_steady_ms_per_query", steady_ms);
+  RecordMetric("part10_during_ingest_ms_per_query", during_ms);
+  RecordMetric("part10_ingest_slowdown", slowdown);
+  RecordMetric("part10_reload_ms", reload_ms);
+  RecordMetric("part10_overlay_delta00_ms_per_query", overlay_ms[0]);
+  RecordMetric("part10_overlay_delta25_ms_per_query", overlay_ms[1]);
+  RecordMetric("part10_overlay_delta50_ms_per_query", overlay_ms[2]);
+  RecordMetric("part10_overlay_cost_ratio", overlay_ratio);
+
+  std::error_code cleanup_error;
+  std::filesystem::remove_all(root, cleanup_error);
+}
+
 int Run(size_t threads, bool smoke) {
   const BenchParams params = smoke ? SmokeParams() : BenchParams{};
   std::printf("top-k discovery throughput%s — base %zu rows, %zu candidate "
@@ -1504,6 +1709,7 @@ int Run(size_t threads, bool smoke) {
   RunPagedStorage(params, repository, threads, smoke, &rng);
   RunFrontTier(params, smoke, &rng);
   RunFlatHotPath(params, smoke, &rng);
+  RunOnlineIngest(params, repository, threads, smoke, &rng);
   return 0;
 }
 

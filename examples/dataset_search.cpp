@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   std::string stats_json_path;
   long rpc_expect_down = 0;
   long rpc_loop = 1;
+  long limit_index = 0;
   long rpc_pipeline_drill = 0;
   long overload_drill = 0;
   long router_max_pending = 0;
@@ -137,9 +138,17 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[arg], "--stats-json") == 0 && has_value) {
       stats_json_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--limit-index") == 0 && has_value) {
+      char* end = nullptr;
+      limit_index = std::strtol(argv[++arg], &end, 10);
+      if (end == argv[arg] || *end != '\0' || limit_index < 1) {
+        std::fprintf(stderr, "--limit-index must be a positive integer\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--keep-index PATH] [--stats-json PATH] "
+                   "[--limit-index N] "
                    "[--overload-drill N [--router-max-pending M]] "
                    "[--rpc-manifest PATH "
                    "(--rpc-endpoints PATH [--rpc-expect-down N | "
@@ -217,6 +226,23 @@ int main(int argc, char** argv) {
   indexed.status().Abort("indexing repository");
   std::printf("Sketch index: %zu candidate sketches of capacity %zu\n\n",
               *indexed, config.sketch_capacity);
+
+  // --limit-index N keeps only the first N candidates (global insertion
+  // order), so the persisted index AND every drift-check reference below
+  // describe that prefix. The ingest e2e serves a prefix deployment,
+  // appends the tail through ingest_ctl against the full persisted index,
+  // and uses this flag to assert pre-swap rankings stay on the old epoch.
+  if (limit_index > 0 && static_cast<size_t>(limit_index) < index.size()) {
+    SketchIndex limited(config);
+    for (size_t i = 0; i < static_cast<size_t>(limit_index); ++i) {
+      const IndexedCandidate& candidate = index.candidates()[i];
+      limited.AddSketch(candidate.ref, candidate.sketch())
+          .Abort("truncating the index");
+    }
+    index = std::move(limited);
+    std::printf("Limited the index to its first %ld candidates "
+                "(--limit-index)\n\n", limit_index);
+  }
 
   // 3. Online: the user arrives with their own table (the held-out pair's
   //    train side) and asks for the top augmentations for target Y.

@@ -8,6 +8,7 @@
 #include "src/discovery/replica_router.h"
 #include "src/discovery/rpc_shard_client.h"
 #include "src/discovery/search.h"
+#include "src/ingest/generation.h"
 #include "src/sketch/serialize.h"
 
 namespace joinmi {
@@ -55,6 +56,8 @@ Router::Router(RouterOptions options, ShardClientFactory factory,
     : options_(std::move(options)),
       factory_(std::move(factory)),
       config_(index->config()),
+      deployment_ref_(options_.manifest_path),
+      epoch_(index->manifest().epoch),
       index_(std::move(index)),
       gate_(options_.max_pending, options_.retry_after_hint_ms) {
   cache_hits_ = registry_.GetCounter("router.cache.hits");
@@ -66,6 +69,7 @@ Router::Router(RouterOptions options, ShardClientFactory factory,
   queries_degraded_ = registry_.GetCounter("router.queries.degraded");
   queries_failed_ = registry_.GetCounter("router.queries.failed");
   search_latency_ = registry_.GetHistogram("router.search.latency_us");
+  registry_.GetCounter("router.manifest.epoch")->Set(epoch_.load());
 }
 
 Result<std::unique_ptr<Router>> Router::Open(RouterOptions options) {
@@ -75,9 +79,13 @@ Result<std::unique_ptr<Router>> Router::Open(RouterOptions options) {
   }
   JOINMI_ASSIGN_OR_RETURN(ShardClientFactory factory,
                           ResolveFactory(options));
-  JOINMI_ASSIGN_OR_RETURN(
-      ShardedSketchIndex index,
-      ShardedSketchIndex::Load(options.manifest_path, factory));
+  // The reference may be a deployment directory or a CURRENT pointer —
+  // resolve it to the generation being published right now. options_
+  // keeps the original reference so the no-arg Reload() re-resolves it.
+  JOINMI_ASSIGN_OR_RETURN(const std::string manifest_path,
+                          ingest::ResolveManifestPath(options.manifest_path));
+  JOINMI_ASSIGN_OR_RETURN(ShardedSketchIndex index,
+                          ShardedSketchIndex::Load(manifest_path, factory));
   return std::unique_ptr<Router>(new Router(
       std::move(options), std::move(factory),
       std::make_shared<const ShardedSketchIndex>(std::move(index))));
@@ -92,14 +100,17 @@ std::shared_ptr<const ShardedSketchIndex> Router::snapshot() const {
   return index_;
 }
 
-std::string Router::CacheKey(const JoinMIQuery& query, size_t k) {
-  // The full config wire bytes (estimator, widths, seed, min_join_size —
-  // everything that changes an estimate) + the sketch digest + k.
-  // min_join_size is appended once more explicitly so the key survives a
-  // future config encoding that drops it. ShardQueryMode is deliberately
-  // NOT in the key: only complete answers are cached, and a complete
-  // answer is identical under either mode.
+std::string Router::CacheKey(const JoinMIQuery& query, size_t k) const {
+  // The manifest epoch (so an answer computed before a publish can never
+  // satisfy a lookup after it — defense in depth on top of Reload's
+  // unconditional clear) + the full config wire bytes (estimator, widths,
+  // seed, min_join_size — everything that changes an estimate) + the
+  // sketch digest + k. min_join_size is appended once more explicitly so
+  // the key survives a future config encoding that drops it.
+  // ShardQueryMode is deliberately NOT in the key: only complete answers
+  // are cached, and a complete answer is identical under either mode.
   std::string key;
+  wire::AppendPod<uint64_t>(&key, epoch_.load(std::memory_order_acquire));
   AppendJoinMIConfig(&key, query.config());
   wire::AppendPod<uint64_t>(&key,
                             wire::Checksum64(query.SerializedTrainSketch()));
@@ -220,24 +231,57 @@ Result<TopKSearchResult> Router::Search(const Table& base,
 
 // -------------------------------------------------------------- Lifecycle
 
-Status Router::Reload(const std::string& manifest_path) {
+Status Router::Reload(const std::string& manifest_ref) {
+  // The argument may itself be a directory or CURRENT pointer; resolve
+  // it the same way Open does.
+  JOINMI_ASSIGN_OR_RETURN(const std::string manifest_path,
+                          ingest::ResolveManifestPath(manifest_ref));
   JOINMI_ASSIGN_OR_RETURN(
       ShardedSketchIndex reloaded,
       ShardedSketchIndex::Load(manifest_path, factory_));
+  const uint64_t epoch = reloaded.manifest().epoch;
+  // config_ is deliberately NOT updated: queries read it lock-free
+  // through search_config(), so it is immutable for the router's
+  // lifetime. Publishes and compactions never change the config — a
+  // generation that does cannot be swapped in under live queries.
+  if (!(reloaded.config() == config_)) {
+    return Status::InvalidArgument(
+        "reload refused: the new manifest generation was built under a "
+        "different JoinMIConfig than the one this router opened with — "
+        "mixed-config serving would merge incomparable scores");
+  }
   auto fresh = std::make_shared<const ShardedSketchIndex>(
       std::move(reloaded));
   {
     std::lock_guard<std::mutex> lock(index_mutex_);
-    config_ = fresh->config();
     index_ = std::move(fresh);
-    options_.manifest_path = manifest_path;
+    options_.manifest_path = manifest_ref;
+    deployment_ref_ = manifest_ref;
   }
+  epoch_.store(epoch, std::memory_order_release);
   // New epoch: every cached answer predates this manifest, drop them all
   // (even byte-identical reloads — proving equivalence would cost more
-  // than recomputing a few warm queries).
+  // than recomputing a few warm queries). The epoch in the cache key
+  // already makes stale entries unreachable; clearing reclaims their
+  // memory immediately.
   CacheClear();
   registry_.GetCounter("router.reloads")->Add();
+  registry_.GetCounter("router.reload.count")->Add();
+  registry_.GetCounter("router.manifest.epoch")->Set(epoch);
   return Status::OK();
+}
+
+Status Router::Reload() {
+  std::string ref;
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    ref = deployment_ref_;
+  }
+  return Reload(ref);
+}
+
+uint64_t Router::epoch() const {
+  return epoch_.load(std::memory_order_acquire);
 }
 
 // ---------------------------------------------------------- Introspection

@@ -45,6 +45,7 @@
 #ifndef JOINMI_DISCOVERY_ROUTER_H_
 #define JOINMI_DISCOVERY_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -63,7 +64,11 @@ namespace joinmi {
 
 /// \brief Everything Router::Open needs to assemble a deployment.
 struct RouterOptions {
-  /// The shard manifest (required). Shard paths resolve relative to its
+  /// The deployment reference (required): a manifest file, a CURRENT
+  /// pointer file, or a deployment directory — resolved through
+  /// ingest::ResolveManifestPath at Open and again at every no-arg
+  /// Reload(), so a directory-referenced router follows published
+  /// generations. Shard paths resolve relative to the resolved manifest's
   /// directory for local deployments.
   std::string manifest_path;
 
@@ -146,9 +151,20 @@ class Router : public Searchable {
   /// \brief Re-opens the manifest through the same backend factory and
   /// swaps it in atomically. The result cache is cleared uncondition-
   /// ally — a new manifest epoch invalidates every cached answer, even
-  /// when the contents happen to agree. In-flight queries finish against
-  /// the index they started with.
+  /// when the contents happen to agree (and the cache key carries the
+  /// epoch besides, so a stale entry could never satisfy a new-epoch
+  /// lookup anyway). In-flight queries finish against the index they
+  /// started with.
   Status Reload(const std::string& manifest_path);
+
+  /// \brief Re-resolves the deployment reference Open() received
+  /// (directory / CURRENT pointer / manifest path) and reloads whatever
+  /// generation it names now — the one-call "pick up the publish" path.
+  Status Reload();
+
+  /// \brief Manifest epoch of the generation currently serving (0 for
+  /// pre-epoch manifests).
+  uint64_t epoch() const;
 
   // -------------------------------------------------------- Introspection
 
@@ -177,8 +193,9 @@ class Router : public Searchable {
   Router(RouterOptions options, ShardClientFactory factory,
          std::shared_ptr<const ShardedSketchIndex> index);
 
-  /// Cache key: config wire bytes + sketch digest + k + min_join_size.
-  static std::string CacheKey(const JoinMIQuery& query, size_t k);
+  /// Cache key: manifest epoch + config wire bytes + sketch digest + k +
+  /// min_join_size.
+  std::string CacheKey(const JoinMIQuery& query, size_t k) const;
   static size_t ApproximateBytes(const std::string& key,
                                  const TopKSearchResult& result);
 
@@ -197,6 +214,12 @@ class Router : public Searchable {
   // that CHANGES the config while queries are in flight is not supported
   // (the queries' sketches would be stale anyway).
   JoinMIConfig config_;
+  // The deployment reference Open() received, verbatim; the no-arg
+  // Reload() re-resolves it so a CURRENT flip is picked up without the
+  // caller naming the new generation.
+  std::string deployment_ref_;
+  // Epoch of the manifest currently serving; folded into every cache key.
+  std::atomic<uint64_t> epoch_{0};
 
   mutable std::mutex index_mutex_;
   std::shared_ptr<const ShardedSketchIndex> index_;

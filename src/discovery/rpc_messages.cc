@@ -353,6 +353,31 @@ Result<StatsResponse> DecodeStatsResponse(const std::string& payload) {
   return response;
 }
 
+// ---------------------------------------------------------------- Reload
+
+std::string EncodeReloadResponse(const ReloadResponse& response) {
+  std::string out;
+  AppendStatus(&out, response.status);
+  if (!response.status.ok()) return out;
+  wire::AppendPod<uint64_t>(&out, response.epoch);
+  wire::AppendPod<uint64_t>(&out, response.num_candidates);
+  return out;
+}
+
+Result<ReloadResponse> DecodeReloadResponse(const std::string& payload) {
+  wire::Reader reader(payload);
+  ReloadResponse response;
+  JOINMI_RETURN_NOT_OK(ReadStatus(&reader, &response.status));
+  if (!response.status.ok()) {
+    JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "reload response"));
+    return response;
+  }
+  JOINMI_RETURN_NOT_OK(reader.Read(&response.epoch));
+  JOINMI_RETURN_NOT_OK(reader.Read(&response.num_candidates));
+  JOINMI_RETURN_NOT_OK(CheckAtEnd(reader, "reload response"));
+  return response;
+}
+
 // ----------------------------------------------------------------- Error
 
 std::string EncodeErrorPayload(const Status& status) {

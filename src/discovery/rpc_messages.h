@@ -186,6 +186,22 @@ struct StatsResponse {
 std::string EncodeStatsResponse(const StatsResponse& response);
 Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
 
+// --------------------------------------------------------- Reload (v2)
+
+/// \brief Answer to kReloadRequest (whose payload is empty): the server
+/// re-resolved its deployment reference (directory / CURRENT pointer) and
+/// swapped in the newest manifest generation. epoch/num_candidates are
+/// meaningful only when `status` is OK and describe what the server is
+/// serving after the swap.
+struct ReloadResponse {
+  Status status;
+  uint64_t epoch = 0;
+  uint64_t num_candidates = 0;
+};
+
+std::string EncodeReloadResponse(const ReloadResponse& response);
+Result<ReloadResponse> DecodeReloadResponse(const std::string& payload);
+
 // --------------------------------------------------------------- Error
 
 std::string EncodeErrorPayload(const Status& status);

@@ -421,6 +421,38 @@ Result<std::string> RpcShardClient::Stats() const {
   return std::move(response.json);
 }
 
+Result<rpc::ReloadResponse> RpcShardClient::Reload() const {
+  auto channel = channels_->Pick();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  if (!(*channel)->pipelined()) {
+    return Status::NotImplemented(
+        "shard server " + endpoint_.ToString() +
+        " negotiated JMRP v1, which has no reload frame");
+  }
+  auto frame = (*channel)->Call(net::FrameType::kReloadRequest, "", nullptr);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (frame->type == net::FrameType::kError) {
+    Status server_error;
+    JOINMI_RETURN_NOT_OK(
+        rpc::DecodeErrorPayload(frame->payload, &server_error));
+    return server_error;
+  }
+  if (frame->type != net::FrameType::kReloadResponse) {
+    return Status::IOError(
+        "shard server " + endpoint_.ToString() +
+        " answered a reload request with a " +
+        std::string(net::FrameTypeToString(frame->type)) + " frame");
+  }
+  JOINMI_ASSIGN_OR_RETURN(rpc::ReloadResponse response,
+                          rpc::DecodeReloadResponse(frame->payload));
+  JOINMI_RETURN_NOT_OK(response.status);
+  return response;
+}
+
 ShardClientFactory RpcShardClient::Factory(
     std::vector<ShardEndpoint> endpoints, RpcClientOptions options) {
   return [endpoints = std::move(endpoints), options](

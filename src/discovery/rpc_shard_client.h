@@ -182,6 +182,18 @@ class RpcShardClient : public ShardClient {
   /// Never retried: stats are advisory telemetry.
   Result<std::string> Stats() const;
 
+  /// \brief Asks the server to re-resolve its deployment reference and
+  /// swap in the newest manifest generation (v2 only; never retried —
+  /// reloads are idempotent but the caller should see every failure).
+  /// On OK the response reports the epoch and candidate count now
+  /// serving. NOTE: after a successful reload the server's candidate
+  /// count may no longer match the manifest this client was created
+  /// from — existing pooled connections keep working, but fresh dials
+  /// re-verify against the stale expectation. Callers that keep
+  /// searching should rebuild their clients from the new manifest (the
+  /// router's Reload() does exactly that).
+  Result<rpc::ReloadResponse> Reload() const;
+
   const ShardEndpoint& endpoint() const { return endpoint_; }
 
   /// \brief The connection pool, exposed for instrumentation: tests and

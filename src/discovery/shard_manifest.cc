@@ -11,16 +11,25 @@ namespace {
 constexpr char kManifestMagic[4] = {'J', 'M', 'I', 'M'};
 // v1 had no embedded config; v2 carries the JoinMIConfig so a router can
 // serve from the manifest alone; v3 adds a per-shard format tag for paged
-// shard files. All three read. A manifest whose shards are all whole-file
-// writes as v2 so repartitioning an all-JMIX index never breaks an older
-// reader.
+// shard files; v4 adds the manifest epoch and per-shard delta-segment
+// references for the mutable index. All four read. A manifest needing
+// none of the newer fields writes at the oldest sufficient version, so
+// e.g. repartitioning an all-JMIX index never breaks an older reader.
 constexpr uint32_t kLegacyManifestVersion = 1;
 constexpr uint32_t kConfigManifestVersion = 2;
-constexpr uint32_t kManifestVersion = 3;
+constexpr uint32_t kPagedManifestVersion = 3;
+constexpr uint32_t kEpochManifestVersion = 4;
 
 bool AnyPagedShard(const ShardManifest& manifest) {
   for (const ShardManifestEntry& entry : manifest.shards) {
     if (entry.format != ShardFileFormat::kWholeFile) return true;
+  }
+  return false;
+}
+
+bool AnyDeltaShard(const ShardManifest& manifest) {
+  for (const ShardManifestEntry& entry : manifest.shards) {
+    if (!entry.delta_path.empty()) return true;
   }
   return false;
 }
@@ -85,6 +94,23 @@ Status ShardManifest::Validate() const {
           " candidates but lists " +
           std::to_string(entry.global_indices.size()) + " global indices");
     }
+    if (entry.delta_records > entry.candidate_count) {
+      return Status::InvalidArgument(
+          where + " claims " + std::to_string(entry.delta_records) +
+          " delta records but only " +
+          std::to_string(entry.candidate_count) + " candidates");
+    }
+    if (entry.delta_path.empty() != (entry.delta_records == 0 &&
+                                     entry.delta_bytes == 0 &&
+                                     entry.delta_checksum == 0)) {
+      return Status::InvalidArgument(
+          where + " has inconsistent delta fields (path and "
+                  "records/bytes/checksum must be set together)");
+    }
+    if (!entry.delta_path.empty() && entry.delta_records == 0) {
+      return Status::InvalidArgument(
+          where + " names a delta segment with zero records");
+    }
     counted += entry.candidate_count;
     for (size_t i = 0; i < entry.global_indices.size(); ++i) {
       const uint64_t g = entry.global_indices[i];
@@ -123,11 +149,16 @@ Status ShardManifest::Validate() const {
 }
 
 std::string SerializeManifest(const ShardManifest& manifest) {
-  // All-whole-file manifests keep writing v2 — byte-identical to what
-  // pre-paged builds wrote and readable by them. The format tag only
-  // appears (v3) once some shard actually needs it.
-  const uint32_t version =
-      AnyPagedShard(manifest) ? kManifestVersion : kConfigManifestVersion;
+  // Oldest sufficient version: all-whole-file, epoch-0, delta-free
+  // manifests keep writing v2 — byte-identical to what pre-paged builds
+  // wrote and readable by them; the format tag only appears (v3) once
+  // some shard actually needs it, and the epoch/delta fields only appear
+  // (v4) once ingest has touched the deployment.
+  uint32_t version = kConfigManifestVersion;
+  if (AnyPagedShard(manifest)) version = kPagedManifestVersion;
+  if (manifest.epoch != 0 || AnyDeltaShard(manifest)) {
+    version = kEpochManifestVersion;
+  }
   std::string out;
   wire::AppendRaw(&out, kManifestMagic, sizeof(kManifestMagic));
   wire::AppendPod<uint32_t>(&out, version);
@@ -136,14 +167,27 @@ std::string SerializeManifest(const ShardManifest& manifest) {
   if (manifest.config.has_value()) {
     AppendJoinMIConfig(&out, *manifest.config);
   }
+  if (version >= kEpochManifestVersion) {
+    wire::AppendPod<uint64_t>(&out, manifest.epoch);
+  }
   wire::AppendPod<uint64_t>(&out, manifest.shards.size());
   wire::AppendPod<uint64_t>(&out, manifest.total_candidates);
   for (const ShardManifestEntry& entry : manifest.shards) {
     wire::AppendLengthPrefixed(&out, entry.path);
     wire::AppendPod<uint64_t>(&out, entry.candidate_count);
     wire::AppendPod<uint64_t>(&out, entry.checksum);
-    if (version >= 3) {
+    if (version >= kPagedManifestVersion) {
       wire::AppendPod<uint8_t>(&out, static_cast<uint8_t>(entry.format));
+    }
+    if (version >= kEpochManifestVersion) {
+      const uint8_t has_delta = entry.delta_path.empty() ? 0 : 1;
+      wire::AppendPod<uint8_t>(&out, has_delta);
+      if (has_delta) {
+        wire::AppendLengthPrefixed(&out, entry.delta_path);
+        wire::AppendPod<uint64_t>(&out, entry.delta_records);
+        wire::AppendPod<uint64_t>(&out, entry.delta_bytes);
+        wire::AppendPod<uint64_t>(&out, entry.delta_checksum);
+      }
     }
     for (uint64_t g : entry.global_indices) {
       wire::AppendPod<uint64_t>(&out, g);
@@ -161,9 +205,11 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
   }
   uint32_t version = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&version));
-  if (version < kLegacyManifestVersion || version > kManifestVersion) {
+  if (version < kLegacyManifestVersion || version > kEpochManifestVersion) {
     return Status::IOError("unsupported shard manifest version " +
-                           std::to_string(version));
+                           std::to_string(version) +
+                           " (this build reads v1-v" +
+                           std::to_string(kEpochManifestVersion) + ")");
   }
   uint8_t policy = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&policy));
@@ -184,6 +230,9 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
       manifest.config = std::move(config);
     }
   }
+  if (version >= kEpochManifestVersion) {
+    JOINMI_RETURN_NOT_OK(reader.Read(&manifest.epoch));
+  }
   uint64_t shard_count = 0;
   JOINMI_RETURN_NOT_OK(reader.Read(&shard_count));
   JOINMI_RETURN_NOT_OK(reader.Read(&manifest.total_candidates));
@@ -199,7 +248,7 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
     JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&entry.path));
     JOINMI_RETURN_NOT_OK(reader.Read(&entry.candidate_count));
     JOINMI_RETURN_NOT_OK(reader.Read(&entry.checksum));
-    if (version >= 3) {
+    if (version >= kPagedManifestVersion) {
       uint8_t format = 0;
       JOINMI_RETURN_NOT_OK(reader.Read(&format));
       if (format > static_cast<uint8_t>(ShardFileFormat::kPaged)) {
@@ -208,6 +257,19 @@ Result<ShardManifest> DeserializeManifest(const std::string& data) {
                                " in shard manifest");
       }
       entry.format = static_cast<ShardFileFormat>(format);
+    }
+    if (version >= kEpochManifestVersion) {
+      uint8_t has_delta = 0;
+      JOINMI_RETURN_NOT_OK(reader.Read(&has_delta));
+      if (has_delta > 1) {
+        return Status::IOError("bad delta presence flag in shard manifest");
+      }
+      if (has_delta == 1) {
+        JOINMI_RETURN_NOT_OK(reader.ReadLengthPrefixed(&entry.delta_path));
+        JOINMI_RETURN_NOT_OK(reader.Read(&entry.delta_records));
+        JOINMI_RETURN_NOT_OK(reader.Read(&entry.delta_bytes));
+        JOINMI_RETURN_NOT_OK(reader.Read(&entry.delta_checksum));
+      }
     }
     if (entry.candidate_count > reader.remaining() / sizeof(uint64_t)) {
       return Status::IOError("manifest shard candidate count exceeds buffer");

@@ -19,9 +19,14 @@
 //   magic "JMIM" | u32 version | u8 policy
 //   | v2+: u8 has_config, then the shared JoinMIConfig wire layout
 //     (core/config.h) when has_config == 1
+//   | v4+: u64 epoch
 //   | u64 shard_count | u64 total_candidates
 //   | per shard: path (u32 length + bytes, relative to the manifest's
 //     directory), u64 candidate_count, u64 checksum,
+//     v3+: u8 format,
+//     v4+: u8 has_delta, then when has_delta == 1: delta path
+//       (u32 length + bytes), u64 delta_records, u64 delta_bytes,
+//       u64 delta_checksum,
 //     candidate_count x u64 global index
 //
 // Version history: v1 had no config block. v2 embeds the JoinMIConfig the
@@ -29,11 +34,18 @@
 // — shard files live on remote servers — can still sketch queries and
 // verify config agreement at the serving handshake. v1 manifests still
 // load, with config absent; remote serving requires a v2+ manifest
-// (repartition with the current build_shards to upgrade). v3 (current)
-// adds a per-shard u8 format tag after the checksum, recording whether
-// the shard file is a whole-file "JMIX" index or a paged "JMPS" file, so
-// loaders dispatch transparently; a manifest whose shards are all
-// whole-file still serializes as v2, byte-identical to older builds.
+// (repartition with the current build_shards to upgrade). v3 adds a
+// per-shard u8 format tag after the checksum, recording whether the shard
+// file is a whole-file "JMIX" index or a paged "JMPS" file, so loaders
+// dispatch transparently. v4 (current) adds the mutable-index fields: a
+// monotonic manifest `epoch` naming the generation (see
+// src/ingest/generation.h) and optional per-shard delta-segment
+// references pinning the committed prefix of an appendable "JMDS" sidecar
+// (src/ingest/delta_segment.h). Manifests that need none of the newer
+// fields keep serializing at the oldest sufficient version — all
+// whole-file, epoch 0, no deltas writes v2 byte-identical to older
+// builds; epoch 0 with a paged shard writes v3 — so repartitioning never
+// breaks an older reader gratuitously.
 
 #ifndef JOINMI_DISCOVERY_SHARD_MANIFEST_H_
 #define JOINMI_DISCOVERY_SHARD_MANIFEST_H_
@@ -84,20 +96,40 @@ struct ShardManifestEntry {
   /// Shard index file, relative to the directory holding the manifest
   /// (absolute paths are honored as-is when loading).
   std::string path;
-  /// Candidates the shard file must contain.
+  /// Candidates the shard serves: base file plus delta records.
   uint64_t candidate_count = 0;
-  /// wire::Checksum64 over the shard file's raw bytes.
+  /// wire::Checksum64 over the base shard file's raw bytes (the delta
+  /// sidecar is covered separately by delta_checksum below).
   uint64_t checksum = 0;
   /// For each local candidate (in shard insertion order) its index in the
   /// original unsharded enumeration; strictly increasing within a shard.
+  /// Base candidates come first, delta candidates after (appends always
+  /// receive larger global indices than anything already built).
   std::vector<uint64_t> global_indices;
-  /// How the shard file is laid out on disk (last member so pre-paged
-  /// aggregate initializers keep compiling). Manifests read from v1/v2
-  /// formats always report kWholeFile.
+  /// How the base shard file is laid out on disk (kept after the vector
+  /// so pre-paged aggregate initializers keep compiling). Manifests read
+  /// from v1/v2 formats always report kWholeFile.
   ShardFileFormat format = ShardFileFormat::kWholeFile;
+  /// Delta segment sidecar ("JMDS", src/ingest/delta_segment.h) holding
+  /// the shard's last `delta_records` candidates, empty when the shard
+  /// has no published delta. Like `path`, relative to the manifest's
+  /// directory. delta_bytes/delta_checksum pin the committed prefix of
+  /// the (append-only) delta file this manifest generation covers, so a
+  /// loader never reads past what was published and fails loudly if the
+  /// published bytes are damaged.
+  std::string delta_path;
+  uint64_t delta_records = 0;
+  uint64_t delta_bytes = 0;
+  uint64_t delta_checksum = 0;
+
+  /// \brief Candidates in the base shard file alone.
+  uint64_t base_candidate_count() const {
+    return candidate_count - delta_records;
+  }
+  bool has_delta() const { return delta_records > 0; }
 };
 
-/// \brief The full partitioning record ("JMIM" v2/v3).
+/// \brief The full partitioning record ("JMIM" v2-v4).
 struct ShardManifest {
   ShardPartitionPolicy policy = ShardPartitionPolicy::kRoundRobin;
   /// The JoinMIConfig every shard of this partition was built under —
@@ -105,6 +137,11 @@ struct ShardManifest {
   /// serving handshake checks agreement against. Absent only for
   /// manifests read from the legacy v1 format.
   std::optional<JoinMIConfig> config;
+  /// Monotonic generation number of this manifest within its deployment
+  /// (src/ingest/generation.h). A fresh build_shards output is epoch 0;
+  /// every ingest publish or compaction bumps it. Manifests read from
+  /// pre-v4 formats report 0.
+  uint64_t epoch = 0;
   /// Candidates across all shards (== the unsharded index size).
   uint64_t total_candidates = 0;
   std::vector<ShardManifestEntry> shards;

@@ -7,16 +7,29 @@
 #include "src/core/join_mi.h"
 #include "src/discovery/rpc_messages.h"
 #include "src/discovery/shard_manifest.h"
+#include "src/ingest/delta_shard_client.h"
+#include "src/ingest/generation.h"
 #include "src/sketch/serialize.h"
 
 namespace joinmi {
 
-Result<std::unique_ptr<ShardServer>> ShardServer::Create(
-    const std::string& manifest_path, size_t shard,
-    ShardServerOptions options) {
-  if (options.num_workers == 0) {
-    return Status::InvalidArgument("shard server needs at least one worker");
-  }
+namespace {
+
+// One loaded serving generation: the verified client plus the manifest
+// epoch it came from. Create() and Reload() share this so they can never
+// drift in what they validate.
+struct LoadedGeneration {
+  std::shared_ptr<const ShardClient> client;
+  uint64_t epoch = 0;
+};
+
+Result<LoadedGeneration> LoadGeneration(const std::string& manifest_ref,
+                                        size_t shard,
+                                        const ShardServerOptions& options) {
+  // The reference may be a deployment directory or a CURRENT pointer —
+  // resolve it to the concrete generation being published right now.
+  JOINMI_ASSIGN_OR_RETURN(const std::string manifest_path,
+                          ingest::ResolveManifestPath(manifest_ref));
   JOINMI_ASSIGN_OR_RETURN(ShardManifest manifest,
                           ReadManifestFile(manifest_path));
   if (shard >= manifest.shards.size()) {
@@ -37,7 +50,8 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Create(
   // The same verified load path the local router uses: whole-file shards
   // are checksum- and count-verified against the manifest entry before
   // anything parses; paged shards open by header + directory and verify
-  // page checksums on fault-in.
+  // page checksums on fault-in. Delta overlays verify the committed
+  // segment prefix the manifest pins.
   const std::string manifest_dir =
       std::filesystem::path(manifest_path).parent_path().string();
   ShardedSketchIndex::LocalShardLoadOptions load_options;
@@ -45,46 +59,118 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Create(
   JOINMI_ASSIGN_OR_RETURN(std::unique_ptr<ShardClient> client,
                           ShardedSketchIndex::LocalFileFactory(load_options)(
                               manifest, shard, manifest_dir));
-  auto server = std::unique_ptr<ShardServer>(
-      new ShardServer(std::move(client), shard, std::move(options)));
-  server->paged_ = dynamic_cast<const PagedShardClient*>(server->client_.get());
-  return server;
+  LoadedGeneration loaded;
+  loaded.client = std::shared_ptr<const ShardClient>(std::move(client));
+  loaded.epoch = manifest.epoch;
+  return loaded;
+}
+
+// Digs the paged base out of a serving client: a plain PagedShardClient,
+// or a delta overlay whose base is paged. Null for whole-file serving.
+const PagedShardClient* PagedOf(const ShardClient& client) {
+  if (const auto* paged = dynamic_cast<const PagedShardClient*>(&client)) {
+    return paged;
+  }
+  if (const auto* overlay =
+          dynamic_cast<const ingest::DeltaShardClient*>(&client)) {
+    return dynamic_cast<const PagedShardClient*>(&overlay->base());
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Create(
+    const std::string& manifest_ref, size_t shard,
+    ShardServerOptions options) {
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("shard server needs at least one worker");
+  }
+  JOINMI_ASSIGN_OR_RETURN(LoadedGeneration loaded,
+                          LoadGeneration(manifest_ref, shard, options));
+  return std::unique_ptr<ShardServer>(
+      new ShardServer(std::move(loaded.client), loaded.epoch, manifest_ref,
+                      shard, std::move(options)));
+}
+
+std::shared_ptr<const ShardClient> ShardServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(client_mutex_);
+  return client_;
+}
+
+Status ShardServer::Reload() {
+  // One reload at a time: two concurrent reloads could otherwise load
+  // generations N and N+1 and install them in the wrong order.
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  JOINMI_ASSIGN_OR_RETURN(LoadedGeneration loaded,
+                          LoadGeneration(manifest_ref_, shard_, options_));
+  if (!(loaded.client->config() == config_)) {
+    return Status::InvalidArgument(
+        "reload refused: the new manifest generation was built under a "
+        "different JoinMIConfig than the one this server started with — "
+        "mixed-config serving would merge incomparable scores");
+  }
+  {
+    std::lock_guard<std::mutex> lock(client_mutex_);
+    client_ = std::move(loaded.client);
+  }
+  epoch_.store(loaded.epoch, std::memory_order_release);
+  reloads_served_->Add();
+  return Status::OK();
+}
+
+size_t ShardServer::num_candidates() const {
+  return Snapshot()->num_candidates();
+}
+
+bool ShardServer::serving_paged() const {
+  return PagedOf(*Snapshot()) != nullptr;
 }
 
 storage::PagedOpenStats ShardServer::paged_open_stats() const {
-  return paged_ != nullptr ? paged_->open_stats() : storage::PagedOpenStats{};
+  auto snapshot = Snapshot();
+  const PagedShardClient* paged = PagedOf(*snapshot);
+  return paged != nullptr ? paged->open_stats() : storage::PagedOpenStats{};
 }
 
 storage::BufferPoolStats ShardServer::pool_stats() const {
-  return paged_ != nullptr ? paged_->pool_stats() : storage::BufferPoolStats{};
+  auto snapshot = Snapshot();
+  const PagedShardClient* paged = PagedOf(*snapshot);
+  return paged != nullptr ? paged->pool_stats() : storage::BufferPoolStats{};
 }
 
 size_t ShardServer::pool_capacity() const {
-  return paged_ != nullptr ? paged_->pool_capacity() : 0;
+  auto snapshot = Snapshot();
+  const PagedShardClient* paged = PagedOf(*snapshot);
+  return paged != nullptr ? paged->pool_capacity() : 0;
 }
 
 std::string ShardServer::StatsJson() const {
   // Mirror live gauges into the registry (Set, not Add) so the snapshot
   // is one flat document; the hot-path counters are already in it.
+  auto snapshot = Snapshot();
   registry_.GetCounter("server.shard")->Set(shard_);
-  registry_.GetCounter("server.candidates")->Set(client_->num_candidates());
+  registry_.GetCounter("server.candidates")->Set(snapshot->num_candidates());
+  registry_.GetCounter("server.epoch")
+      ->Set(epoch_.load(std::memory_order_acquire));
   registry_.GetCounter("server.connections.open")->Set(open_connections());
   registry_.GetCounter("server.admission.pending")->Set(gate_.pending());
   registry_.GetCounter("server.admission.max_pending")
       ->Set(gate_.max_pending());
   registry_.GetCounter("server.admission.admitted")->Set(gate_.admitted());
   registry_.GetCounter("server.admission.rejected")->Set(gate_.rejected());
-  registry_.GetCounter("server.paged")->Set(serving_paged() ? 1 : 0);
-  if (serving_paged()) {
-    const storage::PagedOpenStats open = paged_open_stats();
+  const PagedShardClient* paged = PagedOf(*snapshot);
+  registry_.GetCounter("server.paged")->Set(paged != nullptr ? 1 : 0);
+  if (paged != nullptr) {
+    const storage::PagedOpenStats open = paged->open_stats();
     registry_.GetCounter("server.paged.startup_bytes_read")
         ->Set(open.startup_bytes_read);
     registry_.GetCounter("server.paged.file_size")->Set(open.file_size);
-    const storage::BufferPoolStats pool = pool_stats();
+    const storage::BufferPoolStats pool = paged->pool_stats();
     registry_.GetCounter("server.pool.hits")->Set(pool.hits);
     registry_.GetCounter("server.pool.misses")->Set(pool.misses);
     registry_.GetCounter("server.pool.evictions")->Set(pool.evictions);
-    registry_.GetCounter("server.pool.capacity")->Set(pool_capacity());
+    registry_.GetCounter("server.pool.capacity")->Set(paged->pool_capacity());
   }
   return registry_.SnapshotJson();
 }
@@ -111,8 +197,8 @@ Status ShardServer::Start() {
             // from the loop (one EncodeErrorPayload, no worker slot), so
             // an overloaded server keeps shedding load at wire speed
             // instead of queueing the rejections themselves. Everything
-            // else (handshake, health, upload, stats) bypasses the gate:
-            // it is exactly what a backing-off client needs.
+            // else (handshake, health, upload, stats, reload) bypasses
+            // the gate: it is exactly what a backing-off client needs.
             AdmissionGate::Ticket ticket;
             const bool gated =
                 frame.type == net::FrameType::kSearchRequest ||
@@ -178,6 +264,10 @@ void ShardServer::Reply(net::EventLoop::ConnId conn,
 
 void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
                               net::Frame frame) {
+  // Admission-time snapshot: this frame evaluates entirely against the
+  // generation serving when its worker picked it up, even if a Reload
+  // swaps the client mid-evaluation.
+  const std::shared_ptr<const ShardClient> snapshot = Snapshot();
   switch (frame.type) {
     case net::FrameType::kHandshakeRequest: {
       handshakes_served_->Add();
@@ -188,8 +278,8 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
         return;
       }
       rpc::HandshakeResponse response;
-      response.config = client_->config();
-      response.num_candidates = client_->num_candidates();
+      response.config = snapshot->config();
+      response.num_candidates = snapshot->num_candidates();
       // Negotiate down to what both sides speak; an undeclared (v1)
       // request keeps protocol_version 1 and the legacy payload shape.
       response.protocol_version =
@@ -201,7 +291,7 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
     case net::FrameType::kHealthRequest: {
       health_served_->Add();
       rpc::HealthResponse response;
-      response.num_candidates = client_->num_candidates();
+      response.num_candidates = snapshot->num_candidates();
       response.requests_served = searches_served_->value();
       Reply(conn, frame, net::FrameType::kHealthResponse,
             rpc::EncodeHealthResponse(response));
@@ -211,7 +301,7 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
       searches_served_->Add();
       metrics::ScopedTimer timer(search_latency_);
       Reply(conn, frame, net::FrameType::kSearchResponse,
-            HandleSearch(frame));
+            HandleSearch(frame, *snapshot));
       return;
     }
     case net::FrameType::kSketchUploadRequest: {
@@ -224,7 +314,7 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
       searches_served_->Add();
       metrics::ScopedTimer timer(search_latency_);
       Reply(conn, frame, net::FrameType::kBatchSearchResponse,
-            HandleBatchSearch(conn, frame));
+            HandleBatchSearch(conn, frame, *snapshot));
       return;
     }
     case net::FrameType::kStatsRequest: {
@@ -234,6 +324,18 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
       response.json = StatsJson();
       Reply(conn, frame, net::FrameType::kStatsResponse,
             rpc::EncodeStatsResponse(response));
+      return;
+    }
+    case net::FrameType::kReloadRequest: {
+      rpc::ReloadResponse response;
+      response.status = Reload();
+      if (response.status.ok()) {
+        auto reloaded = Snapshot();
+        response.epoch = epoch();
+        response.num_candidates = reloaded->num_candidates();
+      }
+      Reply(conn, frame, net::FrameType::kReloadResponse,
+            rpc::EncodeReloadResponse(response));
       return;
     }
     default: {
@@ -246,7 +348,8 @@ void ShardServer::HandleFrame(net::EventLoop::ConnId conn,
   }
 }
 
-std::string ShardServer::HandleSearch(const net::Frame& frame) {
+std::string ShardServer::HandleSearch(const net::Frame& frame,
+                                      const ShardClient& client) {
   rpc::SearchResponse response;
   auto run = [&]() -> Result<ShardSearchResult> {
     JOINMI_ASSIGN_OR_RETURN(rpc::SearchRequest request,
@@ -256,13 +359,13 @@ std::string ShardServer::HandleSearch(const net::Frame& frame) {
     // The shard's own config governs the evaluation, with only the
     // caller's min_join_size substituted — the one knob that travels
     // per request (see rpc_messages.h).
-    JoinMIConfig query_config = client_->config();
+    JoinMIConfig query_config = client.config();
     query_config.min_join_size = static_cast<size_t>(request.min_join_size);
     JOINMI_ASSIGN_OR_RETURN(
         JoinMIQuery query,
         JoinMIQuery::FromTrainSketch(std::move(train_sketch), query_config));
-    return client_->Search(query, static_cast<size_t>(request.k),
-                           options_.eval_threads);
+    return client.Search(query, static_cast<size_t>(request.k),
+                         options_.eval_threads);
   };
   auto result = run();
   if (result.ok()) {
@@ -311,7 +414,8 @@ std::string ShardServer::HandleSketchUpload(net::EventLoop::ConnId conn,
 }
 
 std::string ShardServer::HandleBatchSearch(net::EventLoop::ConnId conn,
-                                           const net::Frame& frame) {
+                                           const net::Frame& frame,
+                                           const ShardClient& client) {
   rpc::BatchSearchResponse response;
   auto run = [&]() -> Status {
     JOINMI_ASSIGN_OR_RETURN(rpc::BatchSearchRequest request,
@@ -335,14 +439,14 @@ std::string ShardServer::HandleBatchSearch(net::EventLoop::ConnId conn,
     for (const rpc::BatchSearchVariant& variant : request.variants) {
       rpc::SearchResponse one;
       auto evaluate = [&]() -> Result<ShardSearchResult> {
-        JoinMIConfig query_config = client_->config();
+        JoinMIConfig query_config = client.config();
         query_config.min_join_size =
             static_cast<size_t>(variant.min_join_size);
         JOINMI_ASSIGN_OR_RETURN(
             JoinMIQuery query,
             JoinMIQuery::FromTrainSketch(*sketch, query_config));
-        return client_->Search(query, static_cast<size_t>(variant.k),
-                               options_.eval_threads);
+        return client.Search(query, static_cast<size_t>(variant.k),
+                             options_.eval_threads);
       };
       auto result = evaluate();
       if (result.ok()) {

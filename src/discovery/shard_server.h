@@ -90,11 +90,13 @@ class ShardServer {
   /// batch already in flight).
   static constexpr size_t kMaxCachedSketches = 8;
 
-  /// \brief Loads shard `shard` of the manifest at `manifest_path`
-  /// (checksum-verified) and prepares a server; call Start() to bind and
-  /// serve.
+  /// \brief Loads shard `shard` of the deployment at `manifest_ref` — a
+  /// manifest file, a CURRENT pointer file, or a deployment directory
+  /// (resolved through ingest::ResolveManifestPath, so the server follows
+  /// the published generation) — and prepares a server; call Start() to
+  /// bind and serve.
   static Result<std::unique_ptr<ShardServer>> Create(
-      const std::string& manifest_path, size_t shard,
+      const std::string& manifest_ref, size_t shard,
       ShardServerOptions options = {});
 
   ~ShardServer();
@@ -115,8 +117,28 @@ class ShardServer {
   uint16_t port() const { return port_; }
   const std::string& host() const { return options_.host; }
   size_t shard() const { return shard_; }
-  const JoinMIConfig& config() const { return client_->config(); }
-  size_t num_candidates() const { return client_->num_candidates(); }
+  /// \brief The shard's JoinMIConfig. Stable across reloads — Reload()
+  /// rejects a generation whose config differs, so every hit this server
+  /// ever returns was scored under the same parameters.
+  const JoinMIConfig& config() const { return config_; }
+  size_t num_candidates() const;
+
+  /// \brief Re-resolves the deployment reference this server was created
+  /// from (directory / CURRENT pointer / manifest path) and atomically
+  /// swaps in the newest manifest generation. In-flight queries complete
+  /// against the client snapshot they took at admission; new frames see
+  /// the new generation. Validates shard range, config equality with the
+  /// original generation, and require_paged before swapping — a failed
+  /// reload leaves the old snapshot serving. Safe to call concurrently
+  /// with traffic and with itself (also reachable over the wire via
+  /// kReloadRequest).
+  Status Reload();
+
+  /// \brief Manifest epoch of the generation currently serving.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// \brief Successful Reload() swaps since Create (counting ones that
+  /// re-resolved to the same generation).
+  uint64_t reloads_served() const { return reloads_served_->value(); }
   /// \brief Search frames answered (single and batch) since Start —
   /// query traffic only; handshakes and health probes have their own
   /// counters below and no longer inflate this.
@@ -138,8 +160,9 @@ class ShardServer {
   }
 
   /// \brief True iff this server answers from a paged shard file (buffer
-  /// pool + lazy materialization) rather than an in-memory index.
-  bool serving_paged() const { return paged_ != nullptr; }
+  /// pool + lazy materialization) rather than an in-memory index. A delta
+  /// overlay on a paged base still counts as paged.
+  bool serving_paged() const;
   /// \brief Bytes read at startup vs shard file size; meaningful only
   /// when serving_paged(). The operational proof the server did not
   /// materialize the shard.
@@ -157,34 +180,53 @@ class ShardServer {
   std::string StatsJson() const;
 
  private:
-  ShardServer(std::unique_ptr<ShardClient> client, size_t shard,
+  ShardServer(std::shared_ptr<const ShardClient> client, uint64_t epoch,
+              std::string manifest_ref, size_t shard,
               ShardServerOptions options)
-      : client_(std::move(client)), shard_(shard),
-        options_(std::move(options)),
+      : client_(std::move(client)), epoch_(epoch),
+        manifest_ref_(std::move(manifest_ref)), config_(client_->config()),
+        shard_(shard), options_(std::move(options)),
         gate_(options_.max_pending, options_.retry_after_hint_ms) {
     searches_served_ = registry_.GetCounter("server.searches");
     handshakes_served_ = registry_.GetCounter("server.handshakes");
     health_served_ = registry_.GetCounter("server.health_probes");
     uploads_served_ = registry_.GetCounter("server.sketch_uploads");
     stats_served_ = registry_.GetCounter("server.stats_requests");
+    reloads_served_ = registry_.GetCounter("server.reloads");
     search_latency_ = registry_.GetHistogram("server.search.latency_us");
   }
+
+  /// The client generation currently serving. Each frame takes one
+  /// snapshot at admission and evaluates entirely against it, so a
+  /// concurrent Reload never changes a response mid-flight; the old
+  /// generation is freed when its last in-flight query drops the ref.
+  std::shared_ptr<const ShardClient> Snapshot() const;
 
   /// Runs on a worker thread: decode, evaluate, queue the reply.
   void HandleFrame(net::EventLoop::ConnId conn, net::Frame frame);
   /// Echoes the request's header dialect (version + request id).
   void Reply(net::EventLoop::ConnId conn, const net::Frame& request,
              net::FrameType type, const std::string& payload);
-  std::string HandleSearch(const net::Frame& frame);
+  std::string HandleSearch(const net::Frame& frame,
+                           const ShardClient& client);
   std::string HandleSketchUpload(net::EventLoop::ConnId conn,
                                  const net::Frame& frame);
   std::string HandleBatchSearch(net::EventLoop::ConnId conn,
-                                const net::Frame& frame);
+                                const net::Frame& frame,
+                                const ShardClient& client);
 
-  std::unique_ptr<ShardClient> client_;
-  /// Non-owning view of client_ when it is a PagedShardClient; null when
-  /// serving a whole-file shard.
-  const PagedShardClient* paged_ = nullptr;
+  /// Guards client_ swaps; queries only hold it long enough to copy the
+  /// shared_ptr.
+  mutable std::mutex client_mutex_;
+  std::shared_ptr<const ShardClient> client_;
+  /// Epoch of the generation client_ was loaded from.
+  std::atomic<uint64_t> epoch_{0};
+  /// The deployment reference Create() received, re-resolved verbatim by
+  /// every Reload() (so a CURRENT flip is picked up without telling the
+  /// server a new path).
+  std::string manifest_ref_;
+  /// Pinned at Create; Reload() enforces equality.
+  JoinMIConfig config_;
   size_t shard_ = 0;
   ShardServerOptions options_;
 
@@ -200,7 +242,12 @@ class ShardServer {
   metrics::Counter* health_served_ = nullptr;
   metrics::Counter* uploads_served_ = nullptr;
   metrics::Counter* stats_served_ = nullptr;
+  metrics::Counter* reloads_served_ = nullptr;
   metrics::Histogram* search_latency_ = nullptr;
+  /// Serializes Reload() bodies (the swap itself is under client_mutex_;
+  /// this keeps two concurrent reloads from racing load-then-swap and
+  /// installing the older generation last).
+  std::mutex reload_mutex_;
 
   std::unique_ptr<net::EventLoop> loop_;
   std::unique_ptr<ThreadPool> workers_;

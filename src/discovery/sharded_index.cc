@@ -9,6 +9,7 @@
 #include "src/common/thread_pool.h"
 #include "src/discovery/paged_shard_index.h"
 #include "src/discovery/topk_merge.h"
+#include "src/ingest/delta_shard_client.h"
 #include "src/sketch/serialize.h"
 #include "src/storage/paged_shard_file.h"
 
@@ -167,6 +168,15 @@ ShardClientFactory ShardedSketchIndex::LocalFileFactory(
              -> Result<std::unique_ptr<ShardClient>> {
     const ShardManifestEntry& entry = manifest.shards[shard];
     const std::string resolved = ResolveShardPath(entry, manifest_dir);
+    // The base file holds only the pre-delta prefix of the shard's
+    // candidates; appended ones live in the JMDS sidecar and are layered
+    // on by LoadDeltaOverlay below.
+    const size_t base_count =
+        static_cast<size_t>(entry.base_candidate_count());
+    std::vector<uint64_t> base_indices(
+        entry.global_indices.begin(),
+        entry.global_indices.begin() + base_count);
+    std::unique_ptr<ShardClient> base;
     if (entry.format == ShardFileFormat::kPaged) {
       // Open is header + directory only; the manifest's whole-file
       // checksum is deliberately not recomputed here — that read would
@@ -179,35 +189,38 @@ ShardClientFactory ShardedSketchIndex::LocalFileFactory(
       paged_options.prepared_cache_entries = options.prepared_cache_entries;
       JOINMI_ASSIGN_OR_RETURN(
           std::unique_ptr<PagedShardClient> client,
-          PagedShardClient::Open(resolved, entry.global_indices,
-                                 paged_options));
-      return std::unique_ptr<ShardClient>(std::move(client));
+          PagedShardClient::Open(resolved, base_indices, paged_options));
+      base = std::move(client);
+    } else {
+      JOINMI_ASSIGN_OR_RETURN(std::string bytes,
+                              wire::ReadFileBytes(resolved));
+      // Verify against the manifest before parsing: a corrupt or swapped
+      // shard file must fail here with provenance, not as a blob error
+      // (or not at all, if the bit flip lands in sketch payload bytes).
+      const uint64_t checksum = wire::Checksum64(bytes);
+      if (checksum != entry.checksum) {
+        return Status::InvalidArgument(
+            "shard file '" + resolved + "' checksum " +
+            std::to_string(checksum) + " disagrees with the manifest (" +
+            std::to_string(entry.checksum) +
+            ") — the file is corrupt or does not belong to this manifest");
+      }
+      JOINMI_ASSIGN_OR_RETURN(SketchIndex index, DeserializeIndex(bytes));
+      if (index.size() != base_count) {
+        return Status::InvalidArgument(
+            "shard file '" + resolved + "' holds " +
+            std::to_string(index.size()) +
+            " candidates but the manifest records " +
+            std::to_string(base_count) + " (plus " +
+            std::to_string(entry.delta_records) + " delta records)");
+      }
+      JOINMI_ASSIGN_OR_RETURN(
+          std::unique_ptr<LocalShardClient> client,
+          LocalShardClient::Create(std::move(index),
+                                   std::move(base_indices)));
+      base = std::move(client);
     }
-    JOINMI_ASSIGN_OR_RETURN(std::string bytes,
-                            wire::ReadFileBytes(resolved));
-    // Verify against the manifest before parsing: a corrupt or swapped
-    // shard file must fail here with provenance, not as a blob error (or
-    // not at all, if the bit flip lands in sketch payload bytes).
-    const uint64_t checksum = wire::Checksum64(bytes);
-    if (checksum != entry.checksum) {
-      return Status::InvalidArgument(
-          "shard file '" + resolved + "' checksum " +
-          std::to_string(checksum) + " disagrees with the manifest (" +
-          std::to_string(entry.checksum) +
-          ") — the file is corrupt or does not belong to this manifest");
-    }
-    JOINMI_ASSIGN_OR_RETURN(SketchIndex index, DeserializeIndex(bytes));
-    if (index.size() != entry.candidate_count) {
-      return Status::InvalidArgument(
-          "shard file '" + resolved + "' holds " +
-          std::to_string(index.size()) +
-          " candidates but the manifest records " +
-          std::to_string(entry.candidate_count));
-    }
-    JOINMI_ASSIGN_OR_RETURN(
-        std::unique_ptr<LocalShardClient> client,
-        LocalShardClient::Create(std::move(index), entry.global_indices));
-    return std::unique_ptr<ShardClient>(std::move(client));
+    return ingest::LoadDeltaOverlay(std::move(base), entry, manifest_dir);
   };
 }
 

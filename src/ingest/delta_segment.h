@@ -1,0 +1,127 @@
+// Delta segments: the append-only write path of the mutable index.
+//
+// A delta segment ("JMDS" v1) is a per-shard sidecar file that absorbs
+// candidates appended after the base shard file was built. The base file
+// (JMIX or JMPS) stays immutable; the delta grows by appending
+// checksummed records followed by a commit entry, and serving overlays
+// the two (see ingest/delta_shard_client.h) so queries observe
+// base+delta merged in global-insertion-index order — bit-identical to a
+// from-scratch rebuild containing the same candidates.
+//
+// On-disk format (little-endian):
+//   header:  magic "JMDS" | u32 version=1 | u64 shard
+//            | config (core/config.h wire block)
+//            | u64 header_checksum          (FNV-1a over preceding bytes)
+//   record:  u8 tag=1 | u64 global_index | u32 payload_len | payload
+//            | u64 record_checksum          (over global_index || payload)
+//   commit:  u8 tag=2 | u64 cumulative_record_count
+//            | u64 chain_checksum           (FNV-1a over every preceding
+//                                            byte of the file)
+//
+// Records become durable only when a commit entry lands: the writer
+// appends record(s) + commit + fsync as one batch, and readers accept the
+// longest prefix ending in a valid commit, discarding any torn tail. A
+// manifest entry pins (delta_bytes, delta_checksum) of the committed
+// prefix it covers, so the serving load path (ReadDeltaSegmentPrefix)
+// fails loudly if published bytes are ever damaged — torn tails are a
+// crash-recovery artifact, silent corruption is not.
+
+#ifndef JOINMI_INGEST_DELTA_SEGMENT_H_
+#define JOINMI_INGEST_DELTA_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/config.h"
+
+namespace joinmi {
+namespace ingest {
+
+inline constexpr char kDeltaSegmentMagic[4] = {'J', 'M', 'D', 'S'};
+inline constexpr uint32_t kDeltaSegmentVersion = 1;
+
+/// \brief One appended candidate: its global insertion index plus the
+/// serialized candidate record (paged_shard_index.h EncodeCandidateRecord
+/// bytes — ref + sketch), kept opaque at this layer.
+struct DeltaRecord {
+  uint64_t global_index = 0;
+  std::string payload;
+};
+
+/// \brief Parsed state of a delta segment file.
+struct DeltaSegmentContents {
+  uint64_t shard = 0;
+  JoinMIConfig config;
+  /// Committed records in append order (torn tail already discarded).
+  std::vector<DeltaRecord> records;
+  /// Length of the committed prefix (header if no commit landed yet).
+  uint64_t committed_bytes = 0;
+  /// FNV-1a checksum of that prefix — what a manifest entry pins.
+  uint64_t committed_checksum = 0;
+  /// Bytes past the last valid commit (torn/garbage tail, not an error).
+  uint64_t discarded_tail_bytes = 0;
+};
+
+/// \brief Reads a delta segment, accepting the longest committed prefix.
+/// Bytes after the last valid commit entry are reported as
+/// discarded_tail_bytes, never served. Header corruption is a hard error.
+Result<DeltaSegmentContents> ReadDeltaSegmentFile(const std::string& path);
+
+/// \brief Reads exactly the manifest-pinned committed prefix: the file
+/// must hold at least `committed_bytes` whose checksum matches
+/// `expected_checksum` and whose last entry is a commit. Any mismatch is
+/// a hard error — this is the serving path, where damage to published
+/// bytes must fail loudly instead of quietly shrinking the index.
+Result<DeltaSegmentContents> ReadDeltaSegmentPrefix(
+    const std::string& path, uint64_t committed_bytes,
+    uint64_t expected_checksum);
+
+/// \brief Appender over a delta segment file. Open() creates the file (or
+/// recovers an existing one, truncating any torn tail); Append() writes a
+/// batch of records plus one commit entry and fsyncs before returning, so
+/// an acknowledged append survives a crash.
+class DeltaSegmentWriter {
+ public:
+  static Result<std::unique_ptr<DeltaSegmentWriter>> Open(
+      const std::string& path, const JoinMIConfig& config, uint64_t shard);
+  ~DeltaSegmentWriter();
+
+  DeltaSegmentWriter(const DeltaSegmentWriter&) = delete;
+  DeltaSegmentWriter& operator=(const DeltaSegmentWriter&) = delete;
+
+  /// \brief Durably appends `records` under a single commit entry.
+  Status Append(const std::vector<DeltaRecord>& records);
+
+  const std::string& path() const { return path_; }
+  uint64_t shard() const { return shard_; }
+  const JoinMIConfig& config() const { return config_; }
+  /// Committed records in append order (recovered + appended).
+  const std::vector<DeltaRecord>& records() const { return records_; }
+  uint64_t committed_records() const { return records_.size(); }
+  uint64_t committed_bytes() const { return committed_bytes_; }
+  uint64_t committed_checksum() const { return chain_checksum_; }
+  /// Torn-tail bytes truncated during Open() recovery.
+  uint64_t recovered_tail_bytes() const { return recovered_tail_bytes_; }
+
+ private:
+  DeltaSegmentWriter() = default;
+
+  std::string path_;
+  uint64_t shard_ = 0;
+  JoinMIConfig config_;
+  std::vector<DeltaRecord> records_;
+  uint64_t committed_bytes_ = 0;
+  // Streaming FNV-1a over the committed prefix; equals
+  // wire::Checksum64(first committed_bytes_ of the file).
+  uint64_t chain_checksum_ = 0;
+  uint64_t recovered_tail_bytes_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace ingest
+}  // namespace joinmi
+
+#endif  // JOINMI_INGEST_DELTA_SEGMENT_H_

@@ -1,0 +1,59 @@
+// Manifest generations and the CURRENT pointer: how a deployment names
+// which index state it serves.
+//
+// Every publish writes a brand-new manifest file for the next epoch
+// (generation files are never rewritten in place) and then flips a small
+// `CURRENT` pointer file at the deployment root via write-temp + fsync +
+// rename — the only mutation readers can race, and rename(2) makes it
+// atomic. CURRENT records the manifest filename plus a checksum of its
+// bytes, so resolution fails loudly instead of serving a half-written or
+// damaged generation: CURRENT always names a complete, checksum-valid
+// manifest.
+//
+// CURRENT format (text, three lines):
+//   JMCUR v1
+//   <manifest filename, relative to the deployment dir>
+//   <decimal FNV-1a checksum of the manifest bytes>
+
+#ifndef JOINMI_INGEST_GENERATION_H_
+#define JOINMI_INGEST_GENERATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace joinmi {
+namespace ingest {
+
+inline constexpr char kCurrentFileName[] = "CURRENT";
+
+/// \brief Canonical manifest filename for an epoch: "manifest.jmim" for
+/// epoch 0 (what build_shards writes), "manifest-g000042.jmim" beyond.
+std::string GenerationManifestName(uint64_t epoch);
+
+/// \brief Writes `data` to `path` with write + fsync + checked close —
+/// unlike wire::WriteFileBytes, the bytes are on stable storage when this
+/// returns, which is what publish paths need before a pointer or
+/// manifest may name the file.
+Status WriteFileDurable(const std::string& path, const std::string& data);
+
+/// \brief Atomically points `dir`/CURRENT at `manifest_filename` (which
+/// must already exist in `dir`): writes CURRENT.tmp with the filename and
+/// manifest checksum, fsyncs it, renames over CURRENT, fsyncs the
+/// directory. A crash at any step leaves either the old pointer or the
+/// new one, never a torn file.
+Status PublishCurrent(const std::string& dir,
+                      const std::string& manifest_filename);
+
+/// \brief Resolves a deployment reference to a concrete manifest path.
+/// Accepts: a directory (uses its CURRENT pointer when present, else
+/// falls back to manifest.jmim), a CURRENT pointer file, or a manifest
+/// file itself (returned as-is). Pointer resolution verifies the named
+/// manifest exists and matches the recorded checksum.
+Result<std::string> ResolveManifestPath(const std::string& path);
+
+}  // namespace ingest
+}  // namespace joinmi
+
+#endif  // JOINMI_INGEST_GENERATION_H_

@@ -34,7 +34,7 @@ Result<FrameHeader> ParseHeader(const char (&raw)[kFrameHeaderSize]) {
   }
   const uint8_t type = static_cast<uint8_t>(raw[8]);
   const uint8_t max_type =
-      version >= 2 ? static_cast<uint8_t>(FrameType::kStatsResponse)
+      version >= 2 ? static_cast<uint8_t>(FrameType::kReloadResponse)
                    : static_cast<uint8_t>(FrameType::kError);
   if (type < static_cast<uint8_t>(FrameType::kHandshakeRequest) ||
       type > max_type) {
@@ -87,6 +87,10 @@ const char* FrameTypeToString(FrameType type) {
       return "stats_request";
     case FrameType::kStatsResponse:
       return "stats_response";
+    case FrameType::kReloadRequest:
+      return "reload_request";
+    case FrameType::kReloadResponse:
+      return "reload_response";
   }
   return "unknown";
 }

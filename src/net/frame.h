@@ -75,6 +75,12 @@ enum class FrameType : uint8_t {
   /// a Status + JSON document; see rpc::StatsResponse).
   kStatsRequest = 12,
   kStatsResponse = 13,
+  /// v2 only: ask the server to re-resolve its deployment reference and
+  /// swap in the newest manifest generation (empty payload -> a Status +
+  /// the served epoch; see rpc::ReloadResponse). In-flight queries
+  /// complete against their admission-time snapshot.
+  kReloadRequest = 14,
+  kReloadResponse = 15,
 };
 
 const char* FrameTypeToString(FrameType type);

@@ -33,6 +33,12 @@ CHECKS = [
     # hot path started allocating again.
     ("part9_probe_allocs_per_query", "lower", 0.25, 1.00),
     ("part9_batched_allocs_per_query", "lower", 0.25, 16.00),
+    # Online ingest: ratios only (raw ms are runner noise). Serving while
+    # appending+reloading must stay in the same ballpark as steady state,
+    # and a half-delta deployment must not cost multiples of a compacted
+    # one to read through the overlay.
+    ("part10_ingest_slowdown", "lower", 0.50, 1.00),
+    ("part10_overlay_cost_ratio", "lower", 0.50, 0.50),
 ]
 
 

@@ -6,7 +6,7 @@
 //   build_shards <index.jmix> <output_dir> <num_shards>
 //                <round_robin|hash_dataset> [--format whole|paged]
 //                [--page-size N]
-//   build_shards verify <shard.jmps> [<shard.jmps> ...]
+//   build_shards verify <file> [<file> ...]
 //
 // Build: after writing, the tool reloads everything through the manifest
 // (ShardedSketchIndex::Load), which re-verifies whole-file shards'
@@ -14,11 +14,12 @@
 // directory), and prints the per-shard layout. Exits nonzero if any step
 // fails or the reloaded totals disagree with the source index.
 //
-// Verify: walks every page of each paged shard file checking the page
-// index and payload checksum, then replays the record directory against
-// the pages' packing. Exits nonzero on the first bad file, printing the
-// first bad page's index (the file's page count for directory-level
-// faults not attributable to one page).
+// Verify: checks every file named, dispatching on extension — .jmps walks
+// every page (index + payload checksum) and replays the record directory;
+// .jmix re-parses the whole-file index; .jmds re-parses the delta segment
+// and requires a clean committed tail; .jmim re-parses the manifest. ALL
+// files are walked and every failure reported (an audit wants the full
+// damage list, not the first hit); exits nonzero if any file failed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,8 @@
 
 #include "src/discovery/sharded_index.h"
 #include "src/discovery/sketch_index.h"
+#include "src/ingest/delta_segment.h"
+#include "src/sketch/serialize.h"
 #include "src/storage/paged_shard_file.h"
 
 using namespace joinmi;
@@ -38,12 +41,15 @@ int Usage(const char* argv0) {
                "usage: %s <index.jmix> <output_dir> <num_shards> "
                "<round_robin|hash_dataset> [--format whole|paged] "
                "[--page-size N]\n"
-               "       %s verify <shard.jmps> [<shard.jmps> ...]\n"
+               "       %s verify <file> [<file> ...]\n"
                "  --format    : shard file layout (default whole); paged\n"
                "                shards serve through a buffer pool without\n"
                "                full materialization\n"
                "  --page-size : page size in bytes for paged shards "
-               "(default 4096)\n",
+               "(default 4096)\n"
+               "  verify      : checks .jmps/.jmix/.jmds/.jmim files by\n"
+               "                extension; walks all files, reports every\n"
+               "                failure, exits nonzero if any failed\n",
                argv0, argv0);
   return 2;
 }
@@ -61,22 +67,74 @@ bool ParseSizeArg(const char* arg, long min, long max, long* out) {
   return true;
 }
 
-int RunVerify(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "verify needs at least one paged shard file\n");
-    return 2;
-  }
-  for (int arg = 2; arg < argc; ++arg) {
-    const std::string path = argv[arg];
+// Extension-dispatched check of one deployment file. Returns OK when the
+// file is intact; the message names what was checked.
+Status VerifyOneFile(const std::string& path, std::string* what) {
+  const size_t dot = path.rfind('.');
+  const std::string ext =
+      dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".jmps") {
+    *what = "paged shard";
     uint64_t bad_page = 0;
     const Status status = storage::VerifyPagedShardFile(path, &bad_page);
     if (!status.ok()) {
-      std::fprintf(stderr, "%s: FAILED at page %llu: %s\n", path.c_str(),
-                   static_cast<unsigned long long>(bad_page),
-                   status.ToString().c_str());
-      return 1;
+      return Status(status.code(), "page " + std::to_string(bad_page) +
+                                       ": " + status.message());
     }
-    std::printf("%s: OK\n", path.c_str());
+    return Status::OK();
+  }
+  if (ext == ".jmix") {
+    *what = "whole-file shard";
+    auto bytes = wire::ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    return DeserializeIndex(*bytes).status();
+  }
+  if (ext == ".jmds") {
+    *what = "delta segment";
+    auto contents = ingest::ReadDeltaSegmentFile(path);
+    if (!contents.ok()) return contents.status();
+    if (contents->discarded_tail_bytes != 0) {
+      return Status::IOError(
+          std::to_string(contents->discarded_tail_bytes) +
+          " uncommitted tail bytes past the last valid commit record "
+          "(recoverable by the ingest coordinator, but the file is not "
+          "clean)");
+    }
+    return Status::OK();
+  }
+  if (ext == ".jmim") {
+    *what = "manifest";
+    return ReadManifestFile(path).status();
+  }
+  return Status::InvalidArgument(
+      "unrecognized extension '" + ext +
+      "' — verify checks .jmps, .jmix, .jmds, and .jmim files");
+}
+
+int RunVerify(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "verify needs at least one file\n");
+    return 2;
+  }
+  // Walk EVERY file and report every failure — an operator auditing a
+  // deployment directory wants the full damage list, not the first hit.
+  int failures = 0;
+  for (int arg = 2; arg < argc; ++arg) {
+    const std::string path = argv[arg];
+    std::string what = "file";
+    const Status status = VerifyOneFile(path, &what);
+    if (!status.ok()) {
+      ++failures;
+      std::fprintf(stderr, "%s: FAILED (%s): %s\n", path.c_str(),
+                   what.c_str(), status.ToString().c_str());
+      continue;
+    }
+    std::printf("%s: OK (%s)\n", path.c_str(), what.c_str());
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "verify: %d of %d files failed\n", failures,
+                 argc - 2);
+    return 1;
   }
   return 0;
 }

@@ -1,13 +1,18 @@
 // shard_server: serve one shard of a partitioned sketch index over JMRP.
 //
-//   shard_server <manifest.jmim> <shard_id> <port> [--host ADDR]
+//   shard_server <deployment> <shard_id> <port> [--host ADDR]
 //                [--workers N] [--eval-threads N] [--port-file PATH]
 //                [--paged] [--pool-pages N] [--max-pending N]
 //                [--stats-json PATH]
 //
-// Loads shard <shard_id> named by the manifest (checksum- and
+// <deployment> is a manifest file, a CURRENT pointer file, or a
+// deployment directory (resolved to the published generation). Loads
+// shard <shard_id> named by the resolved manifest (checksum- and
 // count-verified before serving), binds <port> (0 = ephemeral), prints
 // one "listening on HOST:PORT" line, and serves until SIGINT/SIGTERM.
+// A kReloadRequest frame (see ingest_ctl --notify) makes the server
+// re-resolve the deployment and swap in the newest generation without
+// dropping a connection; in-flight queries finish on the old one.
 // --port-file writes the bound port (digits + newline) once the listener
 // is up — the startup barrier scripts wait on, and the way ephemeral
 // ports are discovered.
@@ -50,10 +55,12 @@ void HandleSignal(int) { g_shutdown = 1; }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <manifest.jmim> <shard_id> <port> [--host ADDR] "
+               "usage: %s <deployment> <shard_id> <port> [--host ADDR] "
                "[--workers N] [--eval-threads N] [--port-file PATH] "
                "[--paged] [--pool-pages N] [--max-pending N] "
                "[--stats-json PATH]\n"
+               "  deployment  : manifest file, CURRENT pointer, or "
+               "deployment dir\n"
                "  shard_id    : 0-based index into the manifest's shard list\n"
                "  port        : TCP port to bind; 0 picks an ephemeral port\n"
                "  --paged     : require a paged (JMPS) shard; startup reads\n"
